@@ -1,0 +1,373 @@
+// Benchmarks regenerating every figure and table of the reproduction (see
+// DESIGN.md §4 for the experiment index) plus micro-benchmarks of the
+// hot paths. Run with:
+//
+//	go test -bench=. -benchmem
+package tilingsched_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"tilingsched/internal/boundary"
+	"tilingsched/internal/experiments"
+	"tilingsched/internal/graph"
+	"tilingsched/internal/intmat"
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/prototile"
+	"tilingsched/internal/schedule"
+	"tilingsched/internal/tiling"
+	"tilingsched/internal/wsn"
+)
+
+func requirePass(b *testing.B, r *experiments.Result, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatalf("experiment error: %v", err)
+	}
+	if !r.Passed() {
+		b.Fatalf("experiment failed:\n%s", r.Render())
+	}
+}
+
+// --- Paper figures -------------------------------------------------------
+
+func BenchmarkFigure1Lattices(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure1Lattices()
+		requirePass(b, r, err)
+	}
+}
+
+func BenchmarkFigure2Neighborhoods(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure2Neighborhoods()
+		requirePass(b, r, err)
+	}
+}
+
+func BenchmarkFigure3Schedule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure3Schedule()
+		requirePass(b, r, err)
+	}
+}
+
+func BenchmarkFigure4Voronoi(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure4Voronoi()
+		requirePass(b, r, err)
+	}
+}
+
+func BenchmarkFigure5NonRespectable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure5NonRespectable()
+		requirePass(b, r, err)
+	}
+}
+
+// --- Theorems ------------------------------------------------------------
+
+func BenchmarkTheorem1Verify(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Theorem1Verification()
+		requirePass(b, r, err)
+	}
+}
+
+func BenchmarkTheorem2Verify(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Theorem2Verification()
+		requirePass(b, r, err)
+	}
+}
+
+// --- Derived evaluation tables E1–E6 --------------------------------------
+
+func BenchmarkTableSlotCounts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TableSlotCounts(1)
+		requirePass(b, r, err)
+	}
+}
+
+func BenchmarkTableSimulator(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TableSimulator(1)
+		requirePass(b, r, err)
+	}
+}
+
+func BenchmarkTableScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TableScaling()
+		requirePass(b, r, err)
+	}
+}
+
+func BenchmarkTableExactness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TableExactness()
+		requirePass(b, r, err)
+	}
+}
+
+func BenchmarkTableRestriction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TableRestriction()
+		requirePass(b, r, err)
+	}
+}
+
+func BenchmarkTableMobile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TableMobile(3)
+		requirePass(b, r, err)
+	}
+}
+
+func BenchmarkTableDimensions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TableDimensions()
+		requirePass(b, r, err)
+	}
+}
+
+func BenchmarkTableEnergy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TableEnergy(1)
+		requirePass(b, r, err)
+	}
+}
+
+func BenchmarkTableClockSkew(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TableClockSkew(1)
+		requirePass(b, r, err)
+	}
+}
+
+func BenchmarkTableConvergecast(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TableConvergecast(1)
+		requirePass(b, r, err)
+	}
+}
+
+// --- Micro-benchmarks of the hot paths ------------------------------------
+
+// BenchmarkSlotAssignment measures the per-sensor cost of the Theorem 1
+// schedule (one HNF coset reduction), the paper's O(1) claim.
+func BenchmarkSlotAssignment(b *testing.B) {
+	lt, ok := tiling.FindLatticeTiling(prototile.Cross(2, 1))
+	if !ok {
+		b.Fatal("no tiling")
+	}
+	s := schedule.FromLatticeTiling(lt)
+	pts := lattice.CenteredWindow(2, 20).Points()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pts[i%len(pts)]
+		if _, err := s.SlotOf(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSlotAssignmentTable is the ablation partner of
+// BenchmarkSlotAssignment: the same lookup through a precomputed table
+// (MapSchedule) instead of the algebraic coset reduction. The algebraic
+// form needs no per-deployment precomputation and covers the infinite
+// lattice; the table is bounded to its window.
+func BenchmarkSlotAssignmentTable(b *testing.B) {
+	lt, ok := tiling.FindLatticeTiling(prototile.Cross(2, 1))
+	if !ok {
+		b.Fatal("no tiling")
+	}
+	s := schedule.FromLatticeTiling(lt)
+	w := lattice.CenteredWindow(2, 20)
+	ms, err := schedule.Restrict(s, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts := w.Points()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pts[i%len(pts)]
+		if _, err := ms.SlotOf(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPerClassCompile measures the Figure 5 constraint compiler on
+// one S/Z torus tiling.
+func BenchmarkPerClassCompile(b *testing.B) {
+	s := prototile.MustTetromino("S")
+	z := prototile.MustTetromino("Z")
+	sols, err := tiling.SolveTorus([]int{4, 4}, []*prototile.Tile{s, z},
+		tiling.SolveOptions{MaxSolutions: 1, Accept: func(c []int) bool { return c[1] > 0 }})
+	if err != nil || len(sols) == 0 {
+		b.Fatalf("SolveTorus: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc, err := schedule.CompilePatternConstraints(sols[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := pc.MinSlots(16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFindPeriodicTiling measures the generalized (coset) tiling
+// search on the gap cluster that lattice search cannot handle.
+func BenchmarkFindPeriodicTiling(b *testing.B) {
+	gap := prototile.MustNew("gap", lattice.Pt(0, 0), lattice.Pt(2, 0))
+	for i := 0; i < b.N; i++ {
+		if _, ok := tiling.FindPeriodicTiling(gap, 2); !ok {
+			b.Fatal("no periodic tiling")
+		}
+	}
+}
+
+// BenchmarkConvergecast measures the multi-hop harness end to end.
+func BenchmarkConvergecast(b *testing.B) {
+	lt, ok := tiling.FindLatticeTiling(prototile.Cross(2, 1))
+	if !ok {
+		b.Fatal("no tiling")
+	}
+	s := schedule.FromLatticeTiling(lt)
+	for i := 0; i < b.N; i++ {
+		m, err := wsn.RunConvergecast(wsn.ConvergecastConfig{
+			Window:     lattice.CenteredWindow(2, 4),
+			Deployment: s.Deployment(),
+			Protocol:   wsn.NewScheduleMAC("tiling", s),
+			Sink:       lattice.Pt(0, 0),
+			SourceRate: 0.002,
+			Slots:      500,
+			Seed:       1,
+		})
+		if err != nil || m.FailedForwards != 0 {
+			b.Fatalf("convergecast: %v (failed %d)", err, m.FailedForwards)
+		}
+	}
+}
+
+// BenchmarkHNFReduce measures one coset reduction.
+func BenchmarkHNFReduce(b *testing.B) {
+	h := intmat.MustFromRows([][]int64{{1, 2}, {0, 5}})
+	hh, _ := intmat.HNF(h)
+	v := []int64{123, -456}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := intmat.Reduce(hh, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFindLatticeTiling measures the full exactness search over
+// sublattices for the 9-point Moore neighborhood.
+func BenchmarkFindLatticeTiling(b *testing.B) {
+	ti := prototile.ChebyshevBall(2, 1)
+	for i := 0; i < b.N; i++ {
+		if _, ok := tiling.FindLatticeTiling(ti); !ok {
+			b.Fatal("no tiling")
+		}
+	}
+}
+
+// BenchmarkFactorize compares the naive and accelerated Beauquier–Nivat
+// searches on a boundary word of moderate length.
+func BenchmarkFactorizeNaive(b *testing.B) {
+	word, err := boundary.ContourWord(boundary.Staircase(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := boundary.FactorizeNaive(word); !ok {
+			b.Fatal("staircase should factorize")
+		}
+	}
+}
+
+func BenchmarkFactorizeFast(b *testing.B) {
+	word, err := boundary.ContourWord(boundary.Staircase(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := boundary.FactorizeFast(word); !ok {
+			b.Fatal("staircase should factorize")
+		}
+	}
+}
+
+// BenchmarkDSATUR measures the main coloring baseline on a 9×9 window.
+func BenchmarkDSATUR(b *testing.B) {
+	dep := schedule.NewHomogeneous(prototile.Cross(2, 1))
+	g, _, err := graph.ConflictGraph(dep, lattice.CenteredWindow(2, 4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graph.DSATUR(g)
+	}
+}
+
+// BenchmarkSimulatorSlot measures simulator throughput: cost per simulated
+// slot on an 81-sensor network under the tiling schedule.
+func BenchmarkSimulatorSlot(b *testing.B) {
+	lt, ok := tiling.FindLatticeTiling(prototile.Cross(2, 1))
+	if !ok {
+		b.Fatal("no tiling")
+	}
+	s := schedule.FromLatticeTiling(lt)
+	dep := s.Deployment()
+	w := lattice.CenteredWindow(2, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := wsn.Run(wsn.Config{
+			Window: w, Deployment: dep,
+			Protocol: wsn.NewScheduleMAC("tiling", s),
+			Traffic:  wsn.Saturated{}, Slots: 100, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveTorus measures the exact-cover tiler on the 4×4 torus with
+// S and Z tetrominoes (64 solutions).
+func BenchmarkSolveTorus(b *testing.B) {
+	s := prototile.MustTetromino("S")
+	z := prototile.MustTetromino("Z")
+	for i := 0; i < b.N; i++ {
+		sols, err := tiling.SolveTorus([]int{4, 4}, []*prototile.Tile{s, z}, tiling.SolveOptions{})
+		if err != nil || len(sols) != 64 {
+			b.Fatalf("got %d solutions, err %v", len(sols), err)
+		}
+	}
+}
+
+// BenchmarkAnnealColoring measures the Wang–Ansari-style baseline.
+func BenchmarkAnnealColoring(b *testing.B) {
+	dep := schedule.NewHomogeneous(prototile.Cross(2, 1))
+	g, _, err := graph.ConflictGraph(dep, lattice.CenteredWindow(2, 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		graph.AnnealColoring(g, rng, graph.AnnealOptions{Iterations: 5000})
+	}
+}

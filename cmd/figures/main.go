@@ -1,0 +1,52 @@
+// Command figures regenerates the paper's Figures 1–5 computationally:
+// each figure becomes a verified table (and ASCII art where applicable).
+//
+// Usage:
+//
+//	figures           # all figures
+//	figures -fig 3    # only Figure 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tilingsched/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number (1-5); 0 runs all")
+	flag.Parse()
+	runners := map[int]func() (*experiments.Result, error){
+		1: experiments.Figure1Lattices,
+		2: experiments.Figure2Neighborhoods,
+		3: experiments.Figure3Schedule,
+		4: experiments.Figure4Voronoi,
+		5: experiments.Figure5NonRespectable,
+	}
+	var order []int
+	if *fig == 0 {
+		order = []int{1, 2, 3, 4, 5}
+	} else if _, ok := runners[*fig]; ok {
+		order = []int{*fig}
+	} else {
+		fmt.Fprintf(os.Stderr, "figures: unknown figure %d (want 1-5)\n", *fig)
+		os.Exit(2)
+	}
+	failed := false
+	for _, n := range order {
+		r, err := runners[n]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: figure %d: %v\n", n, err)
+			os.Exit(1)
+		}
+		fmt.Println(r.Render())
+		if !r.Passed() {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

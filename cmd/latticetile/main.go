@@ -1,0 +1,126 @@
+// Command latticetile answers the paper's question Q1 for a prototile —
+// is it exact? — and, when it is, prints the tiling period and the
+// Theorem 1 slot grid.
+//
+// Usage:
+//
+//	latticetile -tile cross              # catalog tile by name
+//	latticetile -tile S -grid 8          # schedule grid over [-8,8]²
+//	latticetile -ascii "XX.
+//	.XX"                                  # custom polyomino (rows, X=cell)
+//
+// Catalog names: cross, moore, directional, ltromino, rect2x4, and the
+// tetrominoes I, O, T, S, Z, L, J, pentominoes P, X, F.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tilingsched/internal/core"
+	"tilingsched/internal/experiments"
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/prototile"
+	"tilingsched/internal/schedule"
+	"tilingsched/internal/tiling"
+)
+
+func lookupTile(name, ascii string) (*prototile.Tile, error) {
+	if ascii != "" {
+		return prototile.FromASCII("custom", ascii)
+	}
+	switch name {
+	case "cross":
+		return prototile.Cross(2, 1), nil
+	case "moore":
+		return prototile.ChebyshevBall(2, 1), nil
+	case "directional", "rect2x4":
+		return prototile.Directional(), nil
+	case "ltromino":
+		return prototile.LTromino(), nil
+	case "I", "O", "T", "S", "Z", "L", "J":
+		return prototile.Tetromino(name)
+	case "P", "X", "F":
+		return prototile.Pentomino(name)
+	default:
+		return nil, fmt.Errorf("unknown tile %q", name)
+	}
+}
+
+// catalogNames lists every tile reachable via -tile.
+var catalogNames = []string{
+	"cross", "moore", "directional", "ltromino",
+	"I", "O", "T", "S", "Z", "L", "J", "P", "X", "F",
+}
+
+func printCatalog() {
+	fmt.Printf("%-14s %4s %-6s %s\n", "tile", "|N|", "exact", "evidence")
+	for _, n := range catalogNames {
+		tile, err := lookupTile(n, "")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "latticetile: %v\n", err)
+			os.Exit(1)
+		}
+		exact, evidence, err := core.ExplainExactness(tile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "latticetile: %v\n", err)
+			os.Exit(1)
+		}
+		if len(evidence) > 58 {
+			evidence = evidence[:55] + "..."
+		}
+		fmt.Printf("%-14s %4d %-6v %s\n", n, tile.Size(), exact, evidence)
+	}
+}
+
+func main() {
+	name := flag.String("tile", "cross", "catalog tile name")
+	ascii := flag.String("ascii", "", "custom polyomino as ASCII art (overrides -tile)")
+	grid := flag.Int("grid", 5, "half-width of the slot grid to print")
+	all := flag.Bool("all", false, "list the whole catalog with exactness evidence")
+	flag.Parse()
+
+	if *all {
+		printCatalog()
+		return
+	}
+
+	tile, err := lookupTile(*name, *ascii)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "latticetile: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("prototile %s (|N| = %d):\n%s\n\n", tile.Name(), tile.Size(), tile.ASCII())
+
+	exact, evidence, err := core.ExplainExactness(tile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "latticetile: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("exact: %v\nevidence: %s\n\n", exact, evidence)
+	if !exact {
+		os.Exit(0)
+	}
+
+	lt, ok := tiling.FindLatticeTiling(tile)
+	if !ok {
+		fmt.Println("exact by boundary criterion but no lattice-periodic tiling found")
+		os.Exit(0)
+	}
+	s := schedule.FromLatticeTiling(lt)
+	fmt.Printf("tiling period T = %s, schedule slots m = |N| = %d\n", lt.Period(), s.Slots())
+	w := lattice.CenteredWindow(2, *grid)
+	if err := schedule.VerifyCollisionFree(s, s.Deployment(), w); err != nil {
+		fmt.Fprintf(os.Stderr, "latticetile: verification failed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("collision-free on %s: verified\n\n", w)
+	gridStr, err := experiments.RenderScheduleGrid(s, w)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "latticetile: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("slot grid (1-based):")
+	fmt.Print(gridStr)
+}

@@ -1,0 +1,12 @@
+// Package tilingsched reproduces "Scheduling Sensors by Tiling Lattices"
+// (Klappenecker, Lee, Welch; PODC 2008 / arXiv:0806.1271): deterministic,
+// collision-free, provably optimal periodic broadcast schedules for
+// sensors on lattice points, derived from tilings of the lattice by the
+// sensors' interference neighborhoods.
+//
+// The implementation lives under internal/: see internal/core for the
+// top-level Plan API, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the reproduced figures and tables. The benchmarks in
+// bench_test.go regenerate every figure and derived table of the
+// reproduction.
+package tilingsched

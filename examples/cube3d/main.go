@@ -1,0 +1,72 @@
+// Three-dimensional scheduling: the paper states its theorems for
+// arbitrary dimensions, and underwater or airborne sensor swarms actually
+// occupy 3-D lattices. This example schedules sensors on Z³ whose
+// interference is the 7-point Lee sphere (center + 6 face neighbors),
+// obtaining the provably optimal 7-slot schedule from a perfect Lee code.
+//
+// Run with:
+//
+//	go run ./examples/cube3d
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tilingsched/internal/core"
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/prototile"
+	"tilingsched/internal/schedule"
+	"tilingsched/internal/wsn"
+)
+
+func main() {
+	ball := prototile.Cross(3, 1) // 7-point Lee sphere in Z³
+	plan, err := core.NewPlan(lattice.Cubic(3), ball)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("3-D Lee sphere |N| = %d ⇒ %d-slot optimal schedule\n", ball.Size(), plan.Slots())
+	fmt.Printf("period lattice (a perfect Lee code):\n%s\n\n", plan.Tiling().Period())
+
+	// Slots in one z-layer; layers shift the pattern.
+	for z := 0; z <= 1; z++ {
+		fmt.Printf("slots at z=%d:\n", z)
+		for y := 3; y >= -3; y-- {
+			for x := -3; x <= 3; x++ {
+				k, err := plan.SlotOf(lattice.Pt(x, y, z))
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("%2d", k+1)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+
+	if err := plan.Verify(lattice.CenteredWindow(3, 3)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("T1/T2 and collision-freeness verified on [-3,3]³ (343 sensors)")
+
+	// Exercise the same schedule in the simulator: a 5³ swarm under
+	// saturation never collides and sustains one broadcast per 7 slots
+	// per sensor.
+	m, err := wsn.Run(wsn.Config{
+		Window:     lattice.CenteredWindow(3, 2),
+		Deployment: schedule.NewHomogeneous(ball),
+		Protocol:   wsn.NewScheduleMAC("tiling3d", plan.Schedule()),
+		Traffic:    wsn.Saturated{},
+		Slots:      700,
+		Seed:       1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsimulator: %d sensors, %d slots: %d delivered, %d failed, energy/msg %.3f\n",
+		m.Nodes, m.Slots, m.Delivered, m.FailedTx, m.EnergyPerDelivered())
+	if m.FailedTx != 0 {
+		log.Fatal("3-D tiling schedule collided — this should be impossible")
+	}
+}

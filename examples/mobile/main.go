@@ -1,0 +1,60 @@
+// Mobile sensors: the paper's Conclusions extension. Slots belong to
+// locations, not sensors: a roaming sensor may transmit only when its
+// current Voronoi region's slot comes up AND its interference disk fits
+// inside that region's tile. The example runs random-waypoint agents and
+// shows the discipline never collides.
+//
+// Run with:
+//
+//	go run ./examples/mobile
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tilingsched/internal/core"
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/mobile"
+	"tilingsched/internal/prototile"
+)
+
+func main() {
+	// Locations carry the 9-slot Moore-ball schedule: each tile of the
+	// tiling is a 3×3 block of Voronoi squares.
+	plan, err := core.NewPlan(lattice.Square(), prototile.ChebyshevBall(2, 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("location schedule: %d slots over 3×3 tiles\n\n", plan.Slots())
+
+	fmt.Printf("%8s %8s %12s %12s %12s %11s\n",
+		"radius", "agents", "sends", "unfit-muted", "collisions", "utilization")
+	for _, cfg := range []struct {
+		radius float64
+		agents int
+	}{
+		{0.6, 8}, {0.9, 8}, {1.2, 8}, {0.9, 24},
+	} {
+		m, err := mobile.Run(mobile.Config{
+			Schedule:  plan.Schedule(),
+			ArenaLo:   [2]float64{-7, -7},
+			ArenaHi:   [2]float64{7, 7},
+			NumAgents: cfg.agents,
+			Radius:    cfg.radius,
+			Speed:     0.4,
+			Slots:     1500,
+			Seed:      2024,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8.1f %8d %12d %12d %12d %11.4f\n",
+			cfg.radius, cfg.agents, m.Sends, m.UnfitMuted, m.Collisions, m.Utilization())
+		if m.Collisions != 0 {
+			log.Fatal("mobile discipline collided — this should be impossible")
+		}
+	}
+	fmt.Println("\nno collisions in any configuration: the location-slot rule is safe under motion.")
+	fmt.Println("larger radii are muted more often (the disk must fit the 3×3 tile).")
+}

@@ -1,0 +1,169 @@
+package boundary
+
+import (
+	"fmt"
+
+	"tilingsched/internal/prototile"
+)
+
+// FactorizeNaive searches for a Beauquier–Nivat factorization of the
+// closed boundary word w by direct string comparison: every rotation and
+// every pair of cut points is tried, costing O(n⁴). It is the reference
+// implementation against which FactorizeFast is property-checked.
+func FactorizeNaive(w string) (Factorization, bool) {
+	n := len(w)
+	if n == 0 || n%2 != 0 {
+		return Factorization{}, false
+	}
+	half := n / 2
+	for off := 0; off < n; off++ {
+		rot := Rotate(w, off)
+		first, second := rot[:half], rot[half:]
+		// Cut the first half into A = first[:i], B = first[i:j],
+		// C = first[j:]; the second half must be Â·B̂·Ĉ.
+		for i := 0; i <= half; i++ {
+			for j := i; j <= half; j++ {
+				f := Factorization{A: first[:i], B: first[i:j], C: first[j:], Offset: off}
+				if f.countEmpty() > 1 {
+					continue
+				}
+				if second == Hat(f.A)+Hat(f.B)+Hat(f.C) {
+					return f, true
+				}
+			}
+		}
+	}
+	return Factorization{}, false
+}
+
+// FactorizeFast searches for a Beauquier–Nivat factorization using O(1)
+// substring comparisons backed by double polynomial hashing; every
+// candidate that passes the hash test is re-verified by direct comparison,
+// so the result is exact regardless of hash collisions. The enumeration
+// over (rotation, cut, cut) costs O(n³) hash probes versus the naive
+// algorithm's O(n⁴) character work; the paper cites Gambini–Vuillon for a
+// still faster O(n²) bound.
+func FactorizeFast(w string) (Factorization, bool) {
+	n := len(w)
+	if n == 0 || n%2 != 0 {
+		return Factorization{}, false
+	}
+	half := n / 2
+	// hat(W[i..j)) = VR[n-j..n-i) where VR is the reverse complement of
+	// the whole word. Cyclic substrings are handled by doubling.
+	vr := Hat(w)
+	hw := newHasher(w + w)
+	hv := newHasher(vr + vr)
+	// For the rotation starting at off, the two halves are
+	// W[off..off+half) and W[off+half..off+n). The factor equations, for
+	// cuts i ≤ j within [0, half]:
+	//   W[off+half .. off+half+i)       = hat(W[off .. off+i))
+	//   W[off+half+i .. off+half+j)     = hat(W[off+i .. off+j))
+	//   W[off+half+j .. off+n)          = hat(W[off+j .. off+half))
+	// Each hat(...) is a VR substring via the identity above, with the
+	// start index taken modulo n into the doubled string.
+	eq := func(wStart, vStart, length int) bool {
+		if length == 0 {
+			return true
+		}
+		wStart %= n
+		vStart = ((vStart % n) + n) % n
+		return hw.hash(wStart, length) == hv.hash(vStart, length)
+	}
+	for off := 0; off < n; off++ {
+		rot := Rotate(w, off)
+		for i := 0; i <= half; i++ {
+			// Prune: the condition for factor A must hold before
+			// scanning the second cut.
+			if !eq(off+half, n-(off+i), i) {
+				continue
+			}
+			for j := i; j <= half; j++ {
+				empty := 0
+				if i == 0 {
+					empty++
+				}
+				if j == i {
+					empty++
+				}
+				if j == half {
+					empty++
+				}
+				if empty > 1 {
+					continue
+				}
+				if !eq(off+half+i, n-(off+j), j-i) {
+					continue
+				}
+				if !eq(off+half+j, n-(off+half), half-j) {
+					continue
+				}
+				// Hash match: confirm exactly before returning.
+				f := Factorization{A: rot[:i], B: rot[i:j], C: rot[j:half], Offset: off}
+				if f.Valid(w) {
+					return f, true
+				}
+			}
+		}
+	}
+	return Factorization{}, false
+}
+
+// IsExactPolyomino decides whether a simply connected polyomino tiles the
+// plane by translation, via the Beauquier–Nivat criterion on its boundary
+// word. It answers the paper's question Q1 for polyominoes in the square
+// lattice.
+func IsExactPolyomino(t *prototile.Tile) (bool, Factorization, error) {
+	w, err := ContourWord(t)
+	if err != nil {
+		return false, Factorization{}, err
+	}
+	f, ok := FactorizeFast(w)
+	return ok, f, nil
+}
+
+// hasher provides O(1) polynomial substring hashes with two independent
+// moduli (fixed bases; inputs here are 4-letter words, so collisions
+// essentially cannot occur, and all hits are re-verified anyway).
+type hasher struct {
+	n          int
+	pre1, pre2 []uint64
+	pow1, pow2 []uint64
+}
+
+const (
+	hashMod1  = 1_000_000_007
+	hashMod2  = 998_244_353
+	hashBase1 = 131
+	hashBase2 = 137
+)
+
+func newHasher(s string) *hasher {
+	n := len(s)
+	h := &hasher{
+		n:    n,
+		pre1: make([]uint64, n+1),
+		pre2: make([]uint64, n+1),
+		pow1: make([]uint64, n+1),
+		pow2: make([]uint64, n+1),
+	}
+	h.pow1[0], h.pow2[0] = 1, 1
+	for i := 0; i < n; i++ {
+		c := uint64(s[i])
+		h.pre1[i+1] = (h.pre1[i]*hashBase1 + c) % hashMod1
+		h.pre2[i+1] = (h.pre2[i]*hashBase2 + c) % hashMod2
+		h.pow1[i+1] = h.pow1[i] * hashBase1 % hashMod1
+		h.pow2[i+1] = h.pow2[i] * hashBase2 % hashMod2
+	}
+	return h
+}
+
+// hash returns the combined hash of s[start : start+length].
+func (h *hasher) hash(start, length int) uint64 {
+	if start+length > h.n {
+		panic(fmt.Sprintf("boundary: hash range [%d, %d) exceeds %d", start, start+length, h.n))
+	}
+	h1 := (h.pre1[start+length] + hashMod1*hashMod1 - h.pre1[start]*h.pow1[length]%hashMod1) % hashMod1
+	h2 := (h.pre2[start+length] + hashMod2*hashMod2 - h.pre2[start]*h.pow2[length]%hashMod2) % hashMod2
+	return h1<<32 | h2
+}

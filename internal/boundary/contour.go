@@ -1,0 +1,169 @@
+package boundary
+
+import (
+	"fmt"
+
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/prototile"
+)
+
+// ContourWord traces the boundary of a simply connected two-dimensional
+// polyomino counterclockwise (interior kept on the left) and returns the
+// resulting word over {u, d, l, r}. Cell (x, y) occupies the unit square
+// with corners (x, y) and (x+1, y+1).
+//
+// The walk is deterministic: it starts at the bottom-left corner of the
+// lexicographically smallest cell of the bottom row, heading right. For
+// hole-free polyominoes every corner has exactly one valid continuation
+// (a pinch corner would imply a hole), so the trace is well defined.
+func ContourWord(t *prototile.Tile) (string, error) {
+	if t.Dim() != 2 {
+		return "", fmt.Errorf("%w: contour needs dimension 2, got %d", ErrWord, t.Dim())
+	}
+	simply, err := t.SimplyConnected()
+	if err != nil {
+		return "", err
+	}
+	if !simply {
+		return "", fmt.Errorf("%w: tile %s is not a simply connected polyomino", ErrWord, t.Name())
+	}
+	start := bottomLeftCorner(t)
+	pos := start
+	dir := byte(Right)
+	var word []byte
+	for {
+		word = append(word, dir)
+		pos = pos.Add(Step(dir))
+		if pos.Equal(start) {
+			break
+		}
+		next, ok := nextDirection(t, pos)
+		if !ok {
+			return "", fmt.Errorf("%w: contour stuck at %v (tile %s)", ErrWord, pos, t.Name())
+		}
+		dir = next
+		if len(word) > 4*t.Size()+8 {
+			return "", fmt.Errorf("%w: contour did not close (tile %s)", ErrWord, t.Name())
+		}
+	}
+	return string(word), nil
+}
+
+// bottomLeftCorner returns the bottom-left corner of the leftmost cell of
+// the bottom row.
+func bottomLeftCorner(t *prototile.Tile) lattice.Point {
+	var best lattice.Point
+	for _, p := range t.Points() {
+		if best == nil || p[1] < best[1] || (p[1] == best[1] && p[0] < best[0]) {
+			best = p
+		}
+	}
+	return best
+}
+
+// nextDirection picks the unique valid outgoing edge at a corner for a
+// counterclockwise (interior-left) traversal. An edge is valid when the
+// cell on its left is inside the tile and the cell on its right is not.
+func nextDirection(t *prototile.Tile, corner lattice.Point) (byte, bool) {
+	cx, cy := corner[0], corner[1]
+	ne := t.Contains(lattice.Pt(cx, cy))
+	nw := t.Contains(lattice.Pt(cx-1, cy))
+	sw := t.Contains(lattice.Pt(cx-1, cy-1))
+	se := t.Contains(lattice.Pt(cx, cy-1))
+	var out byte
+	found := false
+	pick := func(d byte, ok bool) bool {
+		if !ok {
+			return true
+		}
+		if found {
+			return false // ambiguous corner: pinch (hole) — cannot happen post-validation
+		}
+		out, found = d, true
+		return true
+	}
+	if !pick(Right, ne && !se) {
+		return 0, false
+	}
+	if !pick(Up, nw && !ne) {
+		return 0, false
+	}
+	if !pick(Left, sw && !nw) {
+		return 0, false
+	}
+	if !pick(Down, se && !sw) {
+		return 0, false
+	}
+	return out, found
+}
+
+// TileFromWord reconstructs the polyomino enclosed by a counterclockwise
+// closed boundary word; useful for tests and for the boundary-length
+// benchmark workloads. The result is anchored at its smallest cell.
+func TileFromWord(name, w string) (*prototile.Tile, error) {
+	if err := Validate(w); err != nil {
+		return nil, err
+	}
+	if !IsClosed(w) {
+		return nil, fmt.Errorf("%w: word is not closed", ErrWord)
+	}
+	area, err := EnclosedArea(w)
+	if err != nil {
+		return nil, err
+	}
+	if area <= 0 {
+		return nil, fmt.Errorf("%w: word is not counterclockwise (area %d)", ErrWord, area)
+	}
+	// Collect cells by a scanline parity fill over the vertical boundary
+	// edges: a cell (x, y) is inside when the number of upward/downward
+	// boundary edges strictly to its right on row y is odd (crossing
+	// parity).
+	type edge struct{ x, y, dir int } // vertical edge at x, spanning [y, y+1]
+	var edges []edge
+	pts := Path(w)
+	minX, maxX := 0, 0
+	minY, maxY := 0, 0
+	for i := 0; i+1 < len(pts); i++ {
+		a, b := pts[i], pts[i+1]
+		if a[0] == b[0] { // vertical step
+			y := a[1]
+			if b[1] < a[1] {
+				y = b[1]
+			}
+			edges = append(edges, edge{x: a[0], y: y, dir: b[1] - a[1]})
+		}
+		for _, p := range []lattice.Point{a, b} {
+			if p[0] < minX {
+				minX = p[0]
+			}
+			if p[0] > maxX {
+				maxX = p[0]
+			}
+			if p[1] < minY {
+				minY = p[1]
+			}
+			if p[1] > maxY {
+				maxY = p[1]
+			}
+		}
+	}
+	cells := lattice.NewSet()
+	for y := minY; y < maxY; y++ {
+		for x := minX; x < maxX; x++ {
+			crossings := 0
+			for _, e := range edges {
+				if e.y == y && e.x > x {
+					crossings++
+				}
+			}
+			if crossings%2 == 1 {
+				cells.Add(lattice.Pt(x, y))
+			}
+		}
+	}
+	if cells.Size() != area {
+		return nil, fmt.Errorf("%w: reconstructed %d cells, area says %d (self-intersecting word?)",
+			ErrWord, cells.Size(), area)
+	}
+	return prototile.FromSet(name, cells)
+}

@@ -1,0 +1,147 @@
+package boundary
+
+import (
+	"strings"
+	"testing"
+
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/prototile"
+)
+
+func TestContourMonomino(t *testing.T) {
+	ti := prototile.MustNew("dot", lattice.Pt(0, 0))
+	w, err := ContourWord(ti)
+	if err != nil {
+		t.Fatalf("ContourWord: %v", err)
+	}
+	if w != "ruld" {
+		t.Errorf("monomino contour = %q, want ruld", w)
+	}
+}
+
+func TestContourDomino(t *testing.T) {
+	ti := prototile.MustNew("domino", lattice.Pt(0, 0), lattice.Pt(1, 0))
+	w, err := ContourWord(ti)
+	if err != nil {
+		t.Fatalf("ContourWord: %v", err)
+	}
+	if w != "rrulld" {
+		t.Errorf("domino contour = %q, want rrulld", w)
+	}
+}
+
+func TestContourProperties(t *testing.T) {
+	// For every catalog polyomino: the contour is closed, CCW with area
+	// equal to the cell count, and has length = perimeter (even).
+	names := []string{"I", "O", "T", "S", "Z", "L", "J"}
+	for _, name := range names {
+		ti := prototile.MustTetromino(name)
+		w, err := ContourWord(ti)
+		if err != nil {
+			t.Fatalf("ContourWord(%s): %v", name, err)
+		}
+		if !IsClosed(w) {
+			t.Errorf("%s contour not closed: %q", name, w)
+		}
+		if len(w)%2 != 0 {
+			t.Errorf("%s contour length odd: %q", name, w)
+		}
+		area, err := EnclosedArea(w)
+		if err != nil {
+			t.Fatalf("EnclosedArea(%s): %v", name, err)
+		}
+		if area != ti.Size() {
+			t.Errorf("%s contour area = %d, want %d (word %q)", name, area, ti.Size(), w)
+		}
+	}
+}
+
+func TestContourPerimeterKnown(t *testing.T) {
+	// Perimeter of a w×h rectangle is 2(w+h).
+	for _, c := range []struct{ w, h int }{{1, 1}, {2, 4}, {3, 3}, {5, 2}} {
+		r := prototile.Rect(c.w, c.h)
+		word, err := ContourWord(r)
+		if err != nil {
+			t.Fatalf("ContourWord: %v", err)
+		}
+		if len(word) != 2*(c.w+c.h) {
+			t.Errorf("Rect(%d,%d) perimeter = %d, want %d", c.w, c.h, len(word), 2*(c.w+c.h))
+		}
+	}
+}
+
+func TestContourRejectsHoles(t *testing.T) {
+	ring, err := prototile.FromASCII("ring", "XXX\nX.X\nXXX")
+	if err != nil {
+		t.Fatalf("FromASCII: %v", err)
+	}
+	if _, err := ContourWord(ring); err == nil {
+		t.Error("contour of holed tile accepted")
+	}
+}
+
+func TestContourRejectsDisconnected(t *testing.T) {
+	ti := prototile.MustNew("disc", lattice.Pt(0, 0), lattice.Pt(3, 0))
+	if _, err := ContourWord(ti); err == nil {
+		t.Error("contour of disconnected tile accepted")
+	}
+}
+
+func TestContourRejectsNon2D(t *testing.T) {
+	ti := prototile.MustNew("seg", lattice.Pt(0), lattice.Pt(1))
+	if _, err := ContourWord(ti); err == nil {
+		t.Error("contour of 1-dim tile accepted")
+	}
+}
+
+func TestTileFromWordRoundTrip(t *testing.T) {
+	for _, name := range []string{"I", "O", "T", "S", "Z", "L", "J"} {
+		ti := prototile.MustTetromino(name)
+		w, err := ContourWord(ti)
+		if err != nil {
+			t.Fatalf("ContourWord(%s): %v", name, err)
+		}
+		back, err := TileFromWord(name, w)
+		if err != nil {
+			t.Fatalf("TileFromWord(%s): %v", name, err)
+		}
+		if !back.Normalize().Equal(ti.Normalize()) {
+			t.Errorf("%s round trip: got %v want %v (word %q)", name, back, ti, w)
+		}
+	}
+}
+
+func TestTileFromWordErrors(t *testing.T) {
+	if _, err := TileFromWord("open", "ru"); err == nil {
+		t.Error("open word accepted")
+	}
+	if _, err := TileFromWord("cw", "urdl"); err == nil {
+		t.Error("clockwise word accepted")
+	}
+	if _, err := TileFromWord("bad", "xyz"); err == nil {
+		t.Error("invalid word accepted")
+	}
+}
+
+func TestStaircaseContour(t *testing.T) {
+	// Build an n-step staircase polyomino and check the contour length
+	// grows linearly — the workload shape used by the exactness bench.
+	st := Staircase(4)
+	w, err := ContourWord(st)
+	if err != nil {
+		t.Fatalf("ContourWord: %v", err)
+	}
+	if !IsClosed(w) {
+		t.Error("staircase contour not closed")
+	}
+	if strings.Count(w, "r")+strings.Count(w, "l") == 0 {
+		t.Error("degenerate staircase contour")
+	}
+	area, err := EnclosedArea(w)
+	if err != nil {
+		t.Fatalf("EnclosedArea: %v", err)
+	}
+	if area != st.Size() {
+		t.Errorf("staircase area = %d, want %d", area, st.Size())
+	}
+}

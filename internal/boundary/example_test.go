@@ -1,0 +1,41 @@
+package boundary_test
+
+import (
+	"fmt"
+
+	"tilingsched/internal/boundary"
+	"tilingsched/internal/prototile"
+)
+
+// ExampleContourWord traces the boundary of the L tromino.
+func ExampleContourWord() {
+	word, err := boundary.ContourWord(prototile.LTromino())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(word)
+	// Output:
+	// rrululdd
+}
+
+// ExampleFactorizeFast exhibits a Beauquier–Nivat factorization proving
+// the S tetromino tiles the plane by translation.
+func ExampleFactorizeFast() {
+	word, err := boundary.ContourWord(prototile.MustTetromino("S"))
+	if err != nil {
+		panic(err)
+	}
+	f, ok := boundary.FactorizeFast(word)
+	fmt.Println("exact:", ok)
+	fmt.Println("valid:", f.Valid(word))
+	// Output:
+	// exact: true
+	// valid: true
+}
+
+// ExampleHat shows the reverse-complement operation on boundary words.
+func ExampleHat() {
+	fmt.Println(boundary.Hat("rru"))
+	// Output:
+	// dll
+}

@@ -1,0 +1,148 @@
+package boundary
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomWord builds a word over {u,d,l,r} from raw bytes.
+func randomWord(raw []byte) string {
+	letters := []byte{Right, Up, Left, Down}
+	out := make([]byte, len(raw))
+	for i, b := range raw {
+		out[i] = letters[int(b)%4]
+	}
+	return string(out)
+}
+
+// Property: Hat is an involution and reverses path endpoints.
+func TestHatInvolutionProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		w := randomWord(raw)
+		if Hat(Hat(w)) != w {
+			return false
+		}
+		// The hat path ends where the negated original ends.
+		pw := Path(w)
+		ph := Path(Hat(w))
+		endW := pw[len(pw)-1]
+		endH := ph[len(ph)-1]
+		return endH.Equal(endW.Neg())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: rotation preserves closure and length.
+func TestRotationPreservesClosure(t *testing.T) {
+	f := func(raw []byte, k uint8) bool {
+		w := randomWord(raw)
+		r := Rotate(w, int(k))
+		if len(r) != len(w) {
+			return false
+		}
+		return IsClosed(w) == IsClosed(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a factorization found by either algorithm always reassembles
+// to a rotation of the input.
+func TestFactorizationAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		ti := RandomSimplePolyomino(rng, 2+rng.Intn(7))
+		w, err := ContourWord(ti)
+		if err != nil {
+			t.Fatalf("ContourWord: %v", err)
+		}
+		if f, ok := FactorizeNaive(w); ok && !f.Valid(w) {
+			t.Fatalf("naive produced invalid factorization on %q", w)
+		}
+		if f, ok := FactorizeFast(w); ok && !f.Valid(w) {
+			t.Fatalf("fast produced invalid factorization on %q", w)
+		}
+	}
+}
+
+// Property: contour words of random simply connected polyominoes are
+// closed, have even length ≥ 4, and enclose exactly the cell count.
+func TestContourInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 60; trial++ {
+		ti := RandomSimplePolyomino(rng, 1+rng.Intn(10))
+		w, err := ContourWord(ti)
+		if err != nil {
+			t.Fatalf("ContourWord: %v", err)
+		}
+		if !IsClosed(w) || len(w) < 4 || len(w)%2 != 0 {
+			t.Fatalf("bad contour %q for\n%s", w, ti.ASCII())
+		}
+		area, err := EnclosedArea(w)
+		if err != nil {
+			t.Fatalf("EnclosedArea: %v", err)
+		}
+		if area != ti.Size() {
+			t.Fatalf("area %d ≠ cells %d for\n%s", area, ti.Size(), ti.ASCII())
+		}
+	}
+}
+
+// Property: exactness is invariant under the symmetries of the square
+// lattice — a rotated or mirrored polyomino tiles iff the original does.
+func TestExactnessSymmetryInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 30; trial++ {
+		ti := RandomSimplePolyomino(rng, 2+rng.Intn(6))
+		base, _, err := IsExactPolyomino(ti)
+		if err != nil {
+			t.Fatalf("IsExactPolyomino: %v", err)
+		}
+		rot, err := ti.Rotate90()
+		if err != nil {
+			t.Fatalf("Rotate90: %v", err)
+		}
+		rotExact, _, err := IsExactPolyomino(rot)
+		if err != nil {
+			t.Fatalf("IsExactPolyomino: %v", err)
+		}
+		if base != rotExact {
+			t.Fatalf("exactness changed under rotation:\n%s", ti.ASCII())
+		}
+		mir, err := ti.ReflectX()
+		if err != nil {
+			t.Fatalf("ReflectX: %v", err)
+		}
+		mirExact, _, err := IsExactPolyomino(mir)
+		if err != nil {
+			t.Fatalf("IsExactPolyomino: %v", err)
+		}
+		if base != mirExact {
+			t.Fatalf("exactness changed under reflection:\n%s", ti.ASCII())
+		}
+	}
+}
+
+// Property: TileFromWord(ContourWord(t)) is the identity on translation
+// classes for random polyominoes.
+func TestContourRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 40; trial++ {
+		ti := RandomSimplePolyomino(rng, 1+rng.Intn(9))
+		w, err := ContourWord(ti)
+		if err != nil {
+			t.Fatalf("ContourWord: %v", err)
+		}
+		back, err := TileFromWord("back", w)
+		if err != nil {
+			t.Fatalf("TileFromWord(%q): %v", w, err)
+		}
+		if back.CanonicalKey() != ti.CanonicalKey() {
+			t.Fatalf("round trip changed tile:\n%s\nvs\n%s", ti.ASCII(), back.ASCII())
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package boundary
+
+import (
+	"testing"
+
+	"tilingsched/internal/lattice"
+)
+
+func TestComplement(t *testing.T) {
+	pairs := map[byte]byte{Right: Left, Left: Right, Up: Down, Down: Up}
+	for a, b := range pairs {
+		if Complement(a) != b {
+			t.Errorf("Complement(%c) = %c, want %c", a, Complement(a), b)
+		}
+		if Complement(Complement(a)) != a {
+			t.Errorf("Complement not involutive at %c", a)
+		}
+	}
+}
+
+func TestComplementPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Complement of bad letter did not panic")
+		}
+	}()
+	Complement('x')
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate("ruldruld"); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if err := Validate("rux"); err == nil {
+		t.Error("bad letter accepted")
+	}
+	if err := Validate(""); err != nil {
+		t.Errorf("empty word rejected: %v", err)
+	}
+}
+
+func TestHat(t *testing.T) {
+	if got := Hat("ru"); got != "dl" {
+		t.Errorf("Hat(ru) = %q, want dl", got)
+	}
+	if got := Hat(""); got != "" {
+		t.Errorf("Hat of empty = %q", got)
+	}
+	// Hat is an involution.
+	for _, w := range []string{"ruld", "rrulld", "udlr"} {
+		if Hat(Hat(w)) != w {
+			t.Errorf("Hat not involutive on %q", w)
+		}
+	}
+}
+
+func TestIsClosedAndPath(t *testing.T) {
+	if !IsClosed("ruld") {
+		t.Error("ruld should be closed")
+	}
+	if IsClosed("ru") {
+		t.Error("ru should not be closed")
+	}
+	p := Path("ru")
+	want := []lattice.Point{lattice.Pt(0, 0), lattice.Pt(1, 0), lattice.Pt(1, 1)}
+	if len(p) != 3 {
+		t.Fatalf("Path length = %d", len(p))
+	}
+	for i := range want {
+		if !p[i].Equal(want[i]) {
+			t.Errorf("Path[%d] = %v, want %v", i, p[i], want[i])
+		}
+	}
+}
+
+func TestEnclosedArea(t *testing.T) {
+	cases := []struct {
+		w    string
+		want int
+	}{
+		{"ruld", 1},     // unit square CCW
+		{"rrulld", 2},   // domino
+		{"rruulldd", 4}, // 2x2 square
+		{"urdl", -1},    // clockwise unit square
+	}
+	for _, c := range cases {
+		got, err := EnclosedArea(c.w)
+		if err != nil {
+			t.Fatalf("EnclosedArea(%q): %v", c.w, err)
+		}
+		if got != c.want {
+			t.Errorf("EnclosedArea(%q) = %d, want %d", c.w, got, c.want)
+		}
+	}
+	if _, err := EnclosedArea("ru"); err == nil {
+		t.Error("open word accepted")
+	}
+	if _, err := EnclosedArea("rx"); err == nil {
+		t.Error("invalid word accepted")
+	}
+}
+
+func TestRotate(t *testing.T) {
+	if got := Rotate("abcd", 1); got != "bcda" {
+		t.Errorf("Rotate 1 = %q", got)
+	}
+	if got := Rotate("abcd", -1); got != "dabc" {
+		t.Errorf("Rotate -1 = %q", got)
+	}
+	if got := Rotate("abcd", 4); got != "abcd" {
+		t.Errorf("Rotate 4 = %q", got)
+	}
+	if got := Rotate("", 3); got != "" {
+		t.Errorf("Rotate empty = %q", got)
+	}
+}
+
+func TestFactorizationApplyValid(t *testing.T) {
+	f := Factorization{A: "r", B: "u", C: ""}
+	if got := f.Apply(); got != "ruld" {
+		t.Errorf("Apply = %q, want ruld", got)
+	}
+	if !f.Valid("ruld") {
+		t.Error("valid factorization rejected")
+	}
+	if f.Valid("rudl") {
+		t.Error("wrong word accepted")
+	}
+	g := Factorization{A: "r", B: "", C: ""}
+	if g.Valid("rl") {
+		t.Error("two empty factors accepted")
+	}
+}

@@ -1,0 +1,97 @@
+package boundary
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/prototile"
+)
+
+// Staircase returns the 2n-cell staircase polyomino with cells (i, i) and
+// (i+1, i) for 0 ≤ i < n — the length-n generalization of the S-tetromino
+// (n = 2 gives exactly the paper's Figure 5 S shape). Staircases are exact
+// for every n, which makes them a scalable positive workload for the
+// exactness benchmarks.
+func Staircase(n int) *prototile.Tile {
+	if n < 1 {
+		panic(fmt.Sprintf("boundary: Staircase(%d)", n))
+	}
+	s := lattice.NewSet()
+	for i := 0; i < n; i++ {
+		s.Add(lattice.Pt(i, i))
+		s.Add(lattice.Pt(i+1, i))
+	}
+	t, err := prototile.FromSet(fmt.Sprintf("staircase-%d", n), s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NotchedRect returns a w×h rectangle with the cell (w/2, h-1) removed —
+// a dented shape whose boundary length matches the rectangle's while
+// (for w ≥ 3, h ≥ 2) failing to tile the plane, giving a scalable
+// negative workload for the exactness benchmarks.
+func NotchedRect(w, h int) (*prototile.Tile, error) {
+	if w < 3 || h < 2 {
+		return nil, fmt.Errorf("%w: NotchedRect(%d, %d) needs w ≥ 3, h ≥ 2", ErrWord, w, h)
+	}
+	s := lattice.NewSet()
+	for x := 0; x < w; x++ {
+		for y := 0; y < h; y++ {
+			if x == w/2 && y == h-1 {
+				continue
+			}
+			s.Add(lattice.Pt(x, y))
+		}
+	}
+	return prototile.FromSet(fmt.Sprintf("notched-%dx%d", w, h), s)
+}
+
+// RandomPolyomino grows a connected polyomino of n cells by repeatedly
+// attaching a uniformly random neighbor cell, using the given source of
+// randomness. The result may contain holes; callers that need simple
+// connectivity should test and retry.
+func RandomPolyomino(rng *rand.Rand, n int) *prototile.Tile {
+	if n < 1 {
+		panic(fmt.Sprintf("boundary: RandomPolyomino(%d)", n))
+	}
+	cells := lattice.NewSet(lattice.Pt(0, 0))
+	for cells.Size() < n {
+		frontier := lattice.NewSet()
+		for _, c := range cells.Points() {
+			for _, d := range []lattice.Point{
+				lattice.Pt(1, 0), lattice.Pt(-1, 0), lattice.Pt(0, 1), lattice.Pt(0, -1),
+			} {
+				q := c.Add(d)
+				if !cells.Contains(q) {
+					frontier.Add(q)
+				}
+			}
+		}
+		candidates := frontier.Points()
+		cells.Add(candidates[rng.Intn(len(candidates))])
+	}
+	t, err := prototile.FromSet(fmt.Sprintf("random-%d", n), cells)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// RandomSimplePolyomino is RandomPolyomino restricted to simply connected
+// results; it retries until one is found (hole probability is modest for
+// the sizes used in tests and benchmarks).
+func RandomSimplePolyomino(rng *rand.Rand, n int) *prototile.Tile {
+	for {
+		t := RandomPolyomino(rng, n)
+		ok, err := t.SimplyConnected()
+		if err != nil {
+			panic(err)
+		}
+		if ok {
+			return t
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package core_test
+
+import (
+	"fmt"
+
+	"tilingsched/internal/core"
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/prototile"
+)
+
+// Example shows the end-to-end pipeline: neighborhood in, provably
+// optimal collision-free schedule out.
+func Example() {
+	plan, err := core.NewPlan(lattice.Square(), prototile.Cross(2, 1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("slots:", plan.Slots())
+	slot, _ := plan.SlotOf(lattice.Pt(3, 4))
+	fmt.Println("sensor (3,4) slot:", slot+1)
+	ok, _ := plan.MayBroadcast(lattice.Pt(3, 4), int64(slot))
+	fmt.Println("may broadcast at t=slot:", ok)
+	// Output:
+	// slots: 5
+	// sensor (3,4) slot: 5
+	// may broadcast at t=slot: true
+}
+
+// ExampleExplainExactness shows the two-tier exactness decision: the
+// boundary criterion for polyominoes, the periodic search for clusters.
+func ExampleExplainExactness() {
+	exact, _, err := core.ExplainExactness(prototile.MustTetromino("S"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("S tetromino exact:", exact)
+
+	gap := prototile.MustNew("gap", lattice.Pt(0), lattice.Pt(2))
+	exact, _, err = core.ExplainExactness(gap)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("gap cluster {0,2} exact:", exact)
+	// Output:
+	// S tetromino exact: true
+	// gap cluster {0,2} exact: true
+}
+
+// ExamplePlan_Optimality checks a schedule against the exact finite-window
+// optimum.
+func ExamplePlan_Optimality() {
+	plan, err := core.NewPlan(lattice.Square(), prototile.ChebyshevBall(2, 1))
+	if err != nil {
+		panic(err)
+	}
+	rep, err := plan.Optimality(lattice.CenteredWindow(2, 4), 1_000_000)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("slots=%d chromatic=%d optimal=%v\n", rep.Slots, rep.Chromatic, rep.Optimal)
+	// Output:
+	// slots=9 chromatic=9 optimal=true
+}

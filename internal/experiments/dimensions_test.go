@@ -1,0 +1,13 @@
+package experiments
+
+import "testing"
+
+func TestTableDimensions(t *testing.T) {
+	r, err := TableDimensions()
+	if err != nil {
+		t.Fatalf("TableDimensions: %v", err)
+	}
+	if !r.Passed() {
+		t.Errorf("E7 failed:\n%s", r.Render())
+	}
+}

@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/prototile"
+	"tilingsched/internal/schedule"
+	"tilingsched/internal/tiling"
+)
+
+func TestFigure1(t *testing.T) {
+	r, err := Figure1Lattices()
+	if err != nil {
+		t.Fatalf("Figure1Lattices: %v", err)
+	}
+	if !r.Passed() {
+		t.Errorf("F1 failed:\n%s", r.Render())
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	r, err := Figure2Neighborhoods()
+	if err != nil {
+		t.Fatalf("Figure2Neighborhoods: %v", err)
+	}
+	if !r.Passed() {
+		t.Errorf("F2 failed:\n%s", r.Render())
+	}
+	if !strings.Contains(r.Art, "chebyshev") {
+		t.Error("F2 art missing neighborhoods")
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	r, err := Figure3Schedule()
+	if err != nil {
+		t.Fatalf("Figure3Schedule: %v", err)
+	}
+	if !r.Passed() {
+		t.Errorf("F3 failed:\n%s", r.Render())
+	}
+	if r.Findings["slots"] != "8" {
+		t.Errorf("F3 slots = %q, want 8", r.Findings["slots"])
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	r, err := Figure4Voronoi()
+	if err != nil {
+		t.Fatalf("Figure4Voronoi: %v", err)
+	}
+	if !r.Passed() {
+		t.Errorf("F4 failed:\n%s", r.Render())
+	}
+}
+
+func TestFigure5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure 5 enumerates tilings; skipped in -short")
+	}
+	r, err := Figure5NonRespectable()
+	if err != nil {
+		t.Fatalf("Figure5NonRespectable: %v", err)
+	}
+	if !r.Passed() {
+		t.Errorf("F5 failed:\n%s", r.Render())
+	}
+	if r.Findings["pure-S optimum"] != "4" {
+		t.Errorf("pure-S optimum = %q, want 4", r.Findings["pure-S optimum"])
+	}
+	if r.Findings["two-Z tiling needing 6 slots"] != "true" {
+		t.Error("the paper's 6-slot tiling was not found")
+	}
+}
+
+func TestTheorem1(t *testing.T) {
+	r, err := Theorem1Verification()
+	if err != nil {
+		t.Fatalf("Theorem1Verification: %v", err)
+	}
+	if !r.Passed() {
+		t.Errorf("T1 failed:\n%s", r.Render())
+	}
+}
+
+func TestTheorem2(t *testing.T) {
+	r, err := Theorem2Verification()
+	if err != nil {
+		t.Fatalf("Theorem2Verification: %v", err)
+	}
+	if !r.Passed() {
+		t.Errorf("T2 failed:\n%s", r.Render())
+	}
+}
+
+func TestRespectableMooreTilingValid(t *testing.T) {
+	tt, err := RespectableMooreTiling()
+	if err != nil {
+		t.Fatalf("RespectableMooreTiling: %v", err)
+	}
+	if !tt.Respectable() {
+		t.Error("tiling should be respectable")
+	}
+	counts := tt.TileCounts()
+	if counts[0] != 1 || counts[1] != 1 || counts[2] != 2 {
+		t.Errorf("TileCounts = %v, want [1 1 2]", counts)
+	}
+}
+
+func TestTableSlotCounts(t *testing.T) {
+	r, err := TableSlotCounts(1)
+	if err != nil {
+		t.Fatalf("TableSlotCounts: %v", err)
+	}
+	if !r.Passed() {
+		t.Errorf("E1 failed:\n%s", r.Render())
+	}
+	if r.Table.Rows() != 4 {
+		t.Errorf("E1 rows = %d, want 4", r.Table.Rows())
+	}
+}
+
+func TestTableSimulator(t *testing.T) {
+	r, err := TableSimulator(1)
+	if err != nil {
+		t.Fatalf("TableSimulator: %v", err)
+	}
+	if !r.Passed() {
+		t.Errorf("E2 failed:\n%s", r.Render())
+	}
+}
+
+func TestTableScaling(t *testing.T) {
+	r, err := TableScaling()
+	if err != nil {
+		t.Fatalf("TableScaling: %v", err)
+	}
+	if !r.Passed() {
+		t.Errorf("E3 failed:\n%s", r.Render())
+	}
+}
+
+func TestTableExactness(t *testing.T) {
+	r, err := TableExactness()
+	if err != nil {
+		t.Fatalf("TableExactness: %v", err)
+	}
+	if !r.Passed() {
+		t.Errorf("E4 failed:\n%s", r.Render())
+	}
+}
+
+func TestTableRestriction(t *testing.T) {
+	r, err := TableRestriction()
+	if err != nil {
+		t.Fatalf("TableRestriction: %v", err)
+	}
+	if !r.Passed() {
+		t.Errorf("E5 failed:\n%s", r.Render())
+	}
+}
+
+func TestTableMobile(t *testing.T) {
+	r, err := TableMobile(3)
+	if err != nil {
+		t.Fatalf("TableMobile: %v", err)
+	}
+	if !r.Passed() {
+		t.Errorf("E6 failed:\n%s", r.Render())
+	}
+}
+
+func TestRenderScheduleGrid(t *testing.T) {
+	lt, ok := tiling.FindLatticeTiling(prototile.MustTetromino("O"))
+	if !ok {
+		t.Fatal("no tiling for O")
+	}
+	s := schedule.FromLatticeTiling(lt)
+	grid, err := RenderScheduleGrid(s, lattice.CenteredWindow(2, 2))
+	if err != nil {
+		t.Fatalf("RenderScheduleGrid: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(grid, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Errorf("grid has %d lines, want 5", len(lines))
+	}
+	if _, err := RenderScheduleGrid(s, lattice.CenteredWindow(3, 1)); err == nil {
+		t.Error("3-dim grid accepted")
+	}
+}
+
+func TestResultRender(t *testing.T) {
+	r := &Result{ID: "X", Title: "demo"}
+	r.find("k", "v")
+	if !r.Passed() {
+		t.Error("empty failures should pass")
+	}
+	r.failf("boom %d", 7)
+	out := r.Render()
+	if !strings.Contains(out, "FAILURE: boom 7") || !strings.Contains(out, "status: FAIL") {
+		t.Errorf("render missing failure:\n%s", out)
+	}
+	if r.Passed() {
+		t.Error("failed result reports pass")
+	}
+}

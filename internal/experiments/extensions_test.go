@@ -1,0 +1,51 @@
+package experiments
+
+import "testing"
+
+func TestTableEnergy(t *testing.T) {
+	r, err := TableEnergy(1)
+	if err != nil {
+		t.Fatalf("TableEnergy: %v", err)
+	}
+	if !r.Passed() {
+		t.Errorf("E8 failed:\n%s", r.Render())
+	}
+}
+
+func TestTableClockSkew(t *testing.T) {
+	r, err := TableClockSkew(1)
+	if err != nil {
+		t.Fatalf("TableClockSkew: %v", err)
+	}
+	if !r.Passed() {
+		t.Errorf("E9 failed:\n%s", r.Render())
+	}
+}
+
+func TestTableConvergecast(t *testing.T) {
+	r, err := TableConvergecast(1)
+	if err != nil {
+		t.Fatalf("TableConvergecast: %v", err)
+	}
+	if !r.Passed() {
+		t.Errorf("E10 failed:\n%s", r.Render())
+	}
+}
+
+func TestAllRunsEverything(t *testing.T) {
+	if testing.Short() {
+		t.Skip("All() runs the full suite; skipped in -short")
+	}
+	results, err := All(1)
+	if err != nil {
+		t.Fatalf("All: %v", err)
+	}
+	if len(results) != 17 {
+		t.Errorf("All returned %d results, want 17", len(results))
+	}
+	for _, r := range results {
+		if !r.Passed() {
+			t.Errorf("%s failed:\n%s", r.ID, r.Render())
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"tilingsched/internal/boundary"
+	"tilingsched/internal/geom"
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/prototile"
+	"tilingsched/internal/schedule"
+	"tilingsched/internal/stats"
+	"tilingsched/internal/tiling"
+)
+
+// Figure1Lattices reproduces Figure 1: the square and hexagonal lattices,
+// their bases, covolumes, and kissing numbers (minimal-vector counts).
+func Figure1Lattices() (*Result, error) {
+	r := &Result{ID: "F1", Title: "Figure 1 — square and hexagonal lattices"}
+	t := stats.NewTable("", "lattice", "basis", "covolume", "minimal vectors")
+	for _, l := range []*lattice.Lattice{lattice.Square(), lattice.Hexagonal()} {
+		// Count lattice vectors of minimal nonzero length.
+		min := math.Inf(1)
+		count := 0
+		for _, p := range lattice.CenteredWindow(2, 3).Points() {
+			if p.IsOrigin() {
+				continue
+			}
+			n := l.Norm2(p)
+			switch {
+			case n < min-1e-9:
+				min, count = n, 1
+			case math.Abs(n-min) <= 1e-9:
+				count++
+			}
+		}
+		b := l.Basis()
+		t.AddRow(l.Name(),
+			fmt.Sprintf("(%.3f,%.3f),(%.3f,%.3f)", b[0][0], b[0][1], b[1][0], b[1][1]),
+			stats.F(l.CoVolume()), stats.I(int64(count)))
+		switch l.Name() {
+		case "square":
+			if count != 4 {
+				r.failf("square lattice has %d minimal vectors, want 4", count)
+			}
+		case "hexagonal":
+			if count != 6 {
+				r.failf("hexagonal lattice has %d minimal vectors, want 6", count)
+			}
+			if math.Abs(l.CoVolume()-math.Sqrt(3)/2) > 1e-9 {
+				r.failf("hexagonal covolume %v, want √3/2", l.CoVolume())
+			}
+		}
+	}
+	r.Table = t
+	r.find("square kissing number", "4")
+	r.find("hexagonal kissing number", "6")
+	return r, nil
+}
+
+// Figure2Neighborhoods reproduces Figure 2: the Chebyshev ball, the
+// Euclidean ball, and the directional neighborhood, each with its size and
+// exactness evidence (all three are exact).
+func Figure2Neighborhoods() (*Result, error) {
+	r := &Result{ID: "F2", Title: "Figure 2 — example neighborhoods and their exactness"}
+	t := stats.NewTable("", "neighborhood", "|N|", "exact(BN)", "exact(lattice)", "period")
+	cases := []struct {
+		tile *prototile.Tile
+		want int
+	}{
+		{prototile.ChebyshevBall(2, 1), 9},
+		{prototile.EuclideanBall(lattice.Square(), 1), 5},
+		{prototile.Directional(), 8},
+	}
+	var art string
+	for _, c := range cases {
+		if c.tile.Size() != c.want {
+			r.failf("%s has %d points, want %d", c.tile.Name(), c.tile.Size(), c.want)
+		}
+		bn, _, err := boundary.IsExactPolyomino(c.tile)
+		if err != nil {
+			return nil, err
+		}
+		lt, viaLattice := tiling.FindLatticeTiling(c.tile)
+		period := "-"
+		if viaLattice {
+			period = lt.Period().String()
+		}
+		if !bn || !viaLattice {
+			r.failf("%s should be exact (BN=%v, lattice=%v)", c.tile.Name(), bn, viaLattice)
+		}
+		if bn != viaLattice {
+			r.failf("%s: BN and lattice search disagree", c.tile.Name())
+		}
+		t.AddRow(c.tile.Name(), stats.I(int64(c.tile.Size())),
+			fmt.Sprintf("%v", bn), fmt.Sprintf("%v", viaLattice), period)
+		art += c.tile.Name() + ":\n" + c.tile.ASCII() + "\n\n"
+	}
+	r.Table = t
+	r.Art = art
+	return r, nil
+}
+
+// Figure3Schedule reproduces Figure 3: the 8-slot schedule derived from a
+// tiling with the 2×4 directional neighborhood, including the observation
+// that the slot-k broadcasters' neighborhoods re-tile the lattice.
+func Figure3Schedule() (*Result, error) {
+	r := &Result{ID: "F3", Title: "Figure 3 — the 8-slot schedule of the directional tiling"}
+	tile := prototile.Directional()
+	lt, ok := tiling.FindLatticeTiling(tile)
+	if !ok {
+		r.failf("no tiling for the directional neighborhood")
+		return r, nil
+	}
+	s := schedule.FromLatticeTiling(lt)
+	w := lattice.CenteredWindow(2, 4)
+	if err := schedule.VerifyCollisionFree(s, s.Deployment(), w); err != nil {
+		r.failf("schedule not collision-free: %v", err)
+	}
+	if s.Slots() != 8 {
+		r.failf("slots = %d, want 8", s.Slots())
+	}
+	// Slot-shift property: for every slot k, the broadcasters are
+	// exactly one coset n_k + T, so their neighborhoods form a tiling.
+	pts := tile.Points()
+	for _, p := range w.Points() {
+		k, err := s.SlotOf(p)
+		if err != nil {
+			return nil, err
+		}
+		in, err := lt.InTranslateSet(p.Sub(pts[k]))
+		if err != nil {
+			return nil, err
+		}
+		if !in {
+			r.failf("slot-%d broadcaster %v is not in n_k + T", k, p)
+		}
+	}
+	grid, err := RenderScheduleGrid(s, w)
+	if err != nil {
+		return nil, err
+	}
+	r.Art = "slot grid (1-based, as in the paper's figure):\n" + grid
+	tbl := stats.NewTable("", "quantity", "value")
+	tbl.AddRow("slots", stats.I(int64(s.Slots())))
+	tbl.AddRow("period", lt.Period().String())
+	tbl.AddRow("window verified", w.String())
+	r.Table = tbl
+	r.find("slots", "%d", s.Slots())
+	return r, nil
+}
+
+// Figure4Voronoi reproduces Figure 4: the Voronoi cell of the square
+// lattice is a unit square, that of the hexagonal lattice a hexagon;
+// unions over prototiles give quasi-polyforms whose area is |N| times the
+// cell area.
+func Figure4Voronoi() (*Result, error) {
+	r := &Result{ID: "F4", Title: "Figure 4 — Voronoi cells and quasi-polyforms"}
+	t := stats.NewTable("", "lattice", "cell vertices", "cell area (coord)", "cell area (euclid)")
+	square, err := geom.VoronoiCell(geom.SquareGram(), 2)
+	if err != nil {
+		return nil, err
+	}
+	hex, err := geom.VoronoiCell(geom.HexGram(), 2)
+	if err != nil {
+		return nil, err
+	}
+	sqEuclid := square.Area().Float() * math.Sqrt(geom.SquareGram().Det().Float())
+	hexEuclid := hex.Area().Float() * math.Sqrt(geom.HexGram().Det().Float())
+	t.AddRow("square", stats.I(int64(len(square.V))), square.Area().String(), stats.F(sqEuclid))
+	t.AddRow("hexagonal", stats.I(int64(len(hex.V))), hex.Area().String(), stats.F(hexEuclid))
+	if len(square.V) != 4 {
+		r.failf("square cell has %d vertices, want 4", len(square.V))
+	}
+	if len(hex.V) != 6 {
+		r.failf("hex cell has %d vertices, want 6", len(hex.V))
+	}
+	if math.Abs(hexEuclid-math.Sqrt(3)/2) > 1e-9 {
+		r.failf("hex cell Euclidean area %v, want √3/2", hexEuclid)
+	}
+	// Quasi-polyomino over the L tromino: 3 unit squares.
+	var pts []geom.Vec2
+	for _, p := range prototile.LTromino().Points() {
+		pts = append(pts, geom.V2(int64(p[0]), int64(p[1])))
+	}
+	cells, err := geom.QuasiPolyform(geom.SquareGram(), pts, 2)
+	if err != nil {
+		return nil, err
+	}
+	total := geom.RatInt(0)
+	for _, c := range cells {
+		total = total.Add(c.Area())
+	}
+	if !total.Equal(geom.RatInt(3)) {
+		r.failf("L-tromino quasi-polyomino area %s, want 3", total)
+	}
+	r.Table = t
+	r.find("quasi-polyomino area (L tromino)", "%s", total)
+	return r, nil
+}
+
+// Figure5NonRespectable reproduces Figure 5: over S/Z tetromino tilings,
+// the per-class optimal slot count depends on the tiling — the all-S
+// tiling needs 4 slots while mixed tilings need more (the paper's example
+// needs 6).
+func Figure5NonRespectable() (*Result, error) {
+	r := &Result{ID: "F5", Title: "Figure 5 — non-respectable tilings: optimum depends on the tiling"}
+	s4 := prototile.MustTetromino("S")
+	z4 := prototile.MustTetromino("Z")
+	t := stats.NewTable("", "torus", "tilings", "Z-tiles", "min slots", "max slots")
+	overallMin, overallMax := math.MaxInt32, 0
+	pureSOptimum := 0
+	twoZSixSlots := false
+	for _, cfg := range []struct {
+		dims []int
+		cap  int
+	}{
+		{dims: []int{4, 4}, cap: 0}, // full enumeration: 64 tilings
+		{dims: []int{4, 8}, cap: 50},
+	} {
+		dims := cfg.dims
+		sols, err := tiling.SolveTorus(dims, []*prototile.Tile{s4, z4},
+			tiling.SolveOptions{MaxSolutions: cfg.cap})
+		if err != nil {
+			return nil, err
+		}
+		minM, maxM := math.MaxInt32, 0
+		zmin, zmax := math.MaxInt32, 0
+		for _, sol := range sols {
+			pc, err := schedule.CompilePatternConstraints(sol)
+			if err != nil {
+				return nil, err
+			}
+			m, patterns, err := pc.MinSlots(16)
+			if err != nil {
+				return nil, err
+			}
+			// The minimal per-class schedule must itself verify.
+			ps, err := schedule.NewPerClassSchedule(sol, m, patterns)
+			if err != nil {
+				return nil, err
+			}
+			if err := schedule.VerifyCollisionFree(ps, schedule.NewD1(sol),
+				lattice.CenteredWindow(2, 5)); err != nil {
+				r.failf("per-class optimum schedule collides on %v: %v", sol.TileCounts(), err)
+			}
+			if m < minM {
+				minM = m
+			}
+			if m > maxM {
+				maxM = m
+			}
+			zc := sol.TileCounts()[1]
+			if zc < zmin {
+				zmin = zc
+			}
+			if zc > zmax {
+				zmax = zc
+			}
+			if zc == 0 && pureSOptimum == 0 {
+				pureSOptimum = m
+			}
+			if zc == 2 && m == 6 {
+				// The paper's Figure 5 left: two Z tetrominoes
+				// surrounded by S tetrominoes, optimal m = 6.
+				twoZSixSlots = true
+			}
+		}
+		if len(sols) > 0 {
+			t.AddRow(fmt.Sprintf("%dx%d", dims[0], dims[1]), stats.I(int64(len(sols))),
+				fmt.Sprintf("%d..%d", zmin, zmax),
+				stats.I(int64(minM)), stats.I(int64(maxM)))
+			if minM < overallMin {
+				overallMin = minM
+			}
+			if maxM > overallMax {
+				overallMax = maxM
+			}
+		}
+	}
+	r.Table = t
+	if pureSOptimum != 4 {
+		r.failf("pure-S tiling optimum = %d, want 4 (Figure 5 right)", pureSOptimum)
+	}
+	if overallMin != 4 {
+		r.failf("minimum over tilings = %d, want 4", overallMin)
+	}
+	if overallMax <= 4 {
+		r.failf("no tiling needed more than 4 slots; Figure 5's tiling-dependence not reproduced")
+	}
+	if !twoZSixSlots {
+		r.failf("no two-Z tiling with optimum 6 found (the paper's Figure 5 left)")
+	}
+	r.find("pure-S optimum", "%d", pureSOptimum)
+	r.find("optimum range over tilings", "%d..%d", overallMin, overallMax)
+	r.find("two-Z tiling needing 6 slots", "%v", twoZSixSlots)
+	return r, nil
+}

@@ -1,0 +1,134 @@
+// Package experiments contains one runner per paper artifact (Figures 1–5,
+// Theorems 1–2) and per derived evaluation table (E1–E6 of DESIGN.md).
+// Each runner produces a rendered table, machine-checkable findings, and a
+// list of verification failures (empty on success). The runners are shared
+// by cmd/figures, cmd/experiments, and the repository benchmarks, so the
+// numbers in EXPERIMENTS.md regenerate from a single code path.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/schedule"
+	"tilingsched/internal/stats"
+)
+
+// Result is the outcome of one experiment.
+type Result struct {
+	// ID identifies the experiment (e.g. "F3", "E1").
+	ID string
+	// Title is a human-readable experiment name.
+	Title string
+	// Table is the rendered data.
+	Table *stats.Table
+	// Findings maps headline quantities to values for EXPERIMENTS.md.
+	Findings map[string]string
+	// Failures lists verification failures; empty means the paper's
+	// claim reproduced.
+	Failures []string
+	// Art holds optional ASCII renderings (tilings, schedules).
+	Art string
+}
+
+// Passed reports whether all checks succeeded.
+func (r *Result) Passed() bool { return len(r.Failures) == 0 }
+
+// Render produces the experiment's full text block.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	if r.Table != nil {
+		b.WriteString(r.Table.Render())
+	}
+	if r.Art != "" {
+		b.WriteString(r.Art)
+		if !strings.HasSuffix(r.Art, "\n") {
+			b.WriteByte('\n')
+		}
+	}
+	keys := make([]string, 0, len(r.Findings))
+	for k := range r.Findings {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "finding: %s = %s\n", k, r.Findings[k])
+	}
+	for _, f := range r.Failures {
+		fmt.Fprintf(&b, "FAILURE: %s\n", f)
+	}
+	if r.Passed() {
+		b.WriteString("status: PASS\n")
+	} else {
+		b.WriteString("status: FAIL\n")
+	}
+	return b.String()
+}
+
+func (r *Result) failf(format string, args ...interface{}) {
+	r.Failures = append(r.Failures, fmt.Sprintf(format, args...))
+}
+
+func (r *Result) find(key, format string, args ...interface{}) {
+	if r.Findings == nil {
+		r.Findings = map[string]string{}
+	}
+	r.Findings[key] = fmt.Sprintf(format, args...)
+}
+
+// RenderScheduleGrid draws the slot assignment of a 2-D schedule over a
+// window, one row per y (top to bottom), slots rendered in a fixed width —
+// the computational analogue of the paper's Figure 3.
+func RenderScheduleGrid(s schedule.Schedule, w lattice.Window) (string, error) {
+	if w.Dim() != 2 {
+		return "", fmt.Errorf("experiments: schedule grid needs dimension 2")
+	}
+	width := len(fmt.Sprintf("%d", s.Slots()-1)) + 1
+	var b strings.Builder
+	for y := w.Hi[1]; y >= w.Lo[1]; y-- {
+		for x := w.Lo[0]; x <= w.Hi[0]; x++ {
+			k, err := s.SlotOf(lattice.Pt(x, y))
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "%*d", width, k+1) // paper numbers slots from 1
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// All runs every experiment in order.
+func All(seed int64) ([]*Result, error) {
+	runners := []func() (*Result, error){
+		Figure1Lattices,
+		Figure2Neighborhoods,
+		Figure3Schedule,
+		Figure4Voronoi,
+		Figure5NonRespectable,
+		Theorem1Verification,
+		Theorem2Verification,
+		func() (*Result, error) { return TableSlotCounts(seed) },
+		func() (*Result, error) { return TableSimulator(seed) },
+		func() (*Result, error) { return TableScaling() },
+		func() (*Result, error) { return TableExactness() },
+		func() (*Result, error) { return TableRestriction() },
+		func() (*Result, error) { return TableMobile(seed) },
+		func() (*Result, error) { return TableDimensions() },
+		func() (*Result, error) { return TableEnergy(seed) },
+		func() (*Result, error) { return TableClockSkew(seed) },
+		func() (*Result, error) { return TableConvergecast(seed) },
+	}
+	out := make([]*Result, 0, len(runners))
+	for _, run := range runners {
+		r, err := run()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tilingsched/internal/graph"
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/prototile"
+	"tilingsched/internal/schedule"
+	"tilingsched/internal/stats"
+	"tilingsched/internal/tiling"
+	"tilingsched/internal/wsn"
+)
+
+// Theorem1Verification checks Theorem 1 end to end on a catalog of exact
+// prototiles: the tiling schedule uses |N| slots, is collision-free, and
+// matches the exact distance-2 chromatic number of a window containing a
+// translate of N+N.
+func Theorem1Verification() (*Result, error) {
+	r := &Result{ID: "T1", Title: "Theorem 1 — collision-freeness and optimality"}
+	t := stats.NewTable("", "prototile", "|N|", "slots", "chromatic", "proven", "collision-free")
+	tiles := []*prototile.Tile{
+		prototile.Cross(2, 1),
+		prototile.ChebyshevBall(2, 1),
+		prototile.Directional(),
+		prototile.MustTetromino("S"),
+		prototile.MustTetromino("T"),
+		prototile.LTromino(),
+	}
+	for _, ti := range tiles {
+		lt, ok := tiling.FindLatticeTiling(ti)
+		if !ok {
+			r.failf("%s: no tiling found", ti.Name())
+			continue
+		}
+		s := schedule.FromLatticeTiling(lt)
+		dep := s.Deployment()
+		w := lattice.CenteredWindow(2, 2*dep.Reach()+2)
+		colErr := schedule.VerifyCollisionFree(s, dep, w)
+		if colErr != nil {
+			r.failf("%s: %v", ti.Name(), colErr)
+		}
+		g, _, err := graph.ConflictGraph(dep, w)
+		if err != nil {
+			return nil, err
+		}
+		res := graph.ChromaticNumber(g, 500_000)
+		if res.Proven && res.NumColors != ti.Size() {
+			r.failf("%s: chromatic %d ≠ |N| %d", ti.Name(), res.NumColors, ti.Size())
+		}
+		if !w.ContainsTranslateOf(ti.NPlusN()) {
+			r.failf("%s: verification window misses N+N", ti.Name())
+		}
+		t.AddRow(ti.Name(), stats.I(int64(ti.Size())), stats.I(int64(s.Slots())),
+			stats.I(int64(res.NumColors)), fmt.Sprintf("%v", res.Proven),
+			fmt.Sprintf("%v", colErr == nil))
+	}
+	r.Table = t
+	return r, nil
+}
+
+// RespectableMooreTiling builds the hand-verified respectable tiling used
+// by the Theorem 2 experiment: one 3×3 Chebyshev ball, one 5-point cross,
+// and two single points exactly covering the 4×4 torus, with
+// N1 = Moore ⊇ cross ⊇ point.
+func RespectableMooreTiling() (*tiling.TorusTiling, error) {
+	moore := prototile.ChebyshevBall(2, 1)
+	cross := prototile.Cross(2, 1)
+	mono, err := prototile.New("mono", lattice.Pt(0, 0))
+	if err != nil {
+		return nil, err
+	}
+	return tiling.NewTorusTiling([]int{4, 4},
+		[]*prototile.Tile{moore, cross, mono},
+		[]tiling.Placement{
+			{TileIndex: 0, Offset: lattice.Pt(1, 1)}, // covers [0,2]²
+			{TileIndex: 1, Offset: lattice.Pt(3, 3)}, // wraps over both edges
+			{TileIndex: 2, Offset: lattice.Pt(1, 3)},
+			{TileIndex: 2, Offset: lattice.Pt(3, 1)},
+		})
+}
+
+// Theorem2Verification checks Theorem 2 on a respectable three-prototile
+// tiling (Moore ⊇ cross ⊇ point): the schedule uses |N1| = 9 slots, is
+// collision-free under deployment D1, and the per-class optimum confirms 9
+// is optimal.
+func Theorem2Verification() (*Result, error) {
+	r := &Result{ID: "T2", Title: "Theorem 2 — respectable multi-prototile schedule"}
+	tt, err := RespectableMooreTiling()
+	if err != nil {
+		return nil, err
+	}
+	if !tt.Respectable() {
+		r.failf("tiling not respectable")
+	}
+	s, err := schedule.FromTorusTiling(tt)
+	if err != nil {
+		return nil, err
+	}
+	if s.Slots() != 9 {
+		r.failf("slots = %d, want |N1| = 9", s.Slots())
+	}
+	w := lattice.CenteredWindow(2, 6)
+	if err := schedule.VerifyCollisionFree(s, s.Deployment(), w); err != nil {
+		r.failf("Theorem 2 schedule collides: %v", err)
+	}
+	pc, err := schedule.CompilePatternConstraints(tt)
+	if err != nil {
+		return nil, err
+	}
+	m, _, err := pc.MinSlots(16)
+	if err != nil {
+		return nil, err
+	}
+	if m != 9 {
+		r.failf("per-class optimum = %d, want 9 (optimality of Theorem 2)", m)
+	}
+	// Drive the same schedule through the simulator: zero collisions.
+	sim, err := wsn.Run(wsn.Config{
+		Window:     lattice.CenteredWindow(2, 5),
+		Deployment: schedule.NewD1(tt),
+		Protocol:   wsn.NewScheduleMAC("theorem2", s),
+		Traffic:    wsn.Saturated{},
+		Slots:      180,
+		Seed:       1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if sim.FailedTx != 0 || sim.ReceiverCollisions != 0 {
+		r.failf("simulator saw collisions: failed=%d rc=%d", sim.FailedTx, sim.ReceiverCollisions)
+	}
+	t := stats.NewTable("", "quantity", "value")
+	t.AddRow("prototiles", "moore(9) ⊇ cross(5) ⊇ point(1)")
+	t.AddRow("respectable", fmt.Sprintf("%v", tt.Respectable()))
+	t.AddRow("slots (Theorem 2)", stats.I(int64(s.Slots())))
+	t.AddRow("per-class optimum", stats.I(int64(m)))
+	t.AddRow("sim transmissions", stats.I(sim.Transmissions))
+	t.AddRow("sim failed", stats.I(sim.FailedTx))
+	r.Table = t
+	r.find("slots", "%d", s.Slots())
+	r.find("per-class optimum", "%d", m)
+	grid, err := RenderScheduleGrid(s, lattice.CenteredWindow(2, 4))
+	if err == nil {
+		r.Art = "Theorem 2 slot grid:\n" + grid
+	}
+	return r, nil
+}

@@ -1,0 +1,153 @@
+package geom
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Vec2 is an exact rational point (or vector) in the plane.
+type Vec2 struct {
+	X, Y Rat
+}
+
+// V2 builds a Vec2 from integers.
+func V2(x, y int64) Vec2 { return Vec2{X: RatInt(x), Y: RatInt(y)} }
+
+// Add returns v + w.
+func (v Vec2) Add(w Vec2) Vec2 { return Vec2{X: v.X.Add(w.X), Y: v.Y.Add(w.Y)} }
+
+// Sub returns v - w.
+func (v Vec2) Sub(w Vec2) Vec2 { return Vec2{X: v.X.Sub(w.X), Y: v.Y.Sub(w.Y)} }
+
+// Equal reports exact coordinate equality.
+func (v Vec2) Equal(w Vec2) bool { return v.X.Equal(w.X) && v.Y.Equal(w.Y) }
+
+// String renders "(x, y)".
+func (v Vec2) String() string { return fmt.Sprintf("(%s, %s)", v.X, v.Y) }
+
+// HalfPlane is the closed region {p : A·p.X + B·p.Y ≤ C}.
+type HalfPlane struct {
+	A, B, C Rat
+}
+
+// Eval returns A·x + B·y - C; non-positive means inside.
+func (h HalfPlane) Eval(p Vec2) Rat {
+	return h.A.Mul(p.X).Add(h.B.Mul(p.Y)).Sub(h.C)
+}
+
+// Contains reports whether p lies in the closed half-plane.
+func (h HalfPlane) Contains(p Vec2) bool { return h.Eval(p).Sign() <= 0 }
+
+// Polygon is a convex polygon given by its vertices in counterclockwise
+// order. An empty polygon has no vertices.
+type Polygon struct {
+	V []Vec2
+}
+
+// NewBox returns the axis-aligned rectangle [x0,x1]×[y0,y1] as a CCW
+// polygon.
+func NewBox(x0, y0, x1, y1 Rat) Polygon {
+	return Polygon{V: []Vec2{
+		{X: x0, Y: y0}, {X: x1, Y: y0}, {X: x1, Y: y1}, {X: x0, Y: y1},
+	}}
+}
+
+// Empty reports whether the polygon has fewer than 3 vertices.
+func (p Polygon) Empty() bool { return len(p.V) < 3 }
+
+// Clip intersects the polygon with a closed half-plane using exact
+// Sutherland–Hodgman clipping. The result is again convex and CCW.
+func (p Polygon) Clip(h HalfPlane) Polygon {
+	if len(p.V) == 0 {
+		return Polygon{}
+	}
+	var out []Vec2
+	n := len(p.V)
+	for i := 0; i < n; i++ {
+		cur, nxt := p.V[i], p.V[(i+1)%n]
+		ec, en := h.Eval(cur), h.Eval(nxt)
+		curIn, nxtIn := ec.Sign() <= 0, en.Sign() <= 0
+		if curIn {
+			out = appendVertex(out, cur)
+		}
+		if curIn != nxtIn {
+			// Edge crosses the boundary; the intersection point is
+			// cur + t·(nxt-cur) with t = ec / (ec - en), exact in
+			// rationals.
+			t := ec.Div(ec.Sub(en))
+			ip := Vec2{
+				X: cur.X.Add(t.Mul(nxt.X.Sub(cur.X))),
+				Y: cur.Y.Add(t.Mul(nxt.Y.Sub(cur.Y))),
+			}
+			out = appendVertex(out, ip)
+		}
+	}
+	// Remove a duplicate closing vertex if clipping produced one.
+	if len(out) > 1 && out[0].Equal(out[len(out)-1]) {
+		out = out[:len(out)-1]
+	}
+	if len(out) < 3 {
+		return Polygon{}
+	}
+	return Polygon{V: out}
+}
+
+func appendVertex(vs []Vec2, v Vec2) []Vec2 {
+	if len(vs) > 0 && vs[len(vs)-1].Equal(v) {
+		return vs
+	}
+	return append(vs, v)
+}
+
+// Area returns the exact (signed-made-positive) area via the shoelace
+// formula. CCW polygons give the positive value directly.
+func (p Polygon) Area() Rat {
+	if p.Empty() {
+		return RatInt(0)
+	}
+	sum := RatInt(0)
+	n := len(p.V)
+	for i := 0; i < n; i++ {
+		a, b := p.V[i], p.V[(i+1)%n]
+		sum = sum.Add(a.X.Mul(b.Y).Sub(b.X.Mul(a.Y)))
+	}
+	if sum.Sign() < 0 {
+		sum = sum.Neg()
+	}
+	return sum.Div(RatInt(2))
+}
+
+// Contains reports whether q lies in the closed polygon (boundary counts).
+func (p Polygon) Contains(q Vec2) bool {
+	if p.Empty() {
+		return false
+	}
+	n := len(p.V)
+	for i := 0; i < n; i++ {
+		a, b := p.V[i], p.V[(i+1)%n]
+		// Cross product (b-a) × (q-a) must be ≥ 0 for CCW polygons.
+		cross := b.X.Sub(a.X).Mul(q.Y.Sub(a.Y)).Sub(b.Y.Sub(a.Y).Mul(q.X.Sub(a.X)))
+		if cross.Sign() < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Translate returns the polygon shifted by v.
+func (p Polygon) Translate(v Vec2) Polygon {
+	out := make([]Vec2, len(p.V))
+	for i, w := range p.V {
+		out[i] = w.Add(v)
+	}
+	return Polygon{V: out}
+}
+
+// String lists the vertices.
+func (p Polygon) String() string {
+	parts := make([]string, len(p.V))
+	for i, v := range p.V {
+		parts[i] = v.String()
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

@@ -1,0 +1,117 @@
+package geom
+
+import "testing"
+
+func unitSquare() Polygon {
+	return NewBox(RatInt(0), RatInt(0), RatInt(1), RatInt(1))
+}
+
+func TestBoxArea(t *testing.T) {
+	if got := unitSquare().Area(); !got.Equal(RatInt(1)) {
+		t.Errorf("unit square area = %s, want 1", got)
+	}
+	b := NewBox(RatInt(-1), RatInt(-2), RatInt(3), RatInt(2))
+	if got := b.Area(); !got.Equal(RatInt(16)) {
+		t.Errorf("box area = %s, want 16", got)
+	}
+}
+
+func TestClipKeepsHalf(t *testing.T) {
+	// Clip unit square with x ≤ 1/2.
+	h := HalfPlane{A: RatInt(1), B: RatInt(0), C: NewRat(1, 2)}
+	c := unitSquare().Clip(h)
+	if c.Empty() {
+		t.Fatal("clip produced empty polygon")
+	}
+	if got := c.Area(); !got.Equal(NewRat(1, 2)) {
+		t.Errorf("clipped area = %s, want 1/2", got)
+	}
+}
+
+func TestClipDiagonal(t *testing.T) {
+	// x + y ≤ 1 cuts the unit square into a triangle of area 1/2.
+	h := HalfPlane{A: RatInt(1), B: RatInt(1), C: RatInt(1)}
+	c := unitSquare().Clip(h)
+	if got := c.Area(); !got.Equal(NewRat(1, 2)) {
+		t.Errorf("clipped area = %s, want 1/2", got)
+	}
+}
+
+func TestClipNoEffect(t *testing.T) {
+	h := HalfPlane{A: RatInt(1), B: RatInt(0), C: RatInt(10)}
+	c := unitSquare().Clip(h)
+	if got := c.Area(); !got.Equal(RatInt(1)) {
+		t.Errorf("area after no-op clip = %s, want 1", got)
+	}
+}
+
+func TestClipToEmpty(t *testing.T) {
+	h := HalfPlane{A: RatInt(1), B: RatInt(0), C: RatInt(-5)} // x ≤ -5
+	c := unitSquare().Clip(h)
+	if !c.Empty() {
+		t.Errorf("clip should be empty, got %s", c)
+	}
+	if !c.Area().Equal(RatInt(0)) {
+		t.Error("empty polygon area not 0")
+	}
+}
+
+func TestClipSequenceOctagon(t *testing.T) {
+	// Clipping the square [-1,1]² with the four diagonal half-planes
+	// |x| + |y| ≤ 3/2 produces a regular octagon of area 7/2.
+	p := NewBox(RatInt(-1), RatInt(-1), RatInt(1), RatInt(1))
+	c := NewRat(3, 2)
+	for _, h := range []HalfPlane{
+		{A: RatInt(1), B: RatInt(1), C: c},
+		{A: RatInt(1), B: RatInt(-1), C: c},
+		{A: RatInt(-1), B: RatInt(1), C: c},
+		{A: RatInt(-1), B: RatInt(-1), C: c},
+	} {
+		p = p.Clip(h)
+	}
+	if got := p.Area(); !got.Equal(NewRat(7, 2)) {
+		t.Errorf("octagon area = %s, want 7/2", got)
+	}
+	if len(p.V) != 8 {
+		t.Errorf("octagon has %d vertices, want 8", len(p.V))
+	}
+}
+
+func TestPolygonContains(t *testing.T) {
+	p := unitSquare()
+	inside := Vec2{X: NewRat(1, 2), Y: NewRat(1, 2)}
+	boundary := Vec2{X: RatInt(0), Y: NewRat(1, 2)}
+	outside := Vec2{X: RatInt(2), Y: RatInt(0)}
+	if !p.Contains(inside) {
+		t.Error("interior point not contained")
+	}
+	if !p.Contains(boundary) {
+		t.Error("boundary point not contained (closed polygon)")
+	}
+	if p.Contains(outside) {
+		t.Error("outside point contained")
+	}
+}
+
+func TestPolygonTranslate(t *testing.T) {
+	p := unitSquare().Translate(V2(3, -1))
+	if !p.Contains(Vec2{X: NewRat(7, 2), Y: NewRat(-1, 2)}) {
+		t.Error("translated polygon misses its center")
+	}
+	if !p.Area().Equal(RatInt(1)) {
+		t.Error("translation changed area")
+	}
+}
+
+func TestEmptyPolygonSafety(t *testing.T) {
+	var p Polygon
+	if !p.Empty() {
+		t.Error("zero polygon not empty")
+	}
+	if p.Contains(V2(0, 0)) {
+		t.Error("empty polygon contains a point")
+	}
+	if !p.Clip(HalfPlane{A: RatInt(1), B: RatInt(0), C: RatInt(0)}).Empty() {
+		t.Error("clipping empty polygon not empty")
+	}
+}

@@ -1,0 +1,73 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property: clipping never increases area and preserves convexity
+// invariants (every vertex of the result satisfies the half-plane).
+func TestClipMonotoneArea(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 300; trial++ {
+		p := NewBox(RatInt(-3), RatInt(-3), RatInt(3), RatInt(3))
+		for cuts := 0; cuts < 4; cuts++ {
+			h := HalfPlane{
+				A: RatInt(int64(rng.Intn(7) - 3)),
+				B: RatInt(int64(rng.Intn(7) - 3)),
+				C: RatInt(int64(rng.Intn(9) - 2)),
+			}
+			if h.A.Sign() == 0 && h.B.Sign() == 0 {
+				continue
+			}
+			before := p.Area()
+			q := p.Clip(h)
+			after := q.Area()
+			if after.Cmp(before) > 0 {
+				t.Fatalf("clip increased area: %s -> %s", before, after)
+			}
+			for _, v := range q.V {
+				if !h.Contains(v) {
+					t.Fatalf("vertex %s outside clipping half-plane", v)
+				}
+			}
+			p = q
+			if p.Empty() {
+				break
+			}
+		}
+	}
+}
+
+// Property: translation preserves area and containment relative to the
+// translated probe.
+func TestTranslateInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	for trial := 0; trial < 200; trial++ {
+		p := NewBox(RatInt(0), RatInt(0), RatInt(int64(1+rng.Intn(4))), RatInt(int64(1+rng.Intn(4))))
+		v := V2(int64(rng.Intn(9)-4), int64(rng.Intn(9)-4))
+		q := p.Translate(v)
+		if !q.Area().Equal(p.Area()) {
+			t.Fatal("translation changed area")
+		}
+		probe := Vec2{X: NewRat(1, 2), Y: NewRat(1, 2)}
+		if p.Contains(probe) != q.Contains(probe.Add(v)) {
+			t.Fatal("translation broke containment")
+		}
+	}
+}
+
+// Property: Voronoi cells tile area: the coordinate-space cell area is
+// always 1 (one lattice point per fundamental domain) for valid Gram
+// matrices of determinant-1 coordinate systems.
+func TestVoronoiUnitArea(t *testing.T) {
+	for name, g := range map[string]Gram2{"square": SquareGram(), "hex": HexGram()} {
+		cell, err := VoronoiCell(g, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !cell.Area().Equal(RatInt(1)) {
+			t.Errorf("%s: coordinate area %s, want 1", name, cell.Area())
+		}
+	}
+}

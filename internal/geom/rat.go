@@ -1,0 +1,117 @@
+// Package geom provides exact rational plane geometry: rational numbers,
+// convex polygons, half-plane clipping, and Voronoi cells of
+// two-dimensional lattices.
+//
+// Voronoi computations run in lattice *coordinate* space using the Gram
+// matrix of the basis. For the lattices in this repository (square,
+// hexagonal) the Gram matrix is rational, so every Voronoi vertex is a
+// rational point and all predicates are exact — no epsilon tuning. This is
+// the machinery behind the paper's Figure 4 (quasi-polyominoes and
+// quasi-polyhexes as unions of Voronoi regions).
+package geom
+
+import (
+	"fmt"
+)
+
+// Rat is an exact rational number num/den with den > 0, always stored in
+// lowest terms. The zero value is 0/1 and ready to use.
+type Rat struct {
+	num, den int64
+}
+
+// NewRat returns num/den reduced to lowest terms. It panics if den == 0.
+func NewRat(num, den int64) Rat {
+	if den == 0 {
+		panic("geom: rational with zero denominator")
+	}
+	if den < 0 {
+		num, den = -num, -den
+	}
+	g := gcd64(abs64(num), den)
+	if g > 1 {
+		num /= g
+		den /= g
+	}
+	if num == 0 {
+		den = 1
+	}
+	return Rat{num: num, den: den}
+}
+
+// RatInt returns the rational n/1.
+func RatInt(n int64) Rat { return Rat{num: n, den: 1} }
+
+// Num returns the numerator (sign-carrying).
+func (r Rat) Num() int64 { return r.num }
+
+// Den returns the positive denominator.
+func (r Rat) Den() int64 {
+	if r.den == 0 {
+		return 1 // zero value normalization
+	}
+	return r.den
+}
+
+// Add returns r + o.
+func (r Rat) Add(o Rat) Rat { return NewRat(r.num*o.Den()+o.num*r.Den(), r.Den()*o.Den()) }
+
+// Sub returns r - o.
+func (r Rat) Sub(o Rat) Rat { return NewRat(r.num*o.Den()-o.num*r.Den(), r.Den()*o.Den()) }
+
+// Mul returns r · o.
+func (r Rat) Mul(o Rat) Rat { return NewRat(r.num*o.num, r.Den()*o.Den()) }
+
+// Div returns r / o; it panics when o is zero.
+func (r Rat) Div(o Rat) Rat {
+	if o.num == 0 {
+		panic("geom: division by zero rational")
+	}
+	return NewRat(r.num*o.Den(), r.Den()*o.num)
+}
+
+// Neg returns -r.
+func (r Rat) Neg() Rat { return Rat{num: -r.num, den: r.Den()} }
+
+// Sign returns -1, 0, or 1.
+func (r Rat) Sign() int {
+	switch {
+	case r.num < 0:
+		return -1
+	case r.num > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Cmp returns -1, 0, or 1 as r <, =, > o.
+func (r Rat) Cmp(o Rat) int { return r.Sub(o).Sign() }
+
+// Equal reports exact equality.
+func (r Rat) Equal(o Rat) bool { return r.Cmp(o) == 0 }
+
+// Float returns the closest float64.
+func (r Rat) Float() float64 { return float64(r.num) / float64(r.Den()) }
+
+// String renders "a/b", or "a" when b == 1.
+func (r Rat) String() string {
+	if r.Den() == 1 {
+		return fmt.Sprintf("%d", r.num)
+	}
+	return fmt.Sprintf("%d/%d", r.num, r.Den())
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,117 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRatNormalization(t *testing.T) {
+	cases := []struct {
+		num, den         int64
+		wantNum, wantDen int64
+	}{
+		{2, 4, 1, 2},
+		{-2, 4, -1, 2},
+		{2, -4, -1, 2},
+		{-2, -4, 1, 2},
+		{0, 7, 0, 1},
+		{6, 3, 2, 1},
+	}
+	for _, c := range cases {
+		r := NewRat(c.num, c.den)
+		if r.Num() != c.wantNum || r.Den() != c.wantDen {
+			t.Errorf("NewRat(%d,%d) = %d/%d, want %d/%d", c.num, c.den, r.Num(), r.Den(), c.wantNum, c.wantDen)
+		}
+	}
+}
+
+func TestRatZeroDenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRat(1, 0) did not panic")
+		}
+	}()
+	NewRat(1, 0)
+}
+
+func TestRatArithmetic(t *testing.T) {
+	a, b := NewRat(1, 2), NewRat(1, 3)
+	if got := a.Add(b); !got.Equal(NewRat(5, 6)) {
+		t.Errorf("1/2 + 1/3 = %s", got)
+	}
+	if got := a.Sub(b); !got.Equal(NewRat(1, 6)) {
+		t.Errorf("1/2 - 1/3 = %s", got)
+	}
+	if got := a.Mul(b); !got.Equal(NewRat(1, 6)) {
+		t.Errorf("1/2 · 1/3 = %s", got)
+	}
+	if got := a.Div(b); !got.Equal(NewRat(3, 2)) {
+		t.Errorf("(1/2)/(1/3) = %s", got)
+	}
+}
+
+func TestRatDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("division by zero did not panic")
+		}
+	}()
+	RatInt(1).Div(RatInt(0))
+}
+
+func TestRatComparison(t *testing.T) {
+	if NewRat(1, 3).Cmp(NewRat(1, 2)) != -1 {
+		t.Error("1/3 should compare less than 1/2")
+	}
+	if NewRat(2, 4).Cmp(NewRat(1, 2)) != 0 {
+		t.Error("2/4 should equal 1/2")
+	}
+	if RatInt(-1).Sign() != -1 || RatInt(0).Sign() != 0 || RatInt(3).Sign() != 1 {
+		t.Error("Sign wrong")
+	}
+}
+
+func TestRatFieldLaws(t *testing.T) {
+	f := func(an, bn, cn int16, ad, bd, cd uint8) bool {
+		// Build small rationals with nonzero denominators.
+		a := NewRat(int64(an), int64(ad)+1)
+		b := NewRat(int64(bn), int64(bd)+1)
+		c := NewRat(int64(cn), int64(cd)+1)
+		// Distributivity and commutativity.
+		if !a.Mul(b.Add(c)).Equal(a.Mul(b).Add(a.Mul(c))) {
+			return false
+		}
+		if !a.Add(b).Equal(b.Add(a)) || !a.Mul(b).Equal(b.Mul(a)) {
+			return false
+		}
+		return a.Sub(a).Sign() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatString(t *testing.T) {
+	if got := NewRat(3, 6).String(); got != "1/2" {
+		t.Errorf("String = %q, want 1/2", got)
+	}
+	if got := RatInt(-4).String(); got != "-4" {
+		t.Errorf("String = %q, want -4", got)
+	}
+}
+
+func TestRatFloat(t *testing.T) {
+	if got := NewRat(1, 4).Float(); got != 0.25 {
+		t.Errorf("Float = %v, want 0.25", got)
+	}
+}
+
+func TestRatZeroValue(t *testing.T) {
+	var r Rat
+	if r.Sign() != 0 || r.Den() != 1 {
+		t.Errorf("zero value = %d/%d, want 0/1", r.Num(), r.Den())
+	}
+	if !r.Add(RatInt(5)).Equal(RatInt(5)) {
+		t.Error("zero value is not additive identity")
+	}
+}

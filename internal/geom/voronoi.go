@@ -1,0 +1,114 @@
+package geom
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrGram indicates a malformed Gram matrix.
+var ErrGram = errors.New("geom: invalid Gram matrix")
+
+// Gram2 is an exact 2×2 symmetric positive-definite Gram matrix of a
+// lattice basis: G[i][j] = ⟨b_i, b_j⟩. The square lattice has G = I; the
+// paper's hexagonal lattice has G = [[1, 1/2], [1/2, 1]].
+type Gram2 [2][2]Rat
+
+// SquareGram returns the Gram matrix of the square lattice Z².
+func SquareGram() Gram2 {
+	return Gram2{{RatInt(1), RatInt(0)}, {RatInt(0), RatInt(1)}}
+}
+
+// HexGram returns the Gram matrix of the hexagonal lattice with basis
+// u1 = (1, 0), u2 = (1/2, √3/2).
+func HexGram() Gram2 {
+	h := NewRat(1, 2)
+	return Gram2{{RatInt(1), h}, {h, RatInt(1)}}
+}
+
+// Valid checks symmetry and positive definiteness.
+func (g Gram2) Valid() error {
+	if !g[0][1].Equal(g[1][0]) {
+		return fmt.Errorf("%w: not symmetric", ErrGram)
+	}
+	if g[0][0].Sign() <= 0 {
+		return fmt.Errorf("%w: g11 not positive", ErrGram)
+	}
+	det := g[0][0].Mul(g[1][1]).Sub(g[0][1].Mul(g[1][0]))
+	if det.Sign() <= 0 {
+		return fmt.Errorf("%w: determinant not positive", ErrGram)
+	}
+	return nil
+}
+
+// Det returns the determinant of the Gram matrix; the covolume of the
+// lattice is its square root.
+func (g Gram2) Det() Rat {
+	return g[0][0].Mul(g[1][1]).Sub(g[0][1].Mul(g[1][0]))
+}
+
+// inner returns the exact inner product uᵀ·G·v of two coordinate vectors.
+func (g Gram2) inner(u, v Vec2) Rat {
+	return u.X.Mul(g[0][0].Mul(v.X).Add(g[0][1].Mul(v.Y))).
+		Add(u.Y.Mul(g[1][0].Mul(v.X).Add(g[1][1].Mul(v.Y))))
+}
+
+// VoronoiCell returns the closed Voronoi cell of the origin in coordinate
+// space: {x : ‖x‖_G ≤ ‖x - v‖_G for all lattice vectors v ≠ 0}. Each
+// nonzero v contributes the half-plane 2·xᵀGv ≤ vᵀGv; vectors with
+// coordinate ℓ∞-norm ≤ reach are used, which is sufficient for reduced
+// bases such as the square and hexagonal ones (reach = 2 is plenty).
+//
+// The resulting polygon lives in coordinate space; its Euclidean area is
+// Area() · √det(G).
+func VoronoiCell(g Gram2, reach int64) (Polygon, error) {
+	if err := g.Valid(); err != nil {
+		return Polygon{}, err
+	}
+	if reach < 1 {
+		return Polygon{}, fmt.Errorf("geom: VoronoiCell reach %d, want ≥ 1", reach)
+	}
+	// Start from a box certainly containing the cell (cell fits within
+	// the fundamental domain scaled by a small constant).
+	bound := RatInt(2 * reach)
+	cell := NewBox(bound.Neg(), bound.Neg(), bound, bound)
+	for dx := -reach; dx <= reach; dx++ {
+		for dy := -reach; dy <= reach; dy++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			v := Vec2{X: RatInt(dx), Y: RatInt(dy)}
+			// Half-plane 2·xᵀGv ≤ vᵀGv.
+			gv := Vec2{
+				X: g[0][0].Mul(v.X).Add(g[0][1].Mul(v.Y)),
+				Y: g[1][0].Mul(v.X).Add(g[1][1].Mul(v.Y)),
+			}
+			h := HalfPlane{
+				A: RatInt(2).Mul(gv.X),
+				B: RatInt(2).Mul(gv.Y),
+				C: g.inner(v, v),
+			}
+			cell = cell.Clip(h)
+			if cell.Empty() {
+				return Polygon{}, fmt.Errorf("geom: Voronoi cell degenerated; Gram matrix ill-conditioned")
+			}
+		}
+	}
+	return cell, nil
+}
+
+// QuasiPolyform returns the translated Voronoi cells about each of the
+// given coordinate points — the union is the quasi-polyomino (square
+// lattice) or quasi-polyhex (hexagonal lattice) of the paper's Figure 4.
+// Cells are returned individually; their interiors are disjoint, so the
+// union's area is the sum of the parts.
+func QuasiPolyform(g Gram2, pts []Vec2, reach int64) ([]Polygon, error) {
+	cell, err := VoronoiCell(g, reach)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Polygon, len(pts))
+	for i, p := range pts {
+		out[i] = cell.Translate(p)
+	}
+	return out, nil
+}

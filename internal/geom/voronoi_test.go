@@ -1,0 +1,131 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSquareVoronoiCell(t *testing.T) {
+	// The Voronoi cell of Z² is the unit square centered at the origin
+	// (paper Figure 4a).
+	cell, err := VoronoiCell(SquareGram(), 2)
+	if err != nil {
+		t.Fatalf("VoronoiCell: %v", err)
+	}
+	if got := cell.Area(); !got.Equal(RatInt(1)) {
+		t.Errorf("square cell area = %s, want 1", got)
+	}
+	if len(cell.V) != 4 {
+		t.Errorf("square cell has %d vertices, want 4", len(cell.V))
+	}
+	half := NewRat(1, 2)
+	for _, v := range cell.V {
+		if !v.X.Equal(half) && !v.X.Equal(half.Neg()) {
+			t.Errorf("vertex %s not at ±1/2 in x", v)
+		}
+		if !v.Y.Equal(half) && !v.Y.Equal(half.Neg()) {
+			t.Errorf("vertex %s not at ±1/2 in y", v)
+		}
+	}
+}
+
+func TestHexVoronoiCell(t *testing.T) {
+	// The Voronoi cell of the hexagonal lattice is a hexagon (paper
+	// Figure 4b). In coordinate space its area is 1 (one point per
+	// fundamental domain); its Euclidean area is √3/2 = area·√det(G).
+	cell, err := VoronoiCell(HexGram(), 2)
+	if err != nil {
+		t.Fatalf("VoronoiCell: %v", err)
+	}
+	if len(cell.V) != 6 {
+		t.Errorf("hex cell has %d vertices, want 6: %s", len(cell.V), cell)
+	}
+	if got := cell.Area(); !got.Equal(RatInt(1)) {
+		t.Errorf("hex cell coordinate area = %s, want 1", got)
+	}
+	// Euclidean area = coordinate area × √det(G) = √(3/4) = √3/2.
+	euclid := cell.Area().Float() * math.Sqrt(HexGram().Det().Float())
+	if math.Abs(euclid-math.Sqrt(3)/2) > 1e-12 {
+		t.Errorf("hex cell Euclidean area = %v, want √3/2", euclid)
+	}
+}
+
+func TestVoronoiCellContainsOnlyOrigin(t *testing.T) {
+	// The open cell contains no other lattice point; the closed cell may
+	// touch none for these lattices.
+	for name, g := range map[string]Gram2{"square": SquareGram(), "hex": HexGram()} {
+		cell, err := VoronoiCell(g, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !cell.Contains(V2(0, 0)) {
+			t.Errorf("%s: cell does not contain origin", name)
+		}
+		for dx := int64(-2); dx <= 2; dx++ {
+			for dy := int64(-2); dy <= 2; dy++ {
+				if dx == 0 && dy == 0 {
+					continue
+				}
+				if cell.Contains(V2(dx, dy)) {
+					t.Errorf("%s: cell contains lattice point (%d,%d)", name, dx, dy)
+				}
+			}
+		}
+	}
+}
+
+func TestVoronoiCellSymmetric(t *testing.T) {
+	// Voronoi cells are centrally symmetric: v ∈ cell ⇒ -v ∈ cell.
+	for name, g := range map[string]Gram2{"square": SquareGram(), "hex": HexGram()} {
+		cell, err := VoronoiCell(g, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, v := range cell.V {
+			neg := Vec2{X: v.X.Neg(), Y: v.Y.Neg()}
+			if !cell.Contains(neg) {
+				t.Errorf("%s: cell not symmetric at %s", name, v)
+			}
+		}
+	}
+}
+
+func TestVoronoiErrors(t *testing.T) {
+	bad := Gram2{{RatInt(1), RatInt(0)}, {RatInt(1), RatInt(1)}} // asymmetric
+	if _, err := VoronoiCell(bad, 2); err == nil {
+		t.Error("asymmetric Gram accepted")
+	}
+	negdef := Gram2{{RatInt(-1), RatInt(0)}, {RatInt(0), RatInt(1)}}
+	if _, err := VoronoiCell(negdef, 2); err == nil {
+		t.Error("non-positive-definite Gram accepted")
+	}
+	if _, err := VoronoiCell(SquareGram(), 0); err == nil {
+		t.Error("reach 0 accepted")
+	}
+}
+
+func TestQuasiPolyform(t *testing.T) {
+	// An L-tromino's quasi-polyomino consists of three unit squares with
+	// total area 3.
+	pts := []Vec2{V2(0, 0), V2(1, 0), V2(0, 1)}
+	cells, err := QuasiPolyform(SquareGram(), pts, 2)
+	if err != nil {
+		t.Fatalf("QuasiPolyform: %v", err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("got %d cells, want 3", len(cells))
+	}
+	total := RatInt(0)
+	for _, c := range cells {
+		total = total.Add(c.Area())
+	}
+	if !total.Equal(RatInt(3)) {
+		t.Errorf("total area = %s, want 3", total)
+	}
+	// Each cell is centered at its lattice point.
+	for i, p := range pts {
+		if !cells[i].Contains(p) {
+			t.Errorf("cell %d does not contain its center %s", i, p)
+		}
+	}
+}

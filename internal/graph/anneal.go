@@ -1,0 +1,99 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+)
+
+// AnnealOptions parameterizes the simulated-annealing coloring search.
+type AnnealOptions struct {
+	// Iterations per target color count (default 20000).
+	Iterations int
+	// StartTemp is the initial temperature (default 2.0).
+	StartTemp float64
+	// Cooling multiplies the temperature each iteration (default chosen
+	// so the temperature decays to ~1e-3 over the run).
+	Cooling float64
+}
+
+func (o AnnealOptions) withDefaults() AnnealOptions {
+	if o.Iterations <= 0 {
+		o.Iterations = 20000
+	}
+	if o.StartTemp <= 0 {
+		o.StartTemp = 2.0
+	}
+	if o.Cooling <= 0 || o.Cooling >= 1 {
+		o.Cooling = math.Pow(1e-3/o.StartTemp, 1/float64(o.Iterations))
+	}
+	return o
+}
+
+// AnnealColoring searches for colorings with successively fewer colors by
+// simulated annealing, in the spirit of the mean-field annealing heuristic
+// of Wang–Ansari cited by the paper. Starting from the DSATUR solution
+// with k colors, it repeatedly attempts k-1: vertices are recolored at
+// random, moves are accepted by the Metropolis rule on the number of
+// monochromatic edges, and success (zero conflicts) lowers k. Returns the
+// best proper coloring found and its color count.
+//
+// The search is deterministic given the random source.
+func AnnealColoring(g *Graph, rng *rand.Rand, opts AnnealOptions) ([]int, int) {
+	opts = opts.withDefaults()
+	best, k := DSATUR(g)
+	if g.N() == 0 || k <= 1 {
+		return best, k
+	}
+	for target := k - 1; target >= 1; target-- {
+		colors, ok := annealTarget(g, rng, target, opts)
+		if !ok {
+			break
+		}
+		best, k = colors, target
+	}
+	return best, k
+}
+
+// annealTarget seeks a proper coloring with exactly `target` colors.
+func annealTarget(g *Graph, rng *rand.Rand, target int, opts AnnealOptions) ([]int, bool) {
+	n := g.N()
+	colors := make([]int, n)
+	for i := range colors {
+		colors[i] = rng.Intn(target)
+	}
+	conflicts := 0
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(u) {
+			if v > u && colors[u] == colors[v] {
+				conflicts++
+			}
+		}
+	}
+	temp := opts.StartTemp
+	for it := 0; it < opts.Iterations && conflicts > 0; it++ {
+		u := rng.Intn(n)
+		newColor := rng.Intn(target)
+		if newColor == colors[u] {
+			temp *= opts.Cooling
+			continue
+		}
+		delta := 0
+		for _, v := range g.Neighbors(u) {
+			if colors[v] == colors[u] {
+				delta--
+			}
+			if colors[v] == newColor {
+				delta++
+			}
+		}
+		if delta <= 0 || rng.Float64() < math.Exp(-float64(delta)/temp) {
+			colors[u] = newColor
+			conflicts += delta
+		}
+		temp *= opts.Cooling
+	}
+	if conflicts > 0 {
+		return nil, false
+	}
+	return colors, true
+}

@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/prototile"
+	"tilingsched/internal/schedule"
+)
+
+func TestAnnealTriangle(t *testing.T) {
+	g := triangle()
+	rng := rand.New(rand.NewSource(1))
+	colors, k := AnnealColoring(g, rng, AnnealOptions{})
+	if k != 3 {
+		t.Errorf("anneal on triangle = %d colors, want 3", k)
+	}
+	if !g.ValidColoring(colors) {
+		t.Error("anneal returned improper coloring")
+	}
+}
+
+func TestAnnealImprovesOnGreedyWorstCase(t *testing.T) {
+	// Crown graph: identity-order greedy needs 3+, DSATUR/annealing find 2.
+	b := New(8)
+	for i := 0; i < 4; i++ {
+		for j := 4; j < 8; j++ {
+			if j-4 != i {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(2))
+	colors, k := AnnealColoring(b, rng, AnnealOptions{Iterations: 5000})
+	if k > 2 {
+		t.Errorf("anneal on crown = %d colors, want 2", k)
+	}
+	if !b.ValidColoring(colors) {
+		t.Error("improper coloring")
+	}
+}
+
+func TestAnnealOnConflictGraphReachesOptimum(t *testing.T) {
+	// On the cross deployment the optimum is |N| = 5; annealing should
+	// reach it on a small window (it only needs to match the clique).
+	dep := schedule.NewHomogeneous(prototile.Cross(2, 1))
+	g, _, err := ConflictGraph(dep, lattice.CenteredWindow(2, 3))
+	if err != nil {
+		t.Fatalf("ConflictGraph: %v", err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	colors, k := AnnealColoring(g, rng, AnnealOptions{Iterations: 40000})
+	if !g.ValidColoring(colors) {
+		t.Fatal("improper coloring")
+	}
+	if k < 5 {
+		t.Fatalf("anneal beat the clique bound: %d < 5", k)
+	}
+	if k > 7 {
+		t.Errorf("anneal = %d colors, expected near 5", k)
+	}
+}
+
+func TestAnnealDeterministic(t *testing.T) {
+	dep := schedule.NewHomogeneous(prototile.MustTetromino("S"))
+	g, _, err := ConflictGraph(dep, lattice.CenteredWindow(2, 2))
+	if err != nil {
+		t.Fatalf("ConflictGraph: %v", err)
+	}
+	c1, k1 := AnnealColoring(g, rand.New(rand.NewSource(7)), AnnealOptions{Iterations: 3000})
+	c2, k2 := AnnealColoring(g, rand.New(rand.NewSource(7)), AnnealOptions{Iterations: 3000})
+	if k1 != k2 {
+		t.Fatalf("non-deterministic color count: %d vs %d", k1, k2)
+	}
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatal("non-deterministic coloring")
+		}
+	}
+}
+
+func TestAnnealEmptyAndTrivial(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, k := AnnealColoring(New(0), rng, AnnealOptions{}); k != 0 {
+		t.Errorf("empty graph colors = %d, want 0", k)
+	}
+	if _, k := AnnealColoring(New(3), rng, AnnealOptions{}); k != 1 {
+		t.Errorf("edgeless graph colors = %d, want 1", k)
+	}
+}

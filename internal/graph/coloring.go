@@ -1,0 +1,212 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// GreedyColoring colors vertices in the given order, assigning each the
+// smallest color unused by its already-colored neighbors. Returns the
+// coloring and the number of colors used. With the identity order this is
+// the textbook first-fit heuristic.
+func GreedyColoring(g *Graph, order []int) ([]int, int) {
+	colors := make([]int, g.N())
+	for i := range colors {
+		colors[i] = -1
+	}
+	maxColor := -1
+	taken := make([]bool, g.N()+1)
+	for _, u := range order {
+		for _, v := range g.Neighbors(u) {
+			if colors[v] >= 0 {
+				taken[colors[v]] = true
+			}
+		}
+		c := 0
+		for taken[c] {
+			c++
+		}
+		colors[u] = c
+		if c > maxColor {
+			maxColor = c
+		}
+		for _, v := range g.Neighbors(u) {
+			if colors[v] >= 0 {
+				taken[colors[v]] = false
+			}
+		}
+	}
+	return colors, maxColor + 1
+}
+
+// IdentityOrder returns 0..n-1.
+func IdentityOrder(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// RandomOrder returns a permutation of 0..n-1 drawn from rng.
+func RandomOrder(rng *rand.Rand, n int) []int {
+	out := IdentityOrder(n)
+	rng.Shuffle(n, func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// DegreeOrder returns vertices sorted by decreasing degree (Welsh–Powell
+// order).
+func DegreeOrder(g *Graph) []int {
+	out := IdentityOrder(g.N())
+	sort.SliceStable(out, func(a, b int) bool { return g.Degree(out[a]) > g.Degree(out[b]) })
+	return out
+}
+
+// DSATUR colors the graph with the saturation-degree heuristic: repeatedly
+// color the uncolored vertex with the most distinctly-colored neighbors
+// (ties broken by degree, then index). Returns coloring and color count.
+func DSATUR(g *Graph) ([]int, int) {
+	n := g.N()
+	colors := make([]int, n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	satSets := make([]map[int]bool, n)
+	for i := range satSets {
+		satSets[i] = map[int]bool{}
+	}
+	maxColor := -1
+	for step := 0; step < n; step++ {
+		// Pick the uncolored vertex with maximum saturation.
+		best := -1
+		for u := 0; u < n; u++ {
+			if colors[u] >= 0 {
+				continue
+			}
+			if best == -1 {
+				best = u
+				continue
+			}
+			su, sb := len(satSets[u]), len(satSets[best])
+			if su > sb || (su == sb && g.Degree(u) > g.Degree(best)) {
+				best = u
+			}
+		}
+		// Smallest color absent from neighbors.
+		c := 0
+		for satSets[best][c] {
+			c++
+		}
+		colors[best] = c
+		if c > maxColor {
+			maxColor = c
+		}
+		for _, v := range g.Neighbors(best) {
+			satSets[v][c] = true
+		}
+	}
+	return colors, maxColor + 1
+}
+
+// ChromaticResult reports the outcome of an exact chromatic-number search.
+type ChromaticResult struct {
+	// Colors is a proper coloring using NumColors colors.
+	Colors []int
+	// NumColors is the best color count found.
+	NumColors int
+	// Proven is true when NumColors is certified optimal (the search
+	// either matched the clique lower bound or exhausted all smaller
+	// counts within budget).
+	Proven bool
+}
+
+// ChromaticNumber computes the chromatic number of g by branch and bound:
+// a greedy clique certifies the lower bound, DSATUR gives the upper bound,
+// and backtracking searches each intermediate count. nodeBudget bounds the
+// search tree size to keep worst cases deterministic and fast; when the
+// budget trips, the result carries the best coloring found with
+// Proven=false.
+func ChromaticNumber(g *Graph, nodeBudget int) ChromaticResult {
+	if g.N() == 0 {
+		return ChromaticResult{Colors: []int{}, NumColors: 0, Proven: true}
+	}
+	lb := CliqueLowerBound(g)
+	bestColors, ub := DSATUR(g)
+	if lb == ub {
+		return ChromaticResult{Colors: bestColors, NumColors: ub, Proven: true}
+	}
+	order := DegreeOrder(g)
+	for k := lb; k < ub; k++ {
+		colors := make([]int, g.N())
+		for i := range colors {
+			colors[i] = -1
+		}
+		budget := nodeBudget
+		switch tryColor(g, order, colors, 0, k, &budget) {
+		case searchFound:
+			return ChromaticResult{Colors: colors, NumColors: k, Proven: true}
+		case searchExhausted:
+			continue // no k-coloring exists; try k+1
+		case searchBudget:
+			return ChromaticResult{Colors: bestColors, NumColors: ub, Proven: false}
+		}
+	}
+	return ChromaticResult{Colors: bestColors, NumColors: ub, Proven: true}
+}
+
+type searchOutcome int
+
+const (
+	searchFound searchOutcome = iota
+	searchExhausted
+	searchBudget
+)
+
+func tryColor(g *Graph, order, colors []int, pos, k int, budget *int) searchOutcome {
+	if pos == len(order) {
+		return searchFound
+	}
+	if *budget <= 0 {
+		return searchBudget
+	}
+	*budget--
+	u := order[pos]
+	// Symmetry pruning: u may use at most one color beyond the current
+	// maximum.
+	maxUsed := -1
+	for i := 0; i < pos; i++ {
+		if colors[order[i]] > maxUsed {
+			maxUsed = colors[order[i]]
+		}
+	}
+	limit := maxUsed + 1
+	if limit >= k {
+		limit = k - 1
+	}
+	budgetTripped := false
+	for c := 0; c <= limit; c++ {
+		ok := true
+		for _, v := range g.Neighbors(u) {
+			if colors[v] == c {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		colors[u] = c
+		switch tryColor(g, order, colors, pos+1, k, budget) {
+		case searchFound:
+			return searchFound
+		case searchBudget:
+			budgetTripped = true
+		}
+		colors[u] = -1
+		if budgetTripped {
+			return searchBudget
+		}
+	}
+	return searchExhausted
+}

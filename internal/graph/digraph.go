@@ -1,0 +1,118 @@
+package graph
+
+import (
+	"fmt"
+
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/schedule"
+)
+
+// Digraph is the paper's interference digraph (Related Work): an edge
+// v → u means u is affected by the radio communication of v, i.e.
+// u ∈ v + N(v), u ≠ v. A valid broadcast schedule is a distance-2
+// coloring of this digraph; BroadcastConflictGraph realizes that
+// condition as an undirected graph, and the package's colorings apply.
+type Digraph struct {
+	n   int
+	out [][]int
+	has []bool
+}
+
+// NewDigraph returns an empty digraph on n vertices.
+func NewDigraph(n int) *Digraph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: NewDigraph(%d)", n))
+	}
+	return &Digraph{n: n, out: make([][]int, n), has: make([]bool, n*n)}
+}
+
+// N returns the vertex count.
+func (d *Digraph) N() int { return d.n }
+
+// AddArc inserts the arc u → v; self-loops and duplicates are ignored.
+func (d *Digraph) AddArc(u, v int) {
+	if u == v || u < 0 || v < 0 || u >= d.n || v >= d.n {
+		return
+	}
+	if d.has[u*d.n+v] {
+		return
+	}
+	d.has[u*d.n+v] = true
+	d.out[u] = append(d.out[u], v)
+}
+
+// HasArc reports whether u → v exists.
+func (d *Digraph) HasArc(u, v int) bool {
+	if u < 0 || v < 0 || u >= d.n || v >= d.n {
+		return false
+	}
+	return d.has[u*d.n+v]
+}
+
+// Out returns the out-neighbors of u (shared slice; callers must not
+// mutate).
+func (d *Digraph) Out(u int) []int { return d.out[u] }
+
+// Arcs returns the arc count.
+func (d *Digraph) Arcs() int {
+	total := 0
+	for _, o := range d.out {
+		total += len(o)
+	}
+	return total
+}
+
+// InterferenceDigraph builds the paper's digraph over a window: an arc
+// from each sensor to every other in-window sensor it affects.
+func InterferenceDigraph(dep schedule.Deployment, w lattice.Window) (*Digraph, []lattice.Point, error) {
+	if w.Dim() != dep.Dim() {
+		return nil, nil, fmt.Errorf("%w: window dimension %d ≠ deployment dimension %d",
+			ErrGraph, w.Dim(), dep.Dim())
+	}
+	pts := w.Points()
+	idx := make(map[string]int, len(pts))
+	for i, p := range pts {
+		idx[p.Key()] = i
+	}
+	d := NewDigraph(len(pts))
+	for i, p := range pts {
+		for _, q := range dep.NeighborhoodOf(p) {
+			if j, ok := idx[q.Key()]; ok && j != i {
+				d.AddArc(i, j)
+			}
+		}
+	}
+	return d, pts, nil
+}
+
+// BroadcastConflictGraph converts the digraph into the undirected
+// broadcast-scheduling conflict graph: u and v conflict when either hears
+// the other (primary conflict) or they share an out-neighbor (secondary /
+// hidden-terminal conflict). A proper coloring of this graph is exactly a
+// distance-2 coloring of the digraph in the sense of the paper's Related
+// Work, and — because every sensor hears itself — it coincides with the
+// neighborhood-intersection conflict graph built by ConflictGraph.
+func BroadcastConflictGraph(d *Digraph) *Graph {
+	g := New(d.n)
+	for u := 0; u < d.n; u++ {
+		for _, v := range d.out[u] {
+			g.AddEdge(u, v)
+		}
+	}
+	// Common out-neighbor: mark, for every vertex w, all pairs of
+	// in-neighbors of w. Build the reverse adjacency first.
+	in := make([][]int, d.n)
+	for u := 0; u < d.n; u++ {
+		for _, v := range d.out[u] {
+			in[v] = append(in[v], u)
+		}
+	}
+	for w := 0; w < d.n; w++ {
+		for i := 0; i < len(in[w]); i++ {
+			for j := i + 1; j < len(in[w]); j++ {
+				g.AddEdge(in[w][i], in[w][j])
+			}
+		}
+	}
+	return g
+}

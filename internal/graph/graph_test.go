@@ -1,0 +1,213 @@
+package graph
+
+import (
+	"testing"
+
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/prototile"
+	"tilingsched/internal/schedule"
+)
+
+func TestGraphBasics(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 1)  // duplicate
+	g.AddEdge(2, 2)  // self-loop ignored
+	g.AddEdge(-1, 3) // out of range ignored
+	if g.Edges() != 2 {
+		t.Errorf("Edges = %d, want 2", g.Edges())
+	}
+	if !g.HasEdge(1, 0) || g.HasEdge(0, 2) {
+		t.Error("HasEdge wrong")
+	}
+	if g.Degree(1) != 2 || g.Degree(3) != 0 {
+		t.Error("Degree wrong")
+	}
+	if g.MaxDegree() != 2 {
+		t.Errorf("MaxDegree = %d", g.MaxDegree())
+	}
+}
+
+func TestValidColoring(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if !g.ValidColoring([]int{0, 1, 0}) {
+		t.Error("proper coloring rejected")
+	}
+	if g.ValidColoring([]int{0, 0, 1}) {
+		t.Error("improper coloring accepted")
+	}
+	if g.ValidColoring([]int{0, 1}) {
+		t.Error("short coloring accepted")
+	}
+	if g.ValidColoring([]int{0, -1, 0}) {
+		t.Error("uncolored vertex accepted")
+	}
+}
+
+func triangle() *Graph {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	return g
+}
+
+func TestGreedyColoring(t *testing.T) {
+	g := triangle()
+	colors, k := GreedyColoring(g, IdentityOrder(3))
+	if k != 3 {
+		t.Errorf("triangle greedy colors = %d, want 3", k)
+	}
+	if !g.ValidColoring(colors) {
+		t.Error("greedy produced improper coloring")
+	}
+	// Path graph colors with 2.
+	p := New(4)
+	p.AddEdge(0, 1)
+	p.AddEdge(1, 2)
+	p.AddEdge(2, 3)
+	_, k = GreedyColoring(p, IdentityOrder(4))
+	if k != 2 {
+		t.Errorf("path greedy colors = %d, want 2", k)
+	}
+}
+
+func TestDSATUR(t *testing.T) {
+	g := triangle()
+	colors, k := DSATUR(g)
+	if k != 3 || !g.ValidColoring(colors) {
+		t.Errorf("DSATUR on triangle: k=%d valid=%v", k, g.ValidColoring(colors))
+	}
+	// Bipartite crown: DSATUR finds 2.
+	b := New(6)
+	for i := 0; i < 3; i++ {
+		for j := 3; j < 6; j++ {
+			if j-3 != i {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	_, k = DSATUR(b)
+	if k != 2 {
+		t.Errorf("DSATUR on crown = %d, want 2", k)
+	}
+}
+
+func TestCliqueLowerBound(t *testing.T) {
+	if got := CliqueLowerBound(triangle()); got != 3 {
+		t.Errorf("clique of triangle = %d, want 3", got)
+	}
+	empty := New(5)
+	if got := CliqueLowerBound(empty); got != 1 {
+		t.Errorf("clique of empty graph = %d, want 1", got)
+	}
+	if got := CliqueLowerBound(New(0)); got != 0 {
+		t.Errorf("clique of null graph = %d, want 0", got)
+	}
+}
+
+func TestChromaticNumberSmall(t *testing.T) {
+	cases := []struct {
+		build func() *Graph
+		want  int
+	}{
+		{func() *Graph { return triangle() }, 3},
+		{func() *Graph { return New(4) }, 1},
+		{func() *Graph { // 5-cycle: chromatic 3, clique 2 (forces real search)
+			g := New(5)
+			for i := 0; i < 5; i++ {
+				g.AddEdge(i, (i+1)%5)
+			}
+			return g
+		}, 3},
+		{func() *Graph { // K4
+			g := New(4)
+			for i := 0; i < 4; i++ {
+				for j := i + 1; j < 4; j++ {
+					g.AddEdge(i, j)
+				}
+			}
+			return g
+		}, 4},
+	}
+	for i, c := range cases {
+		g := c.build()
+		res := ChromaticNumber(g, 1_000_000)
+		if !res.Proven {
+			t.Errorf("case %d: not proven", i)
+		}
+		if res.NumColors != c.want {
+			t.Errorf("case %d: chromatic = %d, want %d", i, res.NumColors, c.want)
+		}
+		if !g.ValidColoring(res.Colors) {
+			t.Errorf("case %d: invalid coloring", i)
+		}
+	}
+}
+
+func TestChromaticBudget(t *testing.T) {
+	// With a tiny budget on a graph with a clique/chromatic gap, the
+	// search falls back to the DSATUR bound unproven.
+	g := New(5)
+	for i := 0; i < 5; i++ {
+		g.AddEdge(i, (i+1)%5)
+	}
+	res := ChromaticNumber(g, 1)
+	if res.Proven {
+		t.Error("budget-limited search claims proof")
+	}
+	if !g.ValidColoring(res.Colors) {
+		t.Error("fallback coloring invalid")
+	}
+}
+
+func TestConflictGraphMatchesPaperClique(t *testing.T) {
+	// For a homogeneous deployment whose window contains N, the sensors
+	// of N form a clique (the paper's optimality argument), so the
+	// clique lower bound reaches |N|.
+	for _, ti := range []*prototile.Tile{
+		prototile.Cross(2, 1),
+		prototile.MustTetromino("S"),
+		prototile.ChebyshevBall(2, 1),
+	} {
+		dep := schedule.NewHomogeneous(ti)
+		g, pts, err := ConflictGraph(dep, lattice.CenteredWindow(2, 3))
+		if err != nil {
+			t.Fatalf("ConflictGraph: %v", err)
+		}
+		if len(pts) != g.N() {
+			t.Fatal("point list length mismatch")
+		}
+		if lb := CliqueLowerBound(g); lb < ti.Size() {
+			t.Errorf("%s: clique bound %d < |N| = %d", ti.Name(), lb, ti.Size())
+		}
+	}
+}
+
+func TestConflictGraphEdgesAreConflicts(t *testing.T) {
+	ti := prototile.Cross(2, 1)
+	dep := schedule.NewHomogeneous(ti)
+	w := lattice.CenteredWindow(2, 2)
+	g, pts, err := ConflictGraph(dep, w)
+	if err != nil {
+		t.Fatalf("ConflictGraph: %v", err)
+	}
+	for i := 0; i < g.N(); i++ {
+		for j := i + 1; j < g.N(); j++ {
+			want := schedule.Conflict(dep, pts[i], pts[j])
+			if g.HasEdge(i, j) != want {
+				t.Fatalf("edge(%v, %v) = %v, want %v", pts[i], pts[j], g.HasEdge(i, j), want)
+			}
+		}
+	}
+}
+
+func TestConflictGraphDimMismatch(t *testing.T) {
+	dep := schedule.NewHomogeneous(prototile.Cross(2, 1))
+	if _, _, err := ConflictGraph(dep, lattice.CenteredWindow(3, 1)); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}

@@ -1,0 +1,63 @@
+package graph
+
+import (
+	"testing"
+
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/prototile"
+	"tilingsched/internal/schedule"
+)
+
+func TestOptimalScheduleMatchesTiling(t *testing.T) {
+	// On a window containing N+N, the exact finite-window schedule uses
+	// exactly |N| slots and verifies collision-free — Theorem 1 seen
+	// from the coloring side.
+	ti := prototile.Cross(2, 1)
+	dep := schedule.NewHomogeneous(ti)
+	w := lattice.CenteredWindow(2, 4)
+	ms, proven, err := OptimalSchedule(dep, w, 1_000_000)
+	if err != nil {
+		t.Fatalf("OptimalSchedule: %v", err)
+	}
+	if !proven {
+		t.Error("small window should be proven")
+	}
+	if ms.Slots() != ti.Size() {
+		t.Errorf("optimal slots = %d, want %d", ms.Slots(), ti.Size())
+	}
+	if err := schedule.VerifyCollisionFree(ms, dep, w); err != nil {
+		t.Errorf("optimal schedule collides: %v", err)
+	}
+}
+
+func TestOptimalScheduleBeatsTilingOnTinyWindow(t *testing.T) {
+	// On a 2x2 window the cross deployment needs only 4 slots (every
+	// pair conflicts), fewer than m = 5: the finite optimum can undercut
+	// the infinite-lattice optimum when N+N does not fit (Conclusions).
+	ti := prototile.Cross(2, 1)
+	dep := schedule.NewHomogeneous(ti)
+	w, err := lattice.BoxWindow(2, 2)
+	if err != nil {
+		t.Fatalf("BoxWindow: %v", err)
+	}
+	ms, proven, err := OptimalSchedule(dep, w, 1_000_000)
+	if err != nil {
+		t.Fatalf("OptimalSchedule: %v", err)
+	}
+	if !proven {
+		t.Fatal("tiny window should be proven")
+	}
+	if ms.Slots() != 4 {
+		t.Errorf("2x2 optimal slots = %d, want 4", ms.Slots())
+	}
+	if err := schedule.VerifyCollisionFree(ms, dep, w); err != nil {
+		t.Errorf("optimal schedule collides: %v", err)
+	}
+}
+
+func TestOptimalScheduleDimMismatch(t *testing.T) {
+	dep := schedule.NewHomogeneous(prototile.Cross(2, 1))
+	if _, _, err := OptimalSchedule(dep, lattice.CenteredWindow(3, 1), 1000); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}

@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomGraph(rng *rand.Rand, n int, p float64) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// Property: every coloring routine produces a proper coloring on random
+// graphs, and color counts respect greedy ≥ DSATUR-ish bounds vs the
+// exact optimum.
+func TestColoringsProperOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(14)
+		g := randomGraph(rng, n, 0.4)
+		if colors, k := GreedyColoring(g, IdentityOrder(n)); !g.ValidColoring(colors) || k < 1 {
+			t.Fatalf("greedy invalid on n=%d", n)
+		}
+		if colors, _ := GreedyColoring(g, RandomOrder(rng, n)); !g.ValidColoring(colors) {
+			t.Fatalf("random-order greedy invalid on n=%d", n)
+		}
+		if colors, _ := GreedyColoring(g, DegreeOrder(g)); !g.ValidColoring(colors) {
+			t.Fatalf("degree-order greedy invalid on n=%d", n)
+		}
+		dsColors, dsK := DSATUR(g)
+		if !g.ValidColoring(dsColors) {
+			t.Fatalf("DSATUR invalid on n=%d", n)
+		}
+		res := ChromaticNumber(g, 200_000)
+		if !g.ValidColoring(res.Colors) {
+			t.Fatalf("exact search returned invalid coloring on n=%d", n)
+		}
+		if res.Proven {
+			if res.NumColors > dsK {
+				t.Fatalf("exact %d above DSATUR %d", res.NumColors, dsK)
+			}
+			if lb := CliqueLowerBound(g); res.NumColors < lb {
+				t.Fatalf("exact %d below clique bound %d", res.NumColors, lb)
+			}
+		}
+		anColors, anK := AnnealColoring(g, rng, AnnealOptions{Iterations: 2000})
+		if !g.ValidColoring(anColors) {
+			t.Fatalf("annealing invalid on n=%d", n)
+		}
+		if res.Proven && anK < res.NumColors {
+			t.Fatalf("annealing %d beat proven optimum %d", anK, res.NumColors)
+		}
+	}
+}
+
+// Property: greedy coloring never uses more than maxDegree+1 colors
+// (Brooks-style bound for first-fit).
+func TestGreedyDegreeBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 80; trial++ {
+		n := 1 + rng.Intn(15)
+		g := randomGraph(rng, n, 0.5)
+		_, k := GreedyColoring(g, IdentityOrder(n))
+		if k > g.MaxDegree()+1 {
+			t.Fatalf("greedy used %d colors, max degree %d", k, g.MaxDegree())
+		}
+	}
+}
+
+// Property: ColorsUsed agrees with the reported counts.
+func TestColorsUsedAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for trial := 0; trial < 50; trial++ {
+		g := randomGraph(rng, 2+rng.Intn(10), 0.3)
+		colors, k := DSATUR(g)
+		if used := ColorsUsed(colors); used != k {
+			t.Fatalf("ColorsUsed %d ≠ reported %d", used, k)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package intmat
+
+import (
+	"fmt"
+)
+
+// HNF returns the row-style Hermite normal form of m together with a
+// unimodular matrix U such that U·m = H. The result H is the canonical
+// basis of the row lattice of m:
+//
+//   - H is upper echelon (pivot columns strictly increase down the rows),
+//   - every pivot is positive,
+//   - every entry above a pivot lies in [0, pivot).
+//
+// For a square nonsingular input H is upper triangular with positive
+// diagonal, and |det H| = |det m| is the index of the row lattice in Z^d.
+func HNF(m *Matrix) (h, u *Matrix) {
+	h = m.Clone()
+	u = Identity(m.rows)
+	row := 0
+	for col := 0; col < h.cols && row < h.rows; col++ {
+		// Eliminate entries below position (row, col) by gcd row
+		// operations until at most the pivot row is nonzero in this
+		// column.
+		for {
+			// Find the row at or below `row` with the smallest
+			// nonzero absolute value in this column.
+			best := -1
+			for i := row; i < h.rows; i++ {
+				v := h.At(i, col)
+				if v == 0 {
+					continue
+				}
+				if best == -1 || abs64(v) < abs64(h.At(best, col)) {
+					best = i
+				}
+			}
+			if best == -1 {
+				break // column is all zero at and below `row`
+			}
+			h.swapRows(row, best)
+			u.swapRows(row, best)
+			pivot := h.At(row, col)
+			done := true
+			for i := row + 1; i < h.rows; i++ {
+				v := h.At(i, col)
+				if v == 0 {
+					continue
+				}
+				q := FloorDiv(v, pivot)
+				h.addMultipleOfRow(i, row, -q)
+				u.addMultipleOfRow(i, row, -q)
+				if h.At(i, col) != 0 {
+					done = false
+				}
+			}
+			if done {
+				break
+			}
+		}
+		if h.At(row, col) == 0 {
+			continue // no pivot in this column
+		}
+		if h.At(row, col) < 0 {
+			h.negateRow(row)
+			u.negateRow(row)
+		}
+		pivot := h.At(row, col)
+		for i := 0; i < row; i++ {
+			q := FloorDiv(h.At(i, col), pivot)
+			h.addMultipleOfRow(i, row, -q)
+			u.addMultipleOfRow(i, row, -q)
+		}
+		row++
+	}
+	return h, u
+}
+
+// IsSquareFullRankHNF reports whether h is a square upper-triangular
+// Hermite normal form with positive diagonal and reduced above-pivot
+// entries — the shape required by Reduce and Transversal checks.
+func IsSquareFullRankHNF(h *Matrix) bool {
+	if h.rows != h.cols {
+		return false
+	}
+	for i := 0; i < h.rows; i++ {
+		if h.At(i, i) <= 0 {
+			return false
+		}
+		for j := 0; j < i; j++ {
+			if h.At(i, j) != 0 {
+				return false
+			}
+		}
+		for j := 0; j < i; j++ {
+			if v := h.At(j, i); v < 0 || v >= h.At(i, i) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Reduce returns the canonical representative of v modulo the row lattice
+// of the square full-rank HNF matrix h. The representative lies in the
+// fundamental box ∏_i [0, h[i][i]). Two vectors are congruent modulo the
+// lattice exactly when their representatives coincide.
+func Reduce(h *Matrix, v []int64) ([]int64, error) {
+	if !IsSquareFullRankHNF(h) {
+		return nil, fmt.Errorf("intmat: Reduce requires a square full-rank HNF, got %s", h)
+	}
+	if len(v) != h.cols {
+		return nil, fmt.Errorf("%w: vector length %d, want %d", ErrDimension, len(v), h.cols)
+	}
+	out := make([]int64, len(v))
+	copy(out, v)
+	for i := 0; i < h.rows; i++ {
+		q := FloorDiv(out[i], h.At(i, i))
+		if q == 0 {
+			continue
+		}
+		for j := i; j < h.cols; j++ {
+			out[j] -= q * h.At(i, j)
+		}
+	}
+	return out, nil
+}
+
+// InLattice reports whether v lies in the row lattice of the square
+// full-rank HNF matrix h.
+func InLattice(h *Matrix, v []int64) (bool, error) {
+	r, err := Reduce(h, v)
+	if err != nil {
+		return false, err
+	}
+	for _, x := range r {
+		if x != 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Index returns the index of the row lattice of the square full-rank HNF
+// matrix h in Z^d, i.e. the product of its diagonal entries.
+func Index(h *Matrix) (int64, error) {
+	if !IsSquareFullRankHNF(h) {
+		return 0, fmt.Errorf("intmat: Index requires a square full-rank HNF, got %s", h)
+	}
+	idx := int64(1)
+	for i := 0; i < h.rows; i++ {
+		idx *= h.At(i, i)
+	}
+	return idx, nil
+}
+
+// SublatticesOfIndex enumerates the Hermite normal forms of all sublattices
+// of Z^dim with the given index. Each returned matrix is a canonical HNF
+// basis (rows span the sublattice). The number of results equals the
+// classical sublattice-counting function; for dim = 2 it is σ(index), the
+// sum of divisors.
+func SublatticesOfIndex(dim int, index int64) []*Matrix {
+	if dim <= 0 || index <= 0 {
+		return nil
+	}
+	var out []*Matrix
+	diag := make([]int64, dim)
+	var fillDiag func(pos int, rem int64)
+	fillDiag = func(pos int, rem int64) {
+		if pos == dim {
+			if rem == 1 {
+				out = append(out, enumerateOffDiagonal(diag)...)
+			}
+			return
+		}
+		for d := int64(1); d <= rem; d++ {
+			if rem%d == 0 {
+				diag[pos] = d
+				fillDiag(pos+1, rem/d)
+			}
+		}
+	}
+	fillDiag(0, index)
+	return out
+}
+
+// enumerateOffDiagonal generates every HNF matrix with the given diagonal:
+// entry (i, j) for i < j ranges over [0, diag[j]).
+func enumerateOffDiagonal(diag []int64) []*Matrix {
+	dim := len(diag)
+	base := New(dim, dim)
+	for i := 0; i < dim; i++ {
+		base.Set(i, i, diag[i])
+	}
+	// Collect the free positions (i, j) with i < j.
+	type pos struct{ i, j int }
+	var free []pos
+	for j := 1; j < dim; j++ {
+		if diag[j] == 1 {
+			continue // only the value 0 is possible
+		}
+		for i := 0; i < j; i++ {
+			free = append(free, pos{i, j})
+		}
+	}
+	var out []*Matrix
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(free) {
+			out = append(out, base.Clone())
+			return
+		}
+		p := free[k]
+		for v := int64(0); v < diag[p.j]; v++ {
+			base.Set(p.i, p.j, v)
+			rec(k + 1)
+		}
+		base.Set(p.i, p.j, 0)
+	}
+	rec(0)
+	return out
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

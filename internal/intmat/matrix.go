@@ -1,0 +1,303 @@
+// Package intmat provides exact integer linear algebra for lattice
+// computations: dense int64 matrices, determinants (Bareiss), Hermite and
+// Smith normal forms, coset reduction modulo a sublattice, and enumeration
+// of sublattices of a given index.
+//
+// All lattices in this repository are represented in basis coordinates, so
+// a sublattice of Z^d is simply the row span of a d×d nonsingular integer
+// matrix. The Hermite normal form gives a canonical basis and a canonical
+// coset representative for every vector, which is the workhorse behind
+// tiling verification (a prototile tiles the lattice with period sublattice
+// T exactly when it is a transversal of Z^d / T).
+package intmat
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrDimension indicates mismatched or invalid matrix dimensions.
+var ErrDimension = errors.New("intmat: dimension mismatch")
+
+// Matrix is a dense integer matrix with int64 entries stored row-major.
+// The zero value is not usable; construct with New, Identity, or FromRows.
+type Matrix struct {
+	rows, cols int
+	a          []int64
+}
+
+// New returns a rows×cols zero matrix.
+func New(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("intmat: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, a: make([]int64, rows*cols)}
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// FromRows builds a matrix from row slices. All rows must have equal,
+// nonzero length.
+func FromRows(rows [][]int64) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, fmt.Errorf("%w: empty rows", ErrDimension)
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("%w: row %d has %d entries, want %d", ErrDimension, i, len(r), cols)
+		}
+		copy(m.a[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// MustFromRows is FromRows that panics on error; intended for literals in
+// tests and examples.
+func MustFromRows(rows [][]int64) *Matrix {
+	m, err := FromRows(rows)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the entry at row i, column j.
+func (m *Matrix) At(i, j int) int64 { return m.a[i*m.cols+j] }
+
+// Set assigns the entry at row i, column j.
+func (m *Matrix) Set(i, j int, v int64) { m.a[i*m.cols+j] = v }
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []int64 {
+	out := make([]int64, m.cols)
+	copy(out, m.a[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.rows, m.cols)
+	copy(c.a, m.a)
+	return c
+}
+
+// Equal reports whether two matrices have the same shape and entries.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if o == nil || m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i := range m.a {
+		if m.a[i] != o.a[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Mul returns the matrix product m·o.
+func (m *Matrix) Mul(o *Matrix) (*Matrix, error) {
+	if m.cols != o.rows {
+		return nil, fmt.Errorf("%w: %dx%d · %dx%d", ErrDimension, m.rows, m.cols, o.rows, o.cols)
+	}
+	p := New(m.rows, o.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			mik := m.At(i, k)
+			if mik == 0 {
+				continue
+			}
+			for j := 0; j < o.cols; j++ {
+				p.a[i*p.cols+j] += mik * o.At(k, j)
+			}
+		}
+	}
+	return p, nil
+}
+
+// MulVec returns m·v where v is treated as a column vector.
+func (m *Matrix) MulVec(v []int64) ([]int64, error) {
+	if len(v) != m.cols {
+		return nil, fmt.Errorf("%w: vector length %d, want %d", ErrDimension, len(v), m.cols)
+	}
+	out := make([]int64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		var s int64
+		for j := 0; j < m.cols; j++ {
+			s += m.At(i, j) * v[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Transpose returns the transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	t := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// String renders the matrix in bracketed rows, e.g. "[[1 0] [2 3]]".
+func (m *Matrix) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i := 0; i < m.rows; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteByte('[')
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d", m.At(i, j))
+		}
+		b.WriteByte(']')
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Det returns the determinant of a square matrix using the Bareiss
+// fraction-free elimination, which keeps all intermediates integral.
+func (m *Matrix) Det() (int64, error) {
+	if m.rows != m.cols {
+		return 0, fmt.Errorf("%w: determinant of %dx%d", ErrDimension, m.rows, m.cols)
+	}
+	n := m.rows
+	w := m.Clone()
+	sign := int64(1)
+	prev := int64(1)
+	for k := 0; k < n-1; k++ {
+		if w.At(k, k) == 0 {
+			// Pivot: find a row below with nonzero entry in column k.
+			swapped := false
+			for i := k + 1; i < n; i++ {
+				if w.At(i, k) != 0 {
+					w.swapRows(i, k)
+					sign = -sign
+					swapped = true
+					break
+				}
+			}
+			if !swapped {
+				return 0, nil
+			}
+		}
+		for i := k + 1; i < n; i++ {
+			for j := k + 1; j < n; j++ {
+				num := w.At(i, j)*w.At(k, k) - w.At(i, k)*w.At(k, j)
+				w.Set(i, j, num/prev)
+			}
+			w.Set(i, k, 0)
+		}
+		prev = w.At(k, k)
+	}
+	return sign * w.At(n-1, n-1), nil
+}
+
+func (m *Matrix) swapRows(i, j int) {
+	if i == j {
+		return
+	}
+	ri := m.a[i*m.cols : (i+1)*m.cols]
+	rj := m.a[j*m.cols : (j+1)*m.cols]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// negateRow flips the sign of every entry in row i.
+func (m *Matrix) negateRow(i int) {
+	r := m.a[i*m.cols : (i+1)*m.cols]
+	for k := range r {
+		r[k] = -r[k]
+	}
+}
+
+// addMultipleOfRow performs row[i] += c * row[j].
+func (m *Matrix) addMultipleOfRow(i, j int, c int64) {
+	if c == 0 {
+		return
+	}
+	ri := m.a[i*m.cols : (i+1)*m.cols]
+	rj := m.a[j*m.cols : (j+1)*m.cols]
+	for k := range ri {
+		ri[k] += c * rj[k]
+	}
+}
+
+// Gcd returns the non-negative greatest common divisor of a and b, with
+// Gcd(0, 0) = 0.
+func Gcd(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// ExtGcd returns (g, x, y) with g = gcd(a, b) ≥ 0 and a·x + b·y = g.
+func ExtGcd(a, b int64) (g, x, y int64) {
+	oldR, r := a, b
+	oldX, xx := int64(1), int64(0)
+	oldY, yy := int64(0), int64(1)
+	for r != 0 {
+		q := oldR / r
+		oldR, r = r, oldR-q*r
+		oldX, xx = xx, oldX-q*xx
+		oldY, yy = yy, oldY-q*yy
+	}
+	if oldR < 0 {
+		oldR, oldX, oldY = -oldR, -oldX, -oldY
+	}
+	return oldR, oldX, oldY
+}
+
+// FloorDiv returns floor(a / b) for b ≠ 0, rounding toward negative
+// infinity (unlike Go's native truncated division).
+func FloorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// Mod returns a - b*FloorDiv(a, b), the representative of a modulo b in
+// [0, |b|).
+func Mod(a, b int64) int64 {
+	r := a % b
+	if r != 0 && (r < 0) != (b < 0) {
+		r += b
+	}
+	if r < 0 {
+		r = -r
+	}
+	return r
+}

@@ -1,0 +1,243 @@
+package intmat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroed(t *testing.T) {
+	m := New(2, 3)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("shape = %dx%d, want 2x3", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != 0 {
+				t.Errorf("At(%d,%d) = %d, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestFromRowsErrors(t *testing.T) {
+	if _, err := FromRows(nil); err == nil {
+		t.Error("FromRows(nil) succeeded, want error")
+	}
+	if _, err := FromRows([][]int64{{1, 2}, {3}}); err == nil {
+		t.Error("FromRows(ragged) succeeded, want error")
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(3)
+	m := MustFromRows([][]int64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	p, err := id.Mul(m)
+	if err != nil {
+		t.Fatalf("Mul: %v", err)
+	}
+	if !p.Equal(m) {
+		t.Errorf("I·m = %s, want %s", p, m)
+	}
+	p, err = m.Mul(id)
+	if err != nil {
+		t.Fatalf("Mul: %v", err)
+	}
+	if !p.Equal(m) {
+		t.Errorf("m·I = %s, want %s", p, m)
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := MustFromRows([][]int64{{1, 2}, {3, 4}})
+	b := MustFromRows([][]int64{{5, 6}, {7, 8}})
+	want := MustFromRows([][]int64{{19, 22}, {43, 50}})
+	got, err := a.Mul(b)
+	if err != nil {
+		t.Fatalf("Mul: %v", err)
+	}
+	if !got.Equal(want) {
+		t.Errorf("a·b = %s, want %s", got, want)
+	}
+}
+
+func TestMulShapeMismatch(t *testing.T) {
+	a := New(2, 3)
+	b := New(2, 3)
+	if _, err := a.Mul(b); err == nil {
+		t.Error("Mul with mismatched shapes succeeded, want error")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := MustFromRows([][]int64{{1, 0, -1}, {2, 1, 0}})
+	v, err := m.MulVec([]int64{3, 4, 5})
+	if err != nil {
+		t.Fatalf("MulVec: %v", err)
+	}
+	if v[0] != -2 || v[1] != 10 {
+		t.Errorf("MulVec = %v, want [-2 10]", v)
+	}
+	if _, err := m.MulVec([]int64{1}); err == nil {
+		t.Error("MulVec with wrong length succeeded, want error")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := MustFromRows([][]int64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.Transpose()
+	want := MustFromRows([][]int64{{1, 4}, {2, 5}, {3, 6}})
+	if !tr.Equal(want) {
+		t.Errorf("Transpose = %s, want %s", tr, want)
+	}
+	if !tr.Transpose().Equal(m) {
+		t.Error("double transpose is not identity")
+	}
+}
+
+func TestDetKnown(t *testing.T) {
+	cases := []struct {
+		rows [][]int64
+		want int64
+	}{
+		{[][]int64{{5}}, 5},
+		{[][]int64{{1, 2}, {3, 4}}, -2},
+		{[][]int64{{2, 0}, {0, 3}}, 6},
+		{[][]int64{{0, 1}, {1, 0}}, -1},
+		{[][]int64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}, 0},
+		{[][]int64{{2, -1, 0}, {-1, 2, -1}, {0, -1, 2}}, 4},
+		{[][]int64{{0, 2, 0, 0}, {1, 0, 0, 0}, {0, 0, 3, 1}, {0, 0, 0, 1}}, -6},
+	}
+	for _, c := range cases {
+		m := MustFromRows(c.rows)
+		got, err := m.Det()
+		if err != nil {
+			t.Fatalf("Det(%s): %v", m, err)
+		}
+		if got != c.want {
+			t.Errorf("Det(%s) = %d, want %d", m, got, c.want)
+		}
+	}
+}
+
+func TestDetNonSquare(t *testing.T) {
+	if _, err := New(2, 3).Det(); err == nil {
+		t.Error("Det of non-square succeeded, want error")
+	}
+}
+
+func TestDetMultiplicative(t *testing.T) {
+	// det(AB) = det(A)·det(B) for random small matrices.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(4)
+		a, b := randomMatrix(rng, n, 5), randomMatrix(rng, n, 5)
+		ab, err := a.Mul(b)
+		if err != nil {
+			t.Fatalf("Mul: %v", err)
+		}
+		da, _ := a.Det()
+		db, _ := b.Det()
+		dab, _ := ab.Det()
+		if dab != da*db {
+			t.Fatalf("det(AB)=%d, det(A)·det(B)=%d for A=%s B=%s", dab, da*db, a, b)
+		}
+	}
+}
+
+func randomMatrix(rng *rand.Rand, n int, bound int64) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, rng.Int63n(2*bound+1)-bound)
+		}
+	}
+	return m
+}
+
+func TestGcd(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 0, 0}, {0, 5, 5}, {5, 0, 5}, {12, 18, 6},
+		{-12, 18, 6}, {12, -18, 6}, {-12, -18, 6}, {7, 13, 1},
+	}
+	for _, c := range cases {
+		if got := Gcd(c.a, c.b); got != c.want {
+			t.Errorf("Gcd(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestExtGcdProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		g, x, y := ExtGcd(int64(a), int64(b))
+		if g != Gcd(int64(a), int64(b)) {
+			return false
+		}
+		return int64(a)*x+int64(b)*y == g
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloorDivMod(t *testing.T) {
+	cases := []struct{ a, b, q, r int64 }{
+		{7, 2, 3, 1},
+		{-7, 2, -4, 1},
+		{7, -2, -4, 1},
+		{-7, -2, 3, 1},
+		{6, 3, 2, 0},
+		{-6, 3, -2, 0},
+	}
+	for _, c := range cases {
+		if q := FloorDiv(c.a, c.b); q != c.q {
+			t.Errorf("FloorDiv(%d, %d) = %d, want %d", c.a, c.b, q, c.q)
+		}
+		if r := Mod(c.a, c.b); r != c.r {
+			t.Errorf("Mod(%d, %d) = %d, want %d", c.a, c.b, r, c.r)
+		}
+	}
+}
+
+func TestFloorDivProperty(t *testing.T) {
+	f := func(a int32, b int32) bool {
+		if b == 0 {
+			return true
+		}
+		q := FloorDiv(int64(a), int64(b))
+		r := int64(a) - q*int64(b)
+		// Remainder must have the sign of b (or zero) and |r| < |b|.
+		if r < 0 && b > 0 || r > 0 && b < 0 {
+			return false
+		}
+		return abs64(r) < abs64(int64(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	m := MustFromRows([][]int64{{1, 0}, {2, 3}})
+	if got, want := m.String(), "[[1 0] [2 3]]"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := MustFromRows([][]int64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Error("mutating clone affected original")
+	}
+}
+
+func TestRowCopy(t *testing.T) {
+	m := MustFromRows([][]int64{{1, 2}, {3, 4}})
+	r := m.Row(1)
+	r[0] = 99
+	if m.At(1, 0) != 3 {
+		t.Error("mutating Row() result affected matrix")
+	}
+}

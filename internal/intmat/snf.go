@@ -1,0 +1,171 @@
+package intmat
+
+import "fmt"
+
+// SNF computes the Smith normal form of a square integer matrix: a
+// diagonal matrix D with non-negative entries d_1 | d_2 | … | d_n obtained
+// from m by unimodular row and column operations (the transforms
+// themselves are not returned; callers in this repository only need the
+// invariant factors).
+//
+// For a sublattice T of Z^d given by basis rows m, the invariant factors
+// describe the quotient group Z^d / T ≅ ⊕ Z/d_i, which is used to verify
+// transversal (coset-representative) counts in tiling checks.
+//
+// The implementation uses remainder-reduction steps only: every round
+// either finishes a pivot or strictly decreases the minimal nonzero
+// absolute value of the trailing block, so termination is immediate.
+func SNF(m *Matrix) (*Matrix, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("%w: SNF of %dx%d", ErrDimension, m.rows, m.cols)
+	}
+	n := m.rows
+	w := m.Clone()
+	for t := 0; t < n; t++ {
+		for {
+			if !pivotToCorner(w, t) {
+				break // trailing block is all zero
+			}
+			if reduceColumnOnce(w, t) {
+				continue // remainders created; re-pivot on a smaller value
+			}
+			if reduceRowOnce(w, t) {
+				continue
+			}
+			// Row t and column t are clear beyond the pivot. Enforce
+			// that the pivot divides the whole trailing block.
+			if i, _, ok := findNonDivisible(w, t); ok {
+				w.addMultipleOfRow(t, i, 1)
+				continue
+			}
+			break
+		}
+	}
+	for t := 0; t < n; t++ {
+		if w.At(t, t) < 0 {
+			w.negateRow(t)
+		}
+	}
+	return w, nil
+}
+
+// InvariantFactors returns the nonzero diagonal entries of the Smith
+// normal form of m, in divisibility order.
+func InvariantFactors(m *Matrix) ([]int64, error) {
+	d, err := SNF(m)
+	if err != nil {
+		return nil, err
+	}
+	var out []int64
+	for i := 0; i < d.rows; i++ {
+		if v := d.At(i, i); v != 0 {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// reduceColumnOnce replaces every entry below the pivot in column t by its
+// remainder modulo the pivot (one row operation each). It reports whether
+// any nonzero remainder survives, in which case the caller must re-pivot:
+// the surviving remainder is strictly smaller in absolute value than the
+// current pivot.
+func reduceColumnOnce(w *Matrix, t int) bool {
+	p := w.At(t, t)
+	reduced := false
+	for i := t + 1; i < w.rows; i++ {
+		v := w.At(i, t)
+		if v == 0 {
+			continue
+		}
+		q := FloorDiv(v, p)
+		w.addMultipleOfRow(i, t, -q)
+		if w.At(i, t) != 0 {
+			reduced = true
+		}
+	}
+	return reduced
+}
+
+// reduceRowOnce is the column-operation mirror of reduceColumnOnce, acting
+// on the entries to the right of the pivot in row t. Column operations
+// col_j += c·col_t cannot refill column t below the pivot because those
+// entries are already zero.
+func reduceRowOnce(w *Matrix, t int) bool {
+	p := w.At(t, t)
+	reduced := false
+	for j := t + 1; j < w.cols; j++ {
+		v := w.At(t, j)
+		if v == 0 {
+			continue
+		}
+		q := FloorDiv(v, p)
+		w.addMultipleOfCol(j, t, -q)
+		if w.At(t, j) != 0 {
+			reduced = true
+		}
+	}
+	return reduced
+}
+
+// pivotToCorner moves the entry of smallest nonzero absolute value in the
+// trailing block starting at (t, t) to position (t, t). It reports false
+// when the block is zero.
+func pivotToCorner(w *Matrix, t int) bool {
+	bi, bj := -1, -1
+	for i := t; i < w.rows; i++ {
+		for j := t; j < w.cols; j++ {
+			v := w.At(i, j)
+			if v == 0 {
+				continue
+			}
+			if bi == -1 || abs64(v) < abs64(w.At(bi, bj)) {
+				bi, bj = i, j
+			}
+		}
+	}
+	if bi == -1 {
+		return false
+	}
+	w.swapRows(t, bi)
+	w.swapCols(t, bj)
+	return true
+}
+
+// findNonDivisible locates an entry of the trailing block (below and right
+// of t) that the pivot w[t][t] does not divide.
+func findNonDivisible(w *Matrix, t int) (int, int, bool) {
+	p := w.At(t, t)
+	if p == 0 {
+		return 0, 0, false
+	}
+	for i := t + 1; i < w.rows; i++ {
+		for j := t + 1; j < w.cols; j++ {
+			if w.At(i, j)%p != 0 {
+				return i, j, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+func (m *Matrix) swapCols(i, j int) {
+	if i == j {
+		return
+	}
+	for r := 0; r < m.rows; r++ {
+		vi := m.At(r, i)
+		m.Set(r, i, m.At(r, j))
+		m.Set(r, j, vi)
+	}
+}
+
+// addMultipleOfCol performs col[j] += c * col[t].
+func (m *Matrix) addMultipleOfCol(j, t int, c int64) {
+	if c == 0 {
+		return
+	}
+	for r := 0; r < m.rows; r++ {
+		m.Set(r, j, m.At(r, j)+c*m.At(r, t))
+	}
+}

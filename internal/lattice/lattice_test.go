@@ -1,0 +1,110 @@
+package lattice
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSquareLattice(t *testing.T) {
+	l := Square()
+	if l.Dim() != 2 {
+		t.Fatalf("Dim = %d, want 2", l.Dim())
+	}
+	x := l.Embed(Pt(3, -2))
+	if x[0] != 3 || x[1] != -2 {
+		t.Errorf("Embed(3,-2) = %v", x)
+	}
+	if got := l.Norm2(Pt(3, 4)); math.Abs(got-25) > 1e-12 {
+		t.Errorf("Norm2(3,4) = %v, want 25", got)
+	}
+	if got := l.CoVolume(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("CoVolume = %v, want 1", got)
+	}
+}
+
+func TestHexagonalLattice(t *testing.T) {
+	l := Hexagonal()
+	// u1, u2, and u2-u1 all have unit length: the defining property of
+	// the hexagonal lattice's minimal vectors.
+	for _, p := range []Point{Pt(1, 0), Pt(0, 1), Pt(-1, 1)} {
+		if got := l.Norm2(p); math.Abs(got-1) > 1e-12 {
+			t.Errorf("Norm2(%v) = %v, want 1", p, got)
+		}
+	}
+	// Fundamental domain area is √3/2.
+	if got := l.CoVolume(); math.Abs(got-math.Sqrt(3)/2) > 1e-12 {
+		t.Errorf("CoVolume = %v, want √3/2", got)
+	}
+	// Angle between u1 and u2 is 60°: u1·u2 = 1/2.
+	g := l.Gram()
+	if math.Abs(g[0][1]-0.5) > 1e-12 {
+		t.Errorf("u1·u2 = %v, want 0.5", g[0][1])
+	}
+}
+
+func TestCubicLattice(t *testing.T) {
+	l := Cubic(3)
+	if l.Dim() != 3 {
+		t.Fatalf("Dim = %d", l.Dim())
+	}
+	if got := l.Norm2(Pt(1, 2, 2)); math.Abs(got-9) > 1e-12 {
+		t.Errorf("Norm2 = %v, want 9", got)
+	}
+}
+
+func TestNewRejectsDegenerate(t *testing.T) {
+	if _, err := New("bad", [][]float64{{1, 0}, {2, 0}}); err == nil {
+		t.Error("degenerate basis accepted")
+	}
+	if _, err := New("bad", nil); err == nil {
+		t.Error("empty basis accepted")
+	}
+	if _, err := New("bad", [][]float64{{1, 0}, {0}}); err == nil {
+		t.Error("ragged basis accepted")
+	}
+}
+
+func TestNorm2MatchesEmbedding(t *testing.T) {
+	l := Hexagonal()
+	for _, p := range []Point{Pt(0, 0), Pt(2, 1), Pt(-3, 5), Pt(1, -1)} {
+		x := l.Embed(p)
+		want := x[0]*x[0] + x[1]*x[1]
+		if got := l.Norm2(p); math.Abs(got-want) > 1e-9 {
+			t.Errorf("Norm2(%v) = %v, embedding gives %v", p, got, want)
+		}
+	}
+}
+
+func TestDist2Symmetry(t *testing.T) {
+	l := Hexagonal()
+	p, q := Pt(1, 2), Pt(-3, 0)
+	if math.Abs(l.Dist2(p, q)-l.Dist2(q, p)) > 1e-12 {
+		t.Error("Dist2 not symmetric")
+	}
+	if l.Dist2(p, p) != 0 {
+		t.Error("Dist2(p,p) != 0")
+	}
+}
+
+func TestBasisCopy(t *testing.T) {
+	l := Square()
+	b := l.Basis()
+	b[0][0] = 99
+	if l.Basis()[0][0] != 1 {
+		t.Error("Basis() exposes internal storage")
+	}
+	g := l.Gram()
+	g[0][0] = 99
+	if l.Gram()[0][0] != 1 {
+		t.Error("Gram() exposes internal storage")
+	}
+}
+
+func TestEmbedDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Embed with wrong dim did not panic")
+		}
+	}()
+	Square().Embed(Pt(1, 2, 3))
+}

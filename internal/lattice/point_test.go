@@ -1,0 +1,124 @@
+package lattice
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p, q := Pt(1, 2), Pt(3, -4)
+	if got := p.Add(q); !got.Equal(Pt(4, -2)) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); !got.Equal(Pt(-2, 6)) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := q.Neg(); !got.Equal(Pt(-3, 4)) {
+		t.Errorf("Neg = %v", got)
+	}
+	if got := p.Scale(-3); !got.Equal(Pt(-3, -6)) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestPointAddDoesNotAlias(t *testing.T) {
+	p, q := Pt(1, 1), Pt(2, 2)
+	r := p.Add(q)
+	r[0] = 99
+	if p[0] != 1 || q[0] != 2 {
+		t.Error("Add result aliases an operand")
+	}
+}
+
+func TestPointGroupLaws(t *testing.T) {
+	f := func(a, b, c [3]int8) bool {
+		p := Pt(int(a[0]), int(a[1]), int(a[2]))
+		q := Pt(int(b[0]), int(b[1]), int(b[2]))
+		r := Pt(int(c[0]), int(c[1]), int(c[2]))
+		// Associativity, commutativity, inverse.
+		if !p.Add(q.Add(r)).Equal(p.Add(q).Add(r)) {
+			return false
+		}
+		if !p.Add(q).Equal(q.Add(p)) {
+			return false
+		}
+		return p.Add(p.Neg()).IsOrigin()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointOrder(t *testing.T) {
+	if !Pt(0, 1).Less(Pt(1, 0)) {
+		t.Error("(0,1) should be less than (1,0)")
+	}
+	if Pt(1, 0).Less(Pt(1, 0)) {
+		t.Error("point less than itself")
+	}
+	if !Pt(1, -1).Less(Pt(1, 0)) {
+		t.Error("(1,-1) should be less than (1,0)")
+	}
+}
+
+func TestPointKeyInjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	seen := map[string]Point{}
+	for i := 0; i < 2000; i++ {
+		p := Pt(rng.Intn(21)-10, rng.Intn(21)-10, rng.Intn(21)-10)
+		if q, ok := seen[p.Key()]; ok && !q.Equal(p) {
+			t.Fatalf("key collision: %v and %v -> %q", p, q, p.Key())
+		}
+		seen[p.Key()] = p
+	}
+	if Pt(1, -2).Key() != "1,-2" {
+		t.Errorf("Key = %q, want \"1,-2\"", Pt(1, -2).Key())
+	}
+}
+
+func TestPointNorms(t *testing.T) {
+	p := Pt(3, -4)
+	if p.ChebyshevNorm() != 4 {
+		t.Errorf("ChebyshevNorm = %d, want 4", p.ChebyshevNorm())
+	}
+	if p.ManhattanNorm() != 7 {
+		t.Errorf("ManhattanNorm = %d, want 7", p.ManhattanNorm())
+	}
+	if Origin(2).ChebyshevNorm() != 0 || Origin(2).ManhattanNorm() != 0 {
+		t.Error("origin norms should be 0")
+	}
+}
+
+func TestPointString(t *testing.T) {
+	if got, want := Pt(1, -2).String(), "(1, -2)"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestInt64RoundTrip(t *testing.T) {
+	p := Pt(7, -3, 0)
+	if got := FromInt64(p.Int64()); !got.Equal(p) {
+		t.Errorf("round trip = %v, want %v", got, p)
+	}
+}
+
+func TestSortPoints(t *testing.T) {
+	pts := []Point{Pt(1, 0), Pt(0, 1), Pt(0, 0), Pt(-1, 5)}
+	SortPoints(pts)
+	want := []Point{Pt(-1, 5), Pt(0, 0), Pt(0, 1), Pt(1, 0)}
+	for i := range want {
+		if !pts[i].Equal(want[i]) {
+			t.Fatalf("sorted = %v, want %v", pts, want)
+		}
+	}
+}
+
+func TestMismatchedDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add with mismatched dims did not panic")
+		}
+	}()
+	Pt(1, 2).Add(Pt(1))
+}

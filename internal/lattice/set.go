@@ -1,0 +1,185 @@
+package lattice
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Set is a finite set of lattice points with deterministic (lexicographic)
+// iteration order. The zero value is an empty set ready for use via Add.
+type Set struct {
+	idx map[string]int
+	pts []Point
+}
+
+// NewSet builds a set from points, deduplicating them.
+func NewSet(pts ...Point) *Set {
+	s := &Set{}
+	for _, p := range pts {
+		s.Add(p)
+	}
+	return s
+}
+
+// Add inserts p, reporting whether it was newly added.
+func (s *Set) Add(p Point) bool {
+	if s.idx == nil {
+		s.idx = make(map[string]int)
+	}
+	k := p.Key()
+	if _, ok := s.idx[k]; ok {
+		return false
+	}
+	s.idx[k] = len(s.pts)
+	s.pts = append(s.pts, p.Clone())
+	return true
+}
+
+// Contains reports membership of p.
+func (s *Set) Contains(p Point) bool {
+	if s == nil || s.idx == nil {
+		return false
+	}
+	_, ok := s.idx[p.Key()]
+	return ok
+}
+
+// Size returns the number of points.
+func (s *Set) Size() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.pts)
+}
+
+// Points returns the points in lexicographic order (a fresh slice of
+// fresh points).
+func (s *Set) Points() []Point {
+	out := make([]Point, len(s.pts))
+	for i, p := range s.pts {
+		out[i] = p.Clone()
+	}
+	return SortPoints(out)
+}
+
+// Translate returns the set s + v.
+func (s *Set) Translate(v Point) *Set {
+	t := &Set{}
+	for _, p := range s.pts {
+		t.Add(p.Add(v))
+	}
+	return t
+}
+
+// Union returns s ∪ o.
+func (s *Set) Union(o *Set) *Set {
+	u := &Set{}
+	for _, p := range s.pts {
+		u.Add(p)
+	}
+	if o != nil {
+		for _, p := range o.pts {
+			u.Add(p)
+		}
+	}
+	return u
+}
+
+// Intersect returns s ∩ o.
+func (s *Set) Intersect(o *Set) *Set {
+	u := &Set{}
+	if o == nil {
+		return u
+	}
+	for _, p := range s.pts {
+		if o.Contains(p) {
+			u.Add(p)
+		}
+	}
+	return u
+}
+
+// Intersects reports whether s and o share a point, without materializing
+// the intersection.
+func (s *Set) Intersects(o *Set) bool {
+	if s == nil || o == nil {
+		return false
+	}
+	a, b := s, o
+	if a.Size() > b.Size() {
+		a, b = b, a
+	}
+	for _, p := range a.pts {
+		if b.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Minus returns s \ o.
+func (s *Set) Minus(o *Set) *Set {
+	u := &Set{}
+	for _, p := range s.pts {
+		if o == nil || !o.Contains(p) {
+			u.Add(p)
+		}
+	}
+	return u
+}
+
+// Equal reports set equality.
+func (s *Set) Equal(o *Set) bool {
+	if s.Size() != o.Size() {
+		return false
+	}
+	for _, p := range s.pts {
+		if !o.Contains(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// MinkowskiSum returns {a + b : a ∈ s, b ∈ o}; the paper's Conclusions use
+// N + N to characterize finite regions on which optimality is preserved.
+func (s *Set) MinkowskiSum(o *Set) *Set {
+	u := &Set{}
+	for _, a := range s.pts {
+		for _, b := range o.pts {
+			u.Add(a.Add(b))
+		}
+	}
+	return u
+}
+
+// String renders the set's points in lexicographic order.
+func (s *Set) String() string {
+	pts := s.Points()
+	parts := make([]string, len(pts))
+	for i, p := range pts {
+		parts[i] = p.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// BoundingBox returns inclusive lower and upper corners of the set, or an
+// error for an empty set.
+func (s *Set) BoundingBox() (lo, hi Point, err error) {
+	if s.Size() == 0 {
+		return nil, nil, fmt.Errorf("lattice: bounding box of empty set")
+	}
+	lo = s.pts[0].Clone()
+	hi = s.pts[0].Clone()
+	for _, p := range s.pts[1:] {
+		for i, c := range p {
+			if c < lo[i] {
+				lo[i] = c
+			}
+			if c > hi[i] {
+				hi[i] = c
+			}
+		}
+	}
+	return lo, hi, nil
+}

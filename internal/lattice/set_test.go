@@ -1,0 +1,145 @@
+package lattice
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(Pt(0, 0), Pt(1, 0), Pt(0, 0))
+	if s.Size() != 2 {
+		t.Fatalf("Size = %d, want 2 (dedup)", s.Size())
+	}
+	if !s.Contains(Pt(1, 0)) || s.Contains(Pt(9, 9)) {
+		t.Error("Contains wrong")
+	}
+	if !s.Add(Pt(2, 2)) {
+		t.Error("Add of new point returned false")
+	}
+	if s.Add(Pt(2, 2)) {
+		t.Error("Add of existing point returned true")
+	}
+}
+
+func TestSetPointsSortedAndFresh(t *testing.T) {
+	s := NewSet(Pt(1, 0), Pt(0, 1), Pt(-1, 0))
+	pts := s.Points()
+	for i := 1; i < len(pts); i++ {
+		if !pts[i-1].Less(pts[i]) {
+			t.Fatalf("Points not sorted: %v", pts)
+		}
+	}
+	pts[0][0] = 99
+	if s.Contains(Pt(99, 0)) {
+		t.Error("mutating Points() result affected the set")
+	}
+}
+
+func TestSetTranslate(t *testing.T) {
+	s := NewSet(Pt(0, 0), Pt(1, 1))
+	tr := s.Translate(Pt(2, -1))
+	if !tr.Contains(Pt(2, -1)) || !tr.Contains(Pt(3, 0)) || tr.Size() != 2 {
+		t.Errorf("Translate = %v", tr)
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := NewSet(Pt(0, 0), Pt(1, 0))
+	b := NewSet(Pt(1, 0), Pt(2, 0))
+	if got := a.Union(b); got.Size() != 3 {
+		t.Errorf("Union size = %d, want 3", got.Size())
+	}
+	if got := a.Intersect(b); got.Size() != 1 || !got.Contains(Pt(1, 0)) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Minus(b); got.Size() != 1 || !got.Contains(Pt(0, 0)) {
+		t.Errorf("Minus = %v", got)
+	}
+	if !a.Intersects(b) {
+		t.Error("Intersects = false, want true")
+	}
+	if a.Intersects(NewSet(Pt(5, 5))) {
+		t.Error("Intersects = true, want false")
+	}
+}
+
+func TestSetEqual(t *testing.T) {
+	a := NewSet(Pt(0, 0), Pt(1, 2))
+	b := NewSet(Pt(1, 2), Pt(0, 0))
+	if !a.Equal(b) {
+		t.Error("order-insensitive equality failed")
+	}
+	b.Add(Pt(3, 3))
+	if a.Equal(b) {
+		t.Error("sets of different size equal")
+	}
+}
+
+func TestMinkowskiSum(t *testing.T) {
+	// {0,1} + {0,1} = {0,1,2} in Z^1.
+	a := NewSet(Pt(0), Pt(1))
+	s := a.MinkowskiSum(a)
+	want := NewSet(Pt(0), Pt(1), Pt(2))
+	if !s.Equal(want) {
+		t.Errorf("MinkowskiSum = %v, want %v", s, want)
+	}
+}
+
+func TestMinkowskiSumSizeBounds(t *testing.T) {
+	f := func(raw [6][2]int8) bool {
+		s := NewSet()
+		for _, c := range raw {
+			s.Add(Pt(int(c[0]), int(c[1])))
+		}
+		m := s.MinkowskiSum(s)
+		// |S+S| ≥ |S| (translate embedding) and ≤ |S|².
+		return m.Size() >= s.Size() && m.Size() <= s.Size()*s.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	s := NewSet(Pt(1, -2), Pt(-3, 4), Pt(0, 0))
+	lo, hi, err := s.BoundingBox()
+	if err != nil {
+		t.Fatalf("BoundingBox: %v", err)
+	}
+	if !lo.Equal(Pt(-3, -2)) || !hi.Equal(Pt(1, 4)) {
+		t.Errorf("BoundingBox = %v..%v", lo, hi)
+	}
+	if _, _, err := NewSet().BoundingBox(); err == nil {
+		t.Error("BoundingBox of empty set succeeded")
+	}
+}
+
+func TestSetTranslationInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		s := NewSet()
+		for i := 0; i < 5; i++ {
+			s.Add(Pt(rng.Intn(9)-4, rng.Intn(9)-4))
+		}
+		v := Pt(rng.Intn(9)-4, rng.Intn(9)-4)
+		tr := s.Translate(v)
+		if tr.Size() != s.Size() {
+			t.Fatal("translation changed cardinality")
+		}
+		back := tr.Translate(v.Neg())
+		if !back.Equal(s) {
+			t.Fatal("translate round trip failed")
+		}
+	}
+}
+
+func TestNilSetSafety(t *testing.T) {
+	var s *Set
+	if s.Contains(Pt(0, 0)) {
+		t.Error("nil set contains a point")
+	}
+	if s.Size() != 0 {
+		t.Error("nil set has nonzero size")
+	}
+}

@@ -1,0 +1,145 @@
+package lattice
+
+import "fmt"
+
+// Window is an axis-aligned box of coordinates, inclusive on both ends:
+// {p : Lo_i ≤ p_i ≤ Hi_i}. Windows model the finite deployment regions D
+// from the paper's Conclusions.
+type Window struct {
+	Lo, Hi Point
+}
+
+// NewWindow builds a window from inclusive corners, validating shape.
+func NewWindow(lo, hi Point) (Window, error) {
+	if len(lo) != len(hi) {
+		return Window{}, fmt.Errorf("lattice: window corners have dimensions %d and %d", len(lo), len(hi))
+	}
+	if len(lo) == 0 {
+		return Window{}, fmt.Errorf("lattice: zero-dimensional window")
+	}
+	for i := range lo {
+		if lo[i] > hi[i] {
+			return Window{}, fmt.Errorf("lattice: window corner %d inverted: %d > %d", i, lo[i], hi[i])
+		}
+	}
+	return Window{Lo: lo.Clone(), Hi: hi.Clone()}, nil
+}
+
+// CenteredWindow returns the window [-r, r]^dim.
+func CenteredWindow(dim, r int) Window {
+	lo := make(Point, dim)
+	hi := make(Point, dim)
+	for i := range lo {
+		lo[i], hi[i] = -r, r
+	}
+	return Window{Lo: lo, Hi: hi}
+}
+
+// BoxWindow returns the window [0, n_i-1] in each axis for side lengths n.
+func BoxWindow(sides ...int) (Window, error) {
+	lo := make(Point, len(sides))
+	hi := make(Point, len(sides))
+	for i, n := range sides {
+		if n <= 0 {
+			return Window{}, fmt.Errorf("lattice: window side %d is %d, want > 0", i, n)
+		}
+		hi[i] = n - 1
+	}
+	return NewWindow(lo, hi)
+}
+
+// Dim returns the window's dimension.
+func (w Window) Dim() int { return len(w.Lo) }
+
+// Size returns the number of lattice points in the window.
+func (w Window) Size() int {
+	n := 1
+	for i := range w.Lo {
+		n *= w.Hi[i] - w.Lo[i] + 1
+	}
+	return n
+}
+
+// Contains reports whether p lies in the window.
+func (w Window) Contains(p Point) bool {
+	if len(p) != len(w.Lo) {
+		return false
+	}
+	for i, c := range p {
+		if c < w.Lo[i] || c > w.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsSet reports whether every point of s lies in the window.
+func (w Window) ContainsSet(s *Set) bool {
+	for _, p := range s.Points() {
+		if !w.Contains(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Points enumerates the window's points in lexicographic order.
+func (w Window) Points() []Point {
+	out := make([]Point, 0, w.Size())
+	cur := w.Lo.Clone()
+	for {
+		out = append(out, cur.Clone())
+		i := len(cur) - 1
+		for i >= 0 {
+			cur[i]++
+			if cur[i] <= w.Hi[i] {
+				break
+			}
+			cur[i] = w.Lo[i]
+			i--
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return out
+}
+
+// Shrink returns the window shrunk by margin on every side; used to find
+// interior points whose whole neighborhood stays inside the window.
+func (w Window) Shrink(margin int) (Window, error) {
+	lo := w.Lo.Clone()
+	hi := w.Hi.Clone()
+	for i := range lo {
+		lo[i] += margin
+		hi[i] -= margin
+	}
+	return NewWindow(lo, hi)
+}
+
+// ContainsTranslateOf reports whether some translate v + s of the set fits
+// entirely inside the window. The paper's Conclusions show a finite
+// deployment region keeps the tiling schedule optimal exactly when it
+// contains a translate of N + N.
+func (w Window) ContainsTranslateOf(s *Set) bool {
+	lo, hi, err := s.BoundingBox()
+	if err != nil {
+		return false // empty set: vacuously false, matching "no sensors"
+	}
+	// v must satisfy w.Lo ≤ v + lo and v + hi ≤ w.Hi; because the window
+	// is a box and the set's bounding box determines feasibility, any v
+	// in that range works for the bounding box, but the set itself is a
+	// subset of its box, so one candidate suffices.
+	v := w.Lo.Sub(lo)
+	for i := range v {
+		if v[i]+hi[i] > w.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the window as "[lo .. hi]".
+func (w Window) String() string {
+	return fmt.Sprintf("[%s .. %s]", w.Lo, w.Hi)
+}

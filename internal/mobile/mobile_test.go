@@ -1,0 +1,180 @@
+package mobile
+
+import (
+	"testing"
+
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/prototile"
+	"tilingsched/internal/schedule"
+	"tilingsched/internal/tiling"
+)
+
+func mooreSchedule(t *testing.T) *schedule.Theorem1 {
+	t.Helper()
+	lt, ok := tiling.FindLatticeTiling(prototile.ChebyshevBall(2, 1))
+	if !ok {
+		t.Fatal("no tiling for Moore ball")
+	}
+	return schedule.FromLatticeTiling(lt)
+}
+
+func TestNearestLatticePoint(t *testing.T) {
+	p, ok := NearestLatticePoint(1.2, -0.7)
+	if !ok || !p.Equal(lattice.Pt(1, -1)) {
+		t.Errorf("NearestLatticePoint = %v, %v", p, ok)
+	}
+	if _, ok := NearestLatticePoint(0.5, 0); ok {
+		t.Error("boundary x accepted as open-region member")
+	}
+	if _, ok := NearestLatticePoint(0, -1.5); ok {
+		t.Error("boundary y accepted as open-region member")
+	}
+}
+
+func TestFitsInTile(t *testing.T) {
+	s := mooreSchedule(t)
+	lt := s.Tiling()
+	// The tile of the origin is a 3×3 block of unit squares; a disk of
+	// radius 0.8 centered at the block's center fits.
+	tr, err := lt.TranslateOf(lattice.Pt(0, 0))
+	if err != nil {
+		t.Fatalf("TranslateOf: %v", err)
+	}
+	// Center of the 3×3 region: translate + (1,1) is its middle cell
+	// for the Chebyshev ball anchored at its lexicographic min... the
+	// ball spans [-1,1]², so the region center is the translate itself
+	// shifted by the ball's center (0,0).
+	cx := float64(tr[0])
+	cy := float64(tr[1])
+	fits, err := FitsInTile(lt, tr, [2]float64{cx, cy}, 0.8)
+	if err != nil {
+		t.Fatalf("FitsInTile: %v", err)
+	}
+	if !fits {
+		t.Error("disk at region center should fit")
+	}
+	// A disk poking past the region must not fit.
+	fits, err = FitsInTile(lt, tr, [2]float64{cx + 1.4, cy}, 0.8)
+	if err != nil {
+		t.Fatalf("FitsInTile: %v", err)
+	}
+	if fits {
+		t.Error("protruding disk reported as fitting")
+	}
+	if _, err := FitsInTile(lt, tr, [2]float64{0, 0}, -1); err == nil {
+		t.Error("negative radius accepted")
+	}
+}
+
+func TestMobileRunNeverCollides(t *testing.T) {
+	// The Conclusions claim: the location-slot rule is collision-free
+	// for mobile sensors, regardless of motion.
+	s := mooreSchedule(t)
+	m, err := Run(Config{
+		Schedule:  s,
+		ArenaLo:   [2]float64{-6, -6},
+		ArenaHi:   [2]float64{6, 6},
+		NumAgents: 12,
+		Radius:    0.9,
+		Speed:     0.35,
+		Slots:     800,
+		Seed:      42,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m.Collisions != 0 {
+		t.Errorf("collisions = %d, want 0", m.Collisions)
+	}
+	if m.Sends == 0 {
+		t.Error("no agent ever sent (over-conservative rule or broken schedule)")
+	}
+	if u := m.Utilization(); u <= 0 || u >= 1 {
+		t.Errorf("utilization = %v, want within (0, 1)", u)
+	}
+}
+
+func TestMobileRunDenseAgentsStillSafe(t *testing.T) {
+	// Crowded arena: the shared-region mute must kick in and safety must
+	// hold.
+	s := mooreSchedule(t)
+	m, err := Run(Config{
+		Schedule:  s,
+		ArenaLo:   [2]float64{-2, -2},
+		ArenaHi:   [2]float64{2, 2},
+		NumAgents: 30,
+		Radius:    0.9,
+		Speed:     0.5,
+		Slots:     400,
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m.Collisions != 0 {
+		t.Errorf("collisions = %d, want 0", m.Collisions)
+	}
+	if m.SharedMuted == 0 {
+		t.Error("dense arena never muted shared regions (suspicious)")
+	}
+}
+
+func TestMobileRunDeterministic(t *testing.T) {
+	s := mooreSchedule(t)
+	cfg := Config{
+		Schedule:  s,
+		ArenaLo:   [2]float64{-4, -4},
+		ArenaHi:   [2]float64{4, 4},
+		NumAgents: 8,
+		Radius:    0.8,
+		Speed:     0.3,
+		Slots:     200,
+		Seed:      5,
+	}
+	m1, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	m2, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m1 != m2 {
+		t.Errorf("same seed, different metrics:\n%+v\n%+v", m1, m2)
+	}
+}
+
+func TestMobileConfigValidation(t *testing.T) {
+	s := mooreSchedule(t)
+	good := Config{
+		Schedule: s, ArenaLo: [2]float64{0, 0}, ArenaHi: [2]float64{4, 4},
+		NumAgents: 2, Radius: 0.5, Speed: 0.1, Slots: 10,
+	}
+	bad := good
+	bad.Schedule = nil
+	if _, err := Run(bad); err == nil {
+		t.Error("nil schedule accepted")
+	}
+	bad = good
+	bad.NumAgents = 0
+	if _, err := Run(bad); err == nil {
+		t.Error("0 agents accepted")
+	}
+	bad = good
+	bad.ArenaHi = [2]float64{0, 4}
+	if _, err := Run(bad); err == nil {
+		t.Error("empty arena accepted")
+	}
+	bad = good
+	bad.Radius = 0
+	if _, err := Run(bad); err == nil {
+		t.Error("0 radius accepted")
+	}
+}
+
+func TestMetricsZeroSafety(t *testing.T) {
+	var m Metrics
+	if m.Utilization() != 0 {
+		t.Error("zero metrics utilization should be 0")
+	}
+}

@@ -1,0 +1,83 @@
+package prototile
+
+import (
+	"fmt"
+	"strings"
+
+	"tilingsched/internal/lattice"
+)
+
+// FromASCII parses a two-dimensional tile from ASCII art. Rows are listed
+// top to bottom; within the art, 'X' or '#' marks a cell, '.' or ' ' marks
+// an empty position, and 'O' marks a cell that becomes the origin. With no
+// 'O', the tile is normalized so its lexicographically smallest cell is
+// the origin (tilings and schedules are translation invariant, so the
+// anchor choice is cosmetic).
+//
+// The visual y axis points up: the bottom row of the art has y = 0.
+func FromASCII(name, art string) (*Tile, error) {
+	lines := strings.Split(strings.Trim(art, "\n"), "\n")
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("%w: empty art", ErrTile)
+	}
+	var cells []lattice.Point
+	var origin lattice.Point
+	rows := len(lines)
+	for r, line := range lines {
+		y := rows - 1 - r
+		for x, ch := range line {
+			switch ch {
+			case 'X', '#':
+				cells = append(cells, lattice.Pt(x, y))
+			case 'O':
+				p := lattice.Pt(x, y)
+				cells = append(cells, p)
+				if origin != nil {
+					return nil, fmt.Errorf("%w: multiple origin marks", ErrTile)
+				}
+				origin = p
+			case '.', ' ':
+			default:
+				return nil, fmt.Errorf("%w: unexpected character %q", ErrTile, ch)
+			}
+		}
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("%w: art has no cells", ErrTile)
+	}
+	if origin == nil {
+		origin = lattice.SortPoints(append([]lattice.Point(nil), cells...))[0]
+	}
+	moved := make([]lattice.Point, len(cells))
+	for i, c := range cells {
+		moved[i] = c.Sub(origin)
+	}
+	return New(name, moved...)
+}
+
+// ASCII renders a two-dimensional tile as art using the same conventions
+// as FromASCII ('O' marks the origin when visible, 'X' other cells).
+func (t *Tile) ASCII() string {
+	if t.dim != 2 {
+		return t.String()
+	}
+	lo, hi := t.BoundingBox()
+	var b strings.Builder
+	for y := hi[1]; y >= lo[1]; y-- {
+		for x := lo[0]; x <= hi[0]; x++ {
+			p := lattice.Pt(x, y)
+			switch {
+			case p.IsOrigin() && t.Contains(p):
+				b.WriteByte('O')
+			case t.Contains(p):
+				b.WriteByte('X')
+			default:
+				b.WriteByte('.')
+			}
+		}
+		if y > lo[1] {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

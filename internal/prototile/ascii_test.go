@@ -1,0 +1,66 @@
+package prototile
+
+import (
+	"testing"
+
+	"tilingsched/internal/lattice"
+)
+
+func TestFromASCIIBasic(t *testing.T) {
+	ti, err := FromASCII("l", "X.\nXX")
+	if err != nil {
+		t.Fatalf("FromASCII: %v", err)
+	}
+	// Bottom row is y=0: cells (0,0), (1,0), (0,1); anchor (0,0).
+	want := []lattice.Point{lattice.Pt(0, 0), lattice.Pt(0, 1), lattice.Pt(1, 0)}
+	if ti.Size() != 3 {
+		t.Fatalf("size = %d, want 3", ti.Size())
+	}
+	for _, p := range want {
+		if !ti.Contains(p) {
+			t.Errorf("missing %v in %v", p, ti)
+		}
+	}
+}
+
+func TestFromASCIIExplicitOrigin(t *testing.T) {
+	ti, err := FromASCII("t", "XOX")
+	if err != nil {
+		t.Fatalf("FromASCII: %v", err)
+	}
+	if !ti.Contains(lattice.Pt(-1, 0)) || !ti.Contains(lattice.Pt(1, 0)) {
+		t.Errorf("origin mark not honored: %v", ti)
+	}
+}
+
+func TestFromASCIIErrors(t *testing.T) {
+	if _, err := FromASCII("bad", "..."); err == nil {
+		t.Error("art without cells accepted")
+	}
+	if _, err := FromASCII("bad", "X?X"); err == nil {
+		t.Error("bad character accepted")
+	}
+	if _, err := FromASCII("bad", "OO"); err == nil {
+		t.Error("double origin accepted")
+	}
+}
+
+func TestASCIIRoundTrip(t *testing.T) {
+	for _, name := range []string{"I", "O", "T", "S", "Z", "L", "J"} {
+		ti := MustTetromino(name)
+		back, err := FromASCII(name, ti.ASCII())
+		if err != nil {
+			t.Fatalf("round trip %s: %v", name, err)
+		}
+		if !back.Normalize().Equal(ti.Normalize()) {
+			t.Errorf("round trip %s: %v != %v\nart:\n%s", name, back, ti, ti.ASCII())
+		}
+	}
+}
+
+func TestASCIIShowsOrigin(t *testing.T) {
+	ti := MustNew("dot", lattice.Pt(0, 0), lattice.Pt(1, 0))
+	if got := ti.ASCII(); got != "OX" {
+		t.Errorf("ASCII = %q, want OX", got)
+	}
+}

@@ -1,0 +1,157 @@
+// Package prototile models prototiles (interference neighborhoods) of
+// lattice points, the set N of the paper: a finite subset of the lattice
+// containing the origin. The elements of N are the sensors affected by a
+// broadcast of the sensor at 0; the neighborhood of a sensor at t is the
+// translate t + N.
+//
+// The package provides the paper's example neighborhoods (Chebyshev and
+// Euclidean balls, directional tiles — Figure 2), a polyomino catalog
+// including the S and Z tetrominoes of Figure 5, ASCII-art parsing for
+// tests and tools, symmetry transforms, and structural predicates
+// (connectivity, simple-connectedness) needed by the boundary-word
+// algorithms of Section 3.
+package prototile
+
+import (
+	"errors"
+	"fmt"
+
+	"tilingsched/internal/lattice"
+)
+
+// ErrTile indicates an invalid prototile construction.
+var ErrTile = errors.New("prototile: invalid tile")
+
+// Tile is a prototile: a finite, nonempty set of lattice points that
+// contains the origin. Tiles are immutable after construction.
+type Tile struct {
+	name string
+	set  *lattice.Set
+	pts  []lattice.Point // sorted
+	dim  int
+}
+
+// New builds a tile from points. The points must be nonempty, share one
+// dimension, and include the origin.
+func New(name string, pts ...lattice.Point) (*Tile, error) {
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("%w: no points", ErrTile)
+	}
+	dim := pts[0].Dim()
+	set := lattice.NewSet()
+	for _, p := range pts {
+		if p.Dim() != dim {
+			return nil, fmt.Errorf("%w: mixed dimensions %d and %d", ErrTile, dim, p.Dim())
+		}
+		set.Add(p)
+	}
+	if !set.Contains(lattice.Origin(dim)) {
+		return nil, fmt.Errorf("%w: does not contain the origin", ErrTile)
+	}
+	return &Tile{name: name, set: set, pts: set.Points(), dim: dim}, nil
+}
+
+// FromSet builds a tile from a point set, translated so that its
+// lexicographically smallest point becomes the origin. Because tilings and
+// schedules are translation invariant, this normalization does not change
+// any result; it only fixes a canonical representative.
+func FromSet(name string, s *lattice.Set) (*Tile, error) {
+	if s.Size() == 0 {
+		return nil, fmt.Errorf("%w: empty set", ErrTile)
+	}
+	pts := s.Points()
+	anchor := pts[0] // lexicographically smallest
+	moved := make([]lattice.Point, len(pts))
+	for i, p := range pts {
+		moved[i] = p.Sub(anchor)
+	}
+	return New(name, moved...)
+}
+
+// MustNew is New that panics on error; for literals in tests and catalogs.
+func MustNew(name string, pts ...lattice.Point) *Tile {
+	t, err := New(name, pts...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Name returns the tile's display name.
+func (t *Tile) Name() string { return t.name }
+
+// Dim returns the dimension of the tile's points.
+func (t *Tile) Dim() int { return t.dim }
+
+// Size returns |N|, which by Theorem 1 is the optimal number of slots.
+func (t *Tile) Size() int { return t.set.Size() }
+
+// Contains reports membership.
+func (t *Tile) Contains(p lattice.Point) bool { return t.set.Contains(p) }
+
+// Points returns the tile's points in lexicographic order.
+func (t *Tile) Points() []lattice.Point {
+	out := make([]lattice.Point, len(t.pts))
+	for i, p := range t.pts {
+		out[i] = p.Clone()
+	}
+	return out
+}
+
+// Set returns a copy of the underlying point set.
+func (t *Tile) Set() *lattice.Set {
+	return lattice.NewSet(t.pts...)
+}
+
+// TranslateSet returns the point set t + v (a plain set: the translate of
+// a prototile is a neighborhood, not itself a prototile).
+func (t *Tile) TranslateSet(v lattice.Point) *lattice.Set {
+	return t.set.Translate(v)
+}
+
+// Equal reports whether two tiles have the same point set.
+func (t *Tile) Equal(o *Tile) bool { return t.set.Equal(o.set) }
+
+// NPlusN returns the Minkowski sum N + N; the paper's Conclusions show a
+// finite region keeps the schedule optimal when it contains a translate of
+// this set.
+func (t *Tile) NPlusN() *lattice.Set { return t.set.MinkowskiSum(t.set) }
+
+// BoundingBox returns the inclusive corners of the tile.
+func (t *Tile) BoundingBox() (lo, hi lattice.Point) {
+	lo, hi, err := t.set.BoundingBox()
+	if err != nil {
+		panic("prototile: tile invariant violated: empty set")
+	}
+	return lo, hi
+}
+
+// Diameter returns the maximum Chebyshev coordinate distance between two
+// tile points; useful for bounding conflict searches.
+func (t *Tile) Diameter() int {
+	d := 0
+	for _, p := range t.pts {
+		for _, q := range t.pts {
+			if c := p.Sub(q).ChebyshevNorm(); c > d {
+				d = c
+			}
+		}
+	}
+	return d
+}
+
+// ContainsTile reports whether every point of o lies in t — respectability
+// of multi-prototile tilings (Section 4) requires N1 ⊇ Nk.
+func (t *Tile) ContainsTile(o *Tile) bool {
+	for _, p := range o.pts {
+		if !t.set.Contains(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the tile name and points.
+func (t *Tile) String() string {
+	return fmt.Sprintf("%s%s", t.name, t.set)
+}

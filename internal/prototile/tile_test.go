@@ -1,0 +1,216 @@
+package prototile
+
+import (
+	"testing"
+
+	"tilingsched/internal/lattice"
+)
+
+func TestNewRequiresOrigin(t *testing.T) {
+	if _, err := New("bad", lattice.Pt(1, 0)); err == nil {
+		t.Error("tile without origin accepted")
+	}
+	if _, err := New("bad"); err == nil {
+		t.Error("empty tile accepted")
+	}
+	if _, err := New("bad", lattice.Pt(0, 0), lattice.Pt(1)); err == nil {
+		t.Error("mixed-dimension tile accepted")
+	}
+}
+
+func TestNewDedupes(t *testing.T) {
+	ti, err := New("t", lattice.Pt(0, 0), lattice.Pt(1, 0), lattice.Pt(1, 0))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if ti.Size() != 2 {
+		t.Errorf("Size = %d, want 2", ti.Size())
+	}
+}
+
+func TestFromSetAnchors(t *testing.T) {
+	// A set not containing the origin gets translated so its smallest
+	// point is the origin.
+	s := lattice.NewSet(lattice.Pt(5, 5), lattice.Pt(6, 5), lattice.Pt(5, 6))
+	ti, err := FromSet("anchored", s)
+	if err != nil {
+		t.Fatalf("FromSet: %v", err)
+	}
+	if !ti.Contains(lattice.Origin(2)) {
+		t.Error("anchored tile misses origin")
+	}
+	if !ti.Contains(lattice.Pt(1, 0)) || !ti.Contains(lattice.Pt(0, 1)) {
+		t.Errorf("anchored tile wrong: %v", ti)
+	}
+	if _, err := FromSet("empty", lattice.NewSet()); err == nil {
+		t.Error("FromSet of empty set accepted")
+	}
+}
+
+func TestChebyshevBall(t *testing.T) {
+	b := ChebyshevBall(2, 1)
+	if b.Size() != 9 {
+		t.Errorf("Chebyshev r=1 size = %d, want 9 (paper Fig 2 left)", b.Size())
+	}
+	if !b.Contains(lattice.Pt(1, 1)) || !b.Contains(lattice.Pt(-1, 0)) {
+		t.Error("Chebyshev ball misses corner/edge")
+	}
+	b2 := ChebyshevBall(3, 1)
+	if b2.Size() != 27 {
+		t.Errorf("3-dim Chebyshev r=1 size = %d, want 27", b2.Size())
+	}
+}
+
+func TestCross(t *testing.T) {
+	c := Cross(2, 1)
+	if c.Size() != 5 {
+		t.Errorf("Cross r=1 size = %d, want 5 (paper Fig 2 middle)", c.Size())
+	}
+	if c.Contains(lattice.Pt(1, 1)) {
+		t.Error("cross contains a diagonal cell")
+	}
+	if Cross(2, 2).Size() != 13 {
+		t.Errorf("Cross r=2 size = %d, want 13", Cross(2, 2).Size())
+	}
+}
+
+func TestEuclideanBall(t *testing.T) {
+	// On the square lattice, the Euclidean unit ball equals the cross
+	// (Figure 2 middle).
+	e := EuclideanBall(lattice.Square(), 1)
+	if !e.Equal(Cross(2, 1)) {
+		t.Errorf("Euclidean r=1 on Z² = %v, want the 5-point cross", e)
+	}
+	// On the hexagonal lattice, radius 1 reaches all 6 minimal vectors.
+	h := EuclideanBall(lattice.Hexagonal(), 1)
+	if h.Size() != 7 {
+		t.Errorf("hex Euclidean r=1 size = %d, want 7", h.Size())
+	}
+}
+
+func TestRectAndDirectional(t *testing.T) {
+	r := Rect(2, 4)
+	if r.Size() != 8 {
+		t.Errorf("Rect(2,4) size = %d, want 8", r.Size())
+	}
+	d := Directional()
+	if d.Size() != 8 {
+		t.Errorf("Directional size = %d, want 8 (paper Fig 3)", d.Size())
+	}
+	if !d.Equal(r) {
+		t.Error("Directional should be the 2x4 block of Figure 3")
+	}
+}
+
+func TestTetrominoCatalog(t *testing.T) {
+	for _, name := range []string{"I", "O", "T", "S", "Z", "L", "J"} {
+		ti, err := Tetromino(name)
+		if err != nil {
+			t.Fatalf("Tetromino(%s): %v", name, err)
+		}
+		if ti.Size() != 4 {
+			t.Errorf("Tetromino(%s) size = %d, want 4", name, ti.Size())
+		}
+		if !ti.Contains(lattice.Origin(2)) {
+			t.Errorf("Tetromino(%s) misses origin", name)
+		}
+		if !ti.Connected() {
+			t.Errorf("Tetromino(%s) not connected", name)
+		}
+	}
+	if _, err := Tetromino("Q"); err == nil {
+		t.Error("unknown tetromino accepted")
+	}
+}
+
+func TestSZAreMirrors(t *testing.T) {
+	s := MustTetromino("S")
+	z := MustTetromino("Z")
+	zm, err := z.ReflectX()
+	if err != nil {
+		t.Fatalf("ReflectX: %v", err)
+	}
+	if !s.Equal(zm.Normalize()) {
+		t.Errorf("S %v should be the mirror of Z %v (got %v)", s, z, zm)
+	}
+	if s.Equal(z) {
+		t.Error("S and Z must differ")
+	}
+}
+
+func TestPentominoCatalog(t *testing.T) {
+	for _, name := range []string{"P", "X", "F"} {
+		p, err := Pentomino(name)
+		if err != nil {
+			t.Fatalf("Pentomino(%s): %v", name, err)
+		}
+		if p.Size() != 5 {
+			t.Errorf("Pentomino(%s) size = %d, want 5", name, p.Size())
+		}
+	}
+	if _, err := Pentomino("Y"); err == nil {
+		t.Error("unknown pentomino accepted")
+	}
+}
+
+func TestNPlusN(t *testing.T) {
+	// For the 1D segment {0,1,2}: N+N = {0..4}.
+	seg := MustNew("seg", lattice.Pt(0), lattice.Pt(1), lattice.Pt(2))
+	nn := seg.NPlusN()
+	if nn.Size() != 5 {
+		t.Errorf("N+N size = %d, want 5", nn.Size())
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	if d := Rect(2, 4).Diameter(); d != 3 {
+		t.Errorf("Rect(2,4) diameter = %d, want 3", d)
+	}
+	if d := ChebyshevBall(2, 1).Diameter(); d != 2 {
+		t.Errorf("Chebyshev ball diameter = %d, want 2", d)
+	}
+}
+
+func TestContainsTileRespectability(t *testing.T) {
+	moore := ChebyshevBall(2, 1)
+	cross := Cross(2, 1)
+	if !moore.ContainsTile(cross) {
+		t.Error("Moore neighborhood should contain the cross (respectable pair)")
+	}
+	if cross.ContainsTile(moore) {
+		t.Error("cross cannot contain the Moore neighborhood")
+	}
+}
+
+func TestBoundingBoxAndTranslateSet(t *testing.T) {
+	s := MustTetromino("S")
+	lo, hi := s.BoundingBox()
+	if !lo.Equal(lattice.Pt(0, 0)) || !hi.Equal(lattice.Pt(2, 1)) {
+		t.Errorf("S bounding box = %v..%v", lo, hi)
+	}
+	tr := s.TranslateSet(lattice.Pt(10, 10))
+	if tr.Size() != 4 {
+		t.Error("translate changed size")
+	}
+	if !tr.Contains(lattice.Pt(10, 10)) {
+		t.Error("translate misses anchor image")
+	}
+}
+
+func TestPanicsOnBadArgs(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"ChebyshevBall": func() { ChebyshevBall(0, 1) },
+		"Cross":         func() { Cross(2, -1) },
+		"Rect":          func() { Rect(0, 3) },
+		"EuclideanBall": func() { EuclideanBall(lattice.Square(), -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with bad args did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

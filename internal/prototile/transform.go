@@ -1,0 +1,147 @@
+package prototile
+
+import (
+	"fmt"
+
+	"tilingsched/internal/lattice"
+)
+
+// Rotate90 returns the tile rotated 90° counterclockwise ((x, y) →
+// (-y, x)), re-anchored so its smallest cell is the origin. Only defined
+// for two-dimensional tiles. Rotations model the paper's Section 4
+// motivation of rotated antenna radiation patterns.
+func (t *Tile) Rotate90() (*Tile, error) {
+	if t.dim != 2 {
+		return nil, fmt.Errorf("%w: Rotate90 needs dimension 2, got %d", ErrTile, t.dim)
+	}
+	s := lattice.NewSet()
+	for _, p := range t.pts {
+		s.Add(lattice.Pt(-p[1], p[0]))
+	}
+	return FromSet(t.name+"-rot90", s)
+}
+
+// ReflectX returns the tile mirrored across the y axis ((x, y…) →
+// (-x, y…)), re-anchored at its smallest cell.
+func (t *Tile) ReflectX() (*Tile, error) {
+	s := lattice.NewSet()
+	for _, p := range t.pts {
+		q := p.Clone()
+		q[0] = -q[0]
+		s.Add(q)
+	}
+	return FromSet(t.name+"-mirror", s)
+}
+
+// Rotations returns the distinct rotations of a two-dimensional tile (1,
+// 2, or 4 of them, deduplicated up to translation). Section 4 of the
+// paper motivates multi-prototile tilings by rotated versions of an
+// asymmetric antenna pattern; this helper generates exactly those
+// prototile families.
+func (t *Tile) Rotations() ([]*Tile, error) {
+	if t.dim != 2 {
+		return nil, fmt.Errorf("%w: Rotations needs dimension 2, got %d", ErrTile, t.dim)
+	}
+	out := []*Tile{t.Normalize()}
+	seen := map[string]bool{out[0].CanonicalKey(): true}
+	cur := t
+	for i := 0; i < 3; i++ {
+		next, err := cur.Rotate90()
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+		key := cur.CanonicalKey()
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, cur.Normalize())
+		}
+	}
+	return out, nil
+}
+
+// Normalize returns the tile translated so its lexicographically smallest
+// cell is the origin — the canonical representative of its translation
+// class.
+func (t *Tile) Normalize() *Tile {
+	n, err := FromSet(t.name, t.set)
+	if err != nil {
+		panic("prototile: normalize of valid tile failed: " + err.Error())
+	}
+	return n
+}
+
+// CanonicalKey returns a translation-invariant key: the sorted point list
+// of the normalized tile. Two tiles are translates of each other exactly
+// when their keys match.
+func (t *Tile) CanonicalKey() string {
+	n := t.Normalize()
+	return n.set.String()
+}
+
+// Connected reports whether the tile is connected under lattice
+// adjacency (cells differing by ±1 in exactly one coordinate). Polyomino
+// boundary algorithms require connected tiles.
+func (t *Tile) Connected() bool {
+	if len(t.pts) == 0 {
+		return false
+	}
+	visited := lattice.NewSet()
+	stack := []lattice.Point{t.pts[0]}
+	visited.Add(t.pts[0])
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for axis := 0; axis < t.dim; axis++ {
+			for _, d := range []int{-1, 1} {
+				q := p.Clone()
+				q[axis] += d
+				if t.set.Contains(q) && visited.Add(q) {
+					stack = append(stack, q)
+				}
+			}
+		}
+	}
+	return visited.Size() == t.Size()
+}
+
+// SimplyConnected reports whether a two-dimensional tile is a polyomino
+// without holes: its complement within a one-cell margin of the bounding
+// box must be a single connected region. Simple-connectedness is required
+// for the boundary-word (Beauquier–Nivat) algorithms.
+func (t *Tile) SimplyConnected() (bool, error) {
+	if t.dim != 2 {
+		return false, fmt.Errorf("%w: SimplyConnected needs dimension 2, got %d", ErrTile, t.dim)
+	}
+	if !t.Connected() {
+		return false, nil
+	}
+	lo, hi := t.BoundingBox()
+	w, err := lattice.NewWindow(lattice.Pt(lo[0]-1, lo[1]-1), lattice.Pt(hi[0]+1, hi[1]+1))
+	if err != nil {
+		return false, err
+	}
+	// Flood the complement from a corner; a hole is a complement cell
+	// never reached.
+	start := w.Lo.Clone()
+	visited := lattice.NewSet(start)
+	stack := []lattice.Point{start}
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for axis := 0; axis < 2; axis++ {
+			for _, d := range []int{-1, 1} {
+				q := p.Clone()
+				q[axis] += d
+				if !w.Contains(q) || t.set.Contains(q) {
+					continue
+				}
+				if visited.Add(q) {
+					stack = append(stack, q)
+				}
+			}
+		}
+	}
+	complementSize := w.Size() - t.Size()
+	return visited.Size() == complementSize, nil
+}

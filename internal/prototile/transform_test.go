@@ -1,0 +1,162 @@
+package prototile
+
+import (
+	"testing"
+
+	"tilingsched/internal/lattice"
+)
+
+func TestRotate90FourTimes(t *testing.T) {
+	for _, name := range []string{"S", "L", "T"} {
+		ti := MustTetromino(name)
+		r := ti
+		var err error
+		for i := 0; i < 4; i++ {
+			r, err = r.Rotate90()
+			if err != nil {
+				t.Fatalf("Rotate90: %v", err)
+			}
+		}
+		if !r.Normalize().Equal(ti.Normalize()) {
+			t.Errorf("four rotations of %s changed the tile", name)
+		}
+	}
+}
+
+func TestRotate90PreservesSize(t *testing.T) {
+	ti := MustTetromino("L")
+	r, err := ti.Rotate90()
+	if err != nil {
+		t.Fatalf("Rotate90: %v", err)
+	}
+	if r.Size() != ti.Size() {
+		t.Errorf("rotation changed size: %d -> %d", ti.Size(), r.Size())
+	}
+}
+
+func TestRotate90RejectsNon2D(t *testing.T) {
+	ti := MustNew("seg", lattice.Pt(0), lattice.Pt(1))
+	if _, err := ti.Rotate90(); err == nil {
+		t.Error("Rotate90 of 1-dim tile accepted")
+	}
+}
+
+func TestRotationsCounts(t *testing.T) {
+	// Distinct rotations per tetromino: O has 1, I/S/Z have 2, T/L/J
+	// have 4 — the classical symmetry classes.
+	want := map[string]int{"O": 1, "I": 2, "S": 2, "Z": 2, "T": 4, "L": 4, "J": 4}
+	for name, n := range want {
+		rots, err := MustTetromino(name).Rotations()
+		if err != nil {
+			t.Fatalf("Rotations(%s): %v", name, err)
+		}
+		if len(rots) != n {
+			t.Errorf("Rotations(%s) = %d, want %d", name, len(rots), n)
+		}
+		// All rotations share the cell count and are pairwise distinct.
+		seen := map[string]bool{}
+		for _, r := range rots {
+			if r.Size() != 4 {
+				t.Errorf("%s rotation has %d cells", name, r.Size())
+			}
+			key := r.CanonicalKey()
+			if seen[key] {
+				t.Errorf("%s rotations contain duplicates", name)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func TestRotationsRejectsNon2D(t *testing.T) {
+	seg := MustNew("seg", lattice.Pt(0), lattice.Pt(1))
+	if _, err := seg.Rotations(); err == nil {
+		t.Error("Rotations of 1-dim tile accepted")
+	}
+}
+
+func TestReflectXInvolution(t *testing.T) {
+	ti := MustTetromino("S")
+	m1, err := ti.ReflectX()
+	if err != nil {
+		t.Fatalf("ReflectX: %v", err)
+	}
+	m2, err := m1.ReflectX()
+	if err != nil {
+		t.Fatalf("ReflectX: %v", err)
+	}
+	if !m2.Normalize().Equal(ti.Normalize()) {
+		t.Error("double reflection changed the tile")
+	}
+}
+
+func TestCanonicalKeyTranslationInvariant(t *testing.T) {
+	a := MustTetromino("S")
+	// Build the same shape shifted by (7, -3) with a different anchor.
+	s := lattice.NewSet()
+	for _, p := range a.Points() {
+		s.Add(p.Add(lattice.Pt(7, -3)))
+	}
+	b, err := FromSet("shifted", s)
+	if err != nil {
+		t.Fatalf("FromSet: %v", err)
+	}
+	if a.CanonicalKey() != b.CanonicalKey() {
+		t.Error("canonical keys of translates differ")
+	}
+	if a.CanonicalKey() == MustTetromino("Z").CanonicalKey() {
+		t.Error("S and Z share a canonical key")
+	}
+}
+
+func TestConnected(t *testing.T) {
+	if !MustTetromino("S").Connected() {
+		t.Error("S tetromino should be connected")
+	}
+	disc := MustNew("disc", lattice.Pt(0, 0), lattice.Pt(2, 2))
+	if disc.Connected() {
+		t.Error("diagonal pair should be disconnected")
+	}
+	seg := MustNew("seg3", lattice.Pt(0), lattice.Pt(1), lattice.Pt(2))
+	if !seg.Connected() {
+		t.Error("1-dim segment should be connected")
+	}
+}
+
+func TestSimplyConnected(t *testing.T) {
+	ok, err := MustTetromino("O").SimplyConnected()
+	if err != nil {
+		t.Fatalf("SimplyConnected: %v", err)
+	}
+	if !ok {
+		t.Error("O tetromino should be simply connected")
+	}
+	// A ring of 8 cells around an empty center has a hole.
+	ring, err := FromASCII("ring", "XXX\nX.X\nXXX")
+	if err != nil {
+		t.Fatalf("FromASCII: %v", err)
+	}
+	ok, err = ring.SimplyConnected()
+	if err != nil {
+		t.Fatalf("SimplyConnected: %v", err)
+	}
+	if ok {
+		t.Error("ring should not be simply connected")
+	}
+	// Disconnected tiles are not simply connected either.
+	disc := MustNew("disc", lattice.Pt(0, 0), lattice.Pt(3, 3))
+	ok, err = disc.SimplyConnected()
+	if err != nil {
+		t.Fatalf("SimplyConnected: %v", err)
+	}
+	if ok {
+		t.Error("disconnected tile reported simply connected")
+	}
+}
+
+func TestSimplyConnectedRejectsNon2D(t *testing.T) {
+	seg := MustNew("seg", lattice.Pt(0), lattice.Pt(1))
+	if _, err := seg.SimplyConnected(); err == nil {
+		t.Error("SimplyConnected of 1-dim tile accepted")
+	}
+}

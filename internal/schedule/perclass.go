@@ -1,0 +1,254 @@
+package schedule
+
+import (
+	"fmt"
+
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/tiling"
+)
+
+// The Section 4 ground rules for non-respectable tilings: every translate
+// of a prototile uses the same slot pattern (a map from tile cell to
+// slot), and the patterns of different prototile classes are chosen
+// independently. Under these rules the slot of a sensor depends only on
+// (class, cell index) of the tile covering it, so collision-freeness
+// compiles into a constraint graph over those pairs: two pairs conflict
+// when some two sensors realizing them have intersecting neighborhoods.
+// The minimal number of slots is the chromatic number of that graph —
+// computed exactly below, reproducing Figure 5's m = 6 vs m = 4.
+
+// PatternVar identifies one cell of one prototile class.
+type PatternVar struct {
+	Class int
+	Cell  int
+}
+
+// PatternConstraints is the compiled conflict structure of a torus tiling
+// under the per-class ground rules.
+type PatternConstraints struct {
+	tt   *tiling.TorusTiling
+	vars []PatternVar
+	adj  [][]bool
+}
+
+// CompilePatternConstraints scans all sensor pairs within interference
+// range (one fundamental domain × its neighborhood, by periodicity) and
+// records which (class, cell) pairs may not share a slot.
+func CompilePatternConstraints(tt *tiling.TorusTiling) (*PatternConstraints, error) {
+	dep := NewD1(tt)
+	tiles := tt.Tiles()
+	// Enumerate variables.
+	var vars []PatternVar
+	varIdx := map[[2]int]int{}
+	for k, t := range tiles {
+		for i := 0; i < t.Size(); i++ {
+			varIdx[[2]int{k, i}] = len(vars)
+			vars = append(vars, PatternVar{Class: k, Cell: i})
+		}
+	}
+	adj := make([][]bool, len(vars))
+	for i := range adj {
+		adj[i] = make([]bool, len(vars))
+	}
+	// Cells of one tile instance pairwise conflict (for n', n'' ∈ N the
+	// point s+n'+n'' lies in both neighborhoods), so each class's cells
+	// form a clique. Seeding these edges also keeps patterns of unused
+	// classes injective, which the schedule constructor requires.
+	for i, vi := range vars {
+		for j, vj := range vars {
+			if i != j && vi.Class == vj.Class {
+				adj[i][j] = true
+			}
+		}
+	}
+	// classCell locates the variable of an absolute sensor position.
+	classCell := func(p lattice.Point) (int, error) {
+		pl, err := tt.OwnerOf(p)
+		if err != nil {
+			return 0, err
+		}
+		n := tt.Wrap(p.Sub(pl.Offset))
+		for i, cand := range tiles[pl.TileIndex].Points() {
+			if tt.Wrap(cand).Equal(n) {
+				return varIdx[[2]int{pl.TileIndex, i}], nil
+			}
+		}
+		return 0, fmt.Errorf("%w: cell of %v not located", ErrSchedule, p)
+	}
+	dims := tt.Dims()
+	base, err := lattice.BoxWindow(dims...)
+	if err != nil {
+		return nil, err
+	}
+	reach := dep.Reach()
+	for _, p := range base.Points() {
+		vp, err := classCell(p)
+		if err != nil {
+			return nil, err
+		}
+		lo := p.Clone()
+		hi := p.Clone()
+		for i := range lo {
+			lo[i] -= 2 * reach
+			hi[i] += 2 * reach
+		}
+		box, err := lattice.NewWindow(lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		for _, q := range box.Points() {
+			if q.Equal(p) {
+				continue
+			}
+			vq, err := classCell(q)
+			if err != nil {
+				return nil, err
+			}
+			if adj[vp][vq] {
+				continue
+			}
+			if Conflict(dep, p, q) {
+				if vp == vq {
+					return nil, fmt.Errorf("%w: same-pattern sensors %v and %v conflict "+
+						"(GT2 must be violated)", ErrSchedule, p, q)
+				}
+				adj[vp][vq] = true
+				adj[vq][vp] = true
+			}
+		}
+	}
+	return &PatternConstraints{tt: tt, vars: vars, adj: adj}, nil
+}
+
+// Vars returns the pattern variables.
+func (pc *PatternConstraints) Vars() []PatternVar {
+	return append([]PatternVar(nil), pc.vars...)
+}
+
+// Conflicts reports whether two variables may not share a slot.
+func (pc *PatternConstraints) Conflicts(i, j int) bool { return pc.adj[i][j] }
+
+// MinSlots returns the smallest m admitting a valid per-class slot
+// assignment (the chromatic number of the constraint graph), together with
+// the patterns: patterns[class][cell] = slot. maxM bounds the search.
+func (pc *PatternConstraints) MinSlots(maxM int) (int, [][]int, error) {
+	lower := 0
+	for _, t := range pc.tt.Tiles() {
+		if t.Size() > lower {
+			lower = t.Size()
+		}
+	}
+	for m := lower; m <= maxM; m++ {
+		colors := make([]int, len(pc.vars))
+		for i := range colors {
+			colors[i] = -1
+		}
+		if pc.color(colors, 0, m) {
+			patterns := make([][]int, len(pc.tt.Tiles()))
+			for k, t := range pc.tt.Tiles() {
+				patterns[k] = make([]int, t.Size())
+			}
+			for vi, v := range pc.vars {
+				patterns[v.Class][v.Cell] = colors[vi]
+			}
+			return m, patterns, nil
+		}
+	}
+	return 0, nil, fmt.Errorf("%w: no per-class schedule with ≤ %d slots", ErrSchedule, maxM)
+}
+
+// color performs backtracking graph coloring with m colors.
+func (pc *PatternConstraints) color(colors []int, v, m int) bool {
+	if v == len(pc.vars) {
+		return true
+	}
+	// Symmetry pruning: the first vertex may only take color 0, and in
+	// general a vertex may use at most one color beyond the maximum used
+	// so far.
+	maxUsed := -1
+	for i := 0; i < v; i++ {
+		if colors[i] > maxUsed {
+			maxUsed = colors[i]
+		}
+	}
+	limit := maxUsed + 1
+	if limit >= m {
+		limit = m - 1
+	}
+	for c := 0; c <= limit; c++ {
+		ok := true
+		for u := 0; u < v; u++ {
+			if pc.adj[v][u] && colors[u] == c {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		colors[v] = c
+		if pc.color(colors, v+1, m) {
+			return true
+		}
+		colors[v] = -1
+	}
+	return false
+}
+
+// PerClassSchedule realizes a pattern assignment as a Schedule over the
+// whole lattice (lifted periodically from the torus tiling).
+type PerClassSchedule struct {
+	tt       *tiling.TorusTiling
+	patterns [][]int
+	slots    int
+}
+
+// NewPerClassSchedule validates shapes and slot ranges and builds the
+// schedule. It does not verify collision-freeness; use
+// VerifyCollisionFree or obtain patterns from MinSlots.
+func NewPerClassSchedule(tt *tiling.TorusTiling, slots int, patterns [][]int) (*PerClassSchedule, error) {
+	tiles := tt.Tiles()
+	if len(patterns) != len(tiles) {
+		return nil, fmt.Errorf("%w: %d patterns for %d prototiles", ErrSchedule, len(patterns), len(tiles))
+	}
+	for k, t := range tiles {
+		if len(patterns[k]) != t.Size() {
+			return nil, fmt.Errorf("%w: pattern %d has %d entries for %d cells",
+				ErrSchedule, k, len(patterns[k]), t.Size())
+		}
+		seen := map[int]bool{}
+		for _, s := range patterns[k] {
+			if s < 0 || s >= slots {
+				return nil, fmt.Errorf("%w: slot %d outside [0, %d)", ErrSchedule, s, slots)
+			}
+			if seen[s] {
+				return nil, fmt.Errorf("%w: pattern %d reuses slot %d within one tile", ErrSchedule, k, s)
+			}
+			seen[s] = true
+		}
+	}
+	cp := make([][]int, len(patterns))
+	for i, p := range patterns {
+		cp[i] = append([]int(nil), p...)
+	}
+	return &PerClassSchedule{tt: tt, patterns: cp, slots: slots}, nil
+}
+
+// Slots returns the period m.
+func (s *PerClassSchedule) Slots() int { return s.slots }
+
+// SlotOf returns patterns[class][cell] for the tile covering p.
+func (s *PerClassSchedule) SlotOf(p lattice.Point) (int, error) {
+	pl, err := s.tt.OwnerOf(p)
+	if err != nil {
+		return 0, err
+	}
+	n := s.tt.Wrap(p.Sub(pl.Offset))
+	tile := s.tt.Tiles()[pl.TileIndex]
+	for i, cand := range tile.Points() {
+		if s.tt.Wrap(cand).Equal(n) {
+			return s.patterns[pl.TileIndex][i], nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %v not aligned with its placement", ErrSchedule, p)
+}

@@ -1,0 +1,104 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+
+	"tilingsched/internal/boundary"
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/tiling"
+)
+
+// Property: for every random exact polyomino, the Theorem 1 schedule is
+// collision-free on a window and uses exactly |N| slots — the paper's
+// main theorem, checked over a randomized corpus rather than a fixed
+// catalog.
+func TestTheorem1OnRandomPolyominoes(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	verified := 0
+	for trial := 0; trial < 120 && verified < 25; trial++ {
+		ti := boundary.RandomSimplePolyomino(rng, 2+rng.Intn(6))
+		lt, ok := tiling.FindLatticeTiling(ti)
+		if !ok {
+			continue // not exact; skip
+		}
+		s := FromLatticeTiling(lt)
+		if s.Slots() != ti.Size() {
+			t.Fatalf("%s: slots %d ≠ |N| %d", ti.Name(), s.Slots(), ti.Size())
+		}
+		dep := s.Deployment()
+		w := lattice.CenteredWindow(2, 2*dep.Reach()+2)
+		if err := VerifyCollisionFree(s, dep, w); err != nil {
+			t.Fatalf("random tile\n%s\nschedule collides: %v", ti.ASCII(), err)
+		}
+		verified++
+	}
+	if verified < 10 {
+		t.Fatalf("only %d random exact polyominoes verified; corpus too thin", verified)
+	}
+}
+
+// Property: the slot histogram of a Theorem 1 schedule over a period-
+// aligned window is perfectly balanced — each coset has equal density.
+func TestTheorem1SlotBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		ti := boundary.RandomSimplePolyomino(rng, 2+rng.Intn(5))
+		lt, ok := tiling.FindLatticeTiling(ti)
+		if !ok {
+			continue
+		}
+		s := FromLatticeTiling(lt)
+		period := lt.Period()
+		// Window [0, a·c) × [0, c·c)… use the box [0, det) in each axis:
+		// it is a union of fundamental domains only when axis-aligned
+		// with the HNF diagonal; use lcm-style box [0, d) × [0, d) where
+		// d = det — always a disjoint union of |N| equal cosets.
+		d := int(period.At(0, 0) * period.At(1, 1))
+		w, err := lattice.BoxWindow(d, d)
+		if err != nil {
+			t.Fatalf("BoxWindow: %v", err)
+		}
+		hist, err := SlotHistogram(s, w)
+		if err != nil {
+			t.Fatalf("SlotHistogram: %v", err)
+		}
+		want := w.Size() / ti.Size()
+		for k, c := range hist {
+			if c != want {
+				t.Fatalf("tile %s: slot %d has %d sensors, want %d", ti.Name(), k, c, want)
+			}
+		}
+	}
+}
+
+// Property: conflicting sensors never share a slot under Theorem 1, and
+// non-conflicting, same-slot sensors really have disjoint neighborhoods —
+// the exact biconditional, sampled.
+func TestTheorem1ConflictBiconditional(t *testing.T) {
+	lt, ok := tiling.FindLatticeTiling(boundary.Staircase(3))
+	if !ok {
+		t.Fatal("staircase-3 should tile")
+	}
+	s := FromLatticeTiling(lt)
+	dep := s.Deployment()
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 400; trial++ {
+		p := lattice.Pt(rng.Intn(17)-8, rng.Intn(17)-8)
+		q := lattice.Pt(rng.Intn(17)-8, rng.Intn(17)-8)
+		if p.Equal(q) {
+			continue
+		}
+		kp, err := s.SlotOf(p)
+		if err != nil {
+			t.Fatalf("SlotOf: %v", err)
+		}
+		kq, err := s.SlotOf(q)
+		if err != nil {
+			t.Fatalf("SlotOf: %v", err)
+		}
+		if kp == kq && Conflict(dep, p, q) {
+			t.Fatalf("same-slot sensors %v, %v conflict", p, q)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package schedule
+
+import (
+	"fmt"
+
+	"tilingsched/internal/lattice"
+)
+
+// Restrict materializes any schedule over a finite window as an explicit
+// MapSchedule — the paper's Conclusions operation of restricting the
+// infinite-lattice schedule to a deployment region D. The slot count is
+// preserved (restriction can only relax constraints, never violate them),
+// and by the Conclusions the restriction stays optimal whenever D
+// contains a translate of N+N.
+func Restrict(s Schedule, w lattice.Window) (*MapSchedule, error) {
+	assign := make(map[string]int, w.Size())
+	for _, p := range w.Points() {
+		k, err := s.SlotOf(p)
+		if err != nil {
+			return nil, fmt.Errorf("schedule: restricting at %v: %w", p, err)
+		}
+		assign[p.Key()] = k
+	}
+	return NewMapSchedule(s.Slots(), assign)
+}

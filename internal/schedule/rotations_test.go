@@ -1,0 +1,104 @@
+package schedule
+
+import (
+	"testing"
+
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/prototile"
+	"tilingsched/internal/tiling"
+)
+
+// Section 4 motivates multi-prototile tilings by rotated antenna patterns.
+// Tile a torus with two rotations of the L tromino (a non-respectable
+// pair: neither contains the other) and check the per-class machinery
+// produces a verified schedule whose slot count sits between the clique
+// bound (3) and the Theorem 2 union bound.
+func TestRotatedTrominoTiling(t *testing.T) {
+	rots, err := prototile.LTromino().Rotations()
+	if err != nil {
+		t.Fatalf("Rotations: %v", err)
+	}
+	if len(rots) != 4 {
+		t.Fatalf("L tromino has %d rotations, want 4", len(rots))
+	}
+	pair := []*prototile.Tile{rots[0], rots[2]} // 180°-rotated pair
+	sols, err := tiling.SolveTorus([]int{3, 4}, pair, tiling.SolveOptions{
+		MaxSolutions: 10,
+		Accept: func(counts []int) bool {
+			return counts[0] > 0 && counts[1] > 0 // genuinely mixed
+		},
+	})
+	if err != nil {
+		t.Fatalf("SolveTorus: %v", err)
+	}
+	if len(sols) == 0 {
+		t.Skip("no mixed rotated-tromino tiling on the 3x4 torus")
+	}
+	for _, sol := range sols {
+		if sol.Respectable() {
+			t.Error("rotated pair reported respectable")
+		}
+		pc, err := CompilePatternConstraints(sol)
+		if err != nil {
+			t.Fatalf("CompilePatternConstraints: %v", err)
+		}
+		m, patterns, err := pc.MinSlots(12)
+		if err != nil {
+			t.Fatalf("MinSlots: %v", err)
+		}
+		if m < 3 {
+			t.Errorf("per-class optimum %d below the 3-clique bound", m)
+		}
+		th2, err := FromTorusTiling(sol)
+		if err != nil {
+			t.Fatalf("FromTorusTiling: %v", err)
+		}
+		if m > th2.Slots() {
+			t.Errorf("per-class optimum %d above the Theorem 2 union bound %d", m, th2.Slots())
+		}
+		ps, err := NewPerClassSchedule(sol, m, patterns)
+		if err != nil {
+			t.Fatalf("NewPerClassSchedule: %v", err)
+		}
+		if err := VerifyCollisionFree(ps, NewD1(sol), lattice.CenteredWindow(2, 5)); err != nil {
+			t.Errorf("rotated-tromino schedule collides: %v", err)
+		}
+	}
+}
+
+func TestRestrictPreservesSchedule(t *testing.T) {
+	lt, ok := tiling.FindLatticeTiling(prototile.Cross(2, 1))
+	if !ok {
+		t.Fatal("no tiling")
+	}
+	s := FromLatticeTiling(lt)
+	w := lattice.CenteredWindow(2, 3)
+	r, err := Restrict(s, w)
+	if err != nil {
+		t.Fatalf("Restrict: %v", err)
+	}
+	if r.Slots() != s.Slots() {
+		t.Errorf("restriction changed slot count: %d vs %d", r.Slots(), s.Slots())
+	}
+	for _, p := range w.Points() {
+		ks, err := s.SlotOf(p)
+		if err != nil {
+			t.Fatalf("SlotOf: %v", err)
+		}
+		kr, err := r.SlotOf(p)
+		if err != nil {
+			t.Fatalf("restricted SlotOf: %v", err)
+		}
+		if ks != kr {
+			t.Fatalf("slots differ at %v", p)
+		}
+	}
+	// Outside the window, the restriction knows nothing.
+	if _, err := r.SlotOf(lattice.Pt(99, 99)); err == nil {
+		t.Error("restricted schedule answered outside its window")
+	}
+	// The restriction remains collision-free on its window.
+	if err := VerifyCollisionFree(r, s.Deployment(), w); err != nil {
+		t.Errorf("restricted schedule collides: %v", err)
+	}
+}

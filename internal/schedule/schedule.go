@@ -1,0 +1,179 @@
+// Package schedule implements the paper's deterministic periodic broadcast
+// schedules and their verification.
+//
+// A schedule assigns every sensor position a slot k ∈ {0..m-1}; the sensor
+// at p may broadcast at time t exactly when t ≡ SlotOf(p) (mod Slots()).
+// A schedule is collision-free when no two same-slot sensors have
+// intersecting interference neighborhoods (p + N(p)) — the paper's
+// condition preceding Theorem 1. Schedules constructed from tilings
+// (Theorem 1, Theorem 2) are optimal: they use exactly |N| slots, and no
+// collision-free periodic schedule can use fewer.
+package schedule
+
+import (
+	"errors"
+	"fmt"
+
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/prototile"
+	"tilingsched/internal/tiling"
+)
+
+// ErrSchedule indicates an invalid schedule construction or verification
+// failure.
+var ErrSchedule = errors.New("schedule: invalid schedule")
+
+// Schedule assigns broadcast slots to lattice points.
+type Schedule interface {
+	// Slots returns the period m of the schedule.
+	Slots() int
+	// SlotOf returns the 0-based slot of the sensor at p.
+	SlotOf(p lattice.Point) (int, error)
+}
+
+// Deployment describes each sensor's interference neighborhood — the
+// paper's deployment rule (homogeneous before Theorem 1, D1 in Section 4).
+type Deployment interface {
+	// NeighborhoodOf returns the absolute positions affected by a
+	// broadcast of the sensor at p (the set p + N(p), which includes p).
+	NeighborhoodOf(p lattice.Point) []lattice.Point
+	// Reach bounds the Chebyshev distance from p to any point of its
+	// neighborhood; used to limit conflict searches.
+	Reach() int
+	// Dim returns the lattice dimension.
+	Dim() int
+}
+
+// Homogeneous is the constant-prototile deployment of Sections 1–3: every
+// sensor at t affects t + N.
+type Homogeneous struct {
+	tile *prototile.Tile
+}
+
+// NewHomogeneous builds the homogeneous deployment for prototile N.
+func NewHomogeneous(t *prototile.Tile) *Homogeneous { return &Homogeneous{tile: t} }
+
+// Tile returns the prototile.
+func (h *Homogeneous) Tile() *prototile.Tile { return h.tile }
+
+// NeighborhoodOf returns p + N.
+func (h *Homogeneous) NeighborhoodOf(p lattice.Point) []lattice.Point {
+	pts := h.tile.Points()
+	out := make([]lattice.Point, len(pts))
+	for i, n := range pts {
+		out[i] = p.Add(n)
+	}
+	return out
+}
+
+// Reach returns the maximum coordinate magnitude within N.
+func (h *Homogeneous) Reach() int {
+	r := 0
+	for _, n := range h.tile.Points() {
+		if c := n.ChebyshevNorm(); c > r {
+			r = c
+		}
+	}
+	return r
+}
+
+// Dim returns the prototile dimension.
+func (h *Homogeneous) Dim() int { return h.tile.Dim() }
+
+// D1 is the paper's Section 4 deployment: the sensor at p has the
+// neighborhood type of the tile covering p in a (possibly multi-prototile)
+// torus tiling, extended periodically to the whole lattice.
+type D1 struct {
+	tt *tiling.TorusTiling
+}
+
+// NewD1 builds the D1 deployment over a torus tiling.
+func NewD1(tt *tiling.TorusTiling) *D1 { return &D1{tt: tt} }
+
+// Tiling returns the underlying torus tiling.
+func (d *D1) Tiling() *tiling.TorusTiling { return d.tt }
+
+// NeighborhoodOf returns p + N_k where N_k is the prototile of the
+// placement covering p.
+func (d *D1) NeighborhoodOf(p lattice.Point) []lattice.Point {
+	t, err := d.tt.TileAt(p)
+	if err != nil {
+		// Tiling invariants guarantee every cell is owned; an error here
+		// means a dimension mismatch, which is a programming error.
+		panic(fmt.Sprintf("schedule: D1 neighborhood of %v: %v", p, err))
+	}
+	pts := t.Points()
+	out := make([]lattice.Point, len(pts))
+	for i, n := range pts {
+		out[i] = p.Add(n)
+	}
+	return out
+}
+
+// Reach returns the maximum coordinate magnitude over all prototiles.
+func (d *D1) Reach() int {
+	r := 0
+	for _, t := range d.tt.Tiles() {
+		for _, n := range t.Points() {
+			if c := n.ChebyshevNorm(); c > r {
+				r = c
+			}
+		}
+	}
+	return r
+}
+
+// Dim returns the torus dimension.
+func (d *D1) Dim() int { return len(d.tt.Dims()) }
+
+// MapSchedule is an explicit finite schedule: a slot table over a window
+// of sensor positions. It backs the baseline schedules (plain TDMA,
+// graph-coloring heuristics) so that every scheduler flows through the
+// same verifier and simulator.
+type MapSchedule struct {
+	slots int
+	table map[string]int
+}
+
+// NewMapSchedule builds a schedule from an explicit assignment. Slots must
+// be positive and every assigned slot must lie in [0, slots).
+func NewMapSchedule(slots int, assign map[string]int) (*MapSchedule, error) {
+	if slots <= 0 {
+		return nil, fmt.Errorf("%w: %d slots", ErrSchedule, slots)
+	}
+	table := make(map[string]int, len(assign))
+	for k, s := range assign {
+		if s < 0 || s >= slots {
+			return nil, fmt.Errorf("%w: slot %d out of [0, %d)", ErrSchedule, s, slots)
+		}
+		table[k] = s
+	}
+	return &MapSchedule{slots: slots, table: table}, nil
+}
+
+// Slots returns the period.
+func (m *MapSchedule) Slots() int { return m.slots }
+
+// SlotOf looks up the point's slot; unknown points are an error.
+func (m *MapSchedule) SlotOf(p lattice.Point) (int, error) {
+	s, ok := m.table[p.Key()]
+	if !ok {
+		return 0, fmt.Errorf("%w: no slot for %v", ErrSchedule, p)
+	}
+	return s, nil
+}
+
+// PlainTDMA returns the classical round-robin schedule over a finite
+// window: every sensor gets its own slot, m = |window|. Collision-free by
+// construction and maximally wasteful — the paper's strawman baseline.
+func PlainTDMA(w lattice.Window) *MapSchedule {
+	assign := make(map[string]int, w.Size())
+	for i, p := range w.Points() {
+		assign[p.Key()] = i
+	}
+	s, err := NewMapSchedule(w.Size(), assign)
+	if err != nil {
+		panic("schedule: PlainTDMA construction failed: " + err.Error())
+	}
+	return s
+}

@@ -1,0 +1,200 @@
+package schedule
+
+import (
+	"errors"
+	"testing"
+
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/prototile"
+	"tilingsched/internal/tiling"
+)
+
+func mustTiling(t *testing.T, ti *prototile.Tile) *tiling.LatticeTiling {
+	t.Helper()
+	lt, ok := tiling.FindLatticeTiling(ti)
+	if !ok {
+		t.Fatalf("no lattice tiling for %s", ti.Name())
+	}
+	return lt
+}
+
+func TestTheorem1CollisionFree(t *testing.T) {
+	// The headline result: for every exact prototile in the catalog, the
+	// Theorem 1 schedule is collision-free with exactly |N| slots.
+	tiles := []*prototile.Tile{
+		prototile.Directional(), // Figure 3's 8-slot schedule
+		prototile.Cross(2, 1),
+		prototile.ChebyshevBall(2, 1),
+		prototile.MustTetromino("S"),
+		prototile.MustTetromino("T"),
+		prototile.LTromino(),
+	}
+	for _, ti := range tiles {
+		lt := mustTiling(t, ti)
+		s := FromLatticeTiling(lt)
+		if s.Slots() != ti.Size() {
+			t.Errorf("%s: slots = %d, want |N| = %d", ti.Name(), s.Slots(), ti.Size())
+		}
+		dep := s.Deployment()
+		if err := VerifyCollisionFree(s, dep, lattice.CenteredWindow(2, 6)); err != nil {
+			t.Errorf("%s: %v", ti.Name(), err)
+		}
+		if s.LowerBound() != ti.Size() {
+			t.Errorf("%s: lower bound = %d, want %d", ti.Name(), s.LowerBound(), ti.Size())
+		}
+	}
+}
+
+func TestTheorem1SlotShiftProperty(t *testing.T) {
+	// Figure 3's observation: the sensors broadcasting in any fixed slot
+	// k are exactly n_k + T, so their neighborhoods tile the lattice —
+	// equivalently, the slot-k broadcasters are one coset of T.
+	ti := prototile.Directional()
+	lt := mustTiling(t, ti)
+	s := FromLatticeTiling(lt)
+	w := lattice.CenteredWindow(2, 8)
+	byslot := make(map[int][]lattice.Point)
+	for _, p := range w.Points() {
+		k, err := s.SlotOf(p)
+		if err != nil {
+			t.Fatalf("SlotOf: %v", err)
+		}
+		byslot[k] = append(byslot[k], p)
+	}
+	if len(byslot) != 8 {
+		t.Fatalf("window uses %d slots, want 8", len(byslot))
+	}
+	pts := ti.Points()
+	for k, sensors := range byslot {
+		for _, p := range sensors {
+			tr := p.Sub(pts[k])
+			in, err := lt.InTranslateSet(tr)
+			if err != nil {
+				t.Fatalf("InTranslateSet: %v", err)
+			}
+			if !in {
+				t.Fatalf("slot-%d sensor %v is not n_k + T", k, p)
+			}
+		}
+	}
+}
+
+func TestPlainTDMACollisionFree(t *testing.T) {
+	w := lattice.CenteredWindow(2, 2)
+	s := PlainTDMA(w)
+	if s.Slots() != w.Size() {
+		t.Errorf("TDMA slots = %d, want %d", s.Slots(), w.Size())
+	}
+	dep := NewHomogeneous(prototile.ChebyshevBall(2, 1))
+	if err := VerifyCollisionFree(s, dep, w); err != nil {
+		t.Errorf("plain TDMA not collision-free: %v", err)
+	}
+}
+
+func TestVerifyDetectsCollision(t *testing.T) {
+	// All-same-slot schedule must produce a witness for any nontrivial
+	// neighborhood.
+	w := lattice.CenteredWindow(2, 2)
+	assign := map[string]int{}
+	for _, p := range w.Points() {
+		assign[p.Key()] = 0
+	}
+	s, err := NewMapSchedule(1, assign)
+	if err != nil {
+		t.Fatalf("NewMapSchedule: %v", err)
+	}
+	dep := NewHomogeneous(prototile.Cross(2, 1))
+	err = VerifyCollisionFree(s, dep, w)
+	if err == nil {
+		t.Fatal("collision not detected")
+	}
+	var cw CollisionWitness
+	if !errors.As(err, &cw) {
+		t.Fatalf("error is %T, want CollisionWitness", err)
+	}
+	if cw.Slot != 0 {
+		t.Errorf("witness slot = %d, want 0", cw.Slot)
+	}
+	if !Conflict(dep, cw.P, cw.Q) {
+		t.Error("witness pair does not actually conflict")
+	}
+}
+
+func TestVerifyRejectsUnknownPoints(t *testing.T) {
+	s, _ := NewMapSchedule(1, map[string]int{})
+	dep := NewHomogeneous(prototile.Cross(2, 1))
+	if err := VerifyCollisionFree(s, dep, lattice.CenteredWindow(2, 1)); err == nil {
+		t.Error("schedule with missing points accepted")
+	}
+}
+
+func TestVerifyDimensionMismatch(t *testing.T) {
+	lt := mustTiling(t, prototile.Cross(2, 1))
+	s := FromLatticeTiling(lt)
+	if err := VerifyCollisionFree(s, s.Deployment(), lattice.CenteredWindow(3, 1)); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestMapScheduleValidation(t *testing.T) {
+	if _, err := NewMapSchedule(0, nil); err == nil {
+		t.Error("0 slots accepted")
+	}
+	if _, err := NewMapSchedule(2, map[string]int{"0,0": 5}); err == nil {
+		t.Error("out-of-range slot accepted")
+	}
+	s, err := NewMapSchedule(2, map[string]int{"0,0": 1})
+	if err != nil {
+		t.Fatalf("NewMapSchedule: %v", err)
+	}
+	if _, err := s.SlotOf(lattice.Pt(9, 9)); err == nil {
+		t.Error("unknown point accepted")
+	}
+	k, err := s.SlotOf(lattice.Pt(0, 0))
+	if err != nil || k != 1 {
+		t.Errorf("SlotOf = %d, %v", k, err)
+	}
+}
+
+func TestConflictSymmetricAndSelf(t *testing.T) {
+	dep := NewHomogeneous(prototile.Cross(2, 1))
+	p, q := lattice.Pt(0, 0), lattice.Pt(1, 1)
+	if Conflict(dep, p, q) != Conflict(dep, q, p) {
+		t.Error("Conflict not symmetric")
+	}
+	if !Conflict(dep, p, p) {
+		t.Error("point should conflict with itself")
+	}
+	far := lattice.Pt(10, 10)
+	if Conflict(dep, p, far) {
+		t.Error("distant points conflict")
+	}
+}
+
+func TestHomogeneousReach(t *testing.T) {
+	if r := NewHomogeneous(prototile.ChebyshevBall(2, 2)).Reach(); r != 2 {
+		t.Errorf("Reach = %d, want 2", r)
+	}
+	if r := NewHomogeneous(prototile.Directional()).Reach(); r != 3 {
+		t.Errorf("Reach = %d, want 3 (2x4 block)", r)
+	}
+}
+
+func TestSlotHistogram(t *testing.T) {
+	lt := mustTiling(t, prototile.MustTetromino("O"))
+	s := FromLatticeTiling(lt)
+	w, err := lattice.BoxWindow(4, 4)
+	if err != nil {
+		t.Fatalf("BoxWindow: %v", err)
+	}
+	hist, err := SlotHistogram(s, w)
+	if err != nil {
+		t.Fatalf("SlotHistogram: %v", err)
+	}
+	// A 4x4 box aligned with a 2x2 tiling gives perfectly fair slots.
+	for k, c := range hist {
+		if c != 4 {
+			t.Errorf("slot %d has %d sensors, want 4", k, c)
+		}
+	}
+}

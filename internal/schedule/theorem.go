@@ -1,0 +1,158 @@
+package schedule
+
+import (
+	"fmt"
+
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/prototile"
+	"tilingsched/internal/tiling"
+)
+
+// Theorem1 is the schedule of the paper's Theorem 1: given a tiling T of
+// the lattice with neighborhoods N = {n_1..n_m}, the sensors at n_k + T
+// broadcast in slot k. It uses m = |N| slots, is collision-free, and is
+// optimal (no collision-free periodic schedule uses fewer slots).
+type Theorem1 struct {
+	lt *tiling.LatticeTiling
+}
+
+// FromLatticeTiling builds the Theorem 1 schedule.
+func FromLatticeTiling(lt *tiling.LatticeTiling) *Theorem1 {
+	return &Theorem1{lt: lt}
+}
+
+// Tiling returns the underlying tiling.
+func (s *Theorem1) Tiling() *tiling.LatticeTiling { return s.lt }
+
+// Slots returns |N|.
+func (s *Theorem1) Slots() int { return s.lt.Tile().Size() }
+
+// SlotOf returns the coset index of p: the k with p ∈ n_k + T.
+func (s *Theorem1) SlotOf(p lattice.Point) (int, error) {
+	return s.lt.CosetIndex(p)
+}
+
+// Deployment returns the homogeneous deployment this schedule serves.
+func (s *Theorem1) Deployment() *Homogeneous {
+	return NewHomogeneous(s.lt.Tile())
+}
+
+// LowerBound returns the paper's optimality bound: any collision-free
+// periodic schedule for the homogeneous deployment with prototile N needs
+// at least |N| slots, because for any n', n” ∈ N the point n' + n” lies
+// in both (n' + N) and (n” + N) — the sensors at N form a conflict
+// clique.
+func (s *Theorem1) LowerBound() int { return s.lt.Tile().Size() }
+
+// CosetTiling abstracts the tilings that induce a Theorem 1 schedule: any
+// structure assigning every lattice point the index of the unique tile
+// element covering it (both tiling.LatticeTiling and
+// tiling.PeriodicTiling qualify).
+type CosetTiling interface {
+	Tile() *prototile.Tile
+	CosetIndex(p lattice.Point) (int, error)
+}
+
+// CosetSchedule is the Theorem 1 schedule over any CosetTiling — in
+// particular over generalized periodic tilings of clusters that admit no
+// lattice tiling (e.g. {0, 2} ⊂ Z with T = {0, 1} + 4Z).
+type CosetSchedule struct {
+	ct CosetTiling
+}
+
+// FromCosetTiling wraps a coset tiling as a schedule.
+func FromCosetTiling(ct CosetTiling) *CosetSchedule { return &CosetSchedule{ct: ct} }
+
+// Slots returns |N|.
+func (s *CosetSchedule) Slots() int { return s.ct.Tile().Size() }
+
+// SlotOf returns the coset index of p.
+func (s *CosetSchedule) SlotOf(p lattice.Point) (int, error) { return s.ct.CosetIndex(p) }
+
+// Deployment returns the homogeneous deployment of the tiling's
+// prototile.
+func (s *CosetSchedule) Deployment() *Homogeneous { return NewHomogeneous(s.ct.Tile()) }
+
+// Theorem2 is the schedule of the paper's Theorem 2 for multi-prototile
+// tilings under deployment D1: with N = ∪_k N_k = {n_1..n_m}, the sensors
+// at n_k + T_ℓ broadcast in slot k whenever n_k ∈ N_ℓ. For respectable
+// tilings it uses m = |N_1| slots and is optimal.
+type Theorem2 struct {
+	tt    *tiling.TorusTiling
+	union []lattice.Point
+	index map[string]int
+}
+
+// FromTorusTiling builds the Theorem 2 schedule over a torus tiling. The
+// union N = ∪ N_k is enumerated in lexicographic order; slot k belongs to
+// union element n_k.
+func FromTorusTiling(tt *tiling.TorusTiling) (*Theorem2, error) {
+	u := lattice.NewSet()
+	for _, t := range tt.Tiles() {
+		for _, n := range t.Points() {
+			u.Add(n)
+		}
+	}
+	union := u.Points()
+	index := make(map[string]int, len(union))
+	for i, n := range union {
+		index[n.Key()] = i
+	}
+	return &Theorem2{tt: tt, union: union, index: index}, nil
+}
+
+// Tiling returns the underlying torus tiling.
+func (s *Theorem2) Tiling() *tiling.TorusTiling { return s.tt }
+
+// Union returns the enumerated union neighborhood N = ∪ N_k.
+func (s *Theorem2) Union() []lattice.Point {
+	out := make([]lattice.Point, len(s.union))
+	for i, p := range s.union {
+		out[i] = p.Clone()
+	}
+	return out
+}
+
+// Slots returns |∪ N_k|; for respectable tilings this equals |N_1|.
+func (s *Theorem2) Slots() int { return len(s.union) }
+
+// SlotOf locates the placement (ℓ, offset) covering p and returns the
+// union index of the tile element p - offset ∈ N_ℓ.
+func (s *Theorem2) SlotOf(p lattice.Point) (int, error) {
+	pl, err := s.tt.OwnerOf(p)
+	if err != nil {
+		return 0, err
+	}
+	n := s.tt.Wrap(p.Sub(pl.Offset))
+	// The cell offset within the tile may wrap around the torus: find
+	// the tile element congruent to it.
+	tile := s.tt.Tiles()[pl.TileIndex]
+	for _, cand := range tile.Points() {
+		if s.tt.Wrap(cand).Equal(n) {
+			k, ok := s.index[cand.Key()]
+			if !ok {
+				return 0, fmt.Errorf("%w: union index missing %v", ErrSchedule, cand)
+			}
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %v not aligned with its placement", ErrSchedule, p)
+}
+
+// Deployment returns the D1 deployment this schedule serves.
+func (s *Theorem2) Deployment() *D1 { return NewD1(s.tt) }
+
+// LowerBound returns the Theorem 2 optimality bound for respectable
+// tilings: |N_1| slots are necessary. For non-respectable tilings the
+// bound degrades to the largest prototile size (each tile is still a
+// conflict clique), and the true optimum depends on the tiling —
+// Section 4 / Figure 5.
+func (s *Theorem2) LowerBound() int {
+	max := 0
+	for _, t := range s.tt.Tiles() {
+		if t.Size() > max {
+			max = t.Size()
+		}
+	}
+	return max
+}

@@ -1,0 +1,209 @@
+package schedule
+
+import (
+	"testing"
+
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/prototile"
+	"tilingsched/internal/tiling"
+)
+
+// respectableDominoTiling builds a tiny respectable two-prototile tiling:
+// N1 = domino {(0,0),(1,0)}, N2 = monomino {(0,0)} ⊂ N1, on a 2x2 torus
+// with one domino and two monominoes.
+func respectableDominoTiling(t *testing.T) *tiling.TorusTiling {
+	t.Helper()
+	domino := prototile.MustNew("domino", lattice.Pt(0, 0), lattice.Pt(1, 0))
+	mono := prototile.MustNew("mono", lattice.Pt(0, 0))
+	tt, err := tiling.NewTorusTiling([]int{2, 2},
+		[]*prototile.Tile{domino, mono},
+		[]tiling.Placement{
+			{TileIndex: 0, Offset: lattice.Pt(0, 0)},
+			{TileIndex: 1, Offset: lattice.Pt(0, 1)},
+			{TileIndex: 1, Offset: lattice.Pt(1, 1)},
+		})
+	if err != nil {
+		t.Fatalf("NewTorusTiling: %v", err)
+	}
+	return tt
+}
+
+func TestTheorem2Respectable(t *testing.T) {
+	tt := respectableDominoTiling(t)
+	if !tt.Respectable() {
+		t.Fatal("tiling should be respectable")
+	}
+	s, err := FromTorusTiling(tt)
+	if err != nil {
+		t.Fatalf("FromTorusTiling: %v", err)
+	}
+	// m = |N1| = 2 for respectable tilings.
+	if s.Slots() != 2 {
+		t.Errorf("slots = %d, want 2", s.Slots())
+	}
+	if s.LowerBound() != 2 {
+		t.Errorf("lower bound = %d, want 2", s.LowerBound())
+	}
+	if err := VerifyCollisionFree(s, s.Deployment(), lattice.CenteredWindow(2, 4)); err != nil {
+		t.Errorf("Theorem 2 schedule not collision-free: %v", err)
+	}
+}
+
+func TestTheorem2PureS(t *testing.T) {
+	// A single-prototile torus tiling is trivially respectable; the
+	// Theorem 2 schedule then coincides with a 4-slot schedule.
+	s4 := prototile.MustTetromino("S")
+	sols, err := tiling.SolveTorus([]int{4, 4}, []*prototile.Tile{s4}, tiling.SolveOptions{MaxSolutions: 1})
+	if err != nil || len(sols) == 0 {
+		t.Fatalf("SolveTorus: %v (%d)", err, len(sols))
+	}
+	sched, err := FromTorusTiling(sols[0])
+	if err != nil {
+		t.Fatalf("FromTorusTiling: %v", err)
+	}
+	if sched.Slots() != 4 {
+		t.Errorf("slots = %d, want 4", sched.Slots())
+	}
+	if err := VerifyCollisionFree(sched, sched.Deployment(), lattice.CenteredWindow(2, 6)); err != nil {
+		t.Errorf("pure-S Theorem 2 schedule collides: %v", err)
+	}
+}
+
+func TestTheorem2SlotsPeriodic(t *testing.T) {
+	tt := respectableDominoTiling(t)
+	s, err := FromTorusTiling(tt)
+	if err != nil {
+		t.Fatalf("FromTorusTiling: %v", err)
+	}
+	// Slots repeat with the torus period.
+	for _, p := range lattice.CenteredWindow(2, 3).Points() {
+		k1, err := s.SlotOf(p)
+		if err != nil {
+			t.Fatalf("SlotOf(%v): %v", p, err)
+		}
+		k2, err := s.SlotOf(p.Add(lattice.Pt(2, 0)))
+		if err != nil {
+			t.Fatalf("SlotOf: %v", err)
+		}
+		k3, err := s.SlotOf(p.Add(lattice.Pt(0, 2)))
+		if err != nil {
+			t.Fatalf("SlotOf: %v", err)
+		}
+		if k1 != k2 || k1 != k3 {
+			t.Fatalf("slots not periodic at %v: %d %d %d", p, k1, k2, k3)
+		}
+	}
+}
+
+func TestPatternConstraintsPureS(t *testing.T) {
+	// Figure 5 right: the symmetric all-S tiling admits an optimal
+	// 4-slot per-class schedule.
+	s4 := prototile.MustTetromino("S")
+	sols, err := tiling.SolveTorus([]int{4, 4}, []*prototile.Tile{s4}, tiling.SolveOptions{MaxSolutions: 3})
+	if err != nil || len(sols) == 0 {
+		t.Fatalf("SolveTorus: %v", err)
+	}
+	for _, sol := range sols {
+		pc, err := CompilePatternConstraints(sol)
+		if err != nil {
+			t.Fatalf("CompilePatternConstraints: %v", err)
+		}
+		m, patterns, err := pc.MinSlots(16)
+		if err != nil {
+			t.Fatalf("MinSlots: %v", err)
+		}
+		if m != 4 {
+			t.Errorf("pure-S per-class optimum = %d, want 4 (Fig 5 right)", m)
+		}
+		ps, err := NewPerClassSchedule(sol, m, patterns)
+		if err != nil {
+			t.Fatalf("NewPerClassSchedule: %v", err)
+		}
+		if err := VerifyCollisionFree(ps, NewD1(sol), lattice.CenteredWindow(2, 6)); err != nil {
+			t.Errorf("per-class schedule collides: %v", err)
+		}
+	}
+}
+
+func TestPatternConstraintsRespectableDomino(t *testing.T) {
+	tt := respectableDominoTiling(t)
+	pc, err := CompilePatternConstraints(tt)
+	if err != nil {
+		t.Fatalf("CompilePatternConstraints: %v", err)
+	}
+	m, patterns, err := pc.MinSlots(8)
+	if err != nil {
+		t.Fatalf("MinSlots: %v", err)
+	}
+	// Theorem 2 promises |N1| = 2 slots; the per-class optimum cannot
+	// beat the lower bound (the domino is a 2-clique).
+	if m != 2 {
+		t.Errorf("per-class optimum = %d, want 2", m)
+	}
+	ps, err := NewPerClassSchedule(tt, m, patterns)
+	if err != nil {
+		t.Fatalf("NewPerClassSchedule: %v", err)
+	}
+	if err := VerifyCollisionFree(ps, NewD1(tt), lattice.CenteredWindow(2, 5)); err != nil {
+		t.Errorf("per-class schedule collides: %v", err)
+	}
+}
+
+func TestTheorem2UpperBoundsPerClass(t *testing.T) {
+	// The Theorem 2 construction is itself a per-class assignment, so
+	// the per-class optimum never exceeds |∪N_k|.
+	s4 := prototile.MustTetromino("S")
+	z4 := prototile.MustTetromino("Z")
+	sols, err := tiling.SolveTorus([]int{4, 4}, []*prototile.Tile{s4, z4},
+		tiling.SolveOptions{MaxSolutions: 6})
+	if err != nil || len(sols) == 0 {
+		t.Fatalf("SolveTorus: %v", err)
+	}
+	for _, sol := range sols {
+		th2, err := FromTorusTiling(sol)
+		if err != nil {
+			t.Fatalf("FromTorusTiling: %v", err)
+		}
+		if err := VerifyCollisionFree(th2, th2.Deployment(), lattice.CenteredWindow(2, 6)); err != nil {
+			t.Errorf("Theorem 2 schedule collides on %v: %v", sol.TileCounts(), err)
+			continue
+		}
+		pc, err := CompilePatternConstraints(sol)
+		if err != nil {
+			t.Fatalf("CompilePatternConstraints: %v", err)
+		}
+		m, _, err := pc.MinSlots(th2.Slots())
+		if err != nil {
+			t.Fatalf("MinSlots: %v", err)
+		}
+		if m > th2.Slots() {
+			t.Errorf("per-class optimum %d exceeds Theorem 2 slots %d", m, th2.Slots())
+		}
+		if m < 4 {
+			t.Errorf("per-class optimum %d below the 4-clique bound", m)
+		}
+	}
+}
+
+func TestPerClassScheduleValidation(t *testing.T) {
+	tt := respectableDominoTiling(t)
+	if _, err := NewPerClassSchedule(tt, 2, [][]int{{0, 1}}); err == nil {
+		t.Error("wrong pattern count accepted")
+	}
+	if _, err := NewPerClassSchedule(tt, 2, [][]int{{0}, {0}}); err == nil {
+		t.Error("short pattern accepted")
+	}
+	if _, err := NewPerClassSchedule(tt, 2, [][]int{{0, 5}, {0}}); err == nil {
+		t.Error("out-of-range slot accepted")
+	}
+	if _, err := NewPerClassSchedule(tt, 2, [][]int{{1, 1}, {0}}); err == nil {
+		t.Error("repeated slot within a tile accepted")
+	}
+	ps, err := NewPerClassSchedule(tt, 2, [][]int{{0, 1}, {0}})
+	if err != nil {
+		t.Fatalf("valid per-class schedule rejected: %v", err)
+	}
+	if ps.Slots() != 2 {
+		t.Errorf("Slots = %d", ps.Slots())
+	}
+}

@@ -1,0 +1,118 @@
+package schedule
+
+import (
+	"fmt"
+
+	"tilingsched/internal/lattice"
+)
+
+// Conflict reports whether two sensors may not share a slot: their
+// interference neighborhoods intersect. This is the paper's condition
+// "(s+N) ∩ (t+N) ≠ ∅"; note p conflicts with itself (p ∈ p+N).
+func Conflict(dep Deployment, p, q lattice.Point) bool {
+	np := lattice.NewSet(dep.NeighborhoodOf(p)...)
+	for _, x := range dep.NeighborhoodOf(q) {
+		if np.Contains(x) {
+			return true
+		}
+	}
+	return false
+}
+
+// CollisionWitness is a pair of same-slot sensors with intersecting
+// neighborhoods, proving a schedule is not collision-free.
+type CollisionWitness struct {
+	P, Q lattice.Point
+	Slot int
+}
+
+// Error renders the witness as the verification error message.
+func (cw CollisionWitness) Error() string {
+	return fmt.Sprintf("schedule: collision in slot %d between %s and %s", cw.Slot, cw.P, cw.Q)
+}
+
+// VerifyCollisionFree checks that no two sensors inside the window that
+// share a slot have intersecting neighborhoods. Sensor pairs farther apart
+// than twice the deployment reach cannot conflict and are skipped; within
+// that radius the neighborhoods are compared exactly. A nil return means
+// the schedule restricted to the window is collision-free.
+func VerifyCollisionFree(s Schedule, dep Deployment, w lattice.Window) error {
+	if w.Dim() != dep.Dim() {
+		return fmt.Errorf("%w: window dimension %d ≠ deployment dimension %d",
+			ErrSchedule, w.Dim(), dep.Dim())
+	}
+	pts := w.Points()
+	slots := make(map[string]int, len(pts))
+	for _, p := range pts {
+		k, err := s.SlotOf(p)
+		if err != nil {
+			return fmt.Errorf("schedule: verifying %v: %w", p, err)
+		}
+		if k < 0 || k >= s.Slots() {
+			return fmt.Errorf("%w: slot %d of %v outside [0, %d)", ErrSchedule, k, p, s.Slots())
+		}
+		slots[p.Key()] = k
+	}
+	reach := dep.Reach()
+	for _, p := range pts {
+		kp := slots[p.Key()]
+		// Scan the forward half-neighborhood to test each pair once.
+		for _, q := range neighborsWithin(p, 2*reach, w) {
+			if !p.Less(q) {
+				continue
+			}
+			if slots[q.Key()] != kp {
+				continue
+			}
+			if Conflict(dep, p, q) {
+				return CollisionWitness{P: p, Q: q, Slot: kp}
+			}
+		}
+	}
+	return nil
+}
+
+// neighborsWithin lists window points within Chebyshev distance r of p,
+// excluding p itself.
+func neighborsWithin(p lattice.Point, r int, w lattice.Window) []lattice.Point {
+	lo := p.Clone()
+	hi := p.Clone()
+	for i := range lo {
+		lo[i] -= r
+		hi[i] += r
+		if lo[i] < w.Lo[i] {
+			lo[i] = w.Lo[i]
+		}
+		if hi[i] > w.Hi[i] {
+			hi[i] = w.Hi[i]
+		}
+	}
+	box, err := lattice.NewWindow(lo, hi)
+	if err != nil {
+		return nil
+	}
+	var out []lattice.Point
+	for _, q := range box.Points() {
+		if !q.Equal(p) {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// SlotHistogram counts how many window sensors use each slot — useful for
+// fairness/utilization reporting in the experiment harness.
+func SlotHistogram(s Schedule, w lattice.Window) ([]int, error) {
+	hist := make([]int, s.Slots())
+	for _, p := range w.Points() {
+		k, err := s.SlotOf(p)
+		if err != nil {
+			return nil, err
+		}
+		if k < 0 || k >= len(hist) {
+			return nil, fmt.Errorf("%w: slot %d outside [0, %d)", ErrSchedule, k, len(hist))
+		}
+		hist[k]++
+	}
+	return hist, nil
+}

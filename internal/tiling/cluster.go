@@ -1,0 +1,268 @@
+package tiling
+
+import (
+	"fmt"
+
+	"tilingsched/internal/intmat"
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/prototile"
+)
+
+// PeriodicTiling generalizes LatticeTiling to translate sets that are
+// unions of cosets: T = {t_1, …, t_k} + P for a full-rank sublattice P of
+// index k·|N|. Every periodic tiling of Z^d has this shape; searching over
+// small k decides exactness for clusters that tile only non-lattice-
+// periodically (the paper's Section 3 cites Szegedy's algorithm for such
+// clusters — e.g. {0, 2} ⊂ Z tiles only with T = {0, 1} + 4Z).
+//
+// A PeriodicTiling still yields a Theorem 1 schedule with |N| slots: the
+// sensors at {t_i + n_k : i} ∪ P broadcast in slot k.
+type PeriodicTiling struct {
+	tile    *prototile.Tile
+	period  *intmat.Matrix
+	offsets []lattice.Point
+	// slot maps each residue (canonical representative of Z^d / P) to
+	// the index k of the tile point covering it.
+	slot map[string]int
+}
+
+// NewPeriodicTiling validates that the translates {t_i + N} partition
+// Z^d / P, i.e. the k·|N| points t_i + n are pairwise incongruent mod P
+// and P has index exactly k·|N|.
+func NewPeriodicTiling(t *prototile.Tile, period *intmat.Matrix, offsets []lattice.Point) (*PeriodicTiling, error) {
+	if len(offsets) == 0 {
+		return nil, fmt.Errorf("%w: no offsets", ErrTiling)
+	}
+	if period.Rows() != t.Dim() || period.Cols() != t.Dim() {
+		return nil, fmt.Errorf("%w: period is %dx%d for dimension %d",
+			ErrTiling, period.Rows(), period.Cols(), t.Dim())
+	}
+	h, _ := intmat.HNF(period)
+	if !intmat.IsSquareFullRankHNF(h) {
+		return nil, fmt.Errorf("%w: period basis is singular", ErrTiling)
+	}
+	idx, err := intmat.Index(h)
+	if err != nil {
+		return nil, err
+	}
+	want := int64(len(offsets)) * int64(t.Size())
+	if idx != want {
+		return nil, fmt.Errorf("%w: period index %d ≠ k·|N| = %d", ErrTiling, idx, want)
+	}
+	slot := make(map[string]int, want)
+	canonical := make([]lattice.Point, len(offsets))
+	for i, off := range offsets {
+		if off.Dim() != t.Dim() {
+			return nil, fmt.Errorf("%w: offset %v has dimension %d", ErrTiling, off, off.Dim())
+		}
+		rep, err := intmat.Reduce(h, off.Int64())
+		if err != nil {
+			return nil, err
+		}
+		canonical[i] = lattice.FromInt64(rep)
+		for k, n := range t.Points() {
+			rep, err := intmat.Reduce(h, off.Add(n).Int64())
+			if err != nil {
+				return nil, err
+			}
+			key := lattice.FromInt64(rep).Key()
+			if _, dup := slot[key]; dup {
+				return nil, fmt.Errorf("%w: residue %s covered twice", ErrTiling, key)
+			}
+			slot[key] = k
+		}
+	}
+	return &PeriodicTiling{tile: t, period: h, offsets: canonical, slot: slot}, nil
+}
+
+// FindPeriodicTiling searches for a periodic tiling with at most
+// maxCosets coset translates (k = 1 recovers the lattice-tiling search).
+// The search runs exact cover over the quotient group Z^d / P for every
+// sublattice P of index k·|N|: the smallest uncovered residue is covered
+// by each candidate translate in turn.
+func FindPeriodicTiling(t *prototile.Tile, maxCosets int) (*PeriodicTiling, bool) {
+	for k := 1; k <= maxCosets; k++ {
+		index := int64(k) * int64(t.Size())
+		for _, h := range intmat.SublatticesOfIndex(t.Dim(), index) {
+			if pt, ok := solveQuotientCover(t, h, k); ok {
+				return pt, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// solveQuotientCover attempts to partition Z^d / P into k translates of
+// the tile by depth-first exact cover over residues.
+func solveQuotientCover(t *prototile.Tile, h *intmat.Matrix, k int) (*PeriodicTiling, bool) {
+	reduceKey := func(p lattice.Point) (string, lattice.Point) {
+		rep, err := intmat.Reduce(h, p.Int64())
+		if err != nil {
+			panic("tiling: reduce failed on validated HNF: " + err.Error())
+		}
+		q := lattice.FromInt64(rep)
+		return q.Key(), q
+	}
+	// Enumerate all residues in canonical (fundamental box) order.
+	dim := t.Dim()
+	sides := make([]int, dim)
+	for i := 0; i < dim; i++ {
+		sides[i] = int(h.At(i, i))
+	}
+	box, err := lattice.BoxWindow(sides...)
+	if err != nil {
+		return nil, false
+	}
+	var residues []lattice.Point
+	resIdx := map[string]int{}
+	for _, p := range box.Points() {
+		key, q := reduceKey(p)
+		if _, seen := resIdx[key]; !seen {
+			resIdx[key] = len(residues)
+			residues = append(residues, q)
+		}
+	}
+	covered := make([]bool, len(residues))
+	var offsets []lattice.Point
+	tilePts := t.Points()
+	var dfs func(used int) bool
+	dfs = func(used int) bool {
+		target := -1
+		for i, c := range covered {
+			if !c {
+				target = i
+				break
+			}
+		}
+		if target == -1 {
+			return used == k
+		}
+		if used == k {
+			return false
+		}
+		// The uncovered residue r must be t + n for the new translate t
+		// and some tile point n: t = r - n.
+		for _, n := range tilePts {
+			off := residues[target].Sub(n)
+			idxs := make([]int, 0, len(tilePts))
+			ok := true
+			for _, nn := range tilePts {
+				key, _ := reduceKey(off.Add(nn))
+				ri, exists := resIdx[key]
+				if !exists || covered[ri] {
+					ok = false
+					break
+				}
+				idxs = append(idxs, ri)
+			}
+			if !ok || hasDuplicate(idxs) {
+				continue
+			}
+			for _, ri := range idxs {
+				covered[ri] = true
+			}
+			_, offCanon := reduceKey(off)
+			offsets = append(offsets, offCanon)
+			if dfs(used + 1) {
+				return true
+			}
+			offsets = offsets[:len(offsets)-1]
+			for _, ri := range idxs {
+				covered[ri] = false
+			}
+		}
+		return false
+	}
+	if !dfs(0) {
+		return nil, false
+	}
+	pt, err := NewPeriodicTiling(t, h, offsets)
+	if err != nil {
+		return nil, false
+	}
+	return pt, true
+}
+
+// Tile returns the prototile.
+func (pt *PeriodicTiling) Tile() *prototile.Tile { return pt.tile }
+
+// Period returns the HNF basis of the period sublattice P.
+func (pt *PeriodicTiling) Period() *intmat.Matrix { return pt.period.Clone() }
+
+// Offsets returns the coset translates t_1..t_k.
+func (pt *PeriodicTiling) Offsets() []lattice.Point { return clonePoints(pt.offsets) }
+
+// CosetIndex returns the slot (index into the tile's points) of the
+// translate covering p — the Theorem 1 schedule over the generalized
+// tiling.
+func (pt *PeriodicTiling) CosetIndex(p lattice.Point) (int, error) {
+	rep, err := intmat.Reduce(pt.period, p.Int64())
+	if err != nil {
+		return 0, err
+	}
+	k, ok := pt.slot[lattice.FromInt64(rep).Key()]
+	if !ok {
+		return 0, fmt.Errorf("%w: point %v has no residue slot (invariant broken)", ErrTiling, p)
+	}
+	return k, nil
+}
+
+// VerifyWindow re-checks T1/T2 explicitly on a window, mirroring
+// LatticeTiling.VerifyWindow.
+func (pt *PeriodicTiling) VerifyWindow(w lattice.Window) error {
+	if w.Dim() != pt.tile.Dim() {
+		return fmt.Errorf("%w: window dimension %d ≠ tile dimension %d", ErrTiling, w.Dim(), pt.tile.Dim())
+	}
+	cover := make(map[string]int, w.Size())
+	lo, hi := pt.tile.BoundingBox()
+	ext, err := lattice.NewWindow(w.Lo.Sub(hi), w.Hi.Sub(lo))
+	if err != nil {
+		return err
+	}
+	for _, t := range ext.Points() {
+		in := false
+		rep, err := intmat.Reduce(pt.period, t.Int64())
+		if err != nil {
+			return err
+		}
+		repPt := lattice.FromInt64(rep)
+		for _, off := range pt.offsets {
+			if repPt.Equal(off) {
+				in = true
+				break
+			}
+		}
+		if !in {
+			continue
+		}
+		for _, n := range pt.tile.Points() {
+			p := t.Add(n)
+			if w.Contains(p) {
+				cover[p.Key()]++
+			}
+		}
+	}
+	for _, p := range w.Points() {
+		switch c := cover[p.Key()]; {
+		case c == 0:
+			return fmt.Errorf("%w: T1 violated, %v uncovered", ErrTiling, p)
+		case c > 1:
+			return fmt.Errorf("%w: T2 violated, %v covered %d times", ErrTiling, p, c)
+		}
+	}
+	return nil
+}
+
+// String summarizes the tiling.
+func (pt *PeriodicTiling) String() string {
+	return fmt.Sprintf("periodic-tiling{%s, period %s, %d cosets}",
+		pt.tile.Name(), pt.period, len(pt.offsets))
+}
+
+func clonePoints(ps []lattice.Point) []lattice.Point {
+	out := make([]lattice.Point, len(ps))
+	for i, p := range ps {
+		out[i] = p.Clone()
+	}
+	return out
+}

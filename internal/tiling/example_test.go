@@ -1,0 +1,45 @@
+package tiling_test
+
+import (
+	"fmt"
+
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/prototile"
+	"tilingsched/internal/tiling"
+)
+
+// ExampleFindLatticeTiling answers the paper's question Q1 constructively.
+func ExampleFindLatticeTiling() {
+	lt, ok := tiling.FindLatticeTiling(prototile.Cross(2, 1))
+	fmt.Println("exact:", ok)
+	fmt.Println("period:", lt.Period())
+	// Output:
+	// exact: true
+	// period: [[1 2] [0 5]]
+}
+
+// ExampleFindPeriodicTiling handles a cluster with no lattice tiling: the
+// gap {0, 2} needs two coset translates.
+func ExampleFindPeriodicTiling() {
+	gap := prototile.MustNew("gap", lattice.Pt(0), lattice.Pt(2))
+	pt, ok := tiling.FindPeriodicTiling(gap, 3)
+	fmt.Println("exact:", ok)
+	fmt.Println("cosets:", len(pt.Offsets()))
+	// Output:
+	// exact: true
+	// cosets: 2
+}
+
+// ExampleSolveTorus enumerates the S-tetromino tilings of the 4×4 torus.
+func ExampleSolveTorus() {
+	s := prototile.MustTetromino("S")
+	sols, err := tiling.SolveTorus([]int{4, 4}, []*prototile.Tile{s}, tiling.SolveOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("tilings:", len(sols))
+	fmt.Println("respectable:", sols[0].Respectable())
+	// Output:
+	// tilings: 12
+	// respectable: true
+}

@@ -1,0 +1,285 @@
+package tiling
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/prototile"
+)
+
+// Placement positions one prototile on a torus: prototile index and the
+// translation offset (the image of the tile's origin).
+type Placement struct {
+	TileIndex int
+	Offset    lattice.Point
+}
+
+// TorusTiling is an exact cover of the torus Z_{d1} × … × Z_{dk} by
+// placements of prototiles N_1..N_n. Lifted periodically to Z^d it is a
+// tiling in the sense of conditions GT1/GT2 of Section 4: the translate
+// sets T_k = {offsets of tile k} + diag(dims)·Z^d are pairwise disjoint
+// (distinct placements occupy distinct cells) and the translates cover
+// every lattice point exactly once.
+type TorusTiling struct {
+	dims   []int
+	tiles  []*prototile.Tile
+	places []Placement
+	// owner maps each torus cell to the placement covering it.
+	owner map[string]int
+}
+
+// NewTorusTiling validates that the placements exactly cover the torus.
+func NewTorusTiling(dims []int, tiles []*prototile.Tile, places []Placement) (*TorusTiling, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("%w: empty dims", ErrTiling)
+	}
+	cells := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("%w: non-positive torus side %d", ErrTiling, d)
+		}
+		cells *= d
+	}
+	if len(tiles) == 0 {
+		return nil, fmt.Errorf("%w: no prototiles", ErrTiling)
+	}
+	for _, t := range tiles {
+		if t.Dim() != len(dims) {
+			return nil, fmt.Errorf("%w: tile %s dimension %d ≠ torus dimension %d",
+				ErrTiling, t.Name(), t.Dim(), len(dims))
+		}
+	}
+	tt := &TorusTiling{
+		dims:   append([]int(nil), dims...),
+		tiles:  append([]*prototile.Tile(nil), tiles...),
+		places: append([]Placement(nil), places...),
+		owner:  make(map[string]int, cells),
+	}
+	covered := 0
+	for pi, pl := range places {
+		if pl.TileIndex < 0 || pl.TileIndex >= len(tiles) {
+			return nil, fmt.Errorf("%w: placement %d references tile %d", ErrTiling, pi, pl.TileIndex)
+		}
+		for _, n := range tiles[pl.TileIndex].Points() {
+			cell := tt.Wrap(pl.Offset.Add(n))
+			key := cell.Key()
+			if other, dup := tt.owner[key]; dup {
+				return nil, fmt.Errorf("%w: GT2 violated, cell %v covered by placements %d and %d",
+					ErrTiling, cell, other, pi)
+			}
+			tt.owner[key] = pi
+			covered++
+		}
+	}
+	if covered != cells {
+		return nil, fmt.Errorf("%w: GT1 violated, covered %d of %d cells", ErrTiling, covered, cells)
+	}
+	return tt, nil
+}
+
+// Dims returns the torus side lengths.
+func (tt *TorusTiling) Dims() []int { return append([]int(nil), tt.dims...) }
+
+// Tiles returns the prototiles.
+func (tt *TorusTiling) Tiles() []*prototile.Tile {
+	return append([]*prototile.Tile(nil), tt.tiles...)
+}
+
+// Placements returns the placements.
+func (tt *TorusTiling) Placements() []Placement {
+	return append([]Placement(nil), tt.places...)
+}
+
+// Wrap reduces a point modulo the torus dimensions into the fundamental
+// box.
+func (tt *TorusTiling) Wrap(p lattice.Point) lattice.Point {
+	q := p.Clone()
+	for i, d := range tt.dims {
+		q[i] = ((q[i] % d) + d) % d
+	}
+	return q
+}
+
+// OwnerOf returns the placement covering the (wrapped) point p.
+func (tt *TorusTiling) OwnerOf(p lattice.Point) (Placement, error) {
+	if len(p) != len(tt.dims) {
+		return Placement{}, fmt.Errorf("%w: point dimension %d ≠ torus dimension %d",
+			ErrTiling, len(p), len(tt.dims))
+	}
+	idx, ok := tt.owner[tt.Wrap(p).Key()]
+	if !ok {
+		return Placement{}, fmt.Errorf("%w: cell %v unowned (invariant broken)", ErrTiling, p)
+	}
+	return tt.places[idx], nil
+}
+
+// TileAt returns the prototile whose placement covers p — the neighborhood
+// type of a sensor deployed at p under the paper's deployment rule D1.
+func (tt *TorusTiling) TileAt(p lattice.Point) (*prototile.Tile, error) {
+	pl, err := tt.OwnerOf(p)
+	if err != nil {
+		return nil, err
+	}
+	return tt.tiles[pl.TileIndex], nil
+}
+
+// Respectable reports whether the first prototile contains every other
+// prototile — the hypothesis of Theorem 2 under which the schedule with
+// |N_1| slots is optimal.
+func (tt *TorusTiling) Respectable() bool {
+	for _, t := range tt.tiles[1:] {
+		if !tt.tiles[0].ContainsTile(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// TileCounts returns how many placements use each prototile.
+func (tt *TorusTiling) TileCounts() []int {
+	counts := make([]int, len(tt.tiles))
+	for _, pl := range tt.places {
+		counts[pl.TileIndex]++
+	}
+	return counts
+}
+
+// CanonicalKey is a deterministic signature of the placement set, used to
+// deduplicate solver output.
+func (tt *TorusTiling) CanonicalKey() string {
+	parts := make([]string, len(tt.places))
+	for i, pl := range tt.places {
+		parts[i] = fmt.Sprintf("%d@%s", pl.TileIndex, tt.Wrap(pl.Offset).Key())
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ";")
+}
+
+// SolveOptions bounds the torus backtracking search.
+type SolveOptions struct {
+	// MaxSolutions stops the search after this many distinct tilings
+	// (0 means find all).
+	MaxSolutions int
+	// Accept, when non-nil, filters completed tilings by their per-tile
+	// placement counts (e.g. "exactly two Z tetrominoes").
+	Accept func(counts []int) bool
+}
+
+// SolveTorus enumerates exact covers of the torus with the given
+// prototiles by depth-first search: the first uncovered cell in scan order
+// is covered by every possible placement in turn. Solutions are
+// deduplicated by placement-set signature.
+func SolveTorus(dims []int, tiles []*prototile.Tile, opt SolveOptions) ([]*TorusTiling, error) {
+	if len(tiles) == 0 {
+		return nil, fmt.Errorf("%w: no prototiles", ErrTiling)
+	}
+	for _, t := range tiles {
+		if t.Dim() != len(dims) {
+			return nil, fmt.Errorf("%w: tile %s dimension %d ≠ torus dimension %d",
+				ErrTiling, t.Name(), t.Dim(), len(dims))
+		}
+	}
+	w, err := lattice.BoxWindow(dims...)
+	if err != nil {
+		return nil, err
+	}
+	cellOrder := w.Points()
+	cellIdx := make(map[string]int, len(cellOrder))
+	for i, c := range cellOrder {
+		cellIdx[c.Key()] = i
+	}
+	wrap := func(p lattice.Point) lattice.Point {
+		q := p.Clone()
+		for i, d := range dims {
+			q[i] = ((q[i] % d) + d) % d
+		}
+		return q
+	}
+	covered := make([]bool, len(cellOrder))
+	var places []Placement
+	var out []*TorusTiling
+	seen := map[string]bool{}
+	counts := make([]int, len(tiles))
+
+	var dfs func(from int) bool // returns true to stop the whole search
+	dfs = func(from int) bool {
+		// Find first uncovered cell.
+		target := -1
+		for i := from; i < len(cellOrder); i++ {
+			if !covered[i] {
+				target = i
+				break
+			}
+		}
+		if target == -1 {
+			if opt.Accept != nil && !opt.Accept(counts) {
+				return false
+			}
+			tt, err := NewTorusTiling(dims, tiles, places)
+			if err != nil {
+				return false // over-wrapped placement slipped through; skip
+			}
+			key := tt.CanonicalKey()
+			if seen[key] {
+				return false
+			}
+			seen[key] = true
+			out = append(out, tt)
+			return opt.MaxSolutions > 0 && len(out) >= opt.MaxSolutions
+		}
+		cell := cellOrder[target]
+		for ti, tile := range tiles {
+			for _, anchor := range tile.Points() {
+				offset := wrap(cell.Sub(anchor))
+				// Check that all cells of tile+offset are free.
+				ok := true
+				idxs := make([]int, 0, tile.Size())
+				for _, n := range tile.Points() {
+					ci, exists := cellIdx[wrap(offset.Add(n)).Key()]
+					if !exists || covered[ci] {
+						ok = false
+						break
+					}
+					idxs = append(idxs, ci)
+				}
+				if !ok {
+					continue
+				}
+				// A tile larger than the torus could wrap onto
+				// itself; distinct idxs guarantee it does not.
+				if hasDuplicate(idxs) {
+					continue
+				}
+				for _, ci := range idxs {
+					covered[ci] = true
+				}
+				places = append(places, Placement{TileIndex: ti, Offset: offset})
+				counts[ti]++
+				if dfs(target + 1) {
+					return true
+				}
+				counts[ti]--
+				places = places[:len(places)-1]
+				for _, ci := range idxs {
+					covered[ci] = false
+				}
+			}
+		}
+		return false
+	}
+	dfs(0)
+	return out, nil
+}
+
+func hasDuplicate(xs []int) bool {
+	for i := 0; i < len(xs); i++ {
+		for j := i + 1; j < len(xs); j++ {
+			if xs[i] == xs[j] {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,62 @@
+package wsn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tilingsched/internal/lattice"
+)
+
+// BackoffALOHA is slotted ALOHA with binary exponential backoff: each
+// failed transmission halves a node's transmit probability (doubling its
+// expected backoff window) down to PMin; a success resets it to PMax.
+// This is the classic self-stabilizing contention control that practical
+// probabilistic MACs layer on top of plain ALOHA — the strongest
+// probabilistic baseline in this repository.
+type BackoffALOHA struct {
+	PMax, PMin float64
+	p          []float64
+}
+
+// NewBackoffALOHA validates the probability range.
+func NewBackoffALOHA(pMax, pMin float64) (*BackoffALOHA, error) {
+	if pMax <= 0 || pMax > 1 || pMin <= 0 || pMin > pMax {
+		return nil, fmt.Errorf("%w: backoff range [%v, %v]", ErrSim, pMin, pMax)
+	}
+	return &BackoffALOHA{PMax: pMax, PMin: pMin}, nil
+}
+
+// Name returns "beb(pmax,pmin)".
+func (b *BackoffALOHA) Name() string { return fmt.Sprintf("beb(%.2f,%.3f)", b.PMax, b.PMin) }
+
+// Transmit fires with the node's current probability.
+func (b *BackoffALOHA) Transmit(node int, _ lattice.Point, _ int64, rng *rand.Rand) bool {
+	b.ensure(node)
+	return rng.Float64() < b.p[node]
+}
+
+// Observe halves the probability of nodes that failed and resets nodes
+// that succeeded.
+func (b *BackoffALOHA) Observe(_ int64, transmitting, succeeded []bool) {
+	b.ensure(len(transmitting) - 1)
+	for i := range transmitting {
+		if !transmitting[i] {
+			continue
+		}
+		if succeeded[i] {
+			b.p[i] = b.PMax
+		} else {
+			b.p[i] /= 2
+			if b.p[i] < b.PMin {
+				b.p[i] = b.PMin
+			}
+		}
+	}
+}
+
+// ensure grows the per-node state to cover node indices seen so far.
+func (b *BackoffALOHA) ensure(node int) {
+	for len(b.p) <= node {
+		b.p = append(b.p, b.PMax)
+	}
+}

@@ -1,0 +1,134 @@
+package wsn
+
+import (
+	"testing"
+
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/prototile"
+	"tilingsched/internal/schedule"
+	"tilingsched/internal/tiling"
+)
+
+func TestBackoffValidation(t *testing.T) {
+	if _, err := NewBackoffALOHA(0, 0.1); err == nil {
+		t.Error("pMax = 0 accepted")
+	}
+	if _, err := NewBackoffALOHA(0.5, 0.8); err == nil {
+		t.Error("pMin > pMax accepted")
+	}
+	if _, err := NewBackoffALOHA(1.5, 0.1); err == nil {
+		t.Error("pMax > 1 accepted")
+	}
+	if _, err := NewBackoffALOHA(0.5, 0.01); err != nil {
+		t.Errorf("valid range rejected: %v", err)
+	}
+}
+
+func TestBackoffBeatsFixedAlohaUnderSaturation(t *testing.T) {
+	// Under saturation, exponential backoff self-stabilizes toward a
+	// sustainable contention level while fixed-probability ALOHA keeps
+	// colliding at the same rate.
+	dep := schedule.NewHomogeneous(prototile.Cross(2, 1))
+	w := lattice.CenteredWindow(2, 4)
+	run := func(p Protocol) Metrics {
+		m, err := Run(Config{
+			Window: w, Deployment: dep, Protocol: p,
+			Traffic: Saturated{}, Slots: 1500, Seed: 21, QueueCap: 16,
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return m
+	}
+	beb, err := NewBackoffALOHA(0.5, 0.01)
+	if err != nil {
+		t.Fatalf("NewBackoffALOHA: %v", err)
+	}
+	bebM := run(beb)
+	fixedM := run(&SlottedALOHA{P: 0.5})
+	if bebM.Delivered <= fixedM.Delivered {
+		t.Errorf("backoff delivered %d, fixed ALOHA %d — expected improvement",
+			bebM.Delivered, fixedM.Delivered)
+	}
+	if bebM.DeliveryRatio() <= fixedM.DeliveryRatio() {
+		t.Errorf("backoff delivery ratio %v not above fixed %v",
+			bebM.DeliveryRatio(), fixedM.DeliveryRatio())
+	}
+}
+
+func TestBackoffStillLosesToTiling(t *testing.T) {
+	// The paper's point stands: even the adaptive probabilistic baseline
+	// wastes transmissions the deterministic schedule never does.
+	lt, ok := tiling.FindLatticeTiling(prototile.Cross(2, 1))
+	if !ok {
+		t.Fatal("no tiling")
+	}
+	s := schedule.FromLatticeTiling(lt)
+	dep := s.Deployment()
+	w := lattice.CenteredWindow(2, 4)
+	run := func(p Protocol) Metrics {
+		m, err := Run(Config{
+			Window: w, Deployment: dep, Protocol: p,
+			Traffic: Saturated{}, Slots: 1000, Seed: 3, QueueCap: 16,
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return m
+	}
+	beb, _ := NewBackoffALOHA(0.5, 0.01)
+	bebM := run(beb)
+	tilingM := run(NewScheduleMAC("tiling", s))
+	if bebM.EnergyPerDelivered() <= tilingM.EnergyPerDelivered() {
+		t.Errorf("backoff energy %v not above tiling %v",
+			bebM.EnergyPerDelivered(), tilingM.EnergyPerDelivered())
+	}
+	if tilingM.Delivered <= bebM.Delivered {
+		t.Errorf("tiling delivered %d, backoff %d — schedule should win",
+			tilingM.Delivered, bebM.Delivered)
+	}
+}
+
+func TestFairnessIndex(t *testing.T) {
+	// Tiling schedule under saturation: perfectly fair (each sensor one
+	// broadcast per period).
+	lt, ok := tiling.FindLatticeTiling(prototile.Cross(2, 1))
+	if !ok {
+		t.Fatal("no tiling")
+	}
+	s := schedule.FromLatticeTiling(lt)
+	m, err := Run(Config{
+		Window:     lattice.CenteredWindow(2, 3),
+		Deployment: s.Deployment(),
+		Protocol:   NewScheduleMAC("tiling", s),
+		Traffic:    Saturated{},
+		Slots:      500, // multiple of 5: every sensor gets 100 turns
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if f := m.FairnessIndex(); f != 1.0 {
+		t.Errorf("tiling fairness = %v, want 1.0", f)
+	}
+	// ALOHA is less fair: collisions are position dependent (boundary
+	// sensors have fewer neighbors and succeed more).
+	m2, err := Run(Config{
+		Window:     lattice.CenteredWindow(2, 3),
+		Deployment: s.Deployment(),
+		Protocol:   &SlottedALOHA{P: 0.2},
+		Traffic:    Saturated{},
+		Slots:      500,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if f := m2.FairnessIndex(); f >= 1.0 || f <= 0 {
+		t.Errorf("ALOHA fairness = %v, want within (0, 1)", f)
+	}
+	var zero Metrics
+	if zero.FairnessIndex() != 0 {
+		t.Error("zero metrics fairness should be 0")
+	}
+}

@@ -1,0 +1,205 @@
+package wsn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/schedule"
+)
+
+// Convergecast models the workload the paper's introduction motivates:
+// sensors monitoring an area report readings hop by hop to a sink. Each
+// node forwards packets to its parent on a BFS routing tree built over
+// the communication graph (u can forward to v when v hears u, i.e.
+// v ∈ u + N_u). Reception follows the paper's collision model; a hop
+// succeeds when the parent is silent and the child is the only
+// transmitter covering it. Under a tiling schedule every hop succeeds on
+// the first try, giving a deterministic multi-hop latency bound.
+type ConvergecastConfig struct {
+	// Window is the deployment region.
+	Window lattice.Window
+	// Deployment supplies interference neighborhoods.
+	Deployment schedule.Deployment
+	// Protocol decides who transmits each slot.
+	Protocol Protocol
+	// Sink is the collection point (must lie in the window).
+	Sink lattice.Point
+	// SourceRate is each non-sink node's Bernoulli packet rate per slot.
+	SourceRate float64
+	// Slots is the simulation length.
+	Slots int64
+	// Seed feeds the deterministic random source.
+	Seed int64
+	// QueueCap bounds per-node queues (0 = unbounded).
+	QueueCap int
+}
+
+// ConvergecastMetrics aggregates a convergecast run.
+type ConvergecastMetrics struct {
+	Slots           int64
+	Nodes           int
+	Generated       int64
+	DeliveredToSink int64
+	Dropped         int64
+	Forwards        int64 // per-hop transmissions (energy proxy)
+	FailedForwards  int64
+	TotalE2ELatency int64 // generation → sink arrival, summed
+	TreeDepth       int   // maximum hops to the sink
+	Unreachable     int   // nodes with no route to the sink
+}
+
+// MeanE2ELatency is the average slots from generation to sink delivery.
+func (m ConvergecastMetrics) MeanE2ELatency() float64 {
+	if m.DeliveredToSink == 0 {
+		return 0
+	}
+	return float64(m.TotalE2ELatency) / float64(m.DeliveredToSink)
+}
+
+// ForwardsPerDelivered is hop transmissions per packet that reached the
+// sink (tree depth ≈ its lower bound under a perfect schedule).
+func (m ConvergecastMetrics) ForwardsPerDelivered() float64 {
+	if m.DeliveredToSink == 0 {
+		if m.Forwards == 0 {
+			return 0
+		}
+		return float64(m.Forwards)
+	}
+	return float64(m.Forwards) / float64(m.DeliveredToSink)
+}
+
+// RunConvergecast executes the multi-hop collection simulation.
+func RunConvergecast(cfg ConvergecastConfig) (ConvergecastMetrics, error) {
+	if cfg.Deployment == nil || cfg.Protocol == nil {
+		return ConvergecastMetrics{}, fmt.Errorf("%w: nil deployment or protocol", ErrSim)
+	}
+	if cfg.Slots <= 0 {
+		return ConvergecastMetrics{}, fmt.Errorf("%w: %d slots", ErrSim, cfg.Slots)
+	}
+	if cfg.SourceRate < 0 || cfg.SourceRate > 1 {
+		return ConvergecastMetrics{}, fmt.Errorf("%w: source rate %v", ErrSim, cfg.SourceRate)
+	}
+	if !cfg.Window.Contains(cfg.Sink) {
+		return ConvergecastMetrics{}, fmt.Errorf("%w: sink %v outside window", ErrSim, cfg.Sink)
+	}
+	pts := cfg.Window.Points()
+	n := len(pts)
+	idx := make(map[string]int, n)
+	for i, p := range pts {
+		idx[p.Key()] = i
+	}
+	sink := idx[cfg.Sink.Key()]
+	// hears[v] lists u such that v ∈ u + N_u (v hears u); coveredBy is
+	// the same relation used for collision resolution.
+	coveredBy := make([][]int, n)
+	canReach := make([][]int, n) // u → list of v that hear u
+	for i, p := range pts {
+		for _, q := range cfg.Deployment.NeighborhoodOf(p) {
+			j, ok := idx[q.Key()]
+			if !ok || j == i {
+				continue
+			}
+			canReach[i] = append(canReach[i], j)
+			coveredBy[j] = append(coveredBy[j], i)
+		}
+	}
+	// BFS from the sink over reverse reachability: parent[u] is the next
+	// hop toward the sink.
+	parent := make([]int, n)
+	depth := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+		depth[i] = -1
+	}
+	depth[sink] = 0
+	queue := []int{sink}
+	maxDepth := 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		// u is a child candidate when v hears u.
+		for _, u := range coveredBy[v] {
+			if depth[u] == -1 {
+				depth[u] = depth[v] + 1
+				parent[u] = v
+				if depth[u] > maxDepth {
+					maxDepth = depth[u]
+				}
+				queue = append(queue, u)
+			}
+		}
+	}
+	m := ConvergecastMetrics{Slots: cfg.Slots, Nodes: n, TreeDepth: maxDepth}
+	for u := range parent {
+		if u != sink && parent[u] == -1 {
+			m.Unreachable++
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	queues := make([][]int64, n) // generation slots of queued packets
+	transmitting := make([]bool, n)
+	succeeded := make([]bool, n)
+	coverCount := make([]int, n)
+	for slot := int64(0); slot < cfg.Slots; slot++ {
+		// 1. Generation at every routed non-sink node.
+		for u := range pts {
+			if u == sink || parent[u] == -1 {
+				continue
+			}
+			if rng.Float64() < cfg.SourceRate {
+				m.Generated++
+				if cfg.QueueCap > 0 && len(queues[u]) >= cfg.QueueCap {
+					m.Dropped++
+					continue
+				}
+				queues[u] = append(queues[u], slot)
+			}
+		}
+		// 2. Transmission decisions.
+		for u := range pts {
+			transmitting[u] = u != sink && parent[u] != -1 &&
+				len(queues[u]) > 0 && cfg.Protocol.Transmit(u, pts[u], slot, rng)
+		}
+		// 3. Coverage.
+		for i := range coverCount {
+			coverCount[i] = 0
+		}
+		for u := range pts {
+			if !transmitting[u] {
+				continue
+			}
+			for _, v := range canReach[u] {
+				coverCount[v]++
+			}
+		}
+		// 4. Hop outcomes: the parent must be silent and singly covered.
+		for u := range pts {
+			succeeded[u] = false
+			if !transmitting[u] {
+				continue
+			}
+			m.Forwards++
+			v := parent[u]
+			if transmitting[v] || coverCount[v] != 1 {
+				m.FailedForwards++
+				continue
+			}
+			succeeded[u] = true
+			birth := queues[u][0]
+			queues[u] = queues[u][1:]
+			if v == sink {
+				m.DeliveredToSink++
+				m.TotalE2ELatency += slot - birth + 1
+			} else {
+				if cfg.QueueCap > 0 && len(queues[v]) >= cfg.QueueCap {
+					m.Dropped++
+				} else {
+					queues[v] = append(queues[v], birth)
+				}
+			}
+		}
+		cfg.Protocol.Observe(slot, transmitting, succeeded)
+	}
+	return m, nil
+}

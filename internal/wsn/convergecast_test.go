@@ -1,0 +1,241 @@
+package wsn
+
+import (
+	"testing"
+
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/prototile"
+	"tilingsched/internal/schedule"
+	"tilingsched/internal/tiling"
+)
+
+func crossSchedule(t *testing.T) *schedule.Theorem1 {
+	t.Helper()
+	lt, ok := tiling.FindLatticeTiling(prototile.Cross(2, 1))
+	if !ok {
+		t.Fatal("no tiling for cross")
+	}
+	return schedule.FromLatticeTiling(lt)
+}
+
+func TestConvergecastTilingNeverFails(t *testing.T) {
+	// Under the tiling schedule, every hop succeeds first try: the
+	// parent conflicts with the child (different slots) and same-slot
+	// transmitters never cover the same point.
+	s := crossSchedule(t)
+	m, err := RunConvergecast(ConvergecastConfig{
+		Window:     lattice.CenteredWindow(2, 4),
+		Deployment: s.Deployment(),
+		Protocol:   NewScheduleMAC("tiling", s),
+		Sink:       lattice.Pt(0, 0),
+		SourceRate: 0.01,
+		Slots:      2000,
+		Seed:       5,
+	})
+	if err != nil {
+		t.Fatalf("RunConvergecast: %v", err)
+	}
+	if m.FailedForwards != 0 {
+		t.Errorf("failed forwards = %d, want 0", m.FailedForwards)
+	}
+	if m.DeliveredToSink == 0 {
+		t.Fatal("nothing delivered to the sink")
+	}
+	if m.Unreachable != 0 {
+		t.Errorf("%d unreachable nodes on a connected grid", m.Unreachable)
+	}
+	if m.TreeDepth < 4 {
+		t.Errorf("tree depth = %d, want ≥ 4 on a radius-4 window with radius-1 hops", m.TreeDepth)
+	}
+	if f := m.ForwardsPerDelivered(); f < 1 {
+		t.Errorf("forwards per delivered = %v, want ≥ 1", f)
+	}
+}
+
+func TestConvergecastAlohaLosesHops(t *testing.T) {
+	s := crossSchedule(t)
+	m, err := RunConvergecast(ConvergecastConfig{
+		Window:     lattice.CenteredWindow(2, 4),
+		Deployment: s.Deployment(),
+		Protocol:   &SlottedALOHA{P: 0.3},
+		Sink:       lattice.Pt(0, 0),
+		SourceRate: 0.05,
+		Slots:      1500,
+		Seed:       5,
+		QueueCap:   32,
+	})
+	if err != nil {
+		t.Fatalf("RunConvergecast: %v", err)
+	}
+	if m.FailedForwards == 0 {
+		t.Error("ALOHA convergecast never failed a hop (suspicious)")
+	}
+	if m.ForwardsPerDelivered() <= 1 && m.DeliveredToSink > 0 {
+		t.Errorf("ALOHA forwards/delivered = %v, expected retransmission overhead",
+			m.ForwardsPerDelivered())
+	}
+}
+
+func TestConvergecastLatencyScalesWithDepth(t *testing.T) {
+	// With light traffic and the 5-slot schedule, a packet travels at
+	// most 5 slots per hop (one period), so mean latency stays well
+	// under depth × period once queues are empty.
+	s := crossSchedule(t)
+	m, err := RunConvergecast(ConvergecastConfig{
+		Window:     lattice.CenteredWindow(2, 5),
+		Deployment: s.Deployment(),
+		Protocol:   NewScheduleMAC("tiling", s),
+		Sink:       lattice.Pt(0, 0),
+		SourceRate: 0.002,
+		Slots:      4000,
+		Seed:       9,
+	})
+	if err != nil {
+		t.Fatalf("RunConvergecast: %v", err)
+	}
+	if m.DeliveredToSink == 0 {
+		t.Fatal("nothing delivered")
+	}
+	bound := float64(m.TreeDepth * s.Slots())
+	if lat := m.MeanE2ELatency(); lat > bound {
+		t.Errorf("mean e2e latency %v exceeds depth×period %v", lat, bound)
+	}
+}
+
+func TestConvergecastValidation(t *testing.T) {
+	s := crossSchedule(t)
+	good := ConvergecastConfig{
+		Window:     lattice.CenteredWindow(2, 2),
+		Deployment: s.Deployment(),
+		Protocol:   NewScheduleMAC("tiling", s),
+		Sink:       lattice.Pt(0, 0),
+		SourceRate: 0.1,
+		Slots:      10,
+	}
+	bad := good
+	bad.Protocol = nil
+	if _, err := RunConvergecast(bad); err == nil {
+		t.Error("nil protocol accepted")
+	}
+	bad = good
+	bad.Sink = lattice.Pt(99, 99)
+	if _, err := RunConvergecast(bad); err == nil {
+		t.Error("out-of-window sink accepted")
+	}
+	bad = good
+	bad.SourceRate = 1.5
+	if _, err := RunConvergecast(bad); err == nil {
+		t.Error("source rate > 1 accepted")
+	}
+	bad = good
+	bad.Slots = 0
+	if _, err := RunConvergecast(bad); err == nil {
+		t.Error("0 slots accepted")
+	}
+}
+
+func TestConvergecastMetricsZeroSafety(t *testing.T) {
+	var m ConvergecastMetrics
+	if m.MeanE2ELatency() != 0 || m.ForwardsPerDelivered() != 0 {
+		t.Error("zero metrics should yield zero ratios")
+	}
+}
+
+func TestSkewedMACZeroSkewMatchesSchedule(t *testing.T) {
+	s := crossSchedule(t)
+	skewed, err := NewSkewedScheduleMAC("tiling", s, 0, 1)
+	if err != nil {
+		t.Fatalf("NewSkewedScheduleMAC: %v", err)
+	}
+	m, err := Run(Config{
+		Window:     lattice.CenteredWindow(2, 3),
+		Deployment: s.Deployment(),
+		Protocol:   skewed,
+		Traffic:    Saturated{},
+		Slots:      200,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m.FailedTx != 0 {
+		t.Errorf("zero skew produced %d failures", m.FailedTx)
+	}
+}
+
+func TestSkewedMACIntroducesCollisions(t *testing.T) {
+	s := crossSchedule(t)
+	run := func(prob float64) Metrics {
+		skewed, err := NewSkewedScheduleMAC("tiling", s, prob, 7)
+		if err != nil {
+			t.Fatalf("NewSkewedScheduleMAC: %v", err)
+		}
+		m, err := Run(Config{
+			Window:     lattice.CenteredWindow(2, 4),
+			Deployment: s.Deployment(),
+			Protocol:   skewed,
+			Traffic:    Saturated{},
+			Slots:      300,
+			Seed:       1,
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return m
+	}
+	low := run(0.05)
+	high := run(0.3)
+	if high.FailedTx == 0 {
+		t.Error("30% skew produced no collisions (suspicious)")
+	}
+	if high.FailedTx <= low.FailedTx {
+		t.Errorf("more skew should fail more: low=%d high=%d", low.FailedTx, high.FailedTx)
+	}
+}
+
+func TestSkewedMACValidation(t *testing.T) {
+	s := crossSchedule(t)
+	if _, err := NewSkewedScheduleMAC("x", s, -0.1, 1); err == nil {
+		t.Error("negative skew accepted")
+	}
+	if _, err := NewSkewedScheduleMAC("x", s, 1.1, 1); err == nil {
+		t.Error("skew > 1 accepted")
+	}
+}
+
+func TestDutyCycleBounds(t *testing.T) {
+	s := crossSchedule(t)
+	// Saturated tiling schedule: someone in range transmits nearly every
+	// slot, so the duty cycle approaches 1 — the throughput/energy
+	// trade-off of optimal packing.
+	m, err := Run(Config{
+		Window:     lattice.CenteredWindow(2, 3),
+		Deployment: s.Deployment(),
+		Protocol:   NewScheduleMAC("tiling", s),
+		Traffic:    Saturated{},
+		Slots:      200,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if d := m.DutyCycle(); d <= 0.5 || d > 1 {
+		t.Errorf("saturated duty cycle = %v, want in (0.5, 1]", d)
+	}
+	// Light traffic: radios mostly sleep.
+	m2, err := Run(Config{
+		Window:     lattice.CenteredWindow(2, 3),
+		Deployment: s.Deployment(),
+		Protocol:   NewScheduleMAC("tiling", s),
+		Traffic:    Bernoulli{P: 0.01},
+		Slots:      500,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m2.DutyCycle() >= m.DutyCycle() {
+		t.Errorf("light-traffic duty cycle %v not below saturated %v",
+			m2.DutyCycle(), m.DutyCycle())
+	}
+}

@@ -1,0 +1,112 @@
+package wsn
+
+import (
+	"testing"
+
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/prototile"
+	"tilingsched/internal/schedule"
+	"tilingsched/internal/tiling"
+)
+
+func TestFailuresKillNodes(t *testing.T) {
+	lt, ok := tiling.FindLatticeTiling(prototile.Cross(2, 1))
+	if !ok {
+		t.Fatal("no tiling")
+	}
+	s := schedule.FromLatticeTiling(lt)
+	m, err := Run(Config{
+		Window:          lattice.CenteredWindow(2, 3),
+		Deployment:      s.Deployment(),
+		Protocol:        NewScheduleMAC("tiling", s),
+		Traffic:         Saturated{},
+		Slots:           400,
+		Seed:            5,
+		NodeFailureProb: 0.002,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m.NodesFailed == 0 {
+		t.Error("no nodes failed at rate 0.002 over 400 slots (suspicious)")
+	}
+	if m.NodesFailed >= m.Nodes {
+		t.Error("every node failed (rate too high for the test)")
+	}
+}
+
+func TestTilingScheduleSurvivesFailures(t *testing.T) {
+	// Removing sensors cannot create collisions: condition T2 is closed
+	// under taking subsets, so the tiling schedule needs no recomputation
+	// as the network decays.
+	lt, ok := tiling.FindLatticeTiling(prototile.ChebyshevBall(2, 1))
+	if !ok {
+		t.Fatal("no tiling")
+	}
+	s := schedule.FromLatticeTiling(lt)
+	m, err := Run(Config{
+		Window:          lattice.CenteredWindow(2, 4),
+		Deployment:      s.Deployment(),
+		Protocol:        NewScheduleMAC("tiling", s),
+		Traffic:         Saturated{},
+		Slots:           600,
+		Seed:            6,
+		NodeFailureProb: 0.003,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m.NodesFailed == 0 {
+		t.Fatal("no failures occurred; test vacuous")
+	}
+	if m.FailedTx != 0 {
+		t.Errorf("failures induced %d failed transmissions, want 0", m.FailedTx)
+	}
+	if m.ReceiverCollisions != 0 {
+		t.Errorf("failures induced %d receiver collisions, want 0", m.ReceiverCollisions)
+	}
+}
+
+func TestDeadNodesStaySilent(t *testing.T) {
+	// With certain immediate death, no one ever transmits.
+	lt, _ := tiling.FindLatticeTiling(prototile.Cross(2, 1))
+	s := schedule.FromLatticeTiling(lt)
+	m, err := Run(Config{
+		Window:          lattice.CenteredWindow(2, 2),
+		Deployment:      s.Deployment(),
+		Protocol:        NewScheduleMAC("tiling", s),
+		Traffic:         Saturated{},
+		Slots:           50,
+		Seed:            1,
+		NodeFailureProb: 1,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m.Transmissions != 0 {
+		t.Errorf("dead network transmitted %d times", m.Transmissions)
+	}
+	if m.NodesFailed != m.Nodes {
+		t.Errorf("NodesFailed = %d, want %d", m.NodesFailed, m.Nodes)
+	}
+}
+
+func TestFailureProbValidation(t *testing.T) {
+	lt, _ := tiling.FindLatticeTiling(prototile.Cross(2, 1))
+	s := schedule.FromLatticeTiling(lt)
+	cfg := Config{
+		Window:          lattice.CenteredWindow(2, 1),
+		Deployment:      s.Deployment(),
+		Protocol:        NewScheduleMAC("tiling", s),
+		Traffic:         Saturated{},
+		Slots:           10,
+		NodeFailureProb: -0.5,
+	}
+	if _, err := Run(cfg); err == nil {
+		t.Error("negative failure probability accepted")
+	}
+	cfg.NodeFailureProb = 1.5
+	if _, err := Run(cfg); err == nil {
+		t.Error("failure probability > 1 accepted")
+	}
+}

@@ -1,0 +1,143 @@
+package wsn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/schedule"
+)
+
+// Protocol decides, for each sensor with queued packets, whether it
+// transmits in the current slot, and receives feedback after the slot.
+type Protocol interface {
+	// Name identifies the protocol in experiment tables.
+	Name() string
+	// Transmit is consulted only for nodes with a nonempty queue.
+	Transmit(node int, p lattice.Point, slot int64, rng *rand.Rand) bool
+	// Observe delivers post-slot feedback: who transmitted and who
+	// succeeded. Stateless protocols may ignore it.
+	Observe(slot int64, transmitting, succeeded []bool)
+}
+
+// ScheduleMAC transmits exactly in the sensor's scheduled slot: the
+// deterministic periodic discipline of the paper (Theorem 1/2 schedules,
+// plain TDMA, and graph-coloring schedules all plug in here).
+type ScheduleMAC struct {
+	name  string
+	sched schedule.Schedule
+}
+
+// NewScheduleMAC wraps a slot schedule as a MAC protocol.
+func NewScheduleMAC(name string, s schedule.Schedule) *ScheduleMAC {
+	return &ScheduleMAC{name: name, sched: s}
+}
+
+// Name returns the protocol label.
+func (s *ScheduleMAC) Name() string { return s.name }
+
+// Transmit fires when t ≡ SlotOf(p) (mod m).
+func (s *ScheduleMAC) Transmit(_ int, p lattice.Point, slot int64, _ *rand.Rand) bool {
+	k, err := s.sched.SlotOf(p)
+	if err != nil {
+		// A schedule that cannot place a deployed sensor is a
+		// configuration bug; surfacing it loudly beats silently muting
+		// the sensor.
+		panic(fmt.Sprintf("wsn: schedule has no slot for %v: %v", p, err))
+	}
+	m := int64(s.sched.Slots())
+	return slot%m == int64(k)
+}
+
+// Observe is a no-op: deterministic schedules need no feedback.
+func (s *ScheduleMAC) Observe(int64, []bool, []bool) {}
+
+// SlottedALOHA transmits each queued packet with probability P per slot —
+// the classical probabilistic baseline the Introduction alludes to
+// ("most communication protocols for wireless sensor networks are
+// probabilistic in nature").
+type SlottedALOHA struct {
+	P float64
+}
+
+// Name returns "aloha(p)".
+func (a *SlottedALOHA) Name() string { return fmt.Sprintf("aloha(%.2f)", a.P) }
+
+// Transmit fires with probability P.
+func (a *SlottedALOHA) Transmit(_ int, _ lattice.Point, _ int64, rng *rand.Rand) bool {
+	return rng.Float64() < a.P
+}
+
+// Observe is a no-op.
+func (a *SlottedALOHA) Observe(int64, []bool, []bool) {}
+
+// CSMA is a slotted p-persistent carrier-sense protocol: a sensor defers
+// whenever any conflicting sensor transmitted in the previous slot
+// (carrier sensing at slot granularity), otherwise transmits with
+// probability P. Conflict neighborhoods come from the deployment, so
+// sensing range equals interference range.
+type CSMA struct {
+	P         float64
+	neighbors [][]int
+	lastBusy  []bool
+}
+
+// NewCSMA precomputes each node's conflict neighbors over the window.
+func NewCSMA(p float64, dep schedule.Deployment, w lattice.Window) (*CSMA, error) {
+	if w.Dim() != dep.Dim() {
+		return nil, fmt.Errorf("%w: window dimension %d ≠ deployment dimension %d",
+			ErrSim, w.Dim(), dep.Dim())
+	}
+	pts := w.Points()
+	idx := make(map[string]int, len(pts))
+	for i, pt := range pts {
+		idx[pt.Key()] = i
+	}
+	neighbors := make([][]int, len(pts))
+	reach := dep.Reach()
+	for i, pt := range pts {
+		lo, hi := pt.Clone(), pt.Clone()
+		for a := range lo {
+			lo[a] -= 2 * reach
+			hi[a] += 2 * reach
+			if lo[a] < w.Lo[a] {
+				lo[a] = w.Lo[a]
+			}
+			if hi[a] > w.Hi[a] {
+				hi[a] = w.Hi[a]
+			}
+		}
+		box, err := lattice.NewWindow(lo, hi)
+		if err != nil {
+			continue
+		}
+		for _, q := range box.Points() {
+			j := idx[q.Key()]
+			if j == i {
+				continue
+			}
+			if schedule.Conflict(dep, pt, q) {
+				neighbors[i] = append(neighbors[i], j)
+			}
+		}
+	}
+	return &CSMA{P: p, neighbors: neighbors, lastBusy: make([]bool, len(pts))}, nil
+}
+
+// Name returns "csma(p)".
+func (c *CSMA) Name() string { return fmt.Sprintf("csma(%.2f)", c.P) }
+
+// Transmit defers when a conflicting neighbor was busy last slot.
+func (c *CSMA) Transmit(node int, _ lattice.Point, _ int64, rng *rand.Rand) bool {
+	for _, nb := range c.neighbors[node] {
+		if c.lastBusy[nb] {
+			return false
+		}
+	}
+	return rng.Float64() < c.P
+}
+
+// Observe records the transmitter set for next slot's carrier sense.
+func (c *CSMA) Observe(_ int64, transmitting, _ []bool) {
+	copy(c.lastBusy, transmitting)
+}

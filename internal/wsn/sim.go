@@ -1,0 +1,283 @@
+// Package wsn is a slotted-radio, discrete-event simulator for sensors on
+// lattice points, implementing precisely the paper's interference model:
+//
+//   - a broadcast by the sensor at a reaches the sensors in (a + N_a)\{a};
+//   - a receiver r misses the message when r itself transmits in the same
+//     slot (the first collision problem of the Introduction), or when some
+//     other simultaneous transmitter b also covers r (the second collision
+//     problem — r is within interference range of both);
+//   - an unsuccessful broadcast must be resent, which "is evidently a
+//     waste of energy": packets stay queued and transmissions are counted
+//     as the energy proxy.
+//
+// The simulator drives any slot schedule (tiling, TDMA, graph colorings)
+// and the contention baselines (slotted ALOHA, p-CSMA) through one code
+// path so the paper's deterministic-vs-probabilistic comparison is
+// apples-to-apples.
+package wsn
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/schedule"
+)
+
+// ErrSim indicates an invalid simulation configuration.
+var ErrSim = errors.New("wsn: invalid simulation")
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Window is the finite deployment region; one sensor per point.
+	Window lattice.Window
+	// Deployment supplies interference neighborhoods (homogeneous or D1).
+	Deployment schedule.Deployment
+	// Protocol decides who transmits each slot.
+	Protocol Protocol
+	// Traffic generates packet arrivals.
+	Traffic Traffic
+	// Slots is the number of time slots to simulate.
+	Slots int64
+	// Seed feeds the deterministic random source.
+	Seed int64
+	// QueueCap bounds each sensor's queue; arrivals beyond it are
+	// dropped (0 means unbounded).
+	QueueCap int
+	// NodeFailureProb is each sensor's independent per-slot probability
+	// of permanent failure. Dead sensors neither transmit nor receive;
+	// broadcast success is judged over the surviving intended receivers.
+	// Because a tiling schedule restricted to any subset of sensors is
+	// still collision-free (condition T2 is closed under removal), the
+	// schedule keeps working unmodified as the network decays.
+	NodeFailureProb float64
+}
+
+// Metrics aggregates the outcome of a run.
+type Metrics struct {
+	Slots              int64
+	Nodes              int
+	Arrivals           int64
+	Delivered          int64 // broadcasts heard by all intended receivers
+	Dropped            int64 // arrivals discarded by full queues
+	Transmissions      int64 // energy proxy: every transmission costs
+	SuccessfulTx       int64
+	FailedTx           int64 // transmissions requiring retransmission
+	ReceiverCollisions int64 // receiver-slot events covered by ≥2 transmitters
+	TotalLatency       int64 // arrival→delivery, in slots, summed
+	MaxQueueLen        int
+	// RadioOnSlots counts node-slots with the radio active: transmitting
+	// or covered by at least one transmitter (ideal receiver-side duty
+	// cycling — a node sleeps whenever no in-range sensor transmits).
+	RadioOnSlots int64
+	// NodesFailed counts sensors that died during the run.
+	NodesFailed int
+	// PerNodeDelivered holds each sensor's successful broadcast count,
+	// for fairness analysis.
+	PerNodeDelivered []int64
+}
+
+// FairnessIndex is Jain's fairness index over per-node delivered counts:
+// (Σx)² / (n·Σx²), 1.0 when perfectly fair, →1/n when one node hogs the
+// channel. Deterministic schedules are provably fair; contention
+// protocols are not.
+func (m Metrics) FairnessIndex() float64 {
+	n := len(m.PerNodeDelivered)
+	if n == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range m.PerNodeDelivered {
+		sum += float64(x)
+		sumSq += float64(x) * float64(x)
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(n) * sumSq)
+}
+
+// DeliveryRatio is the fraction of transmissions heard by every intended
+// receiver.
+func (m Metrics) DeliveryRatio() float64 {
+	if m.Transmissions == 0 {
+		return 0
+	}
+	return float64(m.SuccessfulTx) / float64(m.Transmissions)
+}
+
+// Goodput is delivered broadcasts per node per slot.
+func (m Metrics) Goodput() float64 {
+	if m.Slots == 0 || m.Nodes == 0 {
+		return 0
+	}
+	return float64(m.Delivered) / (float64(m.Slots) * float64(m.Nodes))
+}
+
+// MeanLatency is the average slots from arrival to successful broadcast.
+func (m Metrics) MeanLatency() float64 {
+	if m.Delivered == 0 {
+		return 0
+	}
+	return float64(m.TotalLatency) / float64(m.Delivered)
+}
+
+// DutyCycle is the fraction of node-slots with the radio on (transmit or
+// receive), under ideal receiver-side duty cycling.
+func (m Metrics) DutyCycle() float64 {
+	if m.Slots == 0 || m.Nodes == 0 {
+		return 0
+	}
+	return float64(m.RadioOnSlots) / (float64(m.Slots) * float64(m.Nodes))
+}
+
+// EnergyPerDelivered is transmissions spent per delivered broadcast — the
+// paper's wasted-energy measure (1.0 is perfect).
+func (m Metrics) EnergyPerDelivered() float64 {
+	if m.Delivered == 0 {
+		if m.Transmissions == 0 {
+			return 0
+		}
+		return float64(m.Transmissions)
+	}
+	return float64(m.Transmissions) / float64(m.Delivered)
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (Metrics, error) {
+	if cfg.Deployment == nil || cfg.Protocol == nil || cfg.Traffic == nil {
+		return Metrics{}, fmt.Errorf("%w: nil deployment, protocol, or traffic", ErrSim)
+	}
+	if cfg.Slots <= 0 {
+		return Metrics{}, fmt.Errorf("%w: %d slots", ErrSim, cfg.Slots)
+	}
+	if cfg.Window.Dim() != cfg.Deployment.Dim() {
+		return Metrics{}, fmt.Errorf("%w: window dimension %d ≠ deployment dimension %d",
+			ErrSim, cfg.Window.Dim(), cfg.Deployment.Dim())
+	}
+	if cfg.NodeFailureProb < 0 || cfg.NodeFailureProb > 1 {
+		return Metrics{}, fmt.Errorf("%w: failure probability %v", ErrSim, cfg.NodeFailureProb)
+	}
+	pts := cfg.Window.Points()
+	n := len(pts)
+	idx := make(map[string]int, n)
+	for i, p := range pts {
+		idx[p.Key()] = i
+	}
+	// Precompute intended receivers (in-window, excluding self) and, for
+	// reception resolution, the reverse map: which nodes' transmissions
+	// cover each node.
+	receivers := make([][]int, n)
+	coveredBy := make([][]int, n)
+	for i, p := range pts {
+		for _, q := range cfg.Deployment.NeighborhoodOf(p) {
+			j, ok := idx[q.Key()]
+			if !ok || j == i {
+				continue
+			}
+			receivers[i] = append(receivers[i], j)
+			coveredBy[j] = append(coveredBy[j], i)
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	queues := make([][]int64, n) // arrival slots of queued packets
+	var m Metrics
+	m.Slots = cfg.Slots
+	m.Nodes = n
+	m.PerNodeDelivered = make([]int64, n)
+	transmitting := make([]bool, n)
+	succeeded := make([]bool, n)
+	coverCount := make([]int, n)
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	for slot := int64(0); slot < cfg.Slots; slot++ {
+		// 0. Failures.
+		if cfg.NodeFailureProb > 0 {
+			for i := range alive {
+				if alive[i] && rng.Float64() < cfg.NodeFailureProb {
+					alive[i] = false
+					m.NodesFailed++
+				}
+			}
+		}
+		// 1. Arrivals.
+		for i := range pts {
+			if !alive[i] {
+				continue
+			}
+			k := cfg.Traffic.Arrivals(i, slot, rng)
+			for a := 0; a < k; a++ {
+				m.Arrivals++
+				if cfg.QueueCap > 0 && len(queues[i]) >= cfg.QueueCap {
+					m.Dropped++
+					continue
+				}
+				queues[i] = append(queues[i], slot)
+				if len(queues[i]) > m.MaxQueueLen {
+					m.MaxQueueLen = len(queues[i])
+				}
+			}
+		}
+		// 2. Transmission decisions.
+		for i := range pts {
+			transmitting[i] = alive[i] && len(queues[i]) > 0 &&
+				cfg.Protocol.Transmit(i, pts[i], slot, rng)
+		}
+		// 3. Coverage resolution.
+		for i := range coverCount {
+			coverCount[i] = 0
+		}
+		for i := range pts {
+			if !transmitting[i] {
+				continue
+			}
+			for _, r := range receivers[i] {
+				coverCount[r]++
+			}
+		}
+		for r, c := range coverCount {
+			if c >= 2 {
+				m.ReceiverCollisions++
+			}
+			if c >= 1 || transmitting[r] {
+				m.RadioOnSlots++
+			}
+		}
+		// 4. Broadcast outcomes.
+		for i := range pts {
+			succeeded[i] = false
+			if !transmitting[i] {
+				continue
+			}
+			m.Transmissions++
+			ok := true
+			for _, r := range receivers[i] {
+				if !alive[r] {
+					continue // dead receivers impose no requirement
+				}
+				// r hears i iff r is silent and i is r's only coverer.
+				if transmitting[r] || coverCount[r] != 1 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				m.SuccessfulTx++
+				m.Delivered++
+				m.PerNodeDelivered[i]++
+				arrival := queues[i][0]
+				queues[i] = queues[i][1:]
+				m.TotalLatency += slot - arrival + 1
+				succeeded[i] = true
+			} else {
+				m.FailedTx++
+			}
+		}
+		// 5. Protocol feedback.
+		cfg.Protocol.Observe(slot, transmitting, succeeded)
+	}
+	return m, nil
+}

@@ -1,0 +1,315 @@
+package wsn
+
+import (
+	"reflect"
+	"testing"
+
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/prototile"
+	"tilingsched/internal/schedule"
+	"tilingsched/internal/tiling"
+)
+
+func tilingSetup(t *testing.T, ti *prototile.Tile) (*schedule.Theorem1, *schedule.Homogeneous) {
+	t.Helper()
+	lt, ok := tiling.FindLatticeTiling(ti)
+	if !ok {
+		t.Fatalf("no tiling for %s", ti.Name())
+	}
+	s := schedule.FromLatticeTiling(lt)
+	return s, s.Deployment()
+}
+
+func TestTilingMACNeverCollides(t *testing.T) {
+	// The headline systems claim: the Theorem 1 schedule produces zero
+	// collisions and every transmission succeeds, even under saturation.
+	for _, ti := range []*prototile.Tile{
+		prototile.Cross(2, 1),
+		prototile.Directional(),
+		prototile.MustTetromino("S"),
+	} {
+		s, dep := tilingSetup(t, ti)
+		m, err := Run(Config{
+			Window:     lattice.CenteredWindow(2, 5),
+			Deployment: dep,
+			Protocol:   NewScheduleMAC("tiling", s),
+			Traffic:    Saturated{},
+			Slots:      200,
+			Seed:       1,
+		})
+		if err != nil {
+			t.Fatalf("%s: Run: %v", ti.Name(), err)
+		}
+		if m.FailedTx != 0 {
+			t.Errorf("%s: %d failed transmissions, want 0", ti.Name(), m.FailedTx)
+		}
+		if m.ReceiverCollisions != 0 {
+			t.Errorf("%s: %d receiver collisions, want 0", ti.Name(), m.ReceiverCollisions)
+		}
+		if m.Transmissions != m.SuccessfulTx {
+			t.Errorf("%s: tx=%d success=%d", ti.Name(), m.Transmissions, m.SuccessfulTx)
+		}
+		if m.EnergyPerDelivered() != 1.0 {
+			t.Errorf("%s: energy/delivered = %v, want 1.0", ti.Name(), m.EnergyPerDelivered())
+		}
+		// Each sensor transmits once per |N| slots under saturation.
+		wantTx := int64(m.Nodes) * (200 / int64(ti.Size()))
+		if m.Transmissions < wantTx-int64(m.Nodes) || m.Transmissions > wantTx+int64(m.Nodes) {
+			t.Errorf("%s: transmissions = %d, want ≈ %d", ti.Name(), m.Transmissions, wantTx)
+		}
+	}
+}
+
+func TestPlainTDMANeverCollidesButSlow(t *testing.T) {
+	w := lattice.CenteredWindow(2, 3) // 49 sensors
+	dep := schedule.NewHomogeneous(prototile.Cross(2, 1))
+	s := schedule.PlainTDMA(w)
+	m, err := Run(Config{
+		Window:     w,
+		Deployment: dep,
+		Protocol:   NewScheduleMAC("tdma", s),
+		Traffic:    Saturated{},
+		Slots:      490, // ten full TDMA rounds
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m.FailedTx != 0 || m.ReceiverCollisions != 0 {
+		t.Errorf("plain TDMA collided: failed=%d rc=%d", m.FailedTx, m.ReceiverCollisions)
+	}
+	// Exactly one transmission per slot network-wide.
+	if m.Transmissions != 490 {
+		t.Errorf("transmissions = %d, want 490", m.Transmissions)
+	}
+	// Goodput is 1/n per node — the scaling failure the paper calls out.
+	if g := m.Goodput(); g > 1.0/float64(m.Nodes)+1e-9 {
+		t.Errorf("goodput = %v, want ≤ 1/%d", g, m.Nodes)
+	}
+}
+
+func TestAlohaFullPressureAllCollide(t *testing.T) {
+	// With p = 1 and saturation everyone transmits always; nobody can
+	// listen, so nothing is ever delivered.
+	dep := schedule.NewHomogeneous(prototile.Cross(2, 1))
+	m, err := Run(Config{
+		Window:     lattice.CenteredWindow(2, 3),
+		Deployment: dep,
+		Protocol:   &SlottedALOHA{P: 1},
+		Traffic:    Saturated{},
+		Slots:      50,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m.Delivered != 0 {
+		t.Errorf("delivered = %d, want 0", m.Delivered)
+	}
+	if m.FailedTx != m.Transmissions {
+		t.Errorf("failed=%d tx=%d, want all failed", m.FailedTx, m.Transmissions)
+	}
+}
+
+func TestAlohaModeratePressureDegrades(t *testing.T) {
+	dep := schedule.NewHomogeneous(prototile.Cross(2, 1))
+	m, err := Run(Config{
+		Window:     lattice.CenteredWindow(2, 4),
+		Deployment: dep,
+		Protocol:   &SlottedALOHA{P: 0.15},
+		Traffic:    Saturated{},
+		Slots:      400,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m.Delivered == 0 {
+		t.Error("moderate ALOHA delivered nothing")
+	}
+	if m.FailedTx == 0 {
+		t.Error("moderate ALOHA never collided (suspicious)")
+	}
+	if r := m.DeliveryRatio(); r >= 1 {
+		t.Errorf("delivery ratio = %v, want < 1", r)
+	}
+	if e := m.EnergyPerDelivered(); e <= 1 {
+		t.Errorf("energy/delivered = %v, want > 1", e)
+	}
+}
+
+func TestCSMAImprovesOnAloha(t *testing.T) {
+	dep := schedule.NewHomogeneous(prototile.Cross(2, 1))
+	w := lattice.CenteredWindow(2, 4)
+	run := func(p Protocol) Metrics {
+		m, err := Run(Config{
+			Window: w, Deployment: dep, Protocol: p,
+			Traffic: Bernoulli{P: 0.05}, Slots: 600, Seed: 11,
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return m
+	}
+	aloha := run(&SlottedALOHA{P: 0.5})
+	csma, err := NewCSMA(0.5, dep, w)
+	if err != nil {
+		t.Fatalf("NewCSMA: %v", err)
+	}
+	csmaM := run(csma)
+	if csmaM.DeliveryRatio() <= aloha.DeliveryRatio() {
+		t.Errorf("CSMA delivery %v not better than ALOHA %v",
+			csmaM.DeliveryRatio(), aloha.DeliveryRatio())
+	}
+}
+
+func TestTheorem2ScheduleInSimulator(t *testing.T) {
+	// D1 deployment + Theorem 2 schedule: still zero collisions.
+	s4 := prototile.MustTetromino("S")
+	z4 := prototile.MustTetromino("Z")
+	sols, err := tiling.SolveTorus([]int{4, 4}, []*prototile.Tile{s4, z4},
+		tiling.SolveOptions{MaxSolutions: 3})
+	if err != nil || len(sols) == 0 {
+		t.Fatalf("SolveTorus: %v", err)
+	}
+	for _, sol := range sols {
+		sched2, err := schedule.FromTorusTiling(sol)
+		if err != nil {
+			t.Fatalf("FromTorusTiling: %v", err)
+		}
+		m, err := Run(Config{
+			Window:     lattice.CenteredWindow(2, 5),
+			Deployment: schedule.NewD1(sol),
+			Protocol:   NewScheduleMAC("theorem2", sched2),
+			Traffic:    Saturated{},
+			Slots:      100,
+			Seed:       3,
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if m.FailedTx != 0 || m.ReceiverCollisions != 0 {
+			t.Errorf("Theorem 2 schedule collided on %v: failed=%d rc=%d",
+				sol.TileCounts(), m.FailedTx, m.ReceiverCollisions)
+		}
+	}
+}
+
+func TestLatencyBoundedByPeriod(t *testing.T) {
+	// With sparse periodic traffic, a tiling schedule delivers within one
+	// period.
+	s, dep := tilingSetup(t, prototile.Cross(2, 1))
+	m, err := Run(Config{
+		Window:     lattice.CenteredWindow(2, 3),
+		Deployment: dep,
+		Protocol:   NewScheduleMAC("tiling", s),
+		Traffic:    Periodic{Interval: 50},
+		Slots:      500,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if lat := m.MeanLatency(); lat > float64(s.Slots()) {
+		t.Errorf("mean latency %v exceeds schedule period %d", lat, s.Slots())
+	}
+}
+
+func TestQueueCapDrops(t *testing.T) {
+	// ALOHA p=1 under saturation never delivers, so a bounded queue must
+	// drop arrivals.
+	dep := schedule.NewHomogeneous(prototile.Cross(2, 1))
+	m, err := Run(Config{
+		Window:     lattice.CenteredWindow(2, 2),
+		Deployment: dep,
+		Protocol:   &SlottedALOHA{P: 1},
+		Traffic:    Saturated{},
+		Slots:      50,
+		Seed:       1,
+		QueueCap:   5,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m.Dropped == 0 {
+		t.Error("no drops despite full queues")
+	}
+	if m.MaxQueueLen > 5 {
+		t.Errorf("queue exceeded cap: %d", m.MaxQueueLen)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	dep := schedule.NewHomogeneous(prototile.Cross(2, 1))
+	cfg := Config{
+		Window:     lattice.CenteredWindow(2, 3),
+		Deployment: dep,
+		Protocol:   &SlottedALOHA{P: 0.3},
+		Traffic:    Bernoulli{P: 0.2},
+		Slots:      200,
+		Seed:       99,
+	}
+	m1, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	cfg.Protocol = &SlottedALOHA{P: 0.3} // fresh protocol state
+	m2, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !reflect.DeepEqual(m1, m2) {
+		t.Errorf("same seed, different metrics:\n%+v\n%+v", m1, m2)
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	dep := schedule.NewHomogeneous(prototile.Cross(2, 1))
+	base := Config{
+		Window:     lattice.CenteredWindow(2, 2),
+		Deployment: dep,
+		Protocol:   &SlottedALOHA{P: 0.5},
+		Traffic:    Saturated{},
+		Slots:      10,
+	}
+	bad := base
+	bad.Protocol = nil
+	if _, err := Run(bad); err == nil {
+		t.Error("nil protocol accepted")
+	}
+	bad = base
+	bad.Slots = 0
+	if _, err := Run(bad); err == nil {
+		t.Error("0 slots accepted")
+	}
+	bad = base
+	bad.Window = lattice.CenteredWindow(3, 2)
+	if _, err := Run(bad); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestTrafficModels(t *testing.T) {
+	// Periodic: node 0 with interval 10 gets arrivals at slots 0, 10, ….
+	p := Periodic{Interval: 10}
+	count := 0
+	for slot := int64(0); slot < 100; slot++ {
+		count += p.Arrivals(0, slot, nil)
+	}
+	if count != 10 {
+		t.Errorf("periodic arrivals = %d, want 10", count)
+	}
+	if (Periodic{Interval: 0}).Arrivals(0, 0, nil) != 0 {
+		t.Error("zero-interval periodic produced arrivals")
+	}
+}
+
+func TestMetricsZeroSafety(t *testing.T) {
+	var m Metrics
+	if m.DeliveryRatio() != 0 || m.Goodput() != 0 || m.MeanLatency() != 0 || m.EnergyPerDelivered() != 0 {
+		t.Error("zero metrics should yield zero ratios")
+	}
+}

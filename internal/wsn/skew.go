@@ -1,0 +1,78 @@
+package wsn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/schedule"
+)
+
+// SkewedScheduleMAC is a schedule MAC whose nodes suffer constant clock
+// skew: with probability SkewProb a node's clock is off by ±1 slot
+// (uniformly). The paper assumes "the sensors have access to the current
+// time"; this protocol quantifies what that assumption buys — any skew
+// reintroduces collisions into an otherwise provably collision-free
+// schedule.
+//
+// Skews are drawn deterministically from the seed at construction, per
+// node index, so runs are reproducible.
+type SkewedScheduleMAC struct {
+	name     string
+	sched    schedule.Schedule
+	skewProb float64
+	seed     int64
+	offsets  map[int]int64
+}
+
+// NewSkewedScheduleMAC wraps a schedule with per-node clock skew.
+func NewSkewedScheduleMAC(name string, s schedule.Schedule, skewProb float64, seed int64) (*SkewedScheduleMAC, error) {
+	if skewProb < 0 || skewProb > 1 {
+		return nil, fmt.Errorf("%w: skew probability %v", ErrSim, skewProb)
+	}
+	return &SkewedScheduleMAC{
+		name:     name,
+		sched:    s,
+		skewProb: skewProb,
+		seed:     seed,
+		offsets:  make(map[int]int64),
+	}, nil
+}
+
+// Name returns the protocol label.
+func (s *SkewedScheduleMAC) Name() string {
+	return fmt.Sprintf("%s+skew(%.2f)", s.name, s.skewProb)
+}
+
+// offset returns the node's fixed clock error, drawing it on first use
+// from a per-node deterministic stream.
+func (s *SkewedScheduleMAC) offset(node int) int64 {
+	if off, ok := s.offsets[node]; ok {
+		return off
+	}
+	rng := rand.New(rand.NewSource(s.seed + int64(node)*7919))
+	var off int64
+	if rng.Float64() < s.skewProb {
+		if rng.Float64() < 0.5 {
+			off = -1
+		} else {
+			off = 1
+		}
+	}
+	s.offsets[node] = off
+	return off
+}
+
+// Transmit fires when the node's skewed clock reads its slot.
+func (s *SkewedScheduleMAC) Transmit(node int, p lattice.Point, slot int64, _ *rand.Rand) bool {
+	k, err := s.sched.SlotOf(p)
+	if err != nil {
+		panic(fmt.Sprintf("wsn: schedule has no slot for %v: %v", p, err))
+	}
+	m := int64(s.sched.Slots())
+	local := slot + s.offset(node)
+	return ((local%m)+m)%m == int64(k)
+}
+
+// Observe is a no-op.
+func (s *SkewedScheduleMAC) Observe(int64, []bool, []bool) {}

@@ -1,0 +1,48 @@
+package wsn
+
+import "math/rand"
+
+// Traffic generates packet arrivals per node per slot.
+type Traffic interface {
+	// Arrivals returns how many packets arrive at the node in this slot.
+	Arrivals(node int, slot int64, rng *rand.Rand) int
+}
+
+// Saturated keeps every queue nonempty: one arrival per node per slot.
+// Used to measure peak sustainable throughput.
+type Saturated struct{}
+
+// Arrivals always returns 1.
+func (Saturated) Arrivals(int, int64, *rand.Rand) int { return 1 }
+
+// Bernoulli delivers a packet with probability P each slot — the standard
+// memoryless sensing-traffic model.
+type Bernoulli struct {
+	P float64
+}
+
+// Arrivals returns 1 with probability P.
+func (b Bernoulli) Arrivals(_ int, _ int64, rng *rand.Rand) int {
+	if rng.Float64() < b.P {
+		return 1
+	}
+	return 0
+}
+
+// Periodic delivers one packet every Interval slots (phase-shifted per
+// node to avoid synchronized bursts) — the periodic-sensing workload of a
+// monitoring deployment.
+type Periodic struct {
+	Interval int64
+}
+
+// Arrivals returns 1 on the node's phase slot of each interval.
+func (p Periodic) Arrivals(node int, slot int64, _ *rand.Rand) int {
+	if p.Interval <= 0 {
+		return 0
+	}
+	if slot%p.Interval == int64(node)%p.Interval {
+		return 1
+	}
+	return 0
+}
