@@ -8,5 +8,25 @@
 // top-level Plan API, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for the reproduced figures and tables. The benchmarks in
 // bench_test.go regenerate every figure and derived table of the
-// reproduction.
+// reproduction; scripts/bench.sh (cmd/bench) records them as
+// BENCH_<date>.json summaries tracking the performance trajectory.
+//
+// # Indexing architecture
+//
+// Every hot path identifies lattice points by dense integers, never by
+// strings:
+//
+//   - Finite regions index through lattice.Window.IndexOf / PointAt, an
+//     allocation-free mixed-radix bijection between a window's points and
+//     [0, Size()); Window.Each iterates with a reused buffer.
+//   - Tilings resolve cosets through a flat residue table of size det(H)
+//     indexed by the reduced coset representative (internal/tiling's
+//     cosetTable over intmat.ReduceInPlace), so Theorem 1/2 slot
+//     assignment is O(1) integer arithmetic with zero allocations.
+//   - Simulators, conflict graphs, and explicit schedules hold per-point
+//     state in flat []int / []int32 tables addressed by those indexes.
+//
+// lattice.Point.Key() remains only for cold paths — rendering, canonical
+// form signatures, and tests. New code must not introduce string-keyed
+// point maps on per-slot or per-lookup paths.
 package tilingsched

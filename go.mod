@@ -1,0 +1,3 @@
+module tilingsched
+
+go 1.24

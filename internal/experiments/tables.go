@@ -66,11 +66,7 @@ func TableSlotCounts(seed int64) (*Result, error) {
 // scheduleFromColoring converts a graph coloring over window points into a
 // MapSchedule.
 func scheduleFromColoring(pts []lattice.Point, colors []int, numColors int) (*schedule.MapSchedule, error) {
-	assign := make(map[string]int, len(pts))
-	for i, p := range pts {
-		assign[p.Key()] = colors[i]
-	}
-	return schedule.NewMapSchedule(numColors, assign)
+	return schedule.NewMapSchedule(numColors, pts, colors)
 }
 
 // TableSimulator is derived table E2: the protocol shoot-out in the

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"math/bits"
 	"math/rand"
 	"sort"
 )
@@ -66,16 +67,20 @@ func DegreeOrder(g *Graph) []int {
 // DSATUR colors the graph with the saturation-degree heuristic: repeatedly
 // color the uncolored vertex with the most distinctly-colored neighbors
 // (ties broken by degree, then index). Returns coloring and color count.
+// Saturation sets are per-vertex bitsets over at most Δ+1 colors (greedy
+// never needs more), so the whole run performs three slice allocations.
 func DSATUR(g *Graph) ([]int, int) {
 	n := g.N()
 	colors := make([]int, n)
+	if n == 0 {
+		return colors, 0
+	}
 	for i := range colors {
 		colors[i] = -1
 	}
-	satSets := make([]map[int]bool, n)
-	for i := range satSets {
-		satSets[i] = map[int]bool{}
-	}
+	words := (g.MaxDegree() + 1 + 63) / 64
+	sat := make([]uint64, n*words) // vertex u's neighbor-color bitset
+	satCount := make([]int, n)     // popcount cache of sat rows
 	maxColor := -1
 	for step := 0; step < n; step++ {
 		// Pick the uncolored vertex with maximum saturation.
@@ -88,22 +93,31 @@ func DSATUR(g *Graph) ([]int, int) {
 				best = u
 				continue
 			}
-			su, sb := len(satSets[u]), len(satSets[best])
-			if su > sb || (su == sb && g.Degree(u) > g.Degree(best)) {
+			if satCount[u] > satCount[best] ||
+				(satCount[u] == satCount[best] && g.Degree(u) > g.Degree(best)) {
 				best = u
 			}
 		}
-		// Smallest color absent from neighbors.
+		// Smallest color absent from neighbors: first zero bit of the row.
+		row := sat[best*words : (best+1)*words]
 		c := 0
-		for satSets[best][c] {
-			c++
+		for w, bitsWord := range row {
+			if inv := ^bitsWord; inv != 0 {
+				c = w*64 + bits.TrailingZeros64(inv)
+				break
+			}
+			c = (w + 1) * 64
 		}
 		colors[best] = c
 		if c > maxColor {
 			maxColor = c
 		}
+		word, bit := c/64, uint64(1)<<(c%64)
 		for _, v := range g.Neighbors(best) {
-			satSets[v][c] = true
+			if sat[v*words+word]&bit == 0 {
+				sat[v*words+word] |= bit
+				satCount[v]++
+			}
 		}
 	}
 	return colors, maxColor + 1

@@ -70,14 +70,10 @@ func InterferenceDigraph(dep schedule.Deployment, w lattice.Window) (*Digraph, [
 			ErrGraph, w.Dim(), dep.Dim())
 	}
 	pts := w.Points()
-	idx := make(map[string]int, len(pts))
-	for i, p := range pts {
-		idx[p.Key()] = i
-	}
 	d := NewDigraph(len(pts))
 	for i, p := range pts {
 		for _, q := range dep.NeighborhoodOf(p) {
-			if j, ok := idx[q.Key()]; ok && j != i {
+			if j, ok := w.IndexOf(q); ok && j != i {
 				d.AddArc(i, j)
 			}
 		}

@@ -132,18 +132,46 @@ func ConflictGraph(dep schedule.Deployment, w lattice.Window) (*Graph, []lattice
 			ErrGraph, w.Dim(), dep.Dim())
 	}
 	pts := w.Points()
-	idx := make(map[string]int, len(pts))
+	n := len(pts)
+	// Precompute every sensor's neighborhood once (the deployment
+	// recomputes them per call) and test intersection with an epoch-
+	// stamped grid over the window expanded by the reach, so the inner
+	// pair loop is pure integer indexing — no sets, no string keys.
+	nbh := make([][]lattice.Point, n)
 	for i, p := range pts {
-		idx[p.Key()] = i
+		nbh[i] = dep.NeighborhoodOf(p)
 	}
-	g := New(len(pts))
 	reach := dep.Reach()
+	extLo := w.Lo.Clone()
+	extHi := w.Hi.Clone()
+	for a := range extLo {
+		extLo[a] -= reach
+		extHi[a] += reach
+	}
+	ext, err := lattice.NewWindow(extLo, extHi)
+	if err != nil {
+		return nil, nil, err
+	}
+	extSize, err := ext.SizeChecked()
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: conflict window too large: %v", ErrGraph, err)
+	}
+	stamp := make([]int32, extSize)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	g := New(n)
+	lo := make(lattice.Point, w.Dim())
+	hi := make(lattice.Point, w.Dim())
 	for i, p := range pts {
-		// Neighborhood sets are recomputed per pair by Conflict; to keep
-		// the builder O(n · (4r+1)^d · |N|), precompute p's set once.
-		np := lattice.NewSet(dep.NeighborhoodOf(p)...)
-		lo := p.Clone()
-		hi := p.Clone()
+		epoch := int32(i)
+		for _, x := range nbh[i] {
+			if xi, ok := ext.IndexOf(x); ok {
+				stamp[xi] = epoch
+			}
+		}
+		copy(lo, p)
+		copy(hi, p)
 		for a := range lo {
 			lo[a] -= 2 * reach
 			hi[a] += 2 * reach
@@ -158,18 +186,19 @@ func ConflictGraph(dep schedule.Deployment, w lattice.Window) (*Graph, []lattice
 		if err != nil {
 			continue
 		}
-		for _, q := range box.Points() {
-			j := idx[q.Key()]
+		box.Each(func(q lattice.Point) bool {
+			j, _ := w.IndexOf(q)
 			if j <= i {
-				continue
+				return true
 			}
-			for _, x := range dep.NeighborhoodOf(q) {
-				if np.Contains(x) {
+			for _, x := range nbh[j] {
+				if xi, ok := ext.IndexOf(x); ok && stamp[xi] == epoch {
 					g.AddEdge(i, j)
 					break
 				}
 			}
-		}
+			return true
+		})
 	}
 	return g, pts, nil
 }
@@ -186,11 +215,7 @@ func OptimalSchedule(dep schedule.Deployment, w lattice.Window, nodeBudget int) 
 		return nil, false, err
 	}
 	res := ChromaticNumber(g, nodeBudget)
-	assign := make(map[string]int, len(pts))
-	for i, p := range pts {
-		assign[p.Key()] = res.Colors[i]
-	}
-	ms, err := schedule.NewMapSchedule(res.NumColors, assign)
+	ms, err := schedule.NewMapSchedule(res.NumColors, pts, res.Colors)
 	if err != nil {
 		return nil, false, err
 	}

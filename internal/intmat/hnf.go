@@ -114,16 +114,27 @@ func Reduce(h *Matrix, v []int64) ([]int64, error) {
 	}
 	out := make([]int64, len(v))
 	copy(out, v)
+	ReduceInPlace(h, out)
+	return out, nil
+}
+
+// ReduceInPlace reduces v modulo the row lattice of h in place, leaving
+// the canonical representative (as Reduce) in v. It allocates nothing and
+// skips the HNF shape check, so h MUST be a square full-rank HNF already
+// validated with IsSquareFullRankHNF (typically once, at construction of
+// the caller) and len(v) must equal h.Cols(). This is the hot-path
+// variant backing per-point slot assignment.
+func ReduceInPlace(h *Matrix, v []int64) {
 	for i := 0; i < h.rows; i++ {
-		q := FloorDiv(out[i], h.At(i, i))
+		row := h.a[i*h.cols : (i+1)*h.cols]
+		q := FloorDiv(v[i], row[i])
 		if q == 0 {
 			continue
 		}
 		for j := i; j < h.cols; j++ {
-			out[j] -= q * h.At(i, j)
+			v[j] -= q * row[j]
 		}
 	}
-	return out, nil
 }
 
 // InLattice reports whether v lies in the row lattice of the square

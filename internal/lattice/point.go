@@ -60,6 +60,28 @@ func (p Point) Sub(q Point) Point {
 	return r
 }
 
+// AddInto appends the coordinates of p + q to dst and returns the
+// extended slice. It lets callers pack many sums into one reused backing
+// array (dst may be a sub-slice of a larger buffer) instead of allocating
+// a fresh point per operation as Add does.
+func (p Point) AddInto(q, dst Point) Point {
+	mustSameDim(p, q)
+	for i := range p {
+		dst = append(dst, p[i]+q[i])
+	}
+	return dst
+}
+
+// SubInto appends the coordinates of p - q to dst and returns the
+// extended slice; the buffer-reusing counterpart of Sub.
+func (p Point) SubInto(q, dst Point) Point {
+	mustSameDim(p, q)
+	for i := range p {
+		dst = append(dst, p[i]-q[i])
+	}
+	return dst
+}
+
 // Neg returns -p.
 func (p Point) Neg() Point {
 	r := make(Point, len(p))

@@ -1,6 +1,9 @@
 package lattice
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Window is an axis-aligned box of coordinates, inclusive on both ends:
 // {p : Lo_i ≤ p_i ≤ Hi_i}. Windows model the finite deployment regions D
@@ -51,13 +54,106 @@ func BoxWindow(sides ...int) (Window, error) {
 // Dim returns the window's dimension.
 func (w Window) Dim() int { return len(w.Lo) }
 
-// Size returns the number of lattice points in the window.
+// Size returns the number of lattice points in the window, saturating at
+// math.MaxInt when the true count does not fit in an int. Callers that
+// must distinguish a huge window from an unrepresentable one should use
+// SizeChecked.
 func (w Window) Size() int {
-	n := 1
-	for i := range w.Lo {
-		n *= w.Hi[i] - w.Lo[i] + 1
+	n, err := w.SizeChecked()
+	if err != nil {
+		return math.MaxInt
 	}
 	return n
+}
+
+// SizeChecked returns the number of lattice points in the window, or an
+// error when that count overflows an int (possible for large or
+// high-dimensional windows, whose side product grows geometrically).
+func (w Window) SizeChecked() (int, error) {
+	n := 1
+	for i := range w.Lo {
+		side := w.Hi[i] - w.Lo[i] + 1
+		if side <= 0 {
+			// Hi - Lo itself overflowed (e.g. Lo near MinInt, Hi near
+			// MaxInt); the true side length exceeds MaxInt.
+			return 0, fmt.Errorf("lattice: window side %d overflows int", i)
+		}
+		if n > math.MaxInt/side {
+			return 0, fmt.Errorf("lattice: window size overflows int (%d sides in, partial product %d × side %d)", i+1, n, side)
+		}
+		n *= side
+	}
+	return n, nil
+}
+
+// IndexOf returns the dense index of p in the window's lexicographic point
+// order — the mixed-radix number with digit p_i - Lo_i in base
+// Hi_i - Lo_i + 1 — and whether p lies in the window. It is the inverse of
+// PointAt and allocates nothing, so it replaces string-keyed maps on hot
+// lookup paths.
+func (w Window) IndexOf(p Point) (int, bool) {
+	if len(p) != len(w.Lo) {
+		return 0, false
+	}
+	idx := 0
+	for i, c := range p {
+		if c < w.Lo[i] || c > w.Hi[i] {
+			return 0, false
+		}
+		idx = idx*(w.Hi[i]-w.Lo[i]+1) + (c - w.Lo[i])
+	}
+	return idx, true
+}
+
+// PointAt returns the i-th point of the window in lexicographic order,
+// inverting IndexOf. It panics when i is outside [0, Size()).
+func (w Window) PointAt(i int) Point {
+	return w.PointAtInto(i, make(Point, len(w.Lo)))
+}
+
+// PointAtInto is PointAt writing into dst, which must have length Dim();
+// it returns dst. Use it to walk a window without per-point allocation.
+func (w Window) PointAtInto(i int, dst Point) Point {
+	if i < 0 {
+		panic(fmt.Sprintf("lattice: window index %d out of range", i))
+	}
+	if len(dst) != len(w.Lo) {
+		panic(fmt.Sprintf("lattice: PointAtInto buffer has dimension %d, want %d", len(dst), len(w.Lo)))
+	}
+	for a := len(w.Lo) - 1; a >= 0; a-- {
+		side := w.Hi[a] - w.Lo[a] + 1
+		dst[a] = w.Lo[a] + i%side
+		i /= side
+	}
+	if i != 0 {
+		panic("lattice: window index out of range")
+	}
+	return dst
+}
+
+// Each calls f for every window point in lexicographic order until f
+// returns false. The point passed to f is a shared buffer that is reused
+// between calls: callers must Clone it before retaining it. Each visits
+// the same sequence as Points without materializing it.
+func (w Window) Each(f func(p Point) bool) {
+	cur := w.Lo.Clone()
+	for {
+		if !f(cur) {
+			return
+		}
+		i := len(cur) - 1
+		for i >= 0 {
+			cur[i]++
+			if cur[i] <= w.Hi[i] {
+				break
+			}
+			cur[i] = w.Lo[i]
+			i--
+		}
+		if i < 0 {
+			return
+		}
+	}
 }
 
 // Contains reports whether p lies in the window.

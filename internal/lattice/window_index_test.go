@@ -1,0 +1,141 @@
+package lattice
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomWindow draws a window of the given dimension with small random
+// corners (possibly negative, possibly degenerate sides of length 1).
+func randomWindow(rng *rand.Rand, dim int) Window {
+	lo := make(Point, dim)
+	hi := make(Point, dim)
+	for i := 0; i < dim; i++ {
+		lo[i] = rng.Intn(11) - 5
+		hi[i] = lo[i] + rng.Intn(5)
+	}
+	w, err := NewWindow(lo, hi)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func TestIndexOfPointAtBijection(t *testing.T) {
+	// IndexOf and PointAt must be inverse bijections between the window's
+	// points and [0, Size()), with IndexOf matching the lexicographic
+	// position in Points().
+	rng := rand.New(rand.NewSource(7))
+	for dim := 1; dim <= 4; dim++ {
+		for trial := 0; trial < 25; trial++ {
+			w := randomWindow(rng, dim)
+			pts := w.Points()
+			if len(pts) != w.Size() {
+				t.Fatalf("%v: %d points, Size %d", w, len(pts), w.Size())
+			}
+			for i, p := range pts {
+				idx, ok := w.IndexOf(p)
+				if !ok || idx != i {
+					t.Fatalf("%v: IndexOf(%v) = (%d, %v), want (%d, true)", w, p, idx, ok, i)
+				}
+				if q := w.PointAt(i); !q.Equal(p) {
+					t.Fatalf("%v: PointAt(%d) = %v, want %v", w, i, q, p)
+				}
+			}
+		}
+	}
+}
+
+func TestIndexOfRejectsOutside(t *testing.T) {
+	w := mustWindow(Pt(-2, 1), Pt(3, 4))
+	outside := []Point{
+		Pt(-3, 2), Pt(4, 2), Pt(0, 0), Pt(0, 5), // out of range per axis
+		Pt(0), Pt(0, 2, 0), // wrong dimension
+	}
+	for _, p := range outside {
+		if _, ok := w.IndexOf(p); ok {
+			t.Errorf("IndexOf(%v) accepted a point outside %v", p, w)
+		}
+	}
+}
+
+// mustWindow builds a window, panicking on malformed corners.
+func mustWindow(lo, hi Point) Window {
+	w, err := NewWindow(lo, hi)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func TestPointAtIntoReusesBuffer(t *testing.T) {
+	w := mustWindow(Pt(0, 0, 0), Pt(2, 3, 4))
+	buf := make(Point, 3)
+	for i := 0; i < w.Size(); i++ {
+		got := w.PointAtInto(i, buf)
+		if &got[0] != &buf[0] {
+			t.Fatal("PointAtInto allocated a new slice")
+		}
+		if idx, ok := w.IndexOf(got); !ok || idx != i {
+			t.Fatalf("IndexOf(PointAtInto(%d)) = %d, %v", i, idx, ok)
+		}
+	}
+}
+
+func TestEachMatchesPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for dim := 1; dim <= 4; dim++ {
+		w := randomWindow(rng, dim)
+		pts := w.Points()
+		i := 0
+		w.Each(func(p Point) bool {
+			if i >= len(pts) || !p.Equal(pts[i]) {
+				t.Fatalf("Each visited %v at position %d, want %v", p, i, pts[i])
+			}
+			i++
+			return true
+		})
+		if i != len(pts) {
+			t.Fatalf("Each visited %d points, want %d", i, len(pts))
+		}
+		// Early termination stops the walk.
+		count := 0
+		w.Each(func(Point) bool { count++; return count < 2 })
+		if want := min(2, len(pts)); count != want {
+			t.Fatalf("Each visited %d points after early stop, want %d", count, want)
+		}
+	}
+}
+
+func TestSizeOverflow(t *testing.T) {
+	// A window whose point count exceeds MaxInt must be reported by
+	// SizeChecked and saturated by Size.
+	big := mustWindow(Pt(0, 0), Pt(math.MaxInt/2, 10))
+	if _, err := big.SizeChecked(); err == nil {
+		t.Error("SizeChecked accepted an overflowing window")
+	}
+	if big.Size() != math.MaxInt {
+		t.Errorf("Size = %d, want saturation at MaxInt", big.Size())
+	}
+	// A single side so long that Hi-Lo+1 itself wraps.
+	wide := mustWindow(Pt(math.MinInt/2), Pt(math.MaxInt/2))
+	if _, err := wide.SizeChecked(); err == nil {
+		t.Error("SizeChecked accepted a side-length overflow")
+	}
+	// Sanity: a normal window is unaffected.
+	ok := mustWindow(Pt(-1, -1), Pt(1, 1))
+	if n, err := ok.SizeChecked(); err != nil || n != 9 {
+		t.Errorf("SizeChecked = %d, %v, want 9, nil", n, err)
+	}
+}
+
+func TestAddIntoSubInto(t *testing.T) {
+	p, q := Pt(3, -1, 2), Pt(1, 5, -4)
+	buf := make(Point, 0, 6)
+	buf = p.AddInto(q, buf)
+	buf = p.SubInto(q, buf)
+	if !buf[:3].Equal(p.Add(q)) || !buf[3:].Equal(p.Sub(q)) {
+		t.Fatalf("AddInto/SubInto packed %v, want %v then %v", buf, p.Add(q), p.Sub(q))
+	}
+}

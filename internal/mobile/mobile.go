@@ -150,6 +150,40 @@ func Run(cfg Config) (Metrics, error) {
 	lt := cfg.Schedule.Tiling()
 	m := Metrics{Slots: cfg.Slots, Agents: cfg.NumAgents}
 	period := int64(cfg.Schedule.Slots())
+	// Every Voronoi region an agent can occupy rounds to a lattice point
+	// inside the arena's integer hull (±1 for rounding at the edges), so
+	// occupancy counts live in a dense per-region table indexed by
+	// Window.IndexOf rather than a string-keyed map rebuilt each slot.
+	regions, err := lattice.NewWindow(
+		lattice.Pt(int(math.Floor(cfg.ArenaLo[0]))-1, int(math.Floor(cfg.ArenaLo[1]))-1),
+		lattice.Pt(int(math.Ceil(cfg.ArenaHi[0]))+1, int(math.Ceil(cfg.ArenaHi[1]))+1),
+	)
+	if err != nil {
+		return Metrics{}, err
+	}
+	regionsSize, err := regions.SizeChecked()
+	if err != nil {
+		return Metrics{}, fmt.Errorf("%w: arena too large: %v", ErrMobile, err)
+	}
+	// Dense counts are fastest but scale with arena area, not agent
+	// count; a huge sparse arena falls back to an index-keyed map so
+	// memory stays O(agents).
+	const maxDenseOccupancy = 1 << 22
+	var occDense []int32
+	var occSparse map[int]int32
+	if regionsSize <= maxDenseOccupancy {
+		occDense = make([]int32, regionsSize)
+	} else {
+		occSparse = make(map[int]int32, cfg.NumAgents)
+	}
+	occupancyAt := func(ri int) int32 {
+		if occDense != nil {
+			return occDense[ri]
+		}
+		return occSparse[ri]
+	}
+	touched := make([]int, 0, cfg.NumAgents)
+	regionIdx := make([]int, len(agents))
 	type sender struct{ x, y float64 }
 	for slot := int64(0); slot < cfg.Slots; slot++ {
 		// Move agents toward their waypoints.
@@ -167,22 +201,34 @@ func Run(cfg Config) (Metrics, error) {
 			}
 		}
 		// Count occupancy per Voronoi region.
-		occupancy := map[string]int{}
 		regionOf := make([]lattice.Point, len(agents))
 		for i := range agents {
+			regionIdx[i] = -1
 			p, ok := NearestLatticePoint(agents[i].x, agents[i].y)
 			if !ok {
 				regionOf[i] = nil
 				continue
 			}
 			regionOf[i] = p
-			occupancy[p.Key()]++
+			ri, ok := regions.IndexOf(p)
+			if !ok {
+				continue // agent escaped the arena hull; treat as boundary
+			}
+			regionIdx[i] = ri
+			if occDense != nil {
+				if occDense[ri] == 0 {
+					touched = append(touched, ri)
+				}
+				occDense[ri]++
+			} else {
+				occSparse[ri]++
+			}
 		}
 		// Sending decisions.
 		var senders []sender
 		for i := range agents {
 			p := regionOf[i]
-			if p == nil {
+			if p == nil || regionIdx[i] < 0 {
 				m.BoundaryMute++
 				continue
 			}
@@ -193,7 +239,7 @@ func Run(cfg Config) (Metrics, error) {
 			if slot%period != int64(k) {
 				continue // not this location's turn
 			}
-			if occupancy[p.Key()] > 1 {
+			if occupancyAt(regionIdx[i]) > 1 {
 				// The paper assumes one sensor per region; when motion
 				// violates the assumption, the sensors stay silent
 				// rather than risk a collision.
@@ -219,6 +265,14 @@ func Run(cfg Config) (Metrics, error) {
 					m.Collisions++
 				}
 			}
+		}
+		// Reset only the touched occupancy cells for the next slot.
+		for _, ri := range touched {
+			occDense[ri] = 0
+		}
+		touched = touched[:0]
+		if occSparse != nil {
+			clear(occSparse)
 		}
 	}
 	return m, nil

@@ -1,0 +1,165 @@
+package schedule
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/prototile"
+	"tilingsched/internal/tiling"
+)
+
+// TestMapScheduleMatchesStringMapSemantics drives the dense MapSchedule
+// against a reference string-keyed map (the pre-dense implementation) on
+// random assignments, including points outside the assigned region.
+func TestMapScheduleMatchesStringMapSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		dim := 1 + rng.Intn(3)
+		slots := 1 + rng.Intn(5)
+		// Scattered distinct points, not necessarily a full box. Keep the
+		// target below the 9 distinct coordinates a 1-D draw can produce.
+		want := 12
+		if dim == 1 {
+			want = 6
+		}
+		ref := make(map[string]int)
+		var pts []lattice.Point
+		var assign []int
+		for len(pts) < want {
+			p := make(lattice.Point, dim)
+			for i := range p {
+				p[i] = rng.Intn(9) - 4
+			}
+			if _, dup := ref[p.Key()]; dup {
+				continue
+			}
+			s := rng.Intn(slots)
+			ref[p.Key()] = s
+			pts = append(pts, p)
+			assign = append(assign, s)
+		}
+		m, err := NewMapSchedule(slots, pts, assign)
+		if err != nil {
+			t.Fatalf("NewMapSchedule: %v", err)
+		}
+		if m.Slots() != slots {
+			t.Fatalf("Slots = %d, want %d", m.Slots(), slots)
+		}
+		// Probe a box covering the assignment plus a margin outside it.
+		probe := lattice.CenteredWindow(dim, 6)
+		probe.Each(func(p lattice.Point) bool {
+			want, known := ref[p.Key()]
+			got, err := m.SlotOf(p)
+			if known {
+				if err != nil || got != want {
+					t.Fatalf("SlotOf(%v) = %d, %v, want %d, nil", p, got, err, want)
+				}
+			} else if err == nil {
+				t.Fatalf("SlotOf(%v) = %d for an unassigned point, want error", p, got)
+			}
+			return true
+		})
+		// Wrong-dimension points are errors, as before.
+		if _, err := m.SlotOf(lattice.Origin(dim + 1)); err == nil {
+			t.Fatal("SlotOf accepted a wrong-dimension point")
+		}
+	}
+}
+
+// TestRestrictMatchesSource checks the dense restriction agrees with the
+// source schedule on every window point and rejects points outside.
+func TestRestrictMatchesSource(t *testing.T) {
+	lt, ok := tiling.FindLatticeTiling(prototile.Cross(2, 1))
+	if !ok {
+		t.Fatal("no tiling")
+	}
+	s := FromLatticeTiling(lt)
+	w := lattice.CenteredWindow(2, 4)
+	ms, err := Restrict(s, w)
+	if err != nil {
+		t.Fatalf("Restrict: %v", err)
+	}
+	w.Each(func(p lattice.Point) bool {
+		want, _ := s.SlotOf(p)
+		got, err := ms.SlotOf(p)
+		if err != nil || got != want {
+			t.Fatalf("restricted SlotOf(%v) = %d, %v, want %d", p, got, err, want)
+		}
+		return true
+	})
+	if _, err := ms.SlotOf(lattice.Pt(99, 99)); err == nil {
+		t.Error("restriction answered outside its window")
+	}
+}
+
+// TestTheorem1SlotOfZeroAllocs pins the paper's O(1) claim in allocation
+// terms: steady-state slot assignment must not touch the heap.
+func TestTheorem1SlotOfZeroAllocs(t *testing.T) {
+	lt, ok := tiling.FindLatticeTiling(prototile.Cross(2, 1))
+	if !ok {
+		t.Fatal("no tiling")
+	}
+	s := FromLatticeTiling(lt)
+	p := lattice.Pt(123, -456)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := s.SlotOf(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Theorem1.SlotOf allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestTheorem2SlotOfMatchesPlacementScan compares the precomputed
+// wrapped-cell table against the original placement-scanning algorithm.
+func TestTheorem2SlotOfMatchesPlacementScan(t *testing.T) {
+	s := prototile.MustTetromino("S")
+	z := prototile.MustTetromino("Z")
+	sols, err := tiling.SolveTorus([]int{4, 4}, []*prototile.Tile{s, z},
+		tiling.SolveOptions{MaxSolutions: 2, Accept: func(c []int) bool { return c[1] > 0 }})
+	if err != nil || len(sols) == 0 {
+		t.Fatalf("SolveTorus: %v", err)
+	}
+	for _, tt := range sols {
+		th, err := FromTorusTiling(tt)
+		if err != nil {
+			t.Fatalf("FromTorusTiling: %v", err)
+		}
+		union := th.Union()
+		index := make(map[string]int, len(union))
+		for i, n := range union {
+			index[n.Key()] = i
+		}
+		// The original algorithm: locate the owning placement, wrap the
+		// offset difference, scan the tile for the congruent element.
+		reference := func(p lattice.Point) (int, error) {
+			pl, err := tt.OwnerOf(p)
+			if err != nil {
+				return 0, err
+			}
+			n := tt.Wrap(p.Sub(pl.Offset))
+			tile := tt.Tiles()[pl.TileIndex]
+			for _, cand := range tile.Points() {
+				if tt.Wrap(cand).Equal(n) {
+					return index[cand.Key()], nil
+				}
+			}
+			return 0, fmt.Errorf("no congruent tile element for %v", p)
+		}
+		w := lattice.CenteredWindow(2, 6)
+		w.Each(func(p lattice.Point) bool {
+			want, err := reference(p)
+			if err != nil {
+				t.Fatalf("reference(%v): %v", p, err)
+			}
+			got, err := th.SlotOf(p)
+			if err != nil || got != want {
+				t.Fatalf("Theorem2.SlotOf(%v) = %d, %v, want %d", p, got, err, want)
+			}
+			return true
+		})
+	}
+}

@@ -13,13 +13,29 @@ import (
 // and by the Conclusions the restriction stays optimal whenever D
 // contains a translate of N+N.
 func Restrict(s Schedule, w lattice.Window) (*MapSchedule, error) {
-	assign := make(map[string]int, w.Size())
-	for _, p := range w.Points() {
+	size, err := w.SizeChecked()
+	if err != nil {
+		return nil, fmt.Errorf("%w: restriction window too large: %v", ErrSchedule, err)
+	}
+	table := make([]int32, size)
+	i := 0
+	var rerr error
+	w.Each(func(p lattice.Point) bool {
 		k, err := s.SlotOf(p)
 		if err != nil {
-			return nil, fmt.Errorf("schedule: restricting at %v: %w", p, err)
+			rerr = fmt.Errorf("schedule: restricting at %v: %w", p, err)
+			return false
 		}
-		assign[p.Key()] = k
+		if k < 0 || k >= s.Slots() {
+			rerr = fmt.Errorf("%w: slot %d of %v outside [0, %d)", ErrSchedule, k, p, s.Slots())
+			return false
+		}
+		table[i] = int32(k)
+		i++
+		return true
+	})
+	if rerr != nil {
+		return nil, rerr
 	}
-	return NewMapSchedule(s.Slots(), assign)
+	return newWindowSchedule(s.Slots(), w, table), nil
 }

@@ -95,11 +95,9 @@ func TestVerifyDetectsCollision(t *testing.T) {
 	// All-same-slot schedule must produce a witness for any nontrivial
 	// neighborhood.
 	w := lattice.CenteredWindow(2, 2)
-	assign := map[string]int{}
-	for _, p := range w.Points() {
-		assign[p.Key()] = 0
-	}
-	s, err := NewMapSchedule(1, assign)
+	pts := w.Points()
+	assign := make([]int, len(pts))
+	s, err := NewMapSchedule(1, pts, assign)
 	if err != nil {
 		t.Fatalf("NewMapSchedule: %v", err)
 	}
@@ -121,7 +119,7 @@ func TestVerifyDetectsCollision(t *testing.T) {
 }
 
 func TestVerifyRejectsUnknownPoints(t *testing.T) {
-	s, _ := NewMapSchedule(1, map[string]int{})
+	s, _ := NewMapSchedule(1, nil, nil)
 	dep := NewHomogeneous(prototile.Cross(2, 1))
 	if err := VerifyCollisionFree(s, dep, lattice.CenteredWindow(2, 1)); err == nil {
 		t.Error("schedule with missing points accepted")
@@ -137,13 +135,19 @@ func TestVerifyDimensionMismatch(t *testing.T) {
 }
 
 func TestMapScheduleValidation(t *testing.T) {
-	if _, err := NewMapSchedule(0, nil); err == nil {
+	if _, err := NewMapSchedule(0, nil, nil); err == nil {
 		t.Error("0 slots accepted")
 	}
-	if _, err := NewMapSchedule(2, map[string]int{"0,0": 5}); err == nil {
+	if _, err := NewMapSchedule(2, []lattice.Point{lattice.Pt(0, 0)}, []int{5}); err == nil {
 		t.Error("out-of-range slot accepted")
 	}
-	s, err := NewMapSchedule(2, map[string]int{"0,0": 1})
+	if _, err := NewMapSchedule(2, []lattice.Point{lattice.Pt(0, 0)}, []int{1, 0}); err == nil {
+		t.Error("mismatched point/slot lengths accepted")
+	}
+	if _, err := NewMapSchedule(2, []lattice.Point{lattice.Pt(0, 0), lattice.Pt(0, 0)}, []int{0, 1}); err == nil {
+		t.Error("duplicate point accepted")
+	}
+	s, err := NewMapSchedule(2, []lattice.Point{lattice.Pt(0, 0)}, []int{1})
 	if err != nil {
 		t.Fatalf("NewMapSchedule: %v", err)
 	}

@@ -2,6 +2,7 @@ package schedule
 
 import (
 	"fmt"
+	"sort"
 
 	"tilingsched/internal/lattice"
 	"tilingsched/internal/prototile"
@@ -80,25 +81,54 @@ func (s *CosetSchedule) Deployment() *Homogeneous { return NewHomogeneous(s.ct.T
 type Theorem2 struct {
 	tt    *tiling.TorusTiling
 	union []lattice.Point
-	index map[string]int
+	dims  []int
+	// cellSlot maps each wrapped torus cell (by TorusTiling.CellIndex) to
+	// the union index of the tile element covering it, precomputed once so
+	// SlotOf is a single table read.
+	cellSlot []int32
 }
 
 // FromTorusTiling builds the Theorem 2 schedule over a torus tiling. The
 // union N = ∪ N_k is enumerated in lexicographic order; slot k belongs to
-// union element n_k.
+// union element n_k. The wrapped-cell→union-slot table is precomputed
+// here, making per-point slot assignment allocation-free.
 func FromTorusTiling(tt *tiling.TorusTiling) (*Theorem2, error) {
 	u := lattice.NewSet()
-	for _, t := range tt.Tiles() {
+	tiles := tt.Tiles()
+	for _, t := range tiles {
 		for _, n := range t.Points() {
 			u.Add(n)
 		}
 	}
 	union := u.Points()
-	index := make(map[string]int, len(union))
-	for i, n := range union {
-		index[n.Key()] = i
+	// union is sorted lexicographically; locate elements by binary search.
+	unionIndex := func(n lattice.Point) int {
+		i := sort.Search(len(union), func(i int) bool { return !union[i].Less(n) })
+		if i < len(union) && union[i].Equal(n) {
+			return i
+		}
+		return -1
 	}
-	return &Theorem2{tt: tt, union: union, index: index}, nil
+	s := &Theorem2{tt: tt, union: union, dims: tt.Dims(), cellSlot: make([]int32, tt.Cells())}
+	for i := range s.cellSlot {
+		s.cellSlot[i] = -1
+	}
+	buf := make(lattice.Point, 0, len(s.dims))
+	for _, pl := range tt.Placements() {
+		for _, n := range tiles[pl.TileIndex].Points() {
+			k := unionIndex(n)
+			if k < 0 {
+				return nil, fmt.Errorf("%w: union index missing %v", ErrSchedule, n)
+			}
+			buf = pl.Offset.AddInto(n, buf[:0])
+			ci, ok := tt.CellIndex(buf)
+			if !ok || s.cellSlot[ci] >= 0 {
+				return nil, fmt.Errorf("%w: cell %v multiply covered (invariant broken)", ErrSchedule, buf)
+			}
+			s.cellSlot[ci] = int32(k)
+		}
+	}
+	return s, nil
 }
 
 // Tiling returns the underlying torus tiling.
@@ -116,27 +146,15 @@ func (s *Theorem2) Union() []lattice.Point {
 // Slots returns |∪ N_k|; for respectable tilings this equals |N_1|.
 func (s *Theorem2) Slots() int { return len(s.union) }
 
-// SlotOf locates the placement (ℓ, offset) covering p and returns the
-// union index of the tile element p - offset ∈ N_ℓ.
+// SlotOf returns the union index of the tile element covering p: one
+// wrapped-cell table read, precomputed in FromTorusTiling.
 func (s *Theorem2) SlotOf(p lattice.Point) (int, error) {
-	pl, err := s.tt.OwnerOf(p)
-	if err != nil {
-		return 0, err
+	ci, ok := s.tt.CellIndex(p)
+	if !ok {
+		return 0, fmt.Errorf("%w: point dimension %d ≠ torus dimension %d",
+			ErrSchedule, len(p), len(s.dims))
 	}
-	n := s.tt.Wrap(p.Sub(pl.Offset))
-	// The cell offset within the tile may wrap around the torus: find
-	// the tile element congruent to it.
-	tile := s.tt.Tiles()[pl.TileIndex]
-	for _, cand := range tile.Points() {
-		if s.tt.Wrap(cand).Equal(n) {
-			k, ok := s.index[cand.Key()]
-			if !ok {
-				return 0, fmt.Errorf("%w: union index missing %v", ErrSchedule, cand)
-			}
-			return k, nil
-		}
-	}
-	return 0, fmt.Errorf("%w: %v not aligned with its placement", ErrSchedule, p)
+	return int(s.cellSlot[ci]), nil
 }
 
 // Deployment returns the D1 deployment this schedule serves.

@@ -41,9 +41,13 @@ func VerifyCollisionFree(s Schedule, dep Deployment, w lattice.Window) error {
 		return fmt.Errorf("%w: window dimension %d ≠ deployment dimension %d",
 			ErrSchedule, w.Dim(), dep.Dim())
 	}
+	size, err := w.SizeChecked()
+	if err != nil {
+		return fmt.Errorf("%w: verification window too large: %v", ErrSchedule, err)
+	}
 	pts := w.Points()
-	slots := make(map[string]int, len(pts))
-	for _, p := range pts {
+	slots := make([]int32, size)
+	for i, p := range pts {
 		k, err := s.SlotOf(p)
 		if err != nil {
 			return fmt.Errorf("schedule: verifying %v: %w", p, err)
@@ -51,30 +55,38 @@ func VerifyCollisionFree(s Schedule, dep Deployment, w lattice.Window) error {
 		if k < 0 || k >= s.Slots() {
 			return fmt.Errorf("%w: slot %d of %v outside [0, %d)", ErrSchedule, k, p, s.Slots())
 		}
-		slots[p.Key()] = k
+		slots[i] = int32(k)
 	}
 	reach := dep.Reach()
-	for _, p := range pts {
-		kp := slots[p.Key()]
+	var witness *CollisionWitness
+	for i, p := range pts {
+		kp := slots[i]
 		// Scan the forward half-neighborhood to test each pair once.
-		for _, q := range neighborsWithin(p, 2*reach, w) {
+		eachNeighborWithin(p, 2*reach, w, func(q lattice.Point) bool {
 			if !p.Less(q) {
-				continue
+				return true
 			}
-			if slots[q.Key()] != kp {
-				continue
+			j, _ := w.IndexOf(q)
+			if slots[j] != kp {
+				return true
 			}
 			if Conflict(dep, p, q) {
-				return CollisionWitness{P: p, Q: q, Slot: kp}
+				witness = &CollisionWitness{P: p, Q: q.Clone(), Slot: int(kp)}
+				return false
 			}
+			return true
+		})
+		if witness != nil {
+			return *witness
 		}
 	}
 	return nil
 }
 
-// neighborsWithin lists window points within Chebyshev distance r of p,
-// excluding p itself.
-func neighborsWithin(p lattice.Point, r int, w lattice.Window) []lattice.Point {
+// eachNeighborWithin visits the window points within Chebyshev distance r
+// of p, excluding p itself, until f returns false. The point passed to f
+// is a reused buffer (see Window.Each).
+func eachNeighborWithin(p lattice.Point, r int, w lattice.Window, f func(q lattice.Point) bool) {
 	lo := p.Clone()
 	hi := p.Clone()
 	for i := range lo {
@@ -89,30 +101,36 @@ func neighborsWithin(p lattice.Point, r int, w lattice.Window) []lattice.Point {
 	}
 	box, err := lattice.NewWindow(lo, hi)
 	if err != nil {
-		return nil
+		return
 	}
-	var out []lattice.Point
-	for _, q := range box.Points() {
-		if !q.Equal(p) {
-			out = append(out, q)
+	box.Each(func(q lattice.Point) bool {
+		if q.Equal(p) {
+			return true
 		}
-	}
-	return out
+		return f(q)
+	})
 }
 
 // SlotHistogram counts how many window sensors use each slot — useful for
 // fairness/utilization reporting in the experiment harness.
 func SlotHistogram(s Schedule, w lattice.Window) ([]int, error) {
 	hist := make([]int, s.Slots())
-	for _, p := range w.Points() {
+	var herr error
+	w.Each(func(p lattice.Point) bool {
 		k, err := s.SlotOf(p)
 		if err != nil {
-			return nil, err
+			herr = err
+			return false
 		}
 		if k < 0 || k >= len(hist) {
-			return nil, fmt.Errorf("%w: slot %d outside [0, %d)", ErrSchedule, k, len(hist))
+			herr = fmt.Errorf("%w: slot %d outside [0, %d)", ErrSchedule, k, len(hist))
+			return false
 		}
 		hist[k]++
+		return true
+	})
+	if herr != nil {
+		return nil, herr
 	}
 	return hist, nil
 }

@@ -21,9 +21,9 @@ type PeriodicTiling struct {
 	tile    *prototile.Tile
 	period  *intmat.Matrix
 	offsets []lattice.Point
-	// slot maps each residue (canonical representative of Z^d / P) to
-	// the index k of the tile point covering it.
-	slot map[string]int
+	// ct maps each residue of Z^d / P (by dense mixed-radix index) to the
+	// index k of the tile point covering it; lookups are allocation-free.
+	ct *cosetTable
 }
 
 // NewPeriodicTiling validates that the translates {t_i + N} partition
@@ -41,38 +41,37 @@ func NewPeriodicTiling(t *prototile.Tile, period *intmat.Matrix, offsets []latti
 	if !intmat.IsSquareFullRankHNF(h) {
 		return nil, fmt.Errorf("%w: period basis is singular", ErrTiling)
 	}
-	idx, err := intmat.Index(h)
+	ct, err := newCosetTable(h)
 	if err != nil {
 		return nil, err
 	}
-	want := int64(len(offsets)) * int64(t.Size())
-	if idx != want {
-		return nil, fmt.Errorf("%w: period index %d ≠ k·|N| = %d", ErrTiling, idx, want)
+	want := len(offsets) * t.Size()
+	if ct.size() != want {
+		return nil, fmt.Errorf("%w: period index %d ≠ k·|N| = %d", ErrTiling, ct.size(), want)
 	}
-	slot := make(map[string]int, want)
 	canonical := make([]lattice.Point, len(offsets))
+	tilePts := t.Points()
+	buf := make(lattice.Point, 0, t.Dim())
 	for i, off := range offsets {
 		if off.Dim() != t.Dim() {
 			return nil, fmt.Errorf("%w: offset %v has dimension %d", ErrTiling, off, off.Dim())
 		}
-		rep, err := intmat.Reduce(h, off.Int64())
+		canonical[i], err = ct.representative(off)
 		if err != nil {
 			return nil, err
 		}
-		canonical[i] = lattice.FromInt64(rep)
-		for k, n := range t.Points() {
-			rep, err := intmat.Reduce(h, off.Add(n).Int64())
+		for k, n := range tilePts {
+			buf = off.AddInto(n, buf[:0])
+			_, dup, err := ct.assign(buf, k)
 			if err != nil {
 				return nil, err
 			}
-			key := lattice.FromInt64(rep).Key()
-			if _, dup := slot[key]; dup {
-				return nil, fmt.Errorf("%w: residue %s covered twice", ErrTiling, key)
+			if dup {
+				return nil, fmt.Errorf("%w: residue of %v covered twice", ErrTiling, buf)
 			}
-			slot[key] = k
 		}
 	}
-	return &PeriodicTiling{tile: t, period: h, offsets: canonical, slot: slot}, nil
+	return &PeriodicTiling{tile: t, period: h, offsets: canonical, ct: ct}, nil
 }
 
 // FindPeriodicTiling searches for a periodic tiling with at most
@@ -93,17 +92,15 @@ func FindPeriodicTiling(t *prototile.Tile, maxCosets int) (*PeriodicTiling, bool
 }
 
 // solveQuotientCover attempts to partition Z^d / P into k translates of
-// the tile by depth-first exact cover over residues.
+// the tile by depth-first exact cover over residues. Residues are indexed
+// densely: the canonical representatives are exactly the points of the
+// fundamental box ∏_i [0, P_ii), whose lexicographic order matches the
+// cosetTable's mixed-radix index.
 func solveQuotientCover(t *prototile.Tile, h *intmat.Matrix, k int) (*PeriodicTiling, bool) {
-	reduceKey := func(p lattice.Point) (string, lattice.Point) {
-		rep, err := intmat.Reduce(h, p.Int64())
-		if err != nil {
-			panic("tiling: reduce failed on validated HNF: " + err.Error())
-		}
-		q := lattice.FromInt64(rep)
-		return q.Key(), q
+	ct, err := newCosetTable(h)
+	if err != nil {
+		return nil, false
 	}
-	// Enumerate all residues in canonical (fundamental box) order.
 	dim := t.Dim()
 	sides := make([]int, dim)
 	for i := 0; i < dim; i++ {
@@ -113,18 +110,10 @@ func solveQuotientCover(t *prototile.Tile, h *intmat.Matrix, k int) (*PeriodicTi
 	if err != nil {
 		return nil, false
 	}
-	var residues []lattice.Point
-	resIdx := map[string]int{}
-	for _, p := range box.Points() {
-		key, q := reduceKey(p)
-		if _, seen := resIdx[key]; !seen {
-			resIdx[key] = len(residues)
-			residues = append(residues, q)
-		}
-	}
-	covered := make([]bool, len(residues))
+	covered := make([]bool, ct.size())
 	var offsets []lattice.Point
 	tilePts := t.Points()
+	buf := make(lattice.Point, 0, dim)
 	var dfs func(used int) bool
 	dfs = func(used int) bool {
 		target := -1
@@ -142,13 +131,14 @@ func solveQuotientCover(t *prototile.Tile, h *intmat.Matrix, k int) (*PeriodicTi
 		}
 		// The uncovered residue r must be t + n for the new translate t
 		// and some tile point n: t = r - n.
+		res := box.PointAt(target)
 		for _, n := range tilePts {
-			off := residues[target].Sub(n)
+			off := res.Sub(n)
 			idxs := make([]int, 0, len(tilePts))
 			ok := true
 			for _, nn := range tilePts {
-				key, _ := reduceKey(off.Add(nn))
-				ri, exists := resIdx[key]
+				buf = off.AddInto(nn, buf[:0])
+				ri, exists := ct.residueIndex(buf)
 				if !exists || covered[ri] {
 					ok = false
 					break
@@ -161,7 +151,10 @@ func solveQuotientCover(t *prototile.Tile, h *intmat.Matrix, k int) (*PeriodicTi
 			for _, ri := range idxs {
 				covered[ri] = true
 			}
-			_, offCanon := reduceKey(off)
+			offCanon, err := ct.representative(off)
+			if err != nil {
+				return false
+			}
 			offsets = append(offsets, offCanon)
 			if dfs(used + 1) {
 				return true
@@ -196,13 +189,10 @@ func (pt *PeriodicTiling) Offsets() []lattice.Point { return clonePoints(pt.offs
 // translate covering p — the Theorem 1 schedule over the generalized
 // tiling.
 func (pt *PeriodicTiling) CosetIndex(p lattice.Point) (int, error) {
-	rep, err := intmat.Reduce(pt.period, p.Int64())
-	if err != nil {
-		return 0, err
-	}
-	k, ok := pt.slot[lattice.FromInt64(rep).Key()]
+	k, ok := pt.ct.slotOf(p)
 	if !ok {
-		return 0, fmt.Errorf("%w: point %v has no residue slot (invariant broken)", ErrTiling, p)
+		return 0, fmt.Errorf("%w: point %v has dimension %d, want %d",
+			ErrTiling, p, len(p), pt.tile.Dim())
 	}
 	return k, nil
 }
@@ -213,41 +203,47 @@ func (pt *PeriodicTiling) VerifyWindow(w lattice.Window) error {
 	if w.Dim() != pt.tile.Dim() {
 		return fmt.Errorf("%w: window dimension %d ≠ tile dimension %d", ErrTiling, w.Dim(), pt.tile.Dim())
 	}
-	cover := make(map[string]int, w.Size())
+	size, err := w.SizeChecked()
+	if err != nil {
+		return err
+	}
+	cover := make([]int32, size)
+	// t ∈ T exactly when t's residue equals one of the (canonical) offset
+	// residues; mark those residues once for O(1) membership tests.
+	isOffset := make([]bool, pt.ct.size())
+	for _, off := range pt.offsets {
+		ri, ok := pt.ct.residueIndex(off)
+		if !ok {
+			return fmt.Errorf("%w: offset %v has dimension %d", ErrTiling, off, off.Dim())
+		}
+		isOffset[ri] = true
+	}
 	lo, hi := pt.tile.BoundingBox()
 	ext, err := lattice.NewWindow(w.Lo.Sub(hi), w.Hi.Sub(lo))
 	if err != nil {
 		return err
 	}
-	for _, t := range ext.Points() {
-		in := false
-		rep, err := intmat.Reduce(pt.period, t.Int64())
-		if err != nil {
-			return err
+	tilePts := pt.tile.Points()
+	buf := make(lattice.Point, 0, w.Dim())
+	ext.Each(func(t lattice.Point) bool {
+		ri, ok := pt.ct.residueIndex(t)
+		if !ok || !isOffset[ri] {
+			return true
 		}
-		repPt := lattice.FromInt64(rep)
-		for _, off := range pt.offsets {
-			if repPt.Equal(off) {
-				in = true
-				break
+		for _, n := range tilePts {
+			buf = t.AddInto(n, buf[:0])
+			if i, ok := w.IndexOf(buf); ok {
+				cover[i]++
 			}
 		}
-		if !in {
-			continue
-		}
-		for _, n := range pt.tile.Points() {
-			p := t.Add(n)
-			if w.Contains(p) {
-				cover[p.Key()]++
-			}
-		}
-	}
-	for _, p := range w.Points() {
-		switch c := cover[p.Key()]; {
+		return true
+	})
+	for i, c := range cover {
+		switch {
 		case c == 0:
-			return fmt.Errorf("%w: T1 violated, %v uncovered", ErrTiling, p)
+			return fmt.Errorf("%w: T1 violated, %v uncovered", ErrTiling, w.PointAt(i))
 		case c > 1:
-			return fmt.Errorf("%w: T2 violated, %v covered %d times", ErrTiling, p, c)
+			return fmt.Errorf("%w: T2 violated, %v covered %d times", ErrTiling, w.PointAt(i), c)
 		}
 	}
 	return nil

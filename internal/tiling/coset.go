@@ -1,0 +1,149 @@
+package tiling
+
+import (
+	"fmt"
+	"math"
+
+	"tilingsched/internal/intmat"
+	"tilingsched/internal/lattice"
+)
+
+// maxInlineDim bounds the dimension for which coset reduction runs on a
+// stack buffer; higher-dimensional points fall back to a heap scratch
+// slice. Every workload in this repository is far below the bound.
+const maxInlineDim = 16
+
+// cosetTable is the dense slot index shared by LatticeTiling and
+// PeriodicTiling: a flat array over the det(H) residues of Z^d modulo the
+// HNF period H, indexed by the mixed-radix number of the canonical
+// representative (which lies in the fundamental box ∏_i [0, H_ii)). Slot
+// lookup is one in-place HNF reduction plus one array read — no hashing,
+// no string keys, no allocation.
+type cosetTable struct {
+	h      *intmat.Matrix
+	dim    int
+	hflat  []int64 // row-major copy of h, avoiding At() calls per entry
+	diag   []int64 // h[i][i]
+	stride []int   // mixed-radix strides over diag, last axis fastest
+	slot   []int32 // residue index → slot, -1 while unassigned
+}
+
+// newCosetTable validates that h is a square full-rank HNF and allocates
+// the (initially unassigned) residue table of size det(h).
+func newCosetTable(h *intmat.Matrix) (*cosetTable, error) {
+	if !intmat.IsSquareFullRankHNF(h) {
+		return nil, fmt.Errorf("%w: period basis is not a full-rank HNF", ErrTiling)
+	}
+	dim := h.Rows()
+	ct := &cosetTable{
+		h:      h,
+		dim:    dim,
+		hflat:  make([]int64, dim*dim),
+		diag:   make([]int64, dim),
+		stride: make([]int, dim),
+	}
+	det := 1
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			ct.hflat[i*dim+j] = h.At(i, j)
+		}
+		d := h.At(i, i)
+		ct.diag[i] = d
+		if int64(det) > int64(math.MaxInt32)/d {
+			return nil, fmt.Errorf("%w: sublattice index %v overflows the residue table", ErrTiling, h)
+		}
+		det *= int(d)
+	}
+	s := 1
+	for i := dim - 1; i >= 0; i-- {
+		ct.stride[i] = s
+		s *= int(ct.diag[i])
+	}
+	ct.slot = make([]int32, det)
+	for i := range ct.slot {
+		ct.slot[i] = -1
+	}
+	return ct, nil
+}
+
+// size returns det(h), the number of residues.
+func (ct *cosetTable) size() int { return len(ct.slot) }
+
+// residueIndex reduces p modulo the period and returns the mixed-radix
+// index of its canonical representative. It allocates nothing for
+// dimensions up to maxInlineDim.
+func (ct *cosetTable) residueIndex(p lattice.Point) (int, bool) {
+	if len(p) != ct.dim {
+		return 0, false
+	}
+	var buf [maxInlineDim]int64
+	var v []int64
+	if ct.dim <= maxInlineDim {
+		v = buf[:ct.dim]
+	} else {
+		v = make([]int64, ct.dim)
+	}
+	for i, c := range p {
+		v[i] = int64(c)
+	}
+	// In-place HNF reduction; v[i] is final once row i is processed, so
+	// the radix index accumulates in the same pass.
+	idx := 0
+	for i := 0; i < ct.dim; i++ {
+		row := ct.hflat[i*ct.dim:]
+		q := intmat.FloorDiv(v[i], ct.diag[i])
+		if q != 0 {
+			for j := i; j < ct.dim; j++ {
+				v[j] -= q * row[j]
+			}
+		}
+		idx += int(v[i]) * ct.stride[i]
+	}
+	return idx, true
+}
+
+// slotOf returns the slot assigned to p's residue; ok is false only on a
+// dimension mismatch (every residue is assigned once construction
+// completes).
+func (ct *cosetTable) slotOf(p lattice.Point) (int, bool) {
+	idx, ok := ct.residueIndex(p)
+	if !ok {
+		return 0, false
+	}
+	return int(ct.slot[idx]), true
+}
+
+// assign binds p's residue to slot k, reporting the previously assigned
+// slot when the residue is already taken (a tiling-condition violation at
+// construction time).
+func (ct *cosetTable) assign(p lattice.Point, k int) (prev int, dup bool, err error) {
+	idx, ok := ct.residueIndex(p)
+	if !ok {
+		return 0, false, fmt.Errorf("%w: point %v has dimension %d, want %d", ErrTiling, p, len(p), ct.dim)
+	}
+	if s := ct.slot[idx]; s >= 0 {
+		return int(s), true, nil
+	}
+	ct.slot[idx] = int32(k)
+	return 0, false, nil
+}
+
+// complete reports whether every residue has been assigned a slot.
+func (ct *cosetTable) complete() bool {
+	for _, s := range ct.slot {
+		if s < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// representative returns the canonical representative of p's coset as a
+// fresh point (cold path: rendering, verification, tests).
+func (ct *cosetTable) representative(p lattice.Point) (lattice.Point, error) {
+	rep, err := intmat.Reduce(ct.h, p.Int64())
+	if err != nil {
+		return nil, err
+	}
+	return lattice.FromInt64(rep), nil
+}

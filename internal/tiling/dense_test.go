@@ -1,0 +1,163 @@
+package tiling
+
+import (
+	"testing"
+
+	"tilingsched/internal/intmat"
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/prototile"
+)
+
+// TestCosetIndexMatchesStringMapSemantics rebuilds the pre-dense
+// implementation — a map from the canonical coset representative's string
+// key to the tile-point index — and checks the dense residue table agrees
+// point for point on a window.
+func TestCosetIndexMatchesStringMapSemantics(t *testing.T) {
+	tiles := []*prototile.Tile{
+		prototile.Cross(2, 1),
+		prototile.ChebyshevBall(2, 1),
+		prototile.MustTetromino("S"),
+		prototile.LTromino(),
+		prototile.ChebyshevBall(3, 1),
+	}
+	for _, ti := range tiles {
+		lt, ok := FindLatticeTiling(ti)
+		if !ok {
+			t.Fatalf("no lattice tiling for %s", ti.Name())
+		}
+		h := lt.Period()
+		ref := make(map[string]int, ti.Size())
+		for i, p := range ti.Points() {
+			rep, err := intmat.Reduce(h, p.Int64())
+			if err != nil {
+				t.Fatalf("Reduce: %v", err)
+			}
+			ref[lattice.FromInt64(rep).Key()] = i
+		}
+		w := lattice.CenteredWindow(ti.Dim(), 4)
+		w.Each(func(p lattice.Point) bool {
+			rep, err := intmat.Reduce(h, p.Int64())
+			if err != nil {
+				t.Fatalf("Reduce: %v", err)
+			}
+			want, ok := ref[lattice.FromInt64(rep).Key()]
+			if !ok {
+				t.Fatalf("%s: reference map has no slot for %v", ti.Name(), p)
+			}
+			got, err := lt.CosetIndex(p)
+			if err != nil {
+				t.Fatalf("%s: CosetIndex(%v): %v", ti.Name(), p, err)
+			}
+			if got != want {
+				t.Fatalf("%s: CosetIndex(%v) = %d, want %d", ti.Name(), p, got, want)
+			}
+			return true
+		})
+		// Dimension mismatch is still an error.
+		if _, err := lt.CosetIndex(lattice.Origin(ti.Dim() + 1)); err == nil {
+			t.Errorf("%s: CosetIndex accepted a wrong-dimension point", ti.Name())
+		}
+	}
+}
+
+// TestCosetIndexSemantics cross-checks the algebraic meaning: slot k at p
+// implies p - n_k lies in the translate sublattice.
+func TestCosetIndexSemantics(t *testing.T) {
+	ti := prototile.Cross(2, 1)
+	lt, ok := FindLatticeTiling(ti)
+	if !ok {
+		t.Fatal("no tiling")
+	}
+	pts := ti.Points()
+	w := lattice.CenteredWindow(2, 5)
+	w.Each(func(p lattice.Point) bool {
+		k, err := lt.CosetIndex(p)
+		if err != nil {
+			t.Fatalf("CosetIndex(%v): %v", p, err)
+		}
+		in, err := lt.InTranslateSet(p.Sub(pts[k]))
+		if err != nil {
+			t.Fatalf("InTranslateSet: %v", err)
+		}
+		if !in {
+			t.Fatalf("p=%v slot %d: p - n_k not in T", p, k)
+		}
+		return true
+	})
+}
+
+// TestPeriodicTilingDenseParity does the same string-map comparison for
+// the coset (non-lattice) tilings.
+func TestPeriodicTilingDenseParity(t *testing.T) {
+	gap := prototile.MustNew("gap", lattice.Pt(0, 0), lattice.Pt(2, 0))
+	pt, ok := FindPeriodicTiling(gap, 2)
+	if !ok {
+		t.Fatal("no periodic tiling for the gap cluster")
+	}
+	h := pt.Period()
+	ref := make(map[string]int)
+	for _, off := range pt.Offsets() {
+		for k, n := range gap.Points() {
+			rep, err := intmat.Reduce(h, off.Add(n).Int64())
+			if err != nil {
+				t.Fatalf("Reduce: %v", err)
+			}
+			ref[lattice.FromInt64(rep).Key()] = k
+		}
+	}
+	w := lattice.CenteredWindow(2, 5)
+	w.Each(func(p lattice.Point) bool {
+		rep, err := intmat.Reduce(h, p.Int64())
+		if err != nil {
+			t.Fatalf("Reduce: %v", err)
+		}
+		want, ok := ref[lattice.FromInt64(rep).Key()]
+		if !ok {
+			t.Fatalf("reference map misses residue of %v", p)
+		}
+		got, err := pt.CosetIndex(p)
+		if err != nil {
+			t.Fatalf("CosetIndex(%v): %v", p, err)
+		}
+		if got != want {
+			t.Fatalf("CosetIndex(%v) = %d, want %d", p, got, want)
+		}
+		return true
+	})
+}
+
+// TestTorusOwnerDenseParity checks the dense owner table against the
+// wrapped-coordinate definition of cell ownership.
+func TestTorusOwnerDenseParity(t *testing.T) {
+	s := prototile.MustTetromino("S")
+	z := prototile.MustTetromino("Z")
+	sols, err := SolveTorus([]int{4, 4}, []*prototile.Tile{s, z}, SolveOptions{MaxSolutions: 3})
+	if err != nil || len(sols) == 0 {
+		t.Fatalf("SolveTorus: %v (%d solutions)", err, len(sols))
+	}
+	for _, tt := range sols {
+		// Rebuild ownership from placements the slow way.
+		ref := make(map[string]int)
+		tiles := tt.Tiles()
+		for pi, pl := range tt.Placements() {
+			for _, n := range tiles[pl.TileIndex].Points() {
+				ref[tt.Wrap(pl.Offset.Add(n)).Key()] = pi
+			}
+		}
+		w, err := lattice.BoxWindow(tt.Dims()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Each(func(p lattice.Point) bool {
+			pl, err := tt.OwnerOf(p)
+			if err != nil {
+				t.Fatalf("OwnerOf(%v): %v", p, err)
+			}
+			want := tt.Placements()[ref[p.Key()]]
+			if pl.TileIndex != want.TileIndex || !pl.Offset.Equal(want.Offset) {
+				t.Fatalf("OwnerOf(%v) = %+v, want %+v", p, pl, want)
+			}
+			return true
+		})
+	}
+}

@@ -36,10 +36,11 @@ var ErrTiling = errors.New("tiling: invalid tiling")
 type LatticeTiling struct {
 	tile   *prototile.Tile
 	period *intmat.Matrix
-	// slot maps the canonical coset representative of each tile point to
-	// its index in the tile's point order — the basis of the Theorem 1
-	// schedule.
-	slot map[string]int
+	// ct maps each residue of Z^d / T (by dense mixed-radix index of its
+	// canonical representative) to the covering tile point's index in the
+	// tile's point order — the basis of the Theorem 1 schedule. Lookup is
+	// allocation-free; see cosetTable.
+	ct *cosetTable
 }
 
 // NewLatticeTiling validates that the prototile is a transversal of the
@@ -54,27 +55,25 @@ func NewLatticeTiling(t *prototile.Tile, period *intmat.Matrix) (*LatticeTiling,
 	if !intmat.IsSquareFullRankHNF(h) {
 		return nil, fmt.Errorf("%w: period basis is singular", ErrTiling)
 	}
-	idx, err := intmat.Index(h)
+	ct, err := newCosetTable(h)
 	if err != nil {
 		return nil, err
 	}
-	if idx != int64(t.Size()) {
-		return nil, fmt.Errorf("%w: sublattice index %d ≠ |N| = %d", ErrTiling, idx, t.Size())
+	if ct.size() != t.Size() {
+		return nil, fmt.Errorf("%w: sublattice index %d ≠ |N| = %d", ErrTiling, ct.size(), t.Size())
 	}
-	slot := make(map[string]int, t.Size())
-	for i, p := range t.Points() {
-		rep, err := intmat.Reduce(h, p.Int64())
+	pts := t.Points()
+	for i, p := range pts {
+		prev, dup, err := ct.assign(p, i)
 		if err != nil {
 			return nil, err
 		}
-		key := lattice.FromInt64(rep).Key()
-		if prev, dup := slot[key]; dup {
+		if dup {
 			return nil, fmt.Errorf("%w: tile points %v and %v are congruent mod T",
-				ErrTiling, t.Points()[prev], p)
+				ErrTiling, pts[prev], p)
 		}
-		slot[key] = i
 	}
-	return &LatticeTiling{tile: t, period: h, slot: slot}, nil
+	return &LatticeTiling{tile: t, period: h, ct: ct}, nil
 }
 
 // FindLatticeTiling searches for a sublattice T of index |N| that makes
@@ -112,15 +111,13 @@ func (lt *LatticeTiling) Period() *intmat.Matrix { return lt.period.Clone() }
 
 // CosetIndex returns the index k (0-based) of the tile point n_k whose
 // coset contains p; every lattice point has exactly one such k. This is
-// the slot assignment of Theorem 1.
+// the slot assignment of Theorem 1: one in-place HNF reduction plus one
+// dense table read, with no allocation.
 func (lt *LatticeTiling) CosetIndex(p lattice.Point) (int, error) {
-	rep, err := intmat.Reduce(lt.period, p.Int64())
-	if err != nil {
-		return 0, err
-	}
-	k, ok := lt.slot[lattice.FromInt64(rep).Key()]
+	k, ok := lt.ct.slotOf(p)
 	if !ok {
-		return 0, fmt.Errorf("%w: point %v has no coset representative (invariant broken)", ErrTiling, p)
+		return 0, fmt.Errorf("%w: point %v has dimension %d, want %d",
+			ErrTiling, p, len(p), lt.tile.Dim())
 	}
 	return k, nil
 }
@@ -149,7 +146,11 @@ func (lt *LatticeTiling) VerifyWindow(w lattice.Window) error {
 	if w.Dim() != lt.tile.Dim() {
 		return fmt.Errorf("%w: window dimension %d ≠ tile dimension %d", ErrTiling, w.Dim(), lt.tile.Dim())
 	}
-	cover := make(map[string]int, w.Size())
+	size, err := w.SizeChecked()
+	if err != nil {
+		return err
+	}
+	cover := make([]int32, size)
 	// Candidate translates: any t with (t + N) ∩ window ≠ ∅ lies within
 	// the window expanded by the tile's bounding box.
 	lo, hi := lt.tile.BoundingBox()
@@ -159,27 +160,35 @@ func (lt *LatticeTiling) VerifyWindow(w lattice.Window) error {
 	if err != nil {
 		return err
 	}
-	for _, t := range ext.Points() {
+	tilePts := lt.tile.Points()
+	buf := make(lattice.Point, 0, w.Dim())
+	var verr error
+	ext.Each(func(t lattice.Point) bool {
 		in, err := lt.InTranslateSet(t)
 		if err != nil {
-			return err
+			verr = err
+			return false
 		}
 		if !in {
-			continue
+			return true
 		}
-		for _, n := range lt.tile.Points() {
-			p := t.Add(n)
-			if w.Contains(p) {
-				cover[p.Key()]++
+		for _, n := range tilePts {
+			buf = t.AddInto(n, buf[:0])
+			if i, ok := w.IndexOf(buf); ok {
+				cover[i]++
 			}
 		}
+		return true
+	})
+	if verr != nil {
+		return verr
 	}
-	for _, p := range w.Points() {
-		switch c := cover[p.Key()]; {
+	for i, c := range cover {
+		switch {
 		case c == 0:
-			return fmt.Errorf("%w: T1 violated, %v uncovered", ErrTiling, p)
+			return fmt.Errorf("%w: T1 violated, %v uncovered", ErrTiling, w.PointAt(i))
 		case c > 1:
-			return fmt.Errorf("%w: T2 violated, %v covered %d times", ErrTiling, p, c)
+			return fmt.Errorf("%w: T2 violated, %v covered %d times", ErrTiling, w.PointAt(i), c)
 		}
 	}
 	return nil

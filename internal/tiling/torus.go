@@ -26,8 +26,35 @@ type TorusTiling struct {
 	dims   []int
 	tiles  []*prototile.Tile
 	places []Placement
-	// owner maps each torus cell to the placement covering it.
-	owner map[string]int
+	// owner maps each torus cell — by the mixed-radix index of its wrapped
+	// coordinates, last axis fastest — to the placement covering it.
+	owner []int32
+}
+
+// CellIndex returns the dense index of p's wrapped cell in lexicographic
+// order over the fundamental box ∏_i [0, dims_i), and whether p has the
+// torus dimension. It allocates nothing and is the hot-path replacement
+// for string-keyed cell maps.
+func (tt *TorusTiling) CellIndex(p lattice.Point) (int, bool) {
+	return cellIndexOf(tt.dims, p)
+}
+
+// Cells returns the number of torus cells.
+func (tt *TorusTiling) Cells() int { return len(tt.owner) }
+
+func cellIndexOf(dims []int, p lattice.Point) (int, bool) {
+	if len(p) != len(dims) {
+		return 0, false
+	}
+	idx := 0
+	for i, d := range dims {
+		c := p[i] % d
+		if c < 0 {
+			c += d
+		}
+		idx = idx*d + c
+	}
+	return idx, true
 }
 
 // NewTorusTiling validates that the placements exactly cover the torus.
@@ -55,21 +82,29 @@ func NewTorusTiling(dims []int, tiles []*prototile.Tile, places []Placement) (*T
 		dims:   append([]int(nil), dims...),
 		tiles:  append([]*prototile.Tile(nil), tiles...),
 		places: append([]Placement(nil), places...),
-		owner:  make(map[string]int, cells),
+		owner:  make([]int32, cells),
+	}
+	for i := range tt.owner {
+		tt.owner[i] = -1
 	}
 	covered := 0
+	buf := make(lattice.Point, 0, len(dims))
 	for pi, pl := range places {
 		if pl.TileIndex < 0 || pl.TileIndex >= len(tiles) {
 			return nil, fmt.Errorf("%w: placement %d references tile %d", ErrTiling, pi, pl.TileIndex)
 		}
+		if pl.Offset.Dim() != len(dims) {
+			return nil, fmt.Errorf("%w: placement %d offset %v has dimension %d",
+				ErrTiling, pi, pl.Offset, pl.Offset.Dim())
+		}
 		for _, n := range tiles[pl.TileIndex].Points() {
-			cell := tt.Wrap(pl.Offset.Add(n))
-			key := cell.Key()
-			if other, dup := tt.owner[key]; dup {
+			buf = pl.Offset.AddInto(n, buf[:0])
+			ci, _ := tt.CellIndex(buf)
+			if other := tt.owner[ci]; other >= 0 {
 				return nil, fmt.Errorf("%w: GT2 violated, cell %v covered by placements %d and %d",
-					ErrTiling, cell, other, pi)
+					ErrTiling, tt.Wrap(buf), other, pi)
 			}
-			tt.owner[key] = pi
+			tt.owner[ci] = int32(pi)
 			covered++
 		}
 	}
@@ -104,15 +139,12 @@ func (tt *TorusTiling) Wrap(p lattice.Point) lattice.Point {
 
 // OwnerOf returns the placement covering the (wrapped) point p.
 func (tt *TorusTiling) OwnerOf(p lattice.Point) (Placement, error) {
-	if len(p) != len(tt.dims) {
+	ci, ok := tt.CellIndex(p)
+	if !ok {
 		return Placement{}, fmt.Errorf("%w: point dimension %d ≠ torus dimension %d",
 			ErrTiling, len(p), len(tt.dims))
 	}
-	idx, ok := tt.owner[tt.Wrap(p).Key()]
-	if !ok {
-		return Placement{}, fmt.Errorf("%w: cell %v unowned (invariant broken)", ErrTiling, p)
-	}
-	return tt.places[idx], nil
+	return tt.places[tt.owner[ci]], nil
 }
 
 // TileAt returns the prototile whose placement covers p — the neighborhood
@@ -185,11 +217,9 @@ func SolveTorus(dims []int, tiles []*prototile.Tile, opt SolveOptions) ([]*Torus
 	if err != nil {
 		return nil, err
 	}
+	// Cells are indexed densely by wrapped mixed-radix coordinates; the
+	// order agrees with the window's lexicographic point order.
 	cellOrder := w.Points()
-	cellIdx := make(map[string]int, len(cellOrder))
-	for i, c := range cellOrder {
-		cellIdx[c.Key()] = i
-	}
 	wrap := func(p lattice.Point) lattice.Point {
 		q := p.Clone()
 		for i, d := range dims {
@@ -202,6 +232,7 @@ func SolveTorus(dims []int, tiles []*prototile.Tile, opt SolveOptions) ([]*Torus
 	var out []*TorusTiling
 	seen := map[string]bool{}
 	counts := make([]int, len(tiles))
+	buf := make(lattice.Point, 0, len(dims)) // transient scratch for cell indexing
 
 	var dfs func(from int) bool // returns true to stop the whole search
 	dfs = func(from int) bool {
@@ -231,14 +262,16 @@ func SolveTorus(dims []int, tiles []*prototile.Tile, opt SolveOptions) ([]*Torus
 		}
 		cell := cellOrder[target]
 		for ti, tile := range tiles {
-			for _, anchor := range tile.Points() {
+			tilePts := tile.Points()
+			for _, anchor := range tilePts {
 				offset := wrap(cell.Sub(anchor))
 				// Check that all cells of tile+offset are free.
 				ok := true
 				idxs := make([]int, 0, tile.Size())
-				for _, n := range tile.Points() {
-					ci, exists := cellIdx[wrap(offset.Add(n)).Key()]
-					if !exists || covered[ci] {
+				for _, n := range tilePts {
+					buf = offset.AddInto(n, buf[:0])
+					ci, _ := cellIndexOf(dims, buf)
+					if covered[ci] {
 						ok = false
 						break
 					}

@@ -85,18 +85,15 @@ func RunConvergecast(cfg ConvergecastConfig) (ConvergecastMetrics, error) {
 	}
 	pts := cfg.Window.Points()
 	n := len(pts)
-	idx := make(map[string]int, n)
-	for i, p := range pts {
-		idx[p.Key()] = i
-	}
-	sink := idx[cfg.Sink.Key()]
+	sink, _ := cfg.Window.IndexOf(cfg.Sink)
 	// hears[v] lists u such that v ∈ u + N_u (v hears u); coveredBy is
-	// the same relation used for collision resolution.
+	// the same relation used for collision resolution. Points index
+	// densely into the window, so no keyed map is needed.
 	coveredBy := make([][]int, n)
 	canReach := make([][]int, n) // u → list of v that hear u
 	for i, p := range pts {
 		for _, q := range cfg.Deployment.NeighborhoodOf(p) {
-			j, ok := idx[q.Key()]
+			j, ok := cfg.Window.IndexOf(q)
 			if !ok || j == i {
 				continue
 			}

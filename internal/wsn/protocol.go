@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"tilingsched/internal/graph"
 	"tilingsched/internal/lattice"
 	"tilingsched/internal/schedule"
 )
@@ -82,44 +83,22 @@ type CSMA struct {
 	lastBusy  []bool
 }
 
-// NewCSMA precomputes each node's conflict neighbors over the window.
+// NewCSMA precomputes each node's conflict neighbors over the window. The
+// conflict relation (intersecting interference neighborhoods) is exactly
+// the conflict graph's edge set, so the adjacency is built once by
+// graph.ConflictGraph's dense-index machinery.
 func NewCSMA(p float64, dep schedule.Deployment, w lattice.Window) (*CSMA, error) {
 	if w.Dim() != dep.Dim() {
 		return nil, fmt.Errorf("%w: window dimension %d ≠ deployment dimension %d",
 			ErrSim, w.Dim(), dep.Dim())
 	}
-	pts := w.Points()
-	idx := make(map[string]int, len(pts))
-	for i, pt := range pts {
-		idx[pt.Key()] = i
+	g, pts, err := graph.ConflictGraph(dep, w)
+	if err != nil {
+		return nil, err
 	}
 	neighbors := make([][]int, len(pts))
-	reach := dep.Reach()
-	for i, pt := range pts {
-		lo, hi := pt.Clone(), pt.Clone()
-		for a := range lo {
-			lo[a] -= 2 * reach
-			hi[a] += 2 * reach
-			if lo[a] < w.Lo[a] {
-				lo[a] = w.Lo[a]
-			}
-			if hi[a] > w.Hi[a] {
-				hi[a] = w.Hi[a]
-			}
-		}
-		box, err := lattice.NewWindow(lo, hi)
-		if err != nil {
-			continue
-		}
-		for _, q := range box.Points() {
-			j := idx[q.Key()]
-			if j == i {
-				continue
-			}
-			if schedule.Conflict(dep, pt, q) {
-				neighbors[i] = append(neighbors[i], j)
-			}
-		}
+	for i := range neighbors {
+		neighbors[i] = g.Neighbors(i)
 	}
 	return &CSMA{P: p, neighbors: neighbors, lastBusy: make([]bool, len(pts))}, nil
 }

@@ -161,18 +161,15 @@ func Run(cfg Config) (Metrics, error) {
 	}
 	pts := cfg.Window.Points()
 	n := len(pts)
-	idx := make(map[string]int, n)
-	for i, p := range pts {
-		idx[p.Key()] = i
-	}
 	// Precompute intended receivers (in-window, excluding self) and, for
-	// reception resolution, the reverse map: which nodes' transmissions
-	// cover each node.
+	// reception resolution, the reverse relation: which nodes'
+	// transmissions cover each node. Points index densely into the window
+	// (Window.IndexOf), so no keyed map is needed.
 	receivers := make([][]int, n)
 	coveredBy := make([][]int, n)
 	for i, p := range pts {
 		for _, q := range cfg.Deployment.NeighborhoodOf(p) {
-			j, ok := idx[q.Key()]
+			j, ok := cfg.Window.IndexOf(q)
 			if !ok || j == i {
 				continue
 			}

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Run the repository benchmarks and record a BENCH_<date>.json summary.
+# Extra arguments are forwarded to cmd/bench, e.g.:
+#
+#   scripts/bench.sh -bench 'SlotAssignment|SimulatorSlot|DSATUR' -count 5
+set -euo pipefail
+cd "$(dirname "$0")/.."
+go run ./cmd/bench "$@"
