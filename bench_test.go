@@ -6,16 +6,22 @@
 package tilingsched_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"tilingsched/internal/boundary"
+	"tilingsched/internal/core"
 	"tilingsched/internal/experiments"
 	"tilingsched/internal/graph"
 	"tilingsched/internal/intmat"
 	"tilingsched/internal/lattice"
 	"tilingsched/internal/prototile"
 	"tilingsched/internal/schedule"
+	"tilingsched/internal/service"
 	"tilingsched/internal/tiling"
 	"tilingsched/internal/wsn"
 )
@@ -341,6 +347,121 @@ func BenchmarkSimulatorSlot(b *testing.B) {
 		})
 		if err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- Service subsystem (internal/service, cmd/latticed) -------------------
+
+func servicePlan(b *testing.B) *core.Plan {
+	b.Helper()
+	plan, err := core.NewPlan(lattice.Square(), prototile.Cross(2, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return plan
+}
+
+// BenchmarkServiceBatchSlots measures the steady-state batch query path:
+// one op is a 4096-point QuerySlots batch into a reused destination, so
+// per-lookup cost is ns/op ÷ 4096 and the ≥1M lookups/sec target means
+// staying under ~4.1 ms/op. The path must report 0 allocs/op.
+func BenchmarkServiceBatchSlots(b *testing.B) {
+	plan := servicePlan(b)
+	pts := lattice.CenteredWindow(2, 31).Points() // 63×63 = 3969 ≈ 4k points
+	dst := make([]int32, 0, len(pts))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		dst, err = service.QuerySlots(plan, pts, dst[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceBatchMayBroadcast is the may-broadcast twin of
+// BenchmarkServiceBatchSlots (same batch size, same contract).
+func BenchmarkServiceBatchMayBroadcast(b *testing.B) {
+	plan := servicePlan(b)
+	pts := lattice.CenteredWindow(2, 31).Points()
+	dst := make([]bool, 0, len(pts))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		dst, err = service.QueryMayBroadcast(plan, pts, int64(i), dst[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceWindowSlots measures the window-shorthand path: the
+// same 63×63 region queried as a rectangle, without materialized points.
+func BenchmarkServiceWindowSlots(b *testing.B) {
+	plan := servicePlan(b)
+	w := lattice.CenteredWindow(2, 31)
+	dst := make([]int32, 0, w.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		dst, err = service.QueryWindowSlots(plan, w, dst[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceRegistryHit measures a warm plan-registry lookup — the
+// per-request overhead a long-running latticed pays before querying.
+func BenchmarkServiceRegistryHit(b *testing.B) {
+	reg := service.NewRegistry(8)
+	spec := service.PlanSpec{Tile: service.TileSpec{Name: "cross:2:1"}}
+	if _, err := reg.GetSpec(spec); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.GetSpec(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceHTTPBatch measures cmd/latticed's wire layer end to
+// end: a 1024-point slots:batch request against an in-process server,
+// including JSON on both sides.
+func BenchmarkServiceHTTPBatch(b *testing.B) {
+	srv := httptest.NewServer(service.NewServer(service.NewRegistry(8), service.ServerOptions{}))
+	defer srv.Close()
+	rng := rand.New(rand.NewSource(1))
+	points := make([][]int, 1024)
+	for i := range points {
+		points[i] = []int{rng.Intn(2001) - 1000, rng.Intn(2001) - 1000}
+	}
+	body, err := json.Marshal(service.BatchRequest{
+		Plan:   service.PlanSpec{Tile: service.TileSpec{Name: "cross:2:1"}},
+		Points: points,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := srv.Client()
+	url := srv.URL + "/v1/slots:batch"
+	var resp service.SlotsResponse
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Slots = resp.Slots[:0]
+		if err := json.NewDecoder(r.Body).Decode(&resp); err != nil {
+			b.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK || len(resp.Slots) != len(points) {
+			b.Fatalf("status %d, %d slots", r.StatusCode, len(resp.Slots))
 		}
 	}
 }

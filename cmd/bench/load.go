@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tilingsched/internal/service"
+)
+
+// loadConfig parameterizes the HTTP load-generator mode (-load), which
+// measures a running latticed daemon's batch query throughput.
+type loadConfig struct {
+	baseURL  string
+	duration time.Duration
+	conns    int
+	batch    int
+	tile     string
+}
+
+// runLoad hammers POST /v1/slots:batch with conns concurrent workers for
+// the configured duration and prints request and point-lookup
+// throughput. The batch body is built once (deterministic points drawn
+// from a seeded source) and shared by every request, so the generator
+// itself stays cheap enough to saturate the server.
+func runLoad(cfg loadConfig) error {
+	cfg.baseURL = strings.TrimRight(cfg.baseURL, "/")
+	rng := rand.New(rand.NewSource(1))
+	points := make([][]int, cfg.batch)
+	for i := range points {
+		points[i] = []int{rng.Intn(2001) - 1000, rng.Intn(2001) - 1000}
+	}
+	body, err := json.Marshal(service.BatchRequest{
+		Plan:   service.PlanSpec{Tile: service.TileSpec{Name: cfg.tile}},
+		Points: points,
+	})
+	if err != nil {
+		return err
+	}
+	url := cfg.baseURL + "/v1/slots:batch"
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        cfg.conns,
+		MaxIdleConnsPerHost: cfg.conns,
+	}}
+
+	// One warm-up request compiles the plan and validates the reply
+	// shape before the clock starts.
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("warm-up request: %v", err)
+	}
+	var warm struct {
+		service.SlotsResponse
+		service.ErrorResponse
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&warm); err != nil {
+		return fmt.Errorf("warm-up decode: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("warm-up request: status %d: %s", resp.StatusCode, warm.Error)
+	}
+	if len(warm.Slots) != cfg.batch {
+		return fmt.Errorf("warm-up reply has %d slots, want %d", len(warm.Slots), cfg.batch)
+	}
+
+	var requests, failures atomic.Int64
+	deadline := time.Now().Add(cfg.duration)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.conns; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+					continue
+				}
+				requests.Add(1)
+			}
+		}()
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	reqs, fails := requests.Load(), failures.Load()
+	secs := elapsed.Seconds()
+	fmt.Printf("load: %s tile=%s batch=%d conns=%d duration=%s\n",
+		cfg.baseURL, cfg.tile, cfg.batch, cfg.conns, elapsed.Round(time.Millisecond))
+	fmt.Printf("load: %d requests (%d failed), %.0f req/s, %.0f lookups/s\n",
+		reqs, fails, float64(reqs)/secs, float64(reqs)*float64(cfg.batch)/secs)
+	if fails > 0 {
+		return fmt.Errorf("%d failed requests", fails)
+	}
+	return nil
+}

@@ -6,10 +6,13 @@
 //
 //	go run ./cmd/bench [-bench regex] [-count N] [-pkg ./...] [-out file]
 //	go run ./cmd/bench -parse raw.txt [-out file]   # summarize existing output
+//	go run ./cmd/bench -load http://localhost:8370  # latticed load generator
 //
 // With -parse the raw `go test -bench` output in the given file is
 // summarized instead of running the benchmarks — useful for snapshotting
-// a baseline captured before a change.
+// a baseline captured before a change. With -load the tool becomes an
+// HTTP load generator against a running cmd/latticed daemon, reporting
+// batch-query requests/s and point lookups/s (see -load-* flags).
 package main
 
 import (
@@ -57,7 +60,25 @@ func main() {
 	pkg := flag.String("pkg", ".", "package to benchmark")
 	out := flag.String("out", "", "output file (default BENCH_<date>.json)")
 	parse := flag.String("parse", "", "summarize an existing go test -bench output file instead of running")
+	load := flag.String("load", "", "base URL of a latticed daemon to load-test instead of benchmarking")
+	loadDuration := flag.Duration("load-duration", 5*time.Second, "load generator run time")
+	loadConns := flag.Int("load-conns", 8, "concurrent load generator connections")
+	loadBatch := flag.Int("load-batch", 1024, "points per batch request")
+	loadTile := flag.String("load-tile", "cross:2:1", "tile spec queried by the load generator")
 	flag.Parse()
+
+	if *load != "" {
+		if err := runLoad(loadConfig{
+			baseURL:  *load,
+			duration: *loadDuration,
+			conns:    *loadConns,
+			batch:    *loadBatch,
+			tile:     *loadTile,
+		}); err != nil {
+			fatal("load: %v", err)
+		}
+		return
+	}
 
 	var raw []byte
 	var err error

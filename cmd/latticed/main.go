@@ -1,0 +1,70 @@
+// Command latticed serves tiling schedules over HTTP: compile a plan
+// once, answer batches of SlotOf / MayBroadcast queries with O(1)
+// integer arithmetic per point (internal/service).
+//
+// Usage:
+//
+//	go run ./cmd/latticed [-addr :8370] [-cache 256] [-max-batch N] [-max-window N]
+//
+// Endpoints:
+//
+//	POST /v1/plan               {"plan":{"tile":{"name":"cross:2:1"}}}
+//	POST /v1/slots:batch        {"plan":{...},"points":[[3,4],[0,0]]}
+//	                            {"plan":{...},"window":{"lo":[-4,-4],"hi":[4,4]}}
+//	POST /v1/maybroadcast:batch {"plan":{...},"points":[[3,4]],"t":12345}
+//	GET  /healthz
+//
+// Compiled plans are cached in an LRU keyed by the canonical
+// (lattice, tile) signature; concurrent first requests for one plan
+// compile it exactly once. Measure throughput against a running daemon
+// with the load generator: go run ./cmd/bench -load http://localhost:8370.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tilingsched/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8370", "listen address")
+	cache := flag.Int("cache", 256, "plan cache capacity (compiled plans)")
+	maxBatch := flag.Int("max-batch", 0, "max points per explicit batch (0 = default)")
+	maxWindow := flag.Int("max-window", 0, "max points per window shorthand (0 = default)")
+	flag.Parse()
+
+	handler := service.NewServer(service.NewRegistry(*cache), service.ServerOptions{
+		MaxBatch:  *maxBatch,
+		MaxWindow: *maxWindow,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("latticed: serving on %s (plan cache %d)", *addr, *cache)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("latticed: %v", err)
+	}
+	log.Printf("latticed: shut down")
+}

@@ -29,4 +29,22 @@
 // lattice.Point.Key() remains only for cold paths — rendering, canonical
 // form signatures, and tests. New code must not introduce string-keyed
 // point maps on per-slot or per-lookup paths.
+//
+// # Serving architecture
+//
+// internal/service turns compiled plans into a serving subsystem
+// (DESIGN.md §5), layered as registry → batch engine → wire:
+//
+//   - The plan registry is an LRU of compiled core.Plan values keyed by
+//     the canonical core.Signature, with singleflight compilation:
+//     concurrent requests for one signature compile it exactly once.
+//   - The batch engine (service.QuerySlots, service.QueryMayBroadcast,
+//     and window-shorthand variants) answers point batches through the
+//     dense coset tables under a zero-alloc steady-state contract: with
+//     a reused destination slice, a batch allocates nothing and each
+//     lookup is O(1) integer arithmetic. Plans are immutable, so any
+//     number of goroutines may query one plan concurrently.
+//   - cmd/latticed exposes the engine over compact JSON/HTTP
+//     (/v1/plan, /v1/slots:batch, /v1/maybroadcast:batch, /healthz);
+//     cmd/bench -load is the matching load generator.
 package tilingsched

@@ -16,6 +16,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"tilingsched/internal/boundary"
 	"tilingsched/internal/graph"
@@ -67,6 +68,29 @@ func NewPlanWithPeriod(lat *lattice.Lattice, tile *prototile.Tile, period *intma
 	}
 	return &Plan{lat: lat, tile: tile, tlng: lt, sched: schedule.FromLatticeTiling(lt)}, nil
 }
+
+// Signature returns the canonical signature of a (lattice, prototile)
+// pair: two plans built from the same lattice name and the same tile point
+// set share one signature regardless of the tile's display name or the
+// order its points were given in. It is the cache key of the service-layer
+// plan registry (internal/service): equal signatures mean equal schedules,
+// because NewPlan's tiling search is deterministic in the tile's canonical
+// point order.
+func Signature(lat *lattice.Lattice, tile *prototile.Tile) string {
+	var b strings.Builder
+	b.WriteString(lat.Name())
+	fmt.Fprintf(&b, "/%d:", tile.Dim())
+	for i, pt := range tile.Points() {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(pt.Key())
+	}
+	return b.String()
+}
+
+// Signature returns the plan's canonical (lattice, prototile) signature.
+func (p *Plan) Signature() string { return Signature(p.lat, p.tile) }
 
 // Lattice returns the plan's lattice.
 func (p *Plan) Lattice() *lattice.Lattice { return p.lat }

@@ -67,8 +67,14 @@ func DegreeOrder(g *Graph) []int {
 // DSATUR colors the graph with the saturation-degree heuristic: repeatedly
 // color the uncolored vertex with the most distinctly-colored neighbors
 // (ties broken by degree, then index). Returns coloring and color count.
+//
 // Saturation sets are per-vertex bitsets over at most Δ+1 colors (greedy
-// never needs more), so the whole run performs three slice allocations.
+// never needs more). Selection runs through a bucket queue keyed by
+// saturation degree: buckets[s] is a lazy min-heap (by static tie-break
+// rank) of the vertices whose saturation last reached s, so each pick is
+// O(log n) instead of the O(n) scan the bucket queue replaced, and a
+// vertex is (re)pushed at most once per saturation increment — O(E)
+// pushes over the whole run.
 func DSATUR(g *Graph) ([]int, int) {
 	n := g.N()
 	colors := make([]int, n)
@@ -81,22 +87,43 @@ func DSATUR(g *Graph) ([]int, int) {
 	words := (g.MaxDegree() + 1 + 63) / 64
 	sat := make([]uint64, n*words) // vertex u's neighbor-color bitset
 	satCount := make([]int, n)     // popcount cache of sat rows
+
+	// rank is the static tie-break order within one saturation level:
+	// higher degree first, then lower index — exactly the order the
+	// linear scan this replaces settled on. A sorted slice is already a
+	// valid min-heap, so bucket 0 starts heapified.
+	byRank := IdentityOrder(n)
+	sort.SliceStable(byRank, func(a, b int) bool { return g.Degree(byRank[a]) > g.Degree(byRank[b]) })
+	rank := make([]int32, n)
+	bucket0 := make([]int32, n)
+	for i, v := range byRank {
+		rank[v] = int32(i)
+		bucket0[i] = int32(v)
+	}
+	// buckets[s] holds vertices with saturation s, with lazy deletion:
+	// entries go stale when their vertex is colored or its saturation
+	// moved on, and are discarded at pop time. Every uncolored vertex
+	// has exactly one live entry, at buckets[satCount[v]].
+	buckets := make([][]int32, g.MaxDegree()+1)
+	buckets[0] = bucket0
+	top := 0 // highest level with a live entry is never above top
+
 	maxColor := -1
 	for step := 0; step < n; step++ {
 		// Pick the uncolored vertex with maximum saturation.
-		best := -1
-		for u := 0; u < n; u++ {
-			if colors[u] >= 0 {
+		var best int
+		for {
+			if len(buckets[top]) == 0 {
+				top--
 				continue
 			}
-			if best == -1 {
-				best = u
-				continue
+			v := int(heapPop(buckets[top], rank))
+			buckets[top] = buckets[top][:len(buckets[top])-1]
+			if colors[v] >= 0 || satCount[v] != top {
+				continue // stale entry
 			}
-			if satCount[u] > satCount[best] ||
-				(satCount[u] == satCount[best] && g.Degree(u) > g.Degree(best)) {
-				best = u
-			}
+			best = v
+			break
 		}
 		// Smallest color absent from neighbors: first zero bit of the row.
 		row := sat[best*words : (best+1)*words]
@@ -114,13 +141,58 @@ func DSATUR(g *Graph) ([]int, int) {
 		}
 		word, bit := c/64, uint64(1)<<(c%64)
 		for _, v := range g.Neighbors(best) {
-			if sat[v*words+word]&bit == 0 {
+			if colors[v] < 0 && sat[v*words+word]&bit == 0 {
 				sat[v*words+word] |= bit
 				satCount[v]++
+				s := satCount[v]
+				buckets[s] = heapPush(buckets[s], rank, int32(v))
+				if s > top {
+					top = s
+				}
 			}
 		}
 	}
 	return colors, maxColor + 1
+}
+
+// heapPush adds v to the min-heap h ordered by rank and returns it.
+func heapPush(h []int32, rank []int32, v int32) []int32 {
+	h = append(h, v)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if rank[h[parent]] <= rank[h[i]] {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	return h
+}
+
+// heapPop returns the min-rank element of h, moving the last element into
+// the root and sifting down; the caller truncates h by one.
+func heapPop(h []int32, rank []int32) int32 {
+	min := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && rank[h[l]] < rank[h[smallest]] {
+			smallest = l
+		}
+		if r < last && rank[h[r]] < rank[h[smallest]] {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	return min
 }
 
 // ChromaticResult reports the outcome of an exact chromatic-number search.

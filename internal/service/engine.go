@@ -1,0 +1,90 @@
+package service
+
+import (
+	"fmt"
+
+	"tilingsched/internal/core"
+	"tilingsched/internal/lattice"
+)
+
+// The batch engine answers many slot queries against one compiled plan.
+// Results are appended to a caller-supplied destination slice (pass
+// dst[:0] to reuse its backing array), so a warm caller performs zero
+// allocations per query: each lookup is one in-place HNF coset reduction
+// plus one dense table read (see internal/tiling's cosetTable). Compiled
+// plans are immutable after construction, making every function here
+// safe for any number of concurrent readers of the same plan.
+
+// QuerySlots appends the slot of each point to dst and returns it.
+// On error (a point of the wrong dimension) the partial dst is returned
+// alongside the error; entries already appended remain valid.
+func QuerySlots(p *core.Plan, pts []lattice.Point, dst []int32) ([]int32, error) {
+	for _, pt := range pts {
+		s, err := p.SlotOf(pt)
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, int32(s))
+	}
+	return dst, nil
+}
+
+// QueryWindowSlots appends the slot of every window point, in the
+// window's lexicographic point order (Window.IndexOf order), to dst.
+func QueryWindowSlots(p *core.Plan, w lattice.Window, dst []int32) ([]int32, error) {
+	if w.Dim() != p.Tile().Dim() {
+		return dst, fmt.Errorf("service: window dimension %d ≠ plan dimension %d", w.Dim(), p.Tile().Dim())
+	}
+	var err error
+	w.Each(func(pt lattice.Point) bool {
+		var s int
+		s, err = p.SlotOf(pt)
+		if err != nil {
+			return false
+		}
+		dst = append(dst, int32(s))
+		return true
+	})
+	return dst, err
+}
+
+// QueryMayBroadcast appends, for each point, whether its sensor may
+// broadcast at time t (t ≡ slot (mod m)) to dst and returns it.
+func QueryMayBroadcast(p *core.Plan, pts []lattice.Point, t int64, dst []bool) ([]bool, error) {
+	r := slotAt(p, t)
+	for _, pt := range pts {
+		s, err := p.SlotOf(pt)
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, int32(s) == r)
+	}
+	return dst, nil
+}
+
+// QueryWindowMayBroadcast is QueryMayBroadcast over every window point
+// in lexicographic order.
+func QueryWindowMayBroadcast(p *core.Plan, w lattice.Window, t int64, dst []bool) ([]bool, error) {
+	if w.Dim() != p.Tile().Dim() {
+		return dst, fmt.Errorf("service: window dimension %d ≠ plan dimension %d", w.Dim(), p.Tile().Dim())
+	}
+	r := slotAt(p, t)
+	var err error
+	w.Each(func(pt lattice.Point) bool {
+		var s int
+		s, err = p.SlotOf(pt)
+		if err != nil {
+			return false
+		}
+		dst = append(dst, int32(s) == r)
+		return true
+	})
+	return dst, err
+}
+
+// slotAt returns the active slot at time t: t mod m, normalized into
+// [0, m).
+func slotAt(p *core.Plan, t int64) int32 {
+	m := int64(p.Slots())
+	return int32(((t % m) + m) % m)
+}

@@ -1,0 +1,270 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"tilingsched/internal/core"
+	"tilingsched/internal/lattice"
+)
+
+// ServerOptions bounds a server's per-request work. Zero values select
+// the defaults.
+type ServerOptions struct {
+	// MaxBatch caps the number of explicit points per batch request.
+	MaxBatch int
+	// MaxWindow caps the number of points a window shorthand may expand
+	// to.
+	MaxWindow int
+	// MaxBody caps the request body size in bytes.
+	MaxBody int64
+}
+
+const (
+	defaultMaxBatch  = 1 << 16
+	defaultMaxWindow = 1 << 20
+	defaultMaxBody   = 8 << 20
+)
+
+// Server is the HTTP wire layer over a plan registry — the handler
+// behind cmd/latticed. Endpoints:
+//
+//	POST /v1/plan               compile (or fetch) a plan, describe it
+//	POST /v1/slots:batch        slots of a point batch or window
+//	POST /v1/maybroadcast:batch may-broadcast bits at time t
+//	GET  /healthz               liveness + registry stats
+//
+// Query buffers are pooled, so the steady-state engine work allocates
+// nothing; remaining per-request allocations are JSON encoding and
+// decoding.
+type Server struct {
+	reg  *Registry
+	opts ServerOptions
+	mux  *http.ServeMux
+	bufs sync.Pool // of *queryBuf
+}
+
+// queryBuf carries one request's scratch slices between pool uses.
+type queryBuf struct {
+	pts   []lattice.Point
+	slots []int32
+	may   []bool
+}
+
+// putBuf returns buf to the pool, dropping the point aliases into the
+// last request's decoded coordinate arrays so the pool does not pin
+// request bodies.
+func (s *Server) putBuf(buf *queryBuf) {
+	clear(buf.pts[:cap(buf.pts)])
+	buf.pts = buf.pts[:0]
+	s.bufs.Put(buf)
+}
+
+// NewServer builds the HTTP handler over the registry.
+func NewServer(reg *Registry, opts ServerOptions) *Server {
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = defaultMaxBatch
+	}
+	if opts.MaxWindow <= 0 {
+		opts.MaxWindow = defaultMaxWindow
+	}
+	if opts.MaxBody <= 0 {
+		opts.MaxBody = defaultMaxBody
+	}
+	s := &Server{reg: reg, opts: opts, mux: http.NewServeMux()}
+	s.bufs.New = func() any { return new(queryBuf) }
+	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
+	s.mux.HandleFunc("POST /v1/slots:batch", s.handleSlots)
+	s.mux.HandleFunc("POST /v1/maybroadcast:batch", s.handleMay)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{OK: true, Plans: s.reg.Len(), Stats: s.reg.Stats()})
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req PlanRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	plan, ok := s.getPlan(w, req.Plan)
+	if !ok {
+		return
+	}
+	period := plan.Tiling().Period()
+	rows := make([][]int64, period.Rows())
+	for i := range rows {
+		rows[i] = make([]int64, period.Cols())
+		for j := range rows[i] {
+			rows[i][j] = period.At(i, j)
+		}
+	}
+	tilePts := plan.Tile().Points()
+	tile := make([][]int, len(tilePts))
+	for i, pt := range tilePts {
+		tile[i] = pt
+	}
+	writeJSON(w, http.StatusOK, PlanResponse{
+		Signature: plan.Signature(),
+		Lattice:   plan.Lattice().Name(),
+		Dim:       plan.Tile().Dim(),
+		Slots:     plan.Slots(),
+		Period:    rows,
+		Tile:      tile,
+	})
+}
+
+func (s *Server) handleSlots(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	plan, ok := s.getPlan(w, req.Plan)
+	if !ok {
+		return
+	}
+	buf := s.bufs.Get().(*queryBuf)
+	defer s.putBuf(buf)
+	var err error
+	switch {
+	case len(req.Points) > 0 && req.Window == nil:
+		if !s.checkBatch(w, len(req.Points)) {
+			return
+		}
+		buf.slots, err = QuerySlots(plan, buf.points(req.Points), buf.slots[:0])
+	case req.Window != nil && len(req.Points) == 0:
+		var win lattice.Window
+		if win, ok = s.window(w, *req.Window); !ok {
+			return
+		}
+		buf.slots, err = QueryWindowSlots(plan, win, buf.slots[:0])
+	default:
+		writeErr(w, http.StatusBadRequest, "exactly one of points and window must be set")
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, SlotsResponse{M: plan.Slots(), Slots: buf.slots})
+}
+
+func (s *Server) handleMay(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	plan, ok := s.getPlan(w, req.Plan)
+	if !ok {
+		return
+	}
+	buf := s.bufs.Get().(*queryBuf)
+	defer s.putBuf(buf)
+	var err error
+	switch {
+	case len(req.Points) > 0 && req.Window == nil:
+		if !s.checkBatch(w, len(req.Points)) {
+			return
+		}
+		buf.may, err = QueryMayBroadcast(plan, buf.points(req.Points), req.T, buf.may[:0])
+	case req.Window != nil && len(req.Points) == 0:
+		var win lattice.Window
+		if win, ok = s.window(w, *req.Window); !ok {
+			return
+		}
+		buf.may, err = QueryWindowMayBroadcast(plan, win, req.T, buf.may[:0])
+	default:
+		writeErr(w, http.StatusBadRequest, "exactly one of points and window must be set")
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, MayResponse{M: plan.Slots(), T: req.T, May: buf.may})
+}
+
+// points adapts wire coordinates to lattice points in the pooled scratch
+// slice; the coordinate arrays are aliased, not copied.
+func (b *queryBuf) points(coords [][]int) []lattice.Point {
+	b.pts = b.pts[:0]
+	for _, c := range coords {
+		b.pts = append(b.pts, lattice.Point(c))
+	}
+	return b.pts
+}
+
+// decode reads the JSON request body into dst, answering 400 on failure.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBody)
+	if err := json.NewDecoder(r.Body).Decode(dst); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
+		return false
+	}
+	return true
+}
+
+// getPlan serves the spec through the registry, mapping failures to
+// status codes: malformed specs are 400, inexact prototiles 422,
+// anything else 500.
+func (s *Server) getPlan(w http.ResponseWriter, spec PlanSpec) (*core.Plan, bool) {
+	plan, err := s.reg.GetSpec(spec)
+	if err == nil {
+		return plan, true
+	}
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrSpec):
+		status = http.StatusBadRequest
+	case errors.Is(err, core.ErrNotExact):
+		status = http.StatusUnprocessableEntity
+	}
+	writeErr(w, status, err.Error())
+	return nil, false
+}
+
+func (s *Server) checkBatch(w http.ResponseWriter, n int) bool {
+	if n > s.opts.MaxBatch {
+		writeErr(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d points exceeds limit %d", n, s.opts.MaxBatch))
+		return false
+	}
+	return true
+}
+
+// window validates the shorthand and its expanded size.
+func (s *Server) window(w http.ResponseWriter, ws WindowSpec) (lattice.Window, bool) {
+	win, err := ws.Window()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return lattice.Window{}, false
+	}
+	size, err := win.SizeChecked()
+	if err != nil || size > s.opts.MaxWindow {
+		writeErr(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("window %s exceeds limit %d points", win, s.opts.MaxWindow))
+		return lattice.Window{}, false
+	}
+	return win, true
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(body); err != nil {
+		// The status line is already out; nothing more to do.
+		_ = err
+	}
+}
+
+func writeErr(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg})
+}

@@ -1,0 +1,268 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/prototile"
+)
+
+// ErrSpec indicates a malformed or unresolvable wire-level request.
+var ErrSpec = errors.New("service: invalid spec")
+
+// maxTilePoints bounds how many points a wire-level tile spec may
+// materialize. Interference neighborhoods are small (the paper's are
+// ≤ 25 points); the bound exists so an unauthenticated request cannot
+// make the server build a gigantic prototile or run an unbounded tiling
+// search.
+const maxTilePoints = 512
+
+// boxWithin reports whether side^dim stays ≤ maxTilePoints without
+// overflowing — the cheap pre-materialization size check for
+// box-bounded tiles.
+func boxWithin(side, dim int) bool {
+	size := 1
+	for i := 0; i < dim; i++ {
+		size *= side
+		if size > maxTilePoints {
+			return false
+		}
+	}
+	return true
+}
+
+// PlanSpec names a (lattice, prototile) pair over the wire. The lattice
+// is optional: it defaults to the square lattice in dimension 2 and to
+// Z^d otherwise (the lattice only fixes metric context — scheduling is
+// purely coordinate-based).
+type PlanSpec struct {
+	// Lattice is "square", "hexagonal", or "cubic:<d>"; empty selects a
+	// default matching the tile's dimension.
+	Lattice string `json:"lattice,omitempty"`
+	// Tile is the interference neighborhood N.
+	Tile TileSpec `json:"tile"`
+}
+
+// TileSpec is a prototile over the wire: either a catalog name or an
+// explicit point list (which must contain the origin). Exactly one of
+// the two must be set.
+//
+// Catalog grammar (matching internal/prototile's constructors):
+//
+//	cross:<d>:<r>       d-dimensional von Neumann ball of radius r
+//	chebyshev:<d>:<r>   d-dimensional Chebyshev (Moore) ball of radius r
+//	rect:<w>:<h>        w×h rectangle
+//	ball:<r>            Euclidean ball of radius r on the plan's lattice
+//	tetromino:<X>       X ∈ {I,O,T,S,Z,L,J}
+//	pentomino:<X>       the 12 one-sided pentominoes
+//	ltromino            the L-tromino
+//	directional         the paper's Figure 2 directional neighborhood
+type TileSpec struct {
+	Name   string  `json:"name,omitempty"`
+	Points [][]int `json:"points,omitempty"`
+}
+
+// WindowSpec is the wire form of a lattice.Window: inclusive corners.
+type WindowSpec struct {
+	Lo []int `json:"lo"`
+	Hi []int `json:"hi"`
+}
+
+// Window validates and converts the spec.
+func (ws WindowSpec) Window() (lattice.Window, error) {
+	return lattice.NewWindow(lattice.Point(ws.Lo), lattice.Point(ws.Hi))
+}
+
+// Resolve materializes the spec into a lattice and prototile. It does
+// not compile a plan — that is the registry's job — so resolution stays
+// cheap enough to run per request just to derive the cache signature.
+func (s PlanSpec) Resolve() (*lattice.Lattice, *prototile.Tile, error) {
+	if s.Tile.Name != "" && len(s.Tile.Points) > 0 {
+		return nil, nil, fmt.Errorf("%w: tile has both a name and explicit points", ErrSpec)
+	}
+	if s.Tile.Name == "" && len(s.Tile.Points) == 0 {
+		return nil, nil, fmt.Errorf("%w: tile is empty", ErrSpec)
+	}
+	// Euclidean balls are metric constructions: they need the lattice
+	// first. Everything else fixes the dimension, which picks the
+	// default lattice.
+	if r, ok := strings.CutPrefix(s.Tile.Name, "ball:"); ok {
+		lat, err := resolveLattice(s.Lattice, 2)
+		if err != nil {
+			return nil, nil, err
+		}
+		radius, perr := strconv.ParseFloat(r, 64)
+		if perr != nil || math.IsNaN(radius) || radius < 0 ||
+			!boxWithin(2*int(math.Ceil(min(radius, 1<<20)))+1, lat.Dim()) {
+			return nil, nil, fmt.Errorf("%w: ball radius %q", ErrSpec, r)
+		}
+		return lat, prototile.EuclideanBall(lat, radius), nil
+	}
+	tile, err := s.Tile.resolve()
+	if err != nil {
+		return nil, nil, err
+	}
+	lat, err := resolveLattice(s.Lattice, tile.Dim())
+	if err != nil {
+		return nil, nil, err
+	}
+	if lat.Dim() != tile.Dim() {
+		return nil, nil, fmt.Errorf("%w: lattice dimension %d ≠ tile dimension %d",
+			ErrSpec, lat.Dim(), tile.Dim())
+	}
+	return lat, tile, nil
+}
+
+func resolveLattice(name string, dim int) (*lattice.Lattice, error) {
+	switch {
+	case name == "":
+		if dim == 2 {
+			return lattice.Square(), nil
+		}
+		return lattice.Cubic(dim), nil
+	case name == "square":
+		return lattice.Square(), nil
+	case name == "hexagonal":
+		return lattice.Hexagonal(), nil
+	case strings.HasPrefix(name, "cubic:"):
+		d, err := strconv.Atoi(name[len("cubic:"):])
+		if err != nil || d < 1 || d > 16 {
+			return nil, fmt.Errorf("%w: lattice %q", ErrSpec, name)
+		}
+		return lattice.Cubic(d), nil
+	}
+	return nil, fmt.Errorf("%w: unknown lattice %q", ErrSpec, name)
+}
+
+func (ts TileSpec) resolve() (*prototile.Tile, error) {
+	if len(ts.Points) > 0 {
+		if len(ts.Points) > maxTilePoints {
+			return nil, fmt.Errorf("%w: tile has %d points, limit %d", ErrSpec, len(ts.Points), maxTilePoints)
+		}
+		pts := make([]lattice.Point, len(ts.Points))
+		for i, c := range ts.Points {
+			pts[i] = lattice.Pt(c...)
+		}
+		t, err := prototile.New("custom", pts...)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrSpec, err)
+		}
+		return t, nil
+	}
+	name, arg, _ := strings.Cut(ts.Name, ":")
+	switch name {
+	case "cross", "chebyshev":
+		d, r, err := twoInts(arg)
+		if err != nil || d < 1 || d > 16 || r < 0 || r > maxTilePoints || !boxWithin(2*r+1, d) {
+			return nil, fmt.Errorf("%w: tile %q", ErrSpec, ts.Name)
+		}
+		if name == "cross" {
+			return prototile.Cross(d, r), nil
+		}
+		return prototile.ChebyshevBall(d, r), nil
+	case "rect":
+		w, h, err := twoInts(arg)
+		if err != nil || w < 1 || h < 1 || w > maxTilePoints || h > maxTilePoints || w*h > maxTilePoints {
+			return nil, fmt.Errorf("%w: tile %q", ErrSpec, ts.Name)
+		}
+		return prototile.Rect(w, h), nil
+	case "tetromino":
+		t, err := prototile.Tetromino(arg)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrSpec, err)
+		}
+		return t, nil
+	case "pentomino":
+		t, err := prototile.Pentomino(arg)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrSpec, err)
+		}
+		return t, nil
+	case "ltromino":
+		return prototile.LTromino(), nil
+	case "directional":
+		return prototile.Directional(), nil
+	}
+	return nil, fmt.Errorf("%w: unknown tile %q", ErrSpec, ts.Name)
+}
+
+func twoInts(s string) (int, int, error) {
+	a, b, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("want <a>:<b>, got %q", s)
+	}
+	x, err := strconv.Atoi(a)
+	if err != nil {
+		return 0, 0, err
+	}
+	y, err := strconv.Atoi(b)
+	if err != nil {
+		return 0, 0, err
+	}
+	return x, y, nil
+}
+
+// --- Request/response bodies ---------------------------------------------
+
+// PlanRequest is the body of POST /v1/plan.
+type PlanRequest struct {
+	Plan PlanSpec `json:"plan"`
+}
+
+// PlanResponse describes a compiled plan.
+type PlanResponse struct {
+	// Signature is the canonical cache key; clients may log or compare
+	// it but always re-send the full spec (the server cache is an LRU).
+	Signature string `json:"signature"`
+	Lattice   string `json:"lattice"`
+	Dim       int    `json:"dim"`
+	// Slots is the schedule period m = |N| (provably optimal).
+	Slots int `json:"slots"`
+	// Period is the HNF basis of the tiling's translate sublattice.
+	Period [][]int64 `json:"period"`
+	// Tile is the prototile's point list in canonical order; slot k
+	// belongs to coset Tile[k] + T.
+	Tile [][]int `json:"tile"`
+}
+
+// BatchRequest is the body of POST /v1/slots:batch and
+// /v1/maybroadcast:batch. Exactly one of Points and Window must be set;
+// Window is shorthand for its points in lexicographic order. T is the
+// query time for maybroadcast (ignored by slots).
+type BatchRequest struct {
+	Plan   PlanSpec    `json:"plan"`
+	Points [][]int     `json:"points,omitempty"`
+	Window *WindowSpec `json:"window,omitempty"`
+	T      int64       `json:"t,omitempty"`
+}
+
+// SlotsResponse answers a slots batch: Slots[i] is the slot of the i-th
+// queried point.
+type SlotsResponse struct {
+	M     int     `json:"m"`
+	Slots []int32 `json:"slots"`
+}
+
+// MayResponse answers a maybroadcast batch: May[i] reports whether the
+// i-th queried point's sensor may broadcast at time T.
+type MayResponse struct {
+	M   int    `json:"m"`
+	T   int64  `json:"t"`
+	May []bool `json:"may"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	OK    bool          `json:"ok"`
+	Plans int           `json:"plans"`
+	Stats RegistryStats `json:"stats"`
+}

@@ -134,7 +134,7 @@ func RunConvergecast(cfg ConvergecastConfig) (ConvergecastMetrics, error) {
 		}
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	queues := make([][]int64, n) // generation slots of queued packets
+	queues := newRings(n, 8) // generation slots of queued packets
 	transmitting := make([]bool, n)
 	succeeded := make([]bool, n)
 	coverCount := make([]int, n)
@@ -146,17 +146,17 @@ func RunConvergecast(cfg ConvergecastConfig) (ConvergecastMetrics, error) {
 			}
 			if rng.Float64() < cfg.SourceRate {
 				m.Generated++
-				if cfg.QueueCap > 0 && len(queues[u]) >= cfg.QueueCap {
+				if cfg.QueueCap > 0 && queues[u].Len() >= cfg.QueueCap {
 					m.Dropped++
 					continue
 				}
-				queues[u] = append(queues[u], slot)
+				queues[u].Push(slot)
 			}
 		}
 		// 2. Transmission decisions.
 		for u := range pts {
 			transmitting[u] = u != sink && parent[u] != -1 &&
-				len(queues[u]) > 0 && cfg.Protocol.Transmit(u, pts[u], slot, rng)
+				queues[u].Len() > 0 && cfg.Protocol.Transmit(u, pts[u], slot, rng)
 		}
 		// 3. Coverage.
 		for i := range coverCount {
@@ -183,16 +183,15 @@ func RunConvergecast(cfg ConvergecastConfig) (ConvergecastMetrics, error) {
 				continue
 			}
 			succeeded[u] = true
-			birth := queues[u][0]
-			queues[u] = queues[u][1:]
+			birth := queues[u].Pop()
 			if v == sink {
 				m.DeliveredToSink++
 				m.TotalE2ELatency += slot - birth + 1
 			} else {
-				if cfg.QueueCap > 0 && len(queues[v]) >= cfg.QueueCap {
+				if cfg.QueueCap > 0 && queues[v].Len() >= cfg.QueueCap {
 					m.Dropped++
 				} else {
-					queues[v] = append(queues[v], birth)
+					queues[v].Push(birth)
 				}
 			}
 		}

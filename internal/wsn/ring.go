@@ -1,0 +1,72 @@
+package wsn
+
+// slotRing is a growable FIFO ring buffer of queued packet slots. Unlike
+// the append/reslice queue it replaces, a ring keeps its capacity across
+// pops, so a node's queue allocates only on genuine high-water-mark
+// growth — the steady state of a simulation pushes and pops with zero
+// allocations (ROADMAP hot-path item; see BenchmarkSimulatorSlot).
+//
+// Rings are value types: a simulator holds one flat []slotRing with no
+// per-node pointer indirection, and seeds every node's initial buffer
+// from one shared arena (newRings).
+type slotRing struct {
+	buf  []int64
+	head int // index of the oldest element
+	n    int // number of queued elements
+}
+
+// newRings builds n rings, each viewing a private initCap-slot region of
+// one shared arena — a single allocation for the whole fleet's initial
+// capacity. Rings that outgrow their region migrate to private buffers.
+func newRings(n, initCap int) []slotRing {
+	rings := make([]slotRing, n)
+	if initCap > 0 {
+		arena := make([]int64, n*initCap)
+		for i := range rings {
+			rings[i].buf = arena[i*initCap : (i+1)*initCap : (i+1)*initCap]
+		}
+	}
+	return rings
+}
+
+// Len returns the number of queued elements.
+func (r *slotRing) Len() int { return r.n }
+
+// Push appends v, growing the buffer geometrically when full.
+func (r *slotRing) Push(v int64) {
+	if r.n == len(r.buf) {
+		grown := make([]int64, max(2*len(r.buf), 8))
+		n := copy(grown, r.buf[r.head:])
+		copy(grown[n:], r.buf[:r.head])
+		r.buf, r.head = grown, 0
+	}
+	i := r.head + r.n
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	r.buf[i] = v
+	r.n++
+}
+
+// Pop removes and returns the oldest element; it panics on an empty
+// ring (callers always guard with Len).
+func (r *slotRing) Pop() int64 {
+	if r.n == 0 {
+		panic("wsn: pop from empty ring")
+	}
+	v := r.buf[r.head]
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.n--
+	return v
+}
+
+// Peek returns the oldest element without removing it.
+func (r *slotRing) Peek() int64 {
+	if r.n == 0 {
+		panic("wsn: peek at empty ring")
+	}
+	return r.buf[r.head]
+}

@@ -1,0 +1,63 @@
+package wsn
+
+import "testing"
+
+func TestSlotRingFIFO(t *testing.T) {
+	rings := newRings(3, 2)
+	r := &rings[1]
+	// Interleave pushes and pops across several wraparounds and growths.
+	next, expect := int64(0), int64(0)
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 3+round%5; i++ {
+			r.Push(next)
+			next++
+		}
+		if r.Peek() != expect {
+			t.Fatalf("round %d: Peek = %d, want %d", round, r.Peek(), expect)
+		}
+		for i := 0; i < 2+round%4 && r.Len() > 0; i++ {
+			if got := r.Pop(); got != expect {
+				t.Fatalf("round %d: Pop = %d, want %d", round, got, expect)
+			}
+			expect++
+		}
+	}
+	for r.Len() > 0 {
+		if got := r.Pop(); got != expect {
+			t.Fatalf("drain: Pop = %d, want %d", got, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Fatalf("drained %d elements, pushed %d", expect, next)
+	}
+	// Neighboring arena regions must be untouched.
+	if rings[0].Len() != 0 || rings[2].Len() != 0 {
+		t.Error("neighboring rings not empty")
+	}
+}
+
+func TestSlotRingSteadyStateZeroAlloc(t *testing.T) {
+	rings := newRings(1, 8)
+	r := &rings[0]
+	if n := testing.AllocsPerRun(100, func() {
+		for i := int64(0); i < 8; i++ {
+			r.Push(i)
+		}
+		for r.Len() > 0 {
+			r.Pop()
+		}
+	}); n != 0 {
+		t.Errorf("steady-state push/pop allocates %.1f per cycle, want 0", n)
+	}
+}
+
+func TestSlotRingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Pop on empty ring did not panic")
+		}
+	}()
+	var r slotRing
+	r.Pop()
+}

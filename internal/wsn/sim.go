@@ -178,7 +178,7 @@ func Run(cfg Config) (Metrics, error) {
 		}
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	queues := make([][]int64, n) // arrival slots of queued packets
+	queues := newRings(n, 8) // arrival slots of queued packets
 	var m Metrics
 	m.Slots = cfg.Slots
 	m.Nodes = n
@@ -208,19 +208,19 @@ func Run(cfg Config) (Metrics, error) {
 			k := cfg.Traffic.Arrivals(i, slot, rng)
 			for a := 0; a < k; a++ {
 				m.Arrivals++
-				if cfg.QueueCap > 0 && len(queues[i]) >= cfg.QueueCap {
+				if cfg.QueueCap > 0 && queues[i].Len() >= cfg.QueueCap {
 					m.Dropped++
 					continue
 				}
-				queues[i] = append(queues[i], slot)
-				if len(queues[i]) > m.MaxQueueLen {
-					m.MaxQueueLen = len(queues[i])
+				queues[i].Push(slot)
+				if queues[i].Len() > m.MaxQueueLen {
+					m.MaxQueueLen = queues[i].Len()
 				}
 			}
 		}
 		// 2. Transmission decisions.
 		for i := range pts {
-			transmitting[i] = alive[i] && len(queues[i]) > 0 &&
+			transmitting[i] = alive[i] && queues[i].Len() > 0 &&
 				cfg.Protocol.Transmit(i, pts[i], slot, rng)
 		}
 		// 3. Coverage resolution.
@@ -265,8 +265,7 @@ func Run(cfg Config) (Metrics, error) {
 				m.SuccessfulTx++
 				m.Delivered++
 				m.PerNodeDelivered[i]++
-				arrival := queues[i][0]
-				queues[i] = queues[i][1:]
+				arrival := queues[i].Pop()
 				m.TotalLatency += slot - arrival + 1
 				succeeded[i] = true
 			} else {
