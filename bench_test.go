@@ -8,6 +8,7 @@ package tilingsched_test
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -325,6 +326,30 @@ func BenchmarkDSATUR(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		graph.DSATUR(g)
+	}
+}
+
+// BenchmarkConflictGraphLarge measures conflict-graph construction as the
+// window grows to 100k vertices — the scale the old n×n bool matrix made
+// unreachable (100489² bools ≈ 10.1 GB before any edge existed). CSR
+// adjacency keeps B/op at O(n + m); the crossover keeps small windows on
+// the bitset path.
+func BenchmarkConflictGraphLarge(b *testing.B) {
+	dep := schedule.NewHomogeneous(prototile.Cross(2, 1))
+	for _, r := range []int{49, 100, 158} { // n = 9801, 40401, 100489
+		w := lattice.CenteredWindow(2, r)
+		b.Run(fmt.Sprintf("n=%d", w.Size()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g, _, err := graph.ConflictGraph(dep, w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if g.Edges() == 0 {
+					b.Fatal("no edges")
+				}
+			}
+		})
 	}
 }
 

@@ -33,6 +33,16 @@ import (
 	"tilingsched/internal/service"
 )
 
+// newHandler assembles the daemon's full HTTP wiring — registry, batch
+// engine, wire layer — from its scalar knobs. Split from main so the
+// end-to-end tests drive exactly what the binary serves via httptest.
+func newHandler(cache, maxBatch, maxWindow int) http.Handler {
+	return service.NewServer(service.NewRegistry(cache), service.ServerOptions{
+		MaxBatch:  maxBatch,
+		MaxWindow: maxWindow,
+	})
+}
+
 func main() {
 	addr := flag.String("addr", ":8370", "listen address")
 	cache := flag.Int("cache", 256, "plan cache capacity (compiled plans)")
@@ -40,10 +50,7 @@ func main() {
 	maxWindow := flag.Int("max-window", 0, "max points per window shorthand (0 = default)")
 	flag.Parse()
 
-	handler := service.NewServer(service.NewRegistry(*cache), service.ServerOptions{
-		MaxBatch:  *maxBatch,
-		MaxWindow: *maxWindow,
-	})
+	handler := newHandler(*cache, *maxBatch, *maxWindow)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,

@@ -1,0 +1,210 @@
+package main
+
+// End-to-end coverage of the daemon's handler wiring: newHandler is
+// exactly what main serves, so driving it through httptest exercises the
+// full registry → engine → wire path over real HTTP.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"tilingsched/internal/service"
+)
+
+func postJSON(t *testing.T, client *http.Client, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := client.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("reading %s response: %v", url, err)
+	}
+	return resp, buf.Bytes()
+}
+
+// TestPlanSlotsRoundTrip compiles a plan over HTTP, queries a window of
+// slots, and checks the schedule semantics end to end: every slot is in
+// range, conflicting sensors (intersecting cross neighborhoods) never
+// share a slot, and an explicit point batch agrees with the window
+// shorthand point for point.
+func TestPlanSlotsRoundTrip(t *testing.T) {
+	ts := httptest.NewServer(newHandler(8, 0, 0))
+	defer ts.Close()
+	client := ts.Client()
+
+	const plan = `{"tile":{"name":"cross:2:1"}}`
+	resp, body := postJSON(t, client, ts.URL+"/v1/plan", `{"plan":`+plan+`}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/plan status %d: %s", resp.StatusCode, body)
+	}
+	var pr service.PlanResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatalf("plan response: %v", err)
+	}
+	if pr.Slots != 5 || pr.Signature == "" || len(pr.Tile) != 5 {
+		t.Fatalf("plan response off: slots=%d sig=%q |tile|=%d", pr.Slots, pr.Signature, len(pr.Tile))
+	}
+
+	// Window shorthand: [-3,3]² in lexicographic order.
+	resp, body = postJSON(t, client, ts.URL+"/v1/slots:batch",
+		`{"plan":`+plan+`,"window":{"lo":[-3,-3],"hi":[3,3]}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/slots:batch status %d: %s", resp.StatusCode, body)
+	}
+	var sr service.SlotsResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatalf("slots response: %v", err)
+	}
+	side := 7
+	if sr.M != 5 || len(sr.Slots) != side*side {
+		t.Fatalf("slots response off: m=%d n=%d", sr.M, len(sr.Slots))
+	}
+	at := func(x, y int) int32 { return sr.Slots[(x+3)*side+(y+3)] }
+	for x := -3; x <= 3; x++ {
+		for y := -3; y <= 3; y++ {
+			if s := at(x, y); s < 0 || s >= 5 {
+				t.Fatalf("slot(%d,%d) = %d out of range", x, y, s)
+			}
+		}
+	}
+	// Two radius-1 crosses conflict iff their centers are within L1
+	// distance 2 — a collision-free schedule must separate them.
+	for x := -3; x <= 3; x++ {
+		for y := -3; y <= 3; y++ {
+			for dx := -2; dx <= 2; dx++ {
+				for dy := -2; dy <= 2; dy++ {
+					if dx == 0 && dy == 0 || abs(dx)+abs(dy) > 2 {
+						continue
+					}
+					nx, ny := x+dx, y+dy
+					if nx < -3 || nx > 3 || ny < -3 || ny > 3 {
+						continue
+					}
+					if at(x, y) == at(nx, ny) {
+						t.Fatalf("conflicting sensors (%d,%d) and (%d,%d) share slot %d",
+							x, y, nx, ny, at(x, y))
+					}
+				}
+			}
+		}
+	}
+
+	// Explicit batch agrees with the window shorthand.
+	resp, body = postJSON(t, client, ts.URL+"/v1/slots:batch",
+		`{"plan":`+plan+`,"points":[[0,0],[1,0],[-3,3],[2,-2]]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explicit batch status %d: %s", resp.StatusCode, body)
+	}
+	var er service.SlotsResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatalf("explicit batch response: %v", err)
+	}
+	wantPts := [][2]int{{0, 0}, {1, 0}, {-3, 3}, {2, -2}}
+	for i, p := range wantPts {
+		if er.Slots[i] != at(p[0], p[1]) {
+			t.Fatalf("point %v slot %d ≠ window slot %d", p, er.Slots[i], at(p[0], p[1]))
+		}
+	}
+
+	// maybroadcast is slots compared against t mod m.
+	const tQuery = 12347
+	resp, body = postJSON(t, client, ts.URL+"/v1/maybroadcast:batch",
+		fmt.Sprintf(`{"plan":%s,"points":[[0,0],[1,0],[0,1],[2,0],[1,1]],"t":%d}`, plan, tQuery))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("maybroadcast status %d: %s", resp.StatusCode, body)
+	}
+	var mr service.MayResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatalf("maybroadcast response: %v", err)
+	}
+	mayPts := [][2]int{{0, 0}, {1, 0}, {0, 1}, {2, 0}, {1, 1}}
+	granted := 0
+	for i, p := range mayPts {
+		want := int64(at(p[0], p[1])) == int64(tQuery)%int64(sr.M)
+		if mr.May[i] != want {
+			t.Fatalf("may[%v] = %v, want %v", p, mr.May[i], want)
+		}
+		if mr.May[i] {
+			granted++
+		}
+	}
+	if granted == 0 {
+		t.Fatal("no sensor granted at t: slot coverage broken")
+	}
+
+	// Health reflects the compiled plan.
+	hresp, err := client.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	defer hresp.Body.Close()
+	var hr service.HealthResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&hr); err != nil {
+		t.Fatalf("health response: %v", err)
+	}
+	if !hr.OK || hr.Plans < 1 {
+		t.Fatalf("health off: ok=%v plans=%d", hr.OK, hr.Plans)
+	}
+}
+
+// TestHandlerErrorWiring drives the failure paths end to end: status
+// codes and JSON error bodies must survive the full HTTP stack.
+func TestHandlerErrorWiring(t *testing.T) {
+	ts := httptest.NewServer(newHandler(4, 3, 25))
+	defer ts.Close()
+	client := ts.Client()
+
+	cases := []struct {
+		name, url, body string
+		wantStatus      int
+	}{
+		{"malformed json", "/v1/slots:batch", `{"plan":`, http.StatusBadRequest},
+		{"neither points nor window", "/v1/slots:batch", `{"plan":{"tile":{"name":"cross:2:1"}}}`, http.StatusBadRequest},
+		{"both points and window", "/v1/slots:batch",
+			`{"plan":{"tile":{"name":"cross:2:1"}},"points":[[0,0]],"window":{"lo":[0,0],"hi":[1,1]}}`,
+			http.StatusBadRequest},
+		{"batch over limit", "/v1/slots:batch",
+			`{"plan":{"tile":{"name":"cross:2:1"}},"points":[[0,0],[1,0],[0,1],[1,1]]}`,
+			http.StatusRequestEntityTooLarge},
+		{"window over limit", "/v1/slots:batch",
+			`{"plan":{"tile":{"name":"cross:2:1"}},"window":{"lo":[-3,-3],"hi":[3,3]}}`,
+			http.StatusRequestEntityTooLarge},
+		{"unknown tile", "/v1/plan", `{"plan":{"tile":{"name":"nonagon"}}}`, http.StatusBadRequest},
+		{"inexact tile", "/v1/plan", `{"plan":{"tile":{"points":[[0,0],[2,0]]}}}`, http.StatusUnprocessableEntity},
+	}
+	for _, c := range cases {
+		resp, body := postJSON(t, client, ts.URL+c.url, c.body)
+		if resp.StatusCode != c.wantStatus {
+			t.Errorf("%s: status %d, want %d (%s)", c.name, resp.StatusCode, c.wantStatus, body)
+			continue
+		}
+		var er service.ErrorResponse
+		if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+			t.Errorf("%s: error body %q not an ErrorResponse", c.name, body)
+		}
+	}
+
+	// Method wiring: GET on a POST route is 405.
+	resp, err := client.Get(ts.URL + "/v1/plan")
+	if err != nil {
+		t.Fatalf("GET /v1/plan: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/plan status %d, want 405", resp.StatusCode)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

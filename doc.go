@@ -25,6 +25,13 @@
 //     assignment is O(1) integer arithmetic with zero allocations.
 //   - Simulators, conflict graphs, and explicit schedules hold per-point
 //     state in flat []int / []int32 tables addressed by those indexes.
+//   - Conflict-graph adjacency is two-mode (DESIGN.md §7): per-vertex
+//     bitset rows up to the ~4k-vertex crossover, sorted compressed
+//     sparse rows (CSR) above it, so a 100k-sensor window costs O(n + m)
+//     memory instead of an n×n matrix. Edge generation stamps dense
+//     window indexes over bounding-box candidates — never all pairs —
+//     and a differential harness (internal/graph/parity_test.go) pins
+//     both modes to a map-of-sets oracle.
 //
 // lattice.Point.Key() remains only for cold paths — rendering, canonical
 // form signatures, and tests. New code must not introduce string-keyed

@@ -12,10 +12,13 @@ import (
 // u ∈ v + N(v), u ≠ v. A valid broadcast schedule is a distance-2
 // coloring of this digraph; BroadcastConflictGraph realizes that
 // condition as an undirected graph, and the package's colorings apply.
+//
+// Arcs are stored as out-lists only — out-degrees are bounded by the
+// neighborhood size |N|, so duplicate suppression is a short linear scan
+// and no n×n matrix is ever allocated.
 type Digraph struct {
 	n   int
 	out [][]int
-	has []bool
 }
 
 // NewDigraph returns an empty digraph on n vertices.
@@ -23,21 +26,24 @@ func NewDigraph(n int) *Digraph {
 	if n < 0 {
 		panic(fmt.Sprintf("graph: NewDigraph(%d)", n))
 	}
-	return &Digraph{n: n, out: make([][]int, n), has: make([]bool, n*n)}
+	return &Digraph{n: n, out: make([][]int, n)}
 }
 
 // N returns the vertex count.
 func (d *Digraph) N() int { return d.n }
 
-// AddArc inserts the arc u → v; self-loops and duplicates are ignored.
+// AddArc inserts the arc u → v; self-loops, duplicates, and
+// out-of-range endpoints are ignored. Duplicate detection scans the
+// out-list of u, which interference digraphs keep at |N|-ish length.
 func (d *Digraph) AddArc(u, v int) {
 	if u == v || u < 0 || v < 0 || u >= d.n || v >= d.n {
 		return
 	}
-	if d.has[u*d.n+v] {
-		return
+	for _, x := range d.out[u] {
+		if x == v {
+			return
+		}
 	}
-	d.has[u*d.n+v] = true
 	d.out[u] = append(d.out[u], v)
 }
 
@@ -46,7 +52,12 @@ func (d *Digraph) HasArc(u, v int) bool {
 	if u < 0 || v < 0 || u >= d.n || v >= d.n {
 		return false
 	}
-	return d.has[u*d.n+v]
+	for _, x := range d.out[u] {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }
 
 // Out returns the out-neighbors of u (shared slice; callers must not
@@ -88,27 +99,44 @@ func InterferenceDigraph(dep schedule.Deployment, w lattice.Window) (*Digraph, [
 // distance-2 coloring of the digraph in the sense of the paper's Related
 // Work, and — because every sensor hears itself — it coincides with the
 // neighborhood-intersection conflict graph built by ConflictGraph.
+//
+// Each vertex u enumerates its conflict partners v > u directly — its
+// out- and in-neighbors, plus the in-neighbors of its out-neighbors — and
+// an epoch-marked array deduplicates them, so every edge is emitted to
+// the graph exactly once and the construction carries no quadratic
+// state.
 func BroadcastConflictGraph(d *Digraph) *Graph {
 	g := New(d.n)
-	for u := 0; u < d.n; u++ {
-		for _, v := range d.out[u] {
-			g.AddEdge(u, v)
-		}
-	}
-	// Common out-neighbor: mark, for every vertex w, all pairs of
-	// in-neighbors of w. Build the reverse adjacency first.
+	// Reverse adjacency for the "hears u" and shared-out-neighbor scans.
 	in := make([][]int, d.n)
 	for u := 0; u < d.n; u++ {
 		for _, v := range d.out[u] {
 			in[v] = append(in[v], u)
 		}
 	}
-	for w := 0; w < d.n; w++ {
-		for i := 0; i < len(in[w]); i++ {
-			for j := i + 1; j < len(in[w]); j++ {
-				g.AddEdge(in[w][i], in[w][j])
+	mark := make([]int32, d.n)
+	for i := range mark {
+		mark[i] = -1
+	}
+	for u := 0; u < d.n; u++ {
+		emit := func(v int) {
+			if v > u && mark[v] != int32(u) {
+				mark[v] = int32(u)
+				g.AddEdge(u, v)
+			}
+		}
+		for _, v := range d.out[u] {
+			emit(v)
+		}
+		for _, v := range in[u] {
+			emit(v)
+		}
+		for _, w := range d.out[u] {
+			for _, v := range in[w] {
+				emit(v)
 			}
 		}
 	}
+	g.Freeze()
 	return g
 }

@@ -64,31 +64,37 @@ func dsaturReference(g *Graph) ([]int, int) {
 }
 
 func TestDSATURMatchesReference(t *testing.T) {
-	rng := rand.New(rand.NewSource(7))
-	for trial := 0; trial < 60; trial++ {
-		n := 1 + rng.Intn(60)
-		g := New(n)
-		p := []float64{0.05, 0.2, 0.5, 0.9}[trial%4]
-		for u := 0; u < n; u++ {
-			for v := u + 1; v < n; v++ {
-				if rng.Float64() < p {
-					g.AddEdge(u, v)
+	// The bucket queue must reproduce the linear-scan reference in both
+	// adjacency modes: its choices depend only on saturation counts,
+	// degrees, and indexes, never on neighbor iteration order (bitset
+	// rows are append-ordered, CSR rows sorted).
+	for _, mode := range []Mode{Bitset, CSR} {
+		rng := rand.New(rand.NewSource(7))
+		for trial := 0; trial < 60; trial++ {
+			n := 1 + rng.Intn(60)
+			g := NewMode(n, mode)
+			p := []float64{0.05, 0.2, 0.5, 0.9}[trial%4]
+			for u := 0; u < n; u++ {
+				for v := u + 1; v < n; v++ {
+					if rng.Float64() < p {
+						g.AddEdge(u, v)
+					}
 				}
 			}
-		}
-		wantColors, wantK := dsaturReference(g)
-		gotColors, gotK := DSATUR(g)
-		if gotK != wantK {
-			t.Fatalf("trial %d (n=%d p=%.2f): %d colors, reference %d", trial, n, p, gotK, wantK)
-		}
-		for v := range wantColors {
-			if gotColors[v] != wantColors[v] {
-				t.Fatalf("trial %d (n=%d p=%.2f): vertex %d colored %d, reference %d",
-					trial, n, p, v, gotColors[v], wantColors[v])
+			wantColors, wantK := dsaturReference(g)
+			gotColors, gotK := DSATUR(g)
+			if gotK != wantK {
+				t.Fatalf("%v trial %d (n=%d p=%.2f): %d colors, reference %d", mode, trial, n, p, gotK, wantK)
 			}
-		}
-		if !g.ValidColoring(gotColors) {
-			t.Fatalf("trial %d: invalid coloring", trial)
+			for v := range wantColors {
+				if gotColors[v] != wantColors[v] {
+					t.Fatalf("%v trial %d (n=%d p=%.2f): vertex %d colored %d, reference %d",
+						mode, trial, n, p, v, gotColors[v], wantColors[v])
+				}
+			}
+			if !g.ValidColoring(gotColors) {
+				t.Fatalf("%v trial %d: invalid coloring", mode, trial)
+			}
 		}
 	}
 }

@@ -10,11 +10,23 @@
 // exact branch-and-bound, and simulated-annealing colorings (the last in
 // the spirit of Wang–Ansari's annealing heuristic) as baselines for the
 // tiling schedule.
+//
+// # Adjacency representation
+//
+// Graphs are stored in one of two modes, chosen by vertex count (see
+// Mode): small graphs keep per-vertex bitset rows (an n×n bit matrix,
+// O(1) AddEdge/HasEdge) next to append-order adjacency lists; large
+// graphs buffer edges and freeze them into sorted compressed sparse rows
+// (CSR), O(n + m) memory with binary-search HasEdge. Both modes answer
+// the same API — Neighbors returns a shared, read-only slice in either —
+// so every coloring runs unchanged on either side of the crossover.
 package graph
 
 import (
 	"errors"
 	"fmt"
+	"math"
+	"slices"
 	"sort"
 
 	"tilingsched/internal/lattice"
@@ -24,69 +36,295 @@ import (
 // ErrGraph indicates invalid graph construction or use.
 var ErrGraph = errors.New("graph: invalid graph")
 
-// Graph is a simple undirected graph on vertices 0..n-1.
-type Graph struct {
-	n   int
-	adj [][]int
-	has []bool // n×n adjacency matrix
+// Mode selects a Graph's adjacency representation.
+type Mode uint8
+
+const (
+	// Auto picks Bitset for at most BitsetCrossover vertices and CSR
+	// above it.
+	Auto Mode = iota
+	// Bitset keeps an n×n bit matrix plus append-order adjacency lists:
+	// constant-time AddEdge and HasEdge at n²/8 bytes — the right trade
+	// below the crossover, where the matrix stays within a couple of
+	// megabytes.
+	Bitset
+	// CSR buffers edges during construction and Freeze compiles them
+	// into sorted compressed sparse rows: O(n + m) memory and
+	// O(log deg) HasEdge — the only representation that fits very large
+	// windows (an n×n matrix at 20k vertices is already ~400 MB as
+	// bools, 50 MB as bits; at 100k vertices neither fits a CI runner).
+	CSR
+)
+
+// String names the mode for tests and diagnostics.
+func (m Mode) String() string {
+	switch m {
+	case Auto:
+		return "auto"
+	case Bitset:
+		return "bitset"
+	case CSR:
+		return "csr"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
 }
 
-// New returns an empty graph on n vertices.
-func New(n int) *Graph {
+// BitsetCrossover is the largest vertex count for which Auto keeps the
+// bitset matrix: 4096 vertices cap the bit matrix at 2 MB (4096²/8
+// bytes). One step above, the matrix grows quadratically while CSR stays
+// linear in the edge count.
+const BitsetCrossover = 4096
+
+// Graph is a simple undirected graph on vertices 0..n-1, stored in one
+// of two adjacency modes (see Mode). Graphs are mutable via AddEdge;
+// CSR-mode graphs are compiled by Freeze (called implicitly by the first
+// read) and transparently reopened by a later AddEdge.
+//
+// Concurrency: because CSR reads lazily freeze, a freshly built graph is
+// NOT safe for concurrent readers until Freeze has been called once.
+// Call Freeze after construction before sharing a graph across
+// goroutines (the package's constructors — ConflictGraph,
+// BroadcastConflictGraph — all return frozen graphs); after that, any
+// number of goroutines may read concurrently as long as none calls
+// AddEdge.
+type Graph struct {
+	n    int
+	mode Mode
+
+	// Bitset mode.
+	words int      // uint64 words per bit-matrix row
+	bits  []uint64 // n×words bit matrix
+	adj   [][]int  // append-order adjacency lists
+
+	// CSR mode.
+	buf    []csrEdge // pre-freeze edge buffer (u < v; may hold duplicates)
+	rowPtr []int     // len n+1 once frozen; row u is col[rowPtr[u]:rowPtr[u+1]]
+	col    []int     // concatenated sorted neighbor rows
+	frozen bool
+}
+
+// csrEdge is one buffered undirected edge, normalized u < v. int32
+// endpoints keep the pre-freeze buffer at 8 bytes per AddEdge.
+type csrEdge struct{ u, v int32 }
+
+// New returns an empty graph on n vertices in the automatic mode: bitset
+// up to BitsetCrossover vertices, CSR above.
+func New(n int) *Graph { return NewMode(n, Auto) }
+
+// NewDense returns an empty graph on n vertices forced into bitset mode,
+// for callers that need constant-time HasEdge during construction and
+// accept the n²/8-byte matrix.
+func NewDense(n int) *Graph { return NewMode(n, Bitset) }
+
+// NewMode returns an empty graph on n vertices in the given mode; Auto
+// resolves by the crossover. Tests use explicit modes to exercise both
+// representations on either side of the crossover.
+func NewMode(n int, mode Mode) *Graph {
 	if n < 0 {
-		panic(fmt.Sprintf("graph: New(%d)", n))
+		panic(fmt.Sprintf("graph: NewMode(%d)", n))
 	}
-	return &Graph{n: n, adj: make([][]int, n), has: make([]bool, n*n)}
+	if mode == Auto {
+		if n <= BitsetCrossover {
+			mode = Bitset
+		} else {
+			mode = CSR
+		}
+	}
+	g := &Graph{n: n, mode: mode}
+	switch mode {
+	case Bitset:
+		g.words = (n + 63) / 64
+		g.bits = make([]uint64, n*g.words)
+		g.adj = make([][]int, n)
+	case CSR:
+		if n > math.MaxInt32 {
+			panic(fmt.Sprintf("graph: NewMode(%d) exceeds CSR vertex limit", n))
+		}
+	default:
+		panic(fmt.Sprintf("graph: NewMode(%d, %v)", n, mode))
+	}
+	return g
 }
 
 // N returns the number of vertices.
 func (g *Graph) N() int { return g.n }
 
-// AddEdge inserts the undirected edge {u, v}; self-loops and duplicates
-// are ignored.
+// Mode returns the resolved adjacency mode (never Auto).
+func (g *Graph) Mode() Mode { return g.mode }
+
+// AddEdge inserts the undirected edge {u, v}; self-loops, duplicates,
+// and out-of-range endpoints are ignored. In CSR mode duplicates are
+// buffered and removed by Freeze.
 func (g *Graph) AddEdge(u, v int) {
 	if u == v || u < 0 || v < 0 || u >= g.n || v >= g.n {
 		return
 	}
-	if g.has[u*g.n+v] {
+	if g.mode == Bitset {
+		word, bit := g.words*u+v/64, uint64(1)<<(v%64)
+		if g.bits[word]&bit != 0 {
+			return
+		}
+		g.bits[word] |= bit
+		g.bits[g.words*v+u/64] |= uint64(1) << (u % 64)
+		g.adj[u] = append(g.adj[u], v)
+		g.adj[v] = append(g.adj[v], u)
 		return
 	}
-	g.has[u*g.n+v] = true
-	g.has[v*g.n+u] = true
-	g.adj[u] = append(g.adj[u], v)
-	g.adj[v] = append(g.adj[v], u)
+	if g.frozen {
+		g.thaw()
+	}
+	if u > v {
+		u, v = v, u
+	}
+	g.buf = append(g.buf, csrEdge{int32(u), int32(v)})
 }
 
-// HasEdge reports adjacency.
+// Freeze compiles a CSR-mode graph's buffered edges into sorted rows via
+// a two-pass counting construction (count degrees, prefix-sum, scatter),
+// then sorts and deduplicates each row in place. It is idempotent, a
+// no-op in bitset mode, and called implicitly by the first read; callers
+// that finish construction may call it eagerly to drop the edge buffer.
+func (g *Graph) Freeze() {
+	if g.mode != CSR || g.frozen {
+		g.frozen = true
+		return
+	}
+	// Pass 1: per-vertex counts (duplicates included), shifted by one so
+	// the prefix sum lands directly in rowPtr.
+	rowPtr := make([]int, g.n+1)
+	for _, e := range g.buf {
+		rowPtr[e.u+1]++
+		rowPtr[e.v+1]++
+	}
+	for i := 0; i < g.n; i++ {
+		rowPtr[i+1] += rowPtr[i]
+	}
+	// Pass 2: scatter both directions.
+	col := make([]int, rowPtr[g.n])
+	next := make([]int, g.n)
+	copy(next, rowPtr[:g.n])
+	for _, e := range g.buf {
+		col[next[e.u]] = int(e.v)
+		next[e.u]++
+		col[next[e.v]] = int(e.u)
+		next[e.v]++
+	}
+	// Sort and deduplicate each row, compacting the column array. The
+	// write cursor never passes the read cursor, so compaction is safe
+	// in place.
+	write, start := 0, 0
+	for u := 0; u < g.n; u++ {
+		end := rowPtr[u+1]
+		row := col[start:end]
+		slices.Sort(row)
+		rowStart := write
+		prev := -1
+		for _, v := range row {
+			if v != prev {
+				col[write] = v
+				write++
+				prev = v
+			}
+		}
+		start = end
+		rowPtr[u] = rowStart
+	}
+	rowPtr[g.n] = write
+	g.rowPtr, g.col = rowPtr, col[:write:write]
+	g.buf = nil
+	g.frozen = true
+}
+
+// thaw reopens a frozen CSR graph for mutation by spilling its rows back
+// into the edge buffer. Amortized: an AddEdge/read interleaving pays one
+// spill per alternation, and the package's constructors freeze exactly
+// once at the end.
+func (g *Graph) thaw() {
+	buf := make([]csrEdge, 0, len(g.col)/2+1)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.col[g.rowPtr[u]:g.rowPtr[u+1]] {
+			if v > u {
+				buf = append(buf, csrEdge{int32(u), int32(v)})
+			}
+		}
+	}
+	g.buf, g.rowPtr, g.col, g.frozen = buf, nil, nil, false
+}
+
+// ensure makes CSR reads see the frozen rows.
+func (g *Graph) ensure() {
+	if g.mode == CSR && !g.frozen {
+		g.Freeze()
+	}
+}
+
+// HasEdge reports adjacency: O(1) in bitset mode, binary search of the
+// shorter endpoint row in CSR mode.
 func (g *Graph) HasEdge(u, v int) bool {
 	if u < 0 || v < 0 || u >= g.n || v >= g.n {
 		return false
 	}
-	return g.has[u*g.n+v]
+	if g.mode == Bitset {
+		return g.bits[g.words*u+v/64]&(uint64(1)<<(v%64)) != 0
+	}
+	g.ensure()
+	if g.rowPtr[u+1]-g.rowPtr[u] > g.rowPtr[v+1]-g.rowPtr[v] {
+		u, v = v, u
+	}
+	_, found := slices.BinarySearch(g.col[g.rowPtr[u]:g.rowPtr[u+1]], v)
+	return found
 }
 
 // Degree returns the number of neighbors of u.
-func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+func (g *Graph) Degree(u int) int {
+	if g.mode == Bitset {
+		return len(g.adj[u])
+	}
+	g.ensure()
+	return g.rowPtr[u+1] - g.rowPtr[u]
+}
 
-// Neighbors returns the adjacency list of u (shared slice; callers must
-// not mutate).
-func (g *Graph) Neighbors(u int) []int { return g.adj[u] }
+// Neighbors returns the adjacency row of u as a shared slice — callers
+// must not mutate it. Both modes answer without allocating: bitset mode
+// returns the append-order list, CSR mode the sorted row.
+func (g *Graph) Neighbors(u int) []int {
+	if g.mode == Bitset {
+		return g.adj[u]
+	}
+	g.ensure()
+	return g.col[g.rowPtr[u]:g.rowPtr[u+1]]
+}
+
+// EachNeighbor calls f for every neighbor of u until f returns false.
+// Equivalent to ranging over Neighbors without exposing the shared
+// slice.
+func (g *Graph) EachNeighbor(u int, f func(v int) bool) {
+	for _, v := range g.Neighbors(u) {
+		if !f(v) {
+			return
+		}
+	}
+}
 
 // Edges returns the number of edges.
 func (g *Graph) Edges() int {
-	total := 0
-	for _, a := range g.adj {
-		total += len(a)
+	if g.mode == Bitset {
+		total := 0
+		for _, a := range g.adj {
+			total += len(a)
+		}
+		return total / 2
 	}
-	return total / 2
+	g.ensure()
+	return len(g.col) / 2
 }
 
 // MaxDegree returns the maximum vertex degree (0 for the empty graph).
 func (g *Graph) MaxDegree() int {
 	d := 0
 	for u := 0; u < g.n; u++ {
-		if len(g.adj[u]) > d {
-			d = len(g.adj[u])
+		if deg := g.Degree(u); deg > d {
+			d = deg
 		}
 	}
 	return d
@@ -102,7 +340,7 @@ func (g *Graph) ValidColoring(colors []int) bool {
 		if colors[u] < 0 {
 			return false
 		}
-		for _, v := range g.adj[u] {
+		for _, v := range g.Neighbors(u) {
 			if colors[u] == colors[v] {
 				return false
 			}
@@ -125,22 +363,30 @@ func ColorsUsed(colors []int) int {
 // whenever the two sensors' interference neighborhoods intersect. A proper
 // coloring of this graph is exactly a collision-free slot assignment, and
 // its chromatic number is the minimal number of slots for the finite
-// deployment.
+// deployment. The graph's adjacency mode follows the crossover, so very
+// large windows build into CSR with O(n + m) peak adjacency memory.
 func ConflictGraph(dep schedule.Deployment, w lattice.Window) (*Graph, []lattice.Point, error) {
+	return conflictGraph(dep, w, Auto)
+}
+
+// conflictGraph is ConflictGraph with an explicit adjacency mode, so the
+// parity tests can build the same deployment into both representations.
+//
+// Edge generation follows the dense-indexing rule end to end: every
+// neighborhood point is resolved once into an index of the reach-expanded
+// window `ext` and kept in a CSR-style table (nbhPtr/nbhIdx); sensor i
+// stamps its row into an epoch array over ext; and candidate partners j
+// come from the bounding box p_i ± 2·reach clipped to the window —
+// sensors further apart cannot share a neighborhood point — so the inner
+// loop is pure integer compares: O(n · box · |N|) instead of the all-pairs
+// O(n² · |N|²) scan.
+func conflictGraph(dep schedule.Deployment, w lattice.Window, mode Mode) (*Graph, []lattice.Point, error) {
 	if w.Dim() != dep.Dim() {
 		return nil, nil, fmt.Errorf("%w: window dimension %d ≠ deployment dimension %d",
 			ErrGraph, w.Dim(), dep.Dim())
 	}
 	pts := w.Points()
 	n := len(pts)
-	// Precompute every sensor's neighborhood once (the deployment
-	// recomputes them per call) and test intersection with an epoch-
-	// stamped grid over the window expanded by the reach, so the inner
-	// pair loop is pure integer indexing — no sets, no string keys.
-	nbh := make([][]lattice.Point, n)
-	for i, p := range pts {
-		nbh[i] = dep.NeighborhoodOf(p)
-	}
 	reach := dep.Reach()
 	extLo := w.Lo.Clone()
 	extHi := w.Hi.Clone()
@@ -156,50 +402,69 @@ func ConflictGraph(dep schedule.Deployment, w lattice.Window) (*Graph, []lattice
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: conflict window too large: %v", ErrGraph, err)
 	}
+	if extSize > math.MaxInt32 {
+		return nil, nil, fmt.Errorf("%w: conflict window too large: %d points", ErrGraph, extSize)
+	}
+	// Resolve every neighborhood into ext indexes exactly once (flat
+	// int32 table, CSR layout). Points outside ext — possible only when a
+	// deployment breaks its Reach contract — are skipped on both the
+	// stamping and the scanning side, keeping the two consistent.
+	nbhPtr := make([]int, n+1)
+	nbhIdx := make([]int32, 0, n)
+	for i, p := range pts {
+		for _, x := range dep.NeighborhoodOf(p) {
+			if xi, ok := ext.IndexOf(x); ok {
+				nbhIdx = append(nbhIdx, int32(xi))
+			}
+		}
+		nbhPtr[i+1] = len(nbhIdx)
+	}
 	stamp := make([]int32, extSize)
 	for i := range stamp {
 		stamp[i] = -1
 	}
-	g := New(n)
-	lo := make(lattice.Point, w.Dim())
-	hi := make(lattice.Point, w.Dim())
+	g := NewMode(n, mode)
+	dim := w.Dim()
+	lo := make(lattice.Point, dim)
+	hi := make(lattice.Point, dim)
+	q := make(lattice.Point, dim)
 	for i, p := range pts {
 		epoch := int32(i)
-		for _, x := range nbh[i] {
-			if xi, ok := ext.IndexOf(x); ok {
-				stamp[xi] = epoch
-			}
+		for _, xi := range nbhIdx[nbhPtr[i]:nbhPtr[i+1]] {
+			stamp[xi] = epoch
 		}
-		copy(lo, p)
-		copy(hi, p)
-		for a := range lo {
-			lo[a] -= 2 * reach
-			hi[a] += 2 * reach
-			if lo[a] < w.Lo[a] {
-				lo[a] = w.Lo[a]
-			}
-			if hi[a] > w.Hi[a] {
-				hi[a] = w.Hi[a]
-			}
+		// Bounding box of possible partners, clipped to the window.
+		for a := 0; a < dim; a++ {
+			lo[a] = max(p[a]-2*reach, w.Lo[a])
+			hi[a] = min(p[a]+2*reach, w.Hi[a])
 		}
-		box, err := lattice.NewWindow(lo, hi)
-		if err != nil {
-			continue
-		}
-		box.Each(func(q lattice.Point) bool {
+		// Odometer over the box; every q is inside w by construction.
+		copy(q, lo)
+		for {
 			j, _ := w.IndexOf(q)
-			if j <= i {
-				return true
-			}
-			for _, x := range nbh[j] {
-				if xi, ok := ext.IndexOf(x); ok && stamp[xi] == epoch {
-					g.AddEdge(i, j)
-					break
+			if j > i {
+				for _, xi := range nbhIdx[nbhPtr[j]:nbhPtr[j+1]] {
+					if stamp[xi] == epoch {
+						g.AddEdge(i, j)
+						break
+					}
 				}
 			}
-			return true
-		})
+			a := dim - 1
+			for a >= 0 {
+				q[a]++
+				if q[a] <= hi[a] {
+					break
+				}
+				q[a] = lo[a]
+				a--
+			}
+			if a < 0 {
+				break
+			}
+		}
 	}
+	g.Freeze()
 	return g, pts, nil
 }
 
@@ -238,10 +503,11 @@ func CliqueLowerBound(g *Graph) int {
 		order[i] = i
 	}
 	sort.Slice(order, func(a, b int) bool { return g.Degree(order[a]) > g.Degree(order[b]) })
+	var cand []int
 	for _, seed := range order {
 		clique := []int{seed}
 		// Candidates: neighbors of everything in the clique.
-		cand := append([]int(nil), g.adj[seed]...)
+		cand = append(cand[:0], g.Neighbors(seed)...)
 		sort.Slice(cand, func(a, b int) bool { return g.Degree(cand[a]) > g.Degree(cand[b]) })
 		for _, v := range cand {
 			ok := true

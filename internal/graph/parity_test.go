@@ -1,0 +1,309 @@
+package graph
+
+// Differential test harness for the two adjacency representations: a
+// reference map-of-sets oracle plus randomized edge streams and
+// randomized deployments check that bitset mode, CSR mode, and the
+// oracle agree on HasEdge, degrees, edge counts, and coloring validity —
+// on both sides of the crossover and across freeze/thaw interleavings.
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/prototile"
+	"tilingsched/internal/schedule"
+)
+
+// naiveGraph is the parity oracle: the obviously-correct map-of-sets
+// adjacency, mirroring Graph's AddEdge guard rules.
+type naiveGraph struct {
+	n   int
+	adj []map[int]bool
+}
+
+func newNaiveGraph(n int) *naiveGraph {
+	adj := make([]map[int]bool, n)
+	for i := range adj {
+		adj[i] = map[int]bool{}
+	}
+	return &naiveGraph{n: n, adj: adj}
+}
+
+func (ng *naiveGraph) addEdge(u, v int) {
+	if u == v || u < 0 || v < 0 || u >= ng.n || v >= ng.n {
+		return
+	}
+	ng.adj[u][v] = true
+	ng.adj[v][u] = true
+}
+
+func (ng *naiveGraph) hasEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= ng.n || v >= ng.n {
+		return false
+	}
+	return ng.adj[u][v]
+}
+
+func (ng *naiveGraph) edges() int {
+	total := 0
+	for _, m := range ng.adj {
+		total += len(m)
+	}
+	return total / 2
+}
+
+// validColoring is the oracle's independent notion of a proper coloring.
+func (ng *naiveGraph) validColoring(colors []int) bool {
+	if len(colors) != ng.n {
+		return false
+	}
+	for u := 0; u < ng.n; u++ {
+		if colors[u] < 0 {
+			return false
+		}
+		for v := range ng.adj[u] {
+			if colors[u] == colors[v] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// checkGraphParity compares one Graph against the oracle vertex by
+// vertex and probes HasEdge on present, absent, and out-of-range pairs.
+func checkGraphParity(t *testing.T, label string, g *Graph, ng *naiveGraph, rng *rand.Rand) {
+	t.Helper()
+	if g.N() != ng.n {
+		t.Fatalf("%s: N = %d, oracle %d", label, g.N(), ng.n)
+	}
+	if g.Edges() != ng.edges() {
+		t.Fatalf("%s: Edges = %d, oracle %d", label, g.Edges(), ng.edges())
+	}
+	maxDeg := 0
+	for u := 0; u < ng.n; u++ {
+		if g.Degree(u) != len(ng.adj[u]) {
+			t.Fatalf("%s: Degree(%d) = %d, oracle %d", label, u, g.Degree(u), len(ng.adj[u]))
+		}
+		if len(ng.adj[u]) > maxDeg {
+			maxDeg = len(ng.adj[u])
+		}
+		nbrs := slices.Clone(g.Neighbors(u))
+		slices.Sort(nbrs)
+		want := make([]int, 0, len(ng.adj[u]))
+		for v := range ng.adj[u] {
+			want = append(want, v)
+		}
+		slices.Sort(want)
+		if !slices.Equal(nbrs, want) {
+			t.Fatalf("%s: Neighbors(%d) = %v, oracle %v", label, u, nbrs, want)
+		}
+		// EachNeighbor visits exactly the same row.
+		visited := 0
+		g.EachNeighbor(u, func(v int) bool {
+			if !ng.adj[u][v] {
+				t.Fatalf("%s: EachNeighbor(%d) visited non-neighbor %d", label, u, v)
+			}
+			visited++
+			return true
+		})
+		if visited != len(ng.adj[u]) {
+			t.Fatalf("%s: EachNeighbor(%d) visited %d of %d", label, u, visited, len(ng.adj[u]))
+		}
+	}
+	if g.MaxDegree() != maxDeg {
+		t.Fatalf("%s: MaxDegree = %d, oracle %d", label, g.MaxDegree(), maxDeg)
+	}
+	// Every oracle edge, then random probes (hitting mostly non-edges),
+	// then out-of-range endpoints.
+	for u := 0; u < ng.n; u++ {
+		for v := range ng.adj[u] {
+			if !g.HasEdge(u, v) {
+				t.Fatalf("%s: HasEdge(%d, %d) = false, oracle true", label, u, v)
+			}
+		}
+	}
+	for probe := 0; probe < 500 && ng.n > 0; probe++ {
+		u, v := rng.Intn(ng.n), rng.Intn(ng.n)
+		if g.HasEdge(u, v) != ng.hasEdge(u, v) {
+			t.Fatalf("%s: HasEdge(%d, %d) = %v, oracle %v", label, u, v, g.HasEdge(u, v), ng.hasEdge(u, v))
+		}
+	}
+	for _, pair := range [][2]int{{-1, 0}, {0, -1}, {ng.n, 0}, {0, ng.n}, {-3, ng.n + 3}} {
+		if g.HasEdge(pair[0], pair[1]) {
+			t.Fatalf("%s: HasEdge%v out of range reported true", label, pair)
+		}
+	}
+}
+
+// TestAdjacencyParityRandomEdges drives identical randomized edge
+// streams — duplicates, self-loops, and out-of-range endpoints included —
+// into the oracle and both Graph modes, on both sides of the crossover,
+// and checks full adjacency equality. CSR graphs additionally absorb
+// mid-build reads, exercising the freeze/thaw split.
+func TestAdjacencyParityRandomEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(421))
+	sizes := []int{0, 1, 2, 3, 17, 64, 257, BitsetCrossover - 1, BitsetCrossover + 1}
+	for _, n := range sizes {
+		ng := newNaiveGraph(n)
+		gBit := NewMode(n, Bitset)
+		gCSR := NewMode(n, CSR)
+		m := 4 * n
+		for e := 0; e < m; e++ {
+			// Biased into range but occasionally invalid.
+			u := rng.Intn(n+3) - 1
+			v := rng.Intn(n+3) - 1
+			if e%7 == 0 {
+				v = u // self-loop
+			}
+			ng.addEdge(u, v)
+			gBit.AddEdge(u, v)
+			gCSR.AddEdge(u, v)
+			if e%5 == 2 {
+				// Duplicate insert through both graphs.
+				ng.addEdge(v, u)
+				gBit.AddEdge(v, u)
+				gCSR.AddEdge(v, u)
+			}
+			if n > 0 && e == m/2 {
+				// Mid-build read freezes the CSR graph; the next AddEdge
+				// must thaw it without losing edges.
+				q := rng.Intn(n)
+				if gCSR.Degree(q) != len(ng.adj[q]) {
+					t.Fatalf("n=%d: mid-build CSR Degree(%d) = %d, oracle %d",
+						n, q, gCSR.Degree(q), len(ng.adj[q]))
+				}
+			}
+		}
+		if gBit.Mode() != Bitset || gCSR.Mode() != CSR {
+			t.Fatalf("n=%d: forced modes not honored: %v / %v", n, gBit.Mode(), gCSR.Mode())
+		}
+		checkGraphParity(t, "bitset", gBit, ng, rng)
+		checkGraphParity(t, "csr", gCSR, ng, rng)
+
+		// Coloring validity must agree across all three: DSATUR colorings
+		// are order-independent given equal adjacency, so both modes
+		// produce the identical proper coloring, and corrupting it is
+		// rejected everywhere.
+		cBit, kBit := DSATUR(gBit)
+		cCSR, kCSR := DSATUR(gCSR)
+		if kBit != kCSR || !slices.Equal(cBit, cCSR) {
+			t.Fatalf("n=%d: DSATUR diverges across modes: %d vs %d colors", n, kBit, kCSR)
+		}
+		if !gBit.ValidColoring(cBit) || !gCSR.ValidColoring(cCSR) || !ng.validColoring(cBit) {
+			t.Fatalf("n=%d: DSATUR coloring rejected by a representation", n)
+		}
+		if ng.edges() > 0 {
+			bad := slices.Clone(cBit)
+			// Corrupt one endpoint of some oracle edge.
+			for u := 0; u < n; u++ {
+				if len(ng.adj[u]) > 0 {
+					for v := range ng.adj[u] {
+						bad[u] = bad[v]
+						break
+					}
+					break
+				}
+			}
+			if gBit.ValidColoring(bad) || gCSR.ValidColoring(bad) || ng.validColoring(bad) {
+				t.Fatalf("n=%d: corrupted coloring accepted", n)
+			}
+		}
+	}
+}
+
+// parityDeployments is the randomized deployment pool for conflict-graph
+// parity: catalog tiles spanning symmetric, asymmetric, and disconnected
+// neighborhoods, plus a fresh random tile per call.
+func parityDeployments(rng *rand.Rand) []schedule.Deployment {
+	deps := []schedule.Deployment{
+		schedule.NewHomogeneous(prototile.Cross(2, 1)),
+		schedule.NewHomogeneous(prototile.Cross(2, 2)),
+		schedule.NewHomogeneous(prototile.ChebyshevBall(2, 1)),
+		schedule.NewHomogeneous(prototile.MustTetromino("S")),
+		schedule.NewHomogeneous(prototile.Directional()),
+		schedule.NewHomogeneous(prototile.LTromino()),
+	}
+	// Random tile: origin plus a handful of points within reach 2.
+	pts := []lattice.Point{lattice.Pt(0, 0)}
+	for len(pts) < 2+rng.Intn(5) {
+		pts = append(pts, lattice.Pt(rng.Intn(5)-2, rng.Intn(5)-2))
+	}
+	ti, err := prototile.New("random", pts...)
+	if err == nil {
+		deps = append(deps, schedule.NewHomogeneous(ti))
+	}
+	return deps
+}
+
+// TestConflictGraphModeParity builds the conflict graph of randomized
+// deployments in both adjacency modes and checks them edge-for-edge
+// against the schedule.Conflict pairwise oracle; DSATUR must color both
+// modes identically and the coloring must be proper under the oracle's
+// own adjacency.
+func TestConflictGraphModeParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(977))
+	for trial := 0; trial < 6; trial++ {
+		for _, dep := range parityDeployments(rng) {
+			var w lattice.Window
+			if trial%2 == 0 {
+				w = lattice.CenteredWindow(2, 2+rng.Intn(2))
+			} else {
+				var err error
+				w, err = lattice.BoxWindow(3+rng.Intn(4), 3+rng.Intn(4))
+				if err != nil {
+					t.Fatalf("BoxWindow: %v", err)
+				}
+			}
+			gBit, pts, err := conflictGraph(dep, w, Bitset)
+			if err != nil {
+				t.Fatalf("conflictGraph bitset: %v", err)
+			}
+			gCSR, ptsCSR, err := conflictGraph(dep, w, CSR)
+			if err != nil {
+				t.Fatalf("conflictGraph csr: %v", err)
+			}
+			if len(pts) != len(ptsCSR) || gBit.N() != gCSR.N() {
+				t.Fatal("mode-dependent vertex sets")
+			}
+			ng := newNaiveGraph(len(pts))
+			for i := 0; i < len(pts); i++ {
+				for j := i + 1; j < len(pts); j++ {
+					if schedule.Conflict(dep, pts[i], pts[j]) {
+						ng.addEdge(i, j)
+					}
+				}
+			}
+			checkGraphParity(t, "conflict/bitset", gBit, ng, rng)
+			checkGraphParity(t, "conflict/csr", gCSR, ng, rng)
+
+			cBit, kBit := DSATUR(gBit)
+			cCSR, kCSR := DSATUR(gCSR)
+			if kBit != kCSR || !slices.Equal(cBit, cCSR) {
+				t.Fatalf("DSATUR diverges across conflict-graph modes: %d vs %d", kBit, kCSR)
+			}
+			if !ng.validColoring(cBit) {
+				t.Fatal("DSATUR coloring improper under the conflict oracle")
+			}
+			if colors, _ := GreedyColoring(gCSR, IdentityOrder(gCSR.N())); !ng.validColoring(colors) {
+				t.Fatal("greedy coloring on CSR improper under the conflict oracle")
+			}
+		}
+	}
+}
+
+// TestAutoCrossover pins the automatic mode choice to the documented
+// crossover constant.
+func TestAutoCrossover(t *testing.T) {
+	if New(BitsetCrossover).Mode() != Bitset {
+		t.Errorf("New(%d) not bitset", BitsetCrossover)
+	}
+	if New(BitsetCrossover+1).Mode() != CSR {
+		t.Errorf("New(%d) not CSR", BitsetCrossover+1)
+	}
+	if NewDense(BitsetCrossover+1).Mode() != Bitset {
+		t.Error("NewDense did not force bitset mode")
+	}
+}

@@ -3,6 +3,8 @@ package graph
 import (
 	"math/rand"
 	"testing"
+
+	"tilingsched/internal/lattice"
 )
 
 func randomGraph(rng *rand.Rand, n int, p float64) *Graph {
@@ -56,6 +58,53 @@ func TestColoringsProperOnRandomGraphs(t *testing.T) {
 		}
 		if res.Proven && anK < res.NumColors {
 			t.Fatalf("annealing %d beat proven optimum %d", anK, res.NumColors)
+		}
+	}
+}
+
+// Property: every coloring algorithm produces a proper coloring on
+// random *conflict graphs* — graphs of randomized deployments, built in
+// both adjacency modes — and exact/heuristic counts stay ordered. This
+// is the end-to-end guard that the bitset/CSR rewrite preserved every
+// baseline the paper's schedules are compared against.
+func TestColoringsProperOnRandomConflictGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 3; trial++ {
+		for _, dep := range parityDeployments(rng) {
+			w := lattice.CenteredWindow(2, 2+trial%2)
+			for _, mode := range []Mode{Bitset, CSR} {
+				g, _, err := conflictGraph(dep, w, mode)
+				if err != nil {
+					t.Fatalf("conflictGraph: %v", err)
+				}
+				n := g.N()
+				if colors, _ := GreedyColoring(g, IdentityOrder(n)); !g.ValidColoring(colors) {
+					t.Fatalf("%v: greedy invalid", mode)
+				}
+				if colors, _ := GreedyColoring(g, RandomOrder(rng, n)); !g.ValidColoring(colors) {
+					t.Fatalf("%v: random-order greedy invalid", mode)
+				}
+				if colors, _ := GreedyColoring(g, DegreeOrder(g)); !g.ValidColoring(colors) {
+					t.Fatalf("%v: degree-order greedy invalid", mode)
+				}
+				dsColors, dsK := DSATUR(g)
+				if !g.ValidColoring(dsColors) {
+					t.Fatalf("%v: DSATUR invalid", mode)
+				}
+				res := ChromaticNumber(g, 50_000)
+				if !g.ValidColoring(res.Colors) {
+					t.Fatalf("%v: exact search invalid", mode)
+				}
+				if res.Proven && res.NumColors > dsK {
+					t.Fatalf("%v: exact %d above DSATUR %d", mode, res.NumColors, dsK)
+				}
+				if lb := CliqueLowerBound(g); res.Proven && res.NumColors < lb {
+					t.Fatalf("%v: exact %d below clique bound %d", mode, res.NumColors, lb)
+				}
+				if colors, _ := AnnealColoring(g, rng, AnnealOptions{Iterations: 1500}); !g.ValidColoring(colors) {
+					t.Fatalf("%v: annealing invalid", mode)
+				}
+			}
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 
@@ -123,8 +124,8 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSlots(w http.ResponseWriter, r *http.Request) {
-	var req BatchRequest
-	if !s.decode(w, r, &req) {
+	req, win, ok := s.decodeBatch(w, r)
+	if !ok {
 		return
 	}
 	plan, ok := s.getPlan(w, req.Plan)
@@ -134,21 +135,10 @@ func (s *Server) handleSlots(w http.ResponseWriter, r *http.Request) {
 	buf := s.bufs.Get().(*queryBuf)
 	defer s.putBuf(buf)
 	var err error
-	switch {
-	case len(req.Points) > 0 && req.Window == nil:
-		if !s.checkBatch(w, len(req.Points)) {
-			return
-		}
+	if win != nil {
+		buf.slots, err = QueryWindowSlots(plan, *win, buf.slots[:0])
+	} else {
 		buf.slots, err = QuerySlots(plan, buf.points(req.Points), buf.slots[:0])
-	case req.Window != nil && len(req.Points) == 0:
-		var win lattice.Window
-		if win, ok = s.window(w, *req.Window); !ok {
-			return
-		}
-		buf.slots, err = QueryWindowSlots(plan, win, buf.slots[:0])
-	default:
-		writeErr(w, http.StatusBadRequest, "exactly one of points and window must be set")
-		return
 	}
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err.Error())
@@ -158,8 +148,8 @@ func (s *Server) handleSlots(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMay(w http.ResponseWriter, r *http.Request) {
-	var req BatchRequest
-	if !s.decode(w, r, &req) {
+	req, win, ok := s.decodeBatch(w, r)
+	if !ok {
 		return
 	}
 	plan, ok := s.getPlan(w, req.Plan)
@@ -169,21 +159,10 @@ func (s *Server) handleMay(w http.ResponseWriter, r *http.Request) {
 	buf := s.bufs.Get().(*queryBuf)
 	defer s.putBuf(buf)
 	var err error
-	switch {
-	case len(req.Points) > 0 && req.Window == nil:
-		if !s.checkBatch(w, len(req.Points)) {
-			return
-		}
+	if win != nil {
+		buf.may, err = QueryWindowMayBroadcast(plan, *win, req.T, buf.may[:0])
+	} else {
 		buf.may, err = QueryMayBroadcast(plan, buf.points(req.Points), req.T, buf.may[:0])
-	case req.Window != nil && len(req.Points) == 0:
-		var win lattice.Window
-		if win, ok = s.window(w, *req.Window); !ok {
-			return
-		}
-		buf.may, err = QueryWindowMayBroadcast(plan, win, req.T, buf.may[:0])
-	default:
-		writeErr(w, http.StatusBadRequest, "exactly one of points and window must be set")
-		return
 	}
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err.Error())
@@ -202,14 +181,46 @@ func (b *queryBuf) points(coords [][]int) []lattice.Point {
 	return b.pts
 }
 
-// decode reads the JSON request body into dst, answering 400 on failure.
+// decode reads the JSON request body into dst, answering 400 on
+// malformed bodies and 413 on oversized ones (matching decodeBatch).
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBody)
 	if err := json.NewDecoder(r.Body).Decode(dst); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeErr(w, status, fmt.Sprintf("decoding request: %v", err))
 		return false
 	}
 	return true
+}
+
+// decodeBatch reads a size-capped body and funnels it through the
+// wire-level DecodeBatchRequest (the fuzzed entry point), answering 400
+// for malformed requests and 413 for over-limit ones.
+func (s *Server) decodeBatch(w http.ResponseWriter, r *http.Request) (BatchRequest, *lattice.Window, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBody))
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeErr(w, status, fmt.Sprintf("reading request: %v", err))
+		return BatchRequest{}, nil, false
+	}
+	req, win, err := DecodeBatchRequest(body, Limits{MaxBatch: s.opts.MaxBatch, MaxWindow: s.opts.MaxWindow})
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrLimit) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeErr(w, status, err.Error())
+		return BatchRequest{}, nil, false
+	}
+	return req, win, true
 }
 
 // getPlan serves the spec through the registry, mapping failures to
@@ -229,31 +240,6 @@ func (s *Server) getPlan(w http.ResponseWriter, spec PlanSpec) (*core.Plan, bool
 	}
 	writeErr(w, status, err.Error())
 	return nil, false
-}
-
-func (s *Server) checkBatch(w http.ResponseWriter, n int) bool {
-	if n > s.opts.MaxBatch {
-		writeErr(w, http.StatusRequestEntityTooLarge,
-			fmt.Sprintf("batch of %d points exceeds limit %d", n, s.opts.MaxBatch))
-		return false
-	}
-	return true
-}
-
-// window validates the shorthand and its expanded size.
-func (s *Server) window(w http.ResponseWriter, ws WindowSpec) (lattice.Window, bool) {
-	win, err := ws.Window()
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
-		return lattice.Window{}, false
-	}
-	size, err := win.SizeChecked()
-	if err != nil || size > s.opts.MaxWindow {
-		writeErr(w, http.StatusRequestEntityTooLarge,
-			fmt.Sprintf("window %s exceeds limit %d points", win, s.opts.MaxWindow))
-		return lattice.Window{}, false
-	}
-	return win, true
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -14,12 +15,23 @@ import (
 // ErrSpec indicates a malformed or unresolvable wire-level request.
 var ErrSpec = errors.New("service: invalid spec")
 
+// ErrLimit indicates a well-formed request that exceeds a server bound
+// (batch size, window expansion); the HTTP layer maps it to 413.
+var ErrLimit = errors.New("service: request exceeds limit")
+
 // maxTilePoints bounds how many points a wire-level tile spec may
 // materialize. Interference neighborhoods are small (the paper's are
 // ≤ 25 points); the bound exists so an unauthenticated request cannot
 // make the server build a gigantic prototile or run an unbounded tiling
 // search.
 const maxTilePoints = 512
+
+// maxTileDim bounds the dimension of explicit tile points, named tiles
+// (cross:<d>:..., chebyshev:<d>:...), and cubic:<d> lattices — one
+// constant for every wire-level dimension check. Without it a single
+// point with a huge coordinate count would later drive a d×d
+// lattice-basis allocation.
+const maxTileDim = 16
 
 // boxWithin reports whether side^dim stays ≤ maxTilePoints without
 // overflowing — the cheap pre-materialization size check for
@@ -130,7 +142,7 @@ func resolveLattice(name string, dim int) (*lattice.Lattice, error) {
 		return lattice.Hexagonal(), nil
 	case strings.HasPrefix(name, "cubic:"):
 		d, err := strconv.Atoi(name[len("cubic:"):])
-		if err != nil || d < 1 || d > 16 {
+		if err != nil || d < 1 || d > maxTileDim {
 			return nil, fmt.Errorf("%w: lattice %q", ErrSpec, name)
 		}
 		return lattice.Cubic(d), nil
@@ -145,6 +157,10 @@ func (ts TileSpec) resolve() (*prototile.Tile, error) {
 		}
 		pts := make([]lattice.Point, len(ts.Points))
 		for i, c := range ts.Points {
+			if len(c) == 0 || len(c) > maxTileDim {
+				return nil, fmt.Errorf("%w: tile point %d has dimension %d, want 1..%d",
+					ErrSpec, i, len(c), maxTileDim)
+			}
 			pts[i] = lattice.Pt(c...)
 		}
 		t, err := prototile.New("custom", pts...)
@@ -157,7 +173,7 @@ func (ts TileSpec) resolve() (*prototile.Tile, error) {
 	switch name {
 	case "cross", "chebyshev":
 		d, r, err := twoInts(arg)
-		if err != nil || d < 1 || d > 16 || r < 0 || r > maxTilePoints || !boxWithin(2*r+1, d) {
+		if err != nil || d < 1 || d > maxTileDim || r < 0 || r > maxTilePoints || !boxWithin(2*r+1, d) {
 			return nil, fmt.Errorf("%w: tile %q", ErrSpec, ts.Name)
 		}
 		if name == "cross" {
@@ -258,6 +274,87 @@ type MayResponse struct {
 // ErrorResponse is the body of every non-2xx reply.
 type ErrorResponse struct {
 	Error string `json:"error"`
+}
+
+// --- Decoding entry points ------------------------------------------------
+//
+// These are the single funnel between untrusted bytes and the engine, so
+// they are also the package's native fuzz targets (FuzzDecodeBatchRequest,
+// FuzzDecodeTileSpec): whatever the input, they must return an error —
+// never panic, never hand oversized work to the engine.
+
+// Limits bounds wire-level batch decoding. Zero or negative values
+// select the server defaults.
+type Limits struct {
+	// MaxBatch caps the number of explicit points per batch.
+	MaxBatch int
+	// MaxWindow caps the number of points a window shorthand expands to.
+	MaxWindow int
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxBatch <= 0 {
+		l.MaxBatch = defaultMaxBatch
+	}
+	if l.MaxWindow <= 0 {
+		l.MaxWindow = defaultMaxWindow
+	}
+	return l
+}
+
+// DecodeBatchRequest parses a batch request body and enforces its
+// structural contract: valid JSON, exactly one of points and window set,
+// the batch within lim.MaxBatch, and the window shorthand well-formed
+// and within lim.MaxWindow points. On success the validated window (nil
+// for explicit-point batches) is returned alongside the request.
+// Violations yield errors wrapping ErrSpec (malformed, 400) or ErrLimit
+// (too large, 413).
+func DecodeBatchRequest(data []byte, lim Limits) (BatchRequest, *lattice.Window, error) {
+	lim = lim.withDefaults()
+	var req BatchRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		return BatchRequest{}, nil, fmt.Errorf("%w: decoding request: %v", ErrSpec, err)
+	}
+	switch {
+	case len(req.Points) > 0 && req.Window == nil:
+		if len(req.Points) > lim.MaxBatch {
+			return BatchRequest{}, nil, fmt.Errorf("%w: batch of %d points exceeds limit %d",
+				ErrLimit, len(req.Points), lim.MaxBatch)
+		}
+		return req, nil, nil
+	case req.Window != nil && len(req.Points) == 0:
+		win, err := req.Window.Window()
+		if err != nil {
+			return BatchRequest{}, nil, fmt.Errorf("%w: %v", ErrSpec, err)
+		}
+		size, err := win.SizeChecked()
+		if err != nil || size > lim.MaxWindow {
+			return BatchRequest{}, nil, fmt.Errorf("%w: window %s exceeds limit %d points",
+				ErrLimit, win, lim.MaxWindow)
+		}
+		return req, &win, nil
+	default:
+		return BatchRequest{}, nil, fmt.Errorf("%w: exactly one of points and window must be set", ErrSpec)
+	}
+}
+
+// DecodeTileSpec parses a TileSpec JSON document and resolves it to a
+// prototile, enforcing the catalog grammar, the maxTilePoints bound, and
+// the maxTileDim bound. Metric ball tiles ("ball:<r>") need a lattice
+// and therefore resolve only through PlanSpec.Resolve; here they report
+// an unknown tile. All failures wrap ErrSpec.
+func DecodeTileSpec(data []byte) (*prototile.Tile, error) {
+	var ts TileSpec
+	if err := json.Unmarshal(data, &ts); err != nil {
+		return nil, fmt.Errorf("%w: decoding tile: %v", ErrSpec, err)
+	}
+	if ts.Name != "" && len(ts.Points) > 0 {
+		return nil, fmt.Errorf("%w: tile has both a name and explicit points", ErrSpec)
+	}
+	if ts.Name == "" && len(ts.Points) == 0 {
+		return nil, fmt.Errorf("%w: tile is empty", ErrSpec)
+	}
+	return ts.resolve()
 }
 
 // HealthResponse is the body of GET /healthz.

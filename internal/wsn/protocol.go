@@ -86,7 +86,10 @@ type CSMA struct {
 // NewCSMA precomputes each node's conflict neighbors over the window. The
 // conflict relation (intersecting interference neighborhoods) is exactly
 // the conflict graph's edge set, so the adjacency is built once by
-// graph.ConflictGraph's dense-index machinery.
+// graph.ConflictGraph's dense-index machinery. The retained rows are the
+// graph's shared read-only Neighbors slices — in CSR mode (large
+// windows) they all alias one flat column array, so the carrier-sense
+// scan walks contiguous memory and no per-node copies are made.
 func NewCSMA(p float64, dep schedule.Deployment, w lattice.Window) (*CSMA, error) {
 	if w.Dim() != dep.Dim() {
 		return nil, fmt.Errorf("%w: window dimension %d ≠ deployment dimension %d",
