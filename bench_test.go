@@ -353,6 +353,89 @@ func BenchmarkConflictGraphLarge(b *testing.B) {
 	}
 }
 
+// BenchmarkConflictGraphParallel measures the sharded explicit CSR build
+// (DESIGN.md §8): shards=1 is the serial baseline, shards=4 the parallel
+// path (its speedup is real only on multi-core hosts — the recorded
+// single-core numbers measure sharding overhead, which must stay small).
+// n=1002001 is the million-sensor window of the ROADMAP scaling goal;
+// B/op records the O(n + m) cost of materializing every edge, the
+// baseline the periodic mode is measured against.
+func BenchmarkConflictGraphParallel(b *testing.B) {
+	dep := schedule.NewHomogeneous(prototile.Cross(2, 1))
+	for _, tc := range []struct{ r, shards int }{
+		{158, 1}, // n = 100489
+		{158, 4},
+		{500, 1}, // n = 1002001
+		{500, 4},
+	} {
+		w := lattice.CenteredWindow(2, tc.r)
+		b.Run(fmt.Sprintf("n=%d/shards=%d", w.Size(), tc.shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g, _, err := graph.ConflictGraphShards(dep, w, tc.shards)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if g.Edges() == 0 {
+					b.Fatal("no edges")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConflictGraphPeriodic measures the implicit periodic mode at
+// the million-sensor scale (DESIGN.md §8): build extracts the stencil —
+// O(det(H)·box·|N|) work and memory independent of the window, against
+// the ~10⁸ B/op of the explicit CSR build at the same n — and the
+// dsatur/verify cases color and verify the million-vertex graph through
+// the implicit adjacency with no edge ever materialized.
+func BenchmarkConflictGraphPeriodic(b *testing.B) {
+	dep := schedule.NewHomogeneous(prototile.Cross(2, 1))
+	for _, r := range []int{158, 500} { // n = 100489, 1002001
+		w := lattice.CenteredWindow(2, r)
+		b.Run(fmt.Sprintf("build/n=%d", w.Size()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g, err := graph.HomogeneousConflictGraph(dep, w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if g.N() != w.Size() {
+					b.Fatal("bad vertex count")
+				}
+			}
+		})
+	}
+	w := lattice.CenteredWindow(2, 500)
+	g, err := graph.HomogeneousConflictGraph(dep, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run(fmt.Sprintf("dsatur/n=%d", w.Size()), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			colors, k := graph.DSATUR(g)
+			if k < 5 || len(colors) != g.N() {
+				b.Fatalf("DSATUR colors = %d", k)
+			}
+		}
+	})
+	lt, ok := tiling.FindLatticeTiling(prototile.Cross(2, 1))
+	if !ok {
+		b.Fatal("no tiling")
+	}
+	s := schedule.FromLatticeTiling(lt)
+	b.Run(fmt.Sprintf("verify/n=%d", w.Size()), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := graph.VerifySchedule(g, w, s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkSimulatorSlot measures simulator throughput: cost per simulated
 // slot on an 81-sensor network under the tiling schedule.
 func BenchmarkSimulatorSlot(b *testing.B) {

@@ -6,7 +6,8 @@
 //
 // The implementation lives under internal/: see internal/core for the
 // top-level Plan API, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for the reproduced figures and tables. The benchmarks in
+// internal/experiments (DESIGN.md §4) for the reproduced figures and
+// tables. README.md is the quickstart. The benchmarks in
 // bench_test.go regenerate every figure and derived table of the
 // reproduction; scripts/bench.sh (cmd/bench) records them as
 // BENCH_<date>.json summaries tracking the performance trajectory.
@@ -25,13 +26,18 @@
 //     assignment is O(1) integer arithmetic with zero allocations.
 //   - Simulators, conflict graphs, and explicit schedules hold per-point
 //     state in flat []int / []int32 tables addressed by those indexes.
-//   - Conflict-graph adjacency is two-mode (DESIGN.md §7): per-vertex
-//     bitset rows up to the ~4k-vertex crossover, sorted compressed
-//     sparse rows (CSR) above it, so a 100k-sensor window costs O(n + m)
-//     memory instead of an n×n matrix. Edge generation stamps dense
-//     window indexes over bounding-box candidates — never all pairs —
-//     and a differential harness (internal/graph/parity_test.go) pins
-//     both modes to a map-of-sets oracle.
+//   - Conflict-graph adjacency is three-mode (DESIGN.md §7–§8):
+//     per-vertex bitset rows up to the ~4k-vertex crossover, sorted
+//     compressed sparse rows (CSR) above it — built serially below
+//     graph.ParallelThreshold and by sharded goroutines above, with a
+//     bit-identical frozen CSR either way — and an implicit Periodic
+//     mode for translation-periodic deployments that stores only a
+//     per-residue-class conflict stencil (O(det(H)·|stencil|) memory)
+//     and answers adjacency by translation, reaching million-vertex
+//     windows in microseconds. A differential harness
+//     (internal/graph/parity_test.go, periodic_test.go,
+//     parallel_test.go) pins all modes to a map-of-sets oracle and to
+//     shard-count invariance.
 //
 // lattice.Point.Key() remains only for cold paths — rendering, canonical
 // form signatures, and tests. New code must not introduce string-keyed

@@ -84,7 +84,19 @@ func DSATUR(g *Graph) ([]int, int) {
 	for i := range colors {
 		colors[i] = -1
 	}
-	words := (g.MaxDegree() + 1 + 63) / 64
+	// Degrees are materialized once: the sort below compares them
+	// O(n log n) times, and in periodic mode each Degree call is a
+	// stencil scan rather than a pointer difference.
+	deg := make([]int32, n)
+	maxDeg := 0
+	for i := range deg {
+		d := g.Degree(i)
+		deg[i] = int32(d)
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	words := (maxDeg + 1 + 63) / 64
 	sat := make([]uint64, n*words) // vertex u's neighbor-color bitset
 	satCount := make([]int, n)     // popcount cache of sat rows
 
@@ -93,7 +105,7 @@ func DSATUR(g *Graph) ([]int, int) {
 	// linear scan this replaces settled on. A sorted slice is already a
 	// valid min-heap, so bucket 0 starts heapified.
 	byRank := IdentityOrder(n)
-	sort.SliceStable(byRank, func(a, b int) bool { return g.Degree(byRank[a]) > g.Degree(byRank[b]) })
+	sort.SliceStable(byRank, func(a, b int) bool { return deg[byRank[a]] > deg[byRank[b]] })
 	rank := make([]int32, n)
 	bucket0 := make([]int32, n)
 	for i, v := range byRank {
@@ -104,7 +116,7 @@ func DSATUR(g *Graph) ([]int, int) {
 	// entries go stale when their vertex is colored or its saturation
 	// moved on, and are discarded at pop time. Every uncolored vertex
 	// has exactly one live entry, at buckets[satCount[v]].
-	buckets := make([][]int32, g.MaxDegree()+1)
+	buckets := make([][]int32, maxDeg+1)
 	buckets[0] = bucket0
 	top := 0 // highest level with a live entry is never above top
 

@@ -102,8 +102,9 @@ func InterferenceDigraph(dep schedule.Deployment, w lattice.Window) (*Digraph, [
 //
 // Each vertex u enumerates its conflict partners v > u directly — its
 // out- and in-neighbors, plus the in-neighbors of its out-neighbors — and
-// an epoch-marked array deduplicates them, so every edge is emitted to
-// the graph exactly once and the construction carries no quadratic
+// an epochMarks array (the dedup primitive shared with the
+// conflictScanner, scan.go) deduplicates them, so every edge is emitted
+// to the graph exactly once and the construction carries no quadratic
 // state.
 func BroadcastConflictGraph(d *Digraph) *Graph {
 	g := New(d.n)
@@ -114,14 +115,10 @@ func BroadcastConflictGraph(d *Digraph) *Graph {
 			in[v] = append(in[v], u)
 		}
 	}
-	mark := make([]int32, d.n)
-	for i := range mark {
-		mark[i] = -1
-	}
+	mark := newEpochMarks(d.n)
 	for u := 0; u < d.n; u++ {
 		emit := func(v int) {
-			if v > u && mark[v] != int32(u) {
-				mark[v] = int32(u)
+			if v > u && mark.mark(v, int32(u)) {
 				g.AddEdge(u, v)
 			}
 		}

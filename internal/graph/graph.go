@@ -13,24 +13,37 @@
 //
 // # Adjacency representation
 //
-// Graphs are stored in one of two modes, chosen by vertex count (see
-// Mode): small graphs keep per-vertex bitset rows (an n×n bit matrix,
-// O(1) AddEdge/HasEdge) next to append-order adjacency lists; large
-// graphs buffer edges and freeze them into sorted compressed sparse rows
-// (CSR), O(n + m) memory with binary-search HasEdge. Both modes answer
-// the same API — Neighbors returns a shared, read-only slice in either —
-// so every coloring runs unchanged on either side of the crossover.
+// Graphs are stored in one of three modes (see Mode). The two explicit
+// modes are chosen by vertex count: small graphs keep per-vertex bitset
+// rows (an n×n bit matrix, O(1) AddEdge/HasEdge) next to append-order
+// adjacency lists; large graphs buffer edges and freeze them into sorted
+// compressed sparse rows (CSR), O(n + m) memory with binary-search
+// HasEdge. The third, Periodic, never materializes an edge at all: for
+// translation-periodic deployments it stores one conflict-offset stencil
+// per residue class of the period lattice — O(det(H) · |stencil|) memory
+// for a window of any size — and answers every query by translating the
+// stencil (periodic.go). All modes answer the same API, so every
+// coloring runs unchanged on explicit and implicit graphs alike.
+//
+// Explicit construction is sharded across goroutines at
+// ParallelThreshold vertices (parallel.go); the frozen CSR is
+// bit-identical for every shard count. Freeze-before-read rule: a
+// CSR-mode graph is safe for concurrent readers only after Freeze — the
+// package's constructors all return frozen graphs — and periodic graphs
+// are born frozen (but see the Neighbors scratch-buffer contract).
 package graph
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"slices"
 	"sort"
 
 	"tilingsched/internal/lattice"
 	"tilingsched/internal/schedule"
+	"tilingsched/internal/tiling"
 )
 
 // ErrGraph indicates invalid graph construction or use.
@@ -54,6 +67,16 @@ const (
 	// windows (an n×n matrix at 20k vertices is already ~400 MB as
 	// bools, 50 MB as bits; at 100k vertices neither fits a CI runner).
 	CSR
+	// Periodic is the implicit adjacency of translation-periodic
+	// deployments (periodic.go): no edge is ever materialized — the
+	// graph stores one conflict-offset stencil per residue class of the
+	// deployment's period lattice and answers HasEdge/Neighbors by
+	// translating the stencil to the queried vertex. Memory is
+	// O(det(H) · |stencil|) instead of O(n + m). Periodic graphs are
+	// built only by PeriodicConflictGraph / HomogeneousConflictGraph
+	// (never NewMode), are immutable (AddEdge panics), and are always
+	// frozen.
+	Periodic
 )
 
 // String names the mode for tests and diagnostics.
@@ -65,6 +88,8 @@ func (m Mode) String() string {
 		return "bitset"
 	case CSR:
 		return "csr"
+	case Periodic:
+		return "periodic"
 	}
 	return fmt.Sprintf("Mode(%d)", uint8(m))
 }
@@ -76,17 +101,20 @@ func (m Mode) String() string {
 const BitsetCrossover = 4096
 
 // Graph is a simple undirected graph on vertices 0..n-1, stored in one
-// of two adjacency modes (see Mode). Graphs are mutable via AddEdge;
-// CSR-mode graphs are compiled by Freeze (called implicitly by the first
-// read) and transparently reopened by a later AddEdge.
+// of three adjacency modes (see Mode). Explicit graphs are mutable via
+// AddEdge; CSR-mode graphs are compiled by Freeze (called implicitly by
+// the first read) and transparently reopened by a later AddEdge.
+// Periodic-mode graphs are implicit and immutable.
 //
 // Concurrency: because CSR reads lazily freeze, a freshly built graph is
 // NOT safe for concurrent readers until Freeze has been called once.
 // Call Freeze after construction before sharing a graph across
 // goroutines (the package's constructors — ConflictGraph,
-// BroadcastConflictGraph — all return frozen graphs); after that, any
-// number of goroutines may read concurrently as long as none calls
-// AddEdge.
+// ConflictGraphShards, PeriodicConflictGraph, BroadcastConflictGraph —
+// all return frozen graphs); after that, any number of goroutines may
+// read concurrently as long as none calls AddEdge. The one exception is
+// periodic-mode Neighbors, which fills a per-graph scratch buffer —
+// concurrent periodic readers must use EachNeighbor/HasEdge/Degree.
 type Graph struct {
 	n    int
 	mode Mode
@@ -101,6 +129,15 @@ type Graph struct {
 	rowPtr []int     // len n+1 once frozen; row u is col[rowPtr[u]:rowPtr[u+1]]
 	col    []int     // concatenated sorted neighbor rows
 	frozen bool
+
+	// Periodic mode (periodic.go): vertex i is pw.PointAt(i); class c's
+	// conflict offsets are stOff[stPtr[c]*dim : stPtr[c+1]*dim],
+	// lex-sorted so translated rows come out in ascending index order.
+	pw         lattice.Window
+	res        *tiling.Residues
+	stPtr      []int
+	stOff      []int
+	nbrScratch []int // Neighbors result buffer; see the Neighbors contract
 }
 
 // csrEdge is one buffered undirected edge, normalized u < v. int32
@@ -118,7 +155,10 @@ func NewDense(n int) *Graph { return NewMode(n, Bitset) }
 
 // NewMode returns an empty graph on n vertices in the given mode; Auto
 // resolves by the crossover. Tests use explicit modes to exercise both
-// representations on either side of the crossover.
+// representations on either side of the crossover. Periodic is not a
+// constructible mode here — implicit graphs carry a stencil, not edges,
+// and are built only by PeriodicConflictGraph / HomogeneousConflictGraph
+// (passing Periodic panics).
 func NewMode(n int, mode Mode) *Graph {
 	if n < 0 {
 		panic(fmt.Sprintf("graph: NewMode(%d)", n))
@@ -154,8 +194,13 @@ func (g *Graph) Mode() Mode { return g.mode }
 
 // AddEdge inserts the undirected edge {u, v}; self-loops, duplicates,
 // and out-of-range endpoints are ignored. In CSR mode duplicates are
-// buffered and removed by Freeze.
+// buffered and removed by Freeze. Periodic-mode graphs are immutable —
+// their edges are defined by the stencil, not stored — so AddEdge on
+// one panics.
 func (g *Graph) AddEdge(u, v int) {
+	if g.mode == Periodic {
+		panic("graph: AddEdge on an implicit periodic graph (immutable by construction)")
+	}
 	if u == v || u < 0 || v < 0 || u >= g.n || v >= g.n {
 		return
 	}
@@ -182,8 +227,11 @@ func (g *Graph) AddEdge(u, v int) {
 // Freeze compiles a CSR-mode graph's buffered edges into sorted rows via
 // a two-pass counting construction (count degrees, prefix-sum, scatter),
 // then sorts and deduplicates each row in place. It is idempotent, a
-// no-op in bitset mode, and called implicitly by the first read; callers
-// that finish construction may call it eagerly to drop the edge buffer.
+// no-op in the bitset and periodic modes (periodic graphs are born
+// frozen), and called implicitly by the first read; callers that finish
+// construction may call it eagerly to drop the edge buffer — and must
+// call it before sharing a CSR graph across goroutines (the
+// freeze-before-read rule).
 func (g *Graph) Freeze() {
 	if g.mode != CSR || g.frozen {
 		g.frozen = true
@@ -259,13 +307,17 @@ func (g *Graph) ensure() {
 }
 
 // HasEdge reports adjacency: O(1) in bitset mode, binary search of the
-// shorter endpoint row in CSR mode.
+// shorter endpoint row in CSR mode, a stencil scan (O(|stencil| · dim),
+// no memory touched beyond the stencil) in periodic mode.
 func (g *Graph) HasEdge(u, v int) bool {
-	if u < 0 || v < 0 || u >= g.n || v >= g.n {
+	if u < 0 || v < 0 || u >= g.n || v >= g.n || u == v {
 		return false
 	}
 	if g.mode == Bitset {
 		return g.bits[g.words*u+v/64]&(uint64(1)<<(v%64)) != 0
+	}
+	if g.mode == Periodic {
+		return g.periodicHasEdge(u, v)
 	}
 	g.ensure()
 	if g.rowPtr[u+1]-g.rowPtr[u] > g.rowPtr[v+1]-g.rowPtr[v] {
@@ -275,21 +327,34 @@ func (g *Graph) HasEdge(u, v int) bool {
 	return found
 }
 
-// Degree returns the number of neighbors of u.
+// Degree returns the number of neighbors of u. In periodic mode it
+// counts the in-window translates of u's stencil (stateless, safe for
+// concurrent callers).
 func (g *Graph) Degree(u int) int {
 	if g.mode == Bitset {
 		return len(g.adj[u])
+	}
+	if g.mode == Periodic {
+		return g.periodicDegree(u)
 	}
 	g.ensure()
 	return g.rowPtr[u+1] - g.rowPtr[u]
 }
 
 // Neighbors returns the adjacency row of u as a shared slice — callers
-// must not mutate it. Both modes answer without allocating: bitset mode
-// returns the append-order list, CSR mode the sorted row.
+// must not mutate it. All modes answer without allocating: bitset mode
+// returns the append-order list, CSR mode the sorted row, and periodic
+// mode computes the row (ascending) into a single per-graph scratch
+// buffer that the NEXT Neighbors call overwrites. Periodic-mode callers
+// that read a graph from several goroutines, or that need two rows
+// alive at once, must use EachNeighbor / HasEdge / Degree instead —
+// those are stateless in every mode.
 func (g *Graph) Neighbors(u int) []int {
 	if g.mode == Bitset {
 		return g.adj[u]
+	}
+	if g.mode == Periodic {
+		return g.periodicNeighbors(u)
 	}
 	g.ensure()
 	return g.col[g.rowPtr[u]:g.rowPtr[u+1]]
@@ -297,8 +362,14 @@ func (g *Graph) Neighbors(u int) []int {
 
 // EachNeighbor calls f for every neighbor of u until f returns false.
 // Equivalent to ranging over Neighbors without exposing the shared
-// slice.
+// slice; in periodic mode it iterates the stencil directly without
+// touching the scratch buffer, so it is the concurrent-safe way to walk
+// implicit rows.
 func (g *Graph) EachNeighbor(u int, f func(v int) bool) {
+	if g.mode == Periodic {
+		g.periodicEachNeighbor(u, f)
+		return
+	}
 	for _, v := range g.Neighbors(u) {
 		if !f(v) {
 			return
@@ -306,12 +377,22 @@ func (g *Graph) EachNeighbor(u int, f func(v int) bool) {
 	}
 }
 
-// Edges returns the number of edges.
+// Edges returns the number of edges. Explicit modes answer from stored
+// adjacency; periodic mode sums window-clipped stencil degrees on every
+// call — O(n · |stencil|), cheap enough at a million vertices but worth
+// hoisting out of loops.
 func (g *Graph) Edges() int {
 	if g.mode == Bitset {
 		total := 0
 		for _, a := range g.adj {
 			total += len(a)
+		}
+		return total / 2
+	}
+	if g.mode == Periodic {
+		total := 0
+		for u := 0; u < g.n; u++ {
+			total += g.periodicDegree(u)
 		}
 		return total / 2
 	}
@@ -364,108 +445,32 @@ func ColorsUsed(colors []int) int {
 // coloring of this graph is exactly a collision-free slot assignment, and
 // its chromatic number is the minimal number of slots for the finite
 // deployment. The graph's adjacency mode follows the crossover, so very
-// large windows build into CSR with O(n + m) peak adjacency memory.
+// large windows build into CSR with O(n + m) peak adjacency memory; at
+// ParallelThreshold vertices and above, edge generation is sharded across
+// GOMAXPROCS goroutines (see ConflictGraphShards). The returned graph is
+// frozen and safe for concurrent readers.
 func ConflictGraph(dep schedule.Deployment, w lattice.Window) (*Graph, []lattice.Point, error) {
+	if w.Size() >= ParallelThreshold {
+		if p := runtime.GOMAXPROCS(0); p > 1 {
+			return conflictGraphShards(dep, w, Auto, p)
+		}
+	}
 	return conflictGraph(dep, w, Auto)
 }
 
-// conflictGraph is ConflictGraph with an explicit adjacency mode, so the
-// parity tests can build the same deployment into both representations.
-//
-// Edge generation follows the dense-indexing rule end to end: every
-// neighborhood point is resolved once into an index of the reach-expanded
-// window `ext` and kept in a CSR-style table (nbhPtr/nbhIdx); sensor i
-// stamps its row into an epoch array over ext; and candidate partners j
-// come from the bounding box p_i ± 2·reach clipped to the window —
-// sensors further apart cannot share a neighborhood point — so the inner
-// loop is pure integer compares: O(n · box · |N|) instead of the all-pairs
-// O(n² · |N|²) scan.
+// conflictGraph is ConflictGraph's serial path with an explicit adjacency
+// mode, so the parity tests can build the same deployment into both
+// explicit representations. Edge generation is one conflictScanner pass
+// over the full vertex range (see scan.go for the cost model).
 func conflictGraph(dep schedule.Deployment, w lattice.Window, mode Mode) (*Graph, []lattice.Point, error) {
-	if w.Dim() != dep.Dim() {
-		return nil, nil, fmt.Errorf("%w: window dimension %d ≠ deployment dimension %d",
-			ErrGraph, w.Dim(), dep.Dim())
-	}
-	pts := w.Points()
-	n := len(pts)
-	reach := dep.Reach()
-	extLo := w.Lo.Clone()
-	extHi := w.Hi.Clone()
-	for a := range extLo {
-		extLo[a] -= reach
-		extHi[a] += reach
-	}
-	ext, err := lattice.NewWindow(extLo, extHi)
+	sc, err := newConflictScanner(dep, w, 1)
 	if err != nil {
 		return nil, nil, err
 	}
-	extSize, err := ext.SizeChecked()
-	if err != nil {
-		return nil, nil, fmt.Errorf("%w: conflict window too large: %v", ErrGraph, err)
-	}
-	if extSize > math.MaxInt32 {
-		return nil, nil, fmt.Errorf("%w: conflict window too large: %d points", ErrGraph, extSize)
-	}
-	// Resolve every neighborhood into ext indexes exactly once (flat
-	// int32 table, CSR layout). Points outside ext — possible only when a
-	// deployment breaks its Reach contract — are skipped on both the
-	// stamping and the scanning side, keeping the two consistent.
-	nbhPtr := make([]int, n+1)
-	nbhIdx := make([]int32, 0, n)
-	for i, p := range pts {
-		for _, x := range dep.NeighborhoodOf(p) {
-			if xi, ok := ext.IndexOf(x); ok {
-				nbhIdx = append(nbhIdx, int32(xi))
-			}
-		}
-		nbhPtr[i+1] = len(nbhIdx)
-	}
-	stamp := make([]int32, extSize)
-	for i := range stamp {
-		stamp[i] = -1
-	}
-	g := NewMode(n, mode)
-	dim := w.Dim()
-	lo := make(lattice.Point, dim)
-	hi := make(lattice.Point, dim)
-	q := make(lattice.Point, dim)
-	for i, p := range pts {
-		epoch := int32(i)
-		for _, xi := range nbhIdx[nbhPtr[i]:nbhPtr[i+1]] {
-			stamp[xi] = epoch
-		}
-		// Bounding box of possible partners, clipped to the window.
-		for a := 0; a < dim; a++ {
-			lo[a] = max(p[a]-2*reach, w.Lo[a])
-			hi[a] = min(p[a]+2*reach, w.Hi[a])
-		}
-		// Odometer over the box; every q is inside w by construction.
-		copy(q, lo)
-		for {
-			j, _ := w.IndexOf(q)
-			if j > i {
-				for _, xi := range nbhIdx[nbhPtr[j]:nbhPtr[j+1]] {
-					if stamp[xi] == epoch {
-						g.AddEdge(i, j)
-						break
-					}
-				}
-			}
-			a := dim - 1
-			for a >= 0 {
-				q[a]++
-				if q[a] <= hi[a] {
-					break
-				}
-				q[a] = lo[a]
-				a--
-			}
-			if a < 0 {
-				break
-			}
-		}
-	}
+	g := NewMode(len(sc.pts), mode)
+	sc.scanRange(0, len(sc.pts), sc.newStamp(), g.AddEdge)
 	g.Freeze()
-	return g, pts, nil
+	return g, sc.pts, nil
 }
 
 // OptimalSchedule constructs the minimal-slot collision-free schedule for

@@ -1,0 +1,96 @@
+package graph
+
+import (
+	"sync"
+
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/schedule"
+)
+
+// ParallelThreshold is the vertex count at which ConflictGraph switches
+// from the serial builder to the sharded parallel builder (when
+// GOMAXPROCS > 1). Below it the per-shard setup — one reach-expanded
+// stamp array per goroutine plus the final buffer merge — costs more
+// than the scan it parallelizes; above it the scan dominates and splits
+// embarrassingly. The threshold sits far above BitsetCrossover, so the
+// bitset mode and everything below the crossover are untouched.
+const ParallelThreshold = 32768
+
+// ConflictGraphShards is ConflictGraph with an explicit shard count:
+// edge generation splits the window's vertex range into `shards`
+// contiguous ranges scanned by one goroutine each. Every shard owns a
+// private stamp array over the reach-expanded window (extSize × 4 bytes
+// apiece — the memory cost of parallelism) and a private edge buffer;
+// buffers are concatenated and frozen into the canonical sorted CSR, so
+// the frozen graph is bit-identical for every shard count (the
+// shard-invariance tests pin this). shards ≤ 1 selects the serial path.
+//
+// The deployment's NeighborhoodOf must be safe for concurrent calls;
+// both in-repo deployments (Homogeneous, D1) are, as they only read
+// state cached at construction.
+func ConflictGraphShards(dep schedule.Deployment, w lattice.Window, shards int) (*Graph, []lattice.Point, error) {
+	return conflictGraphShards(dep, w, Auto, shards)
+}
+
+// conflictGraphShards is the sharded builder with an explicit adjacency
+// mode for the parity and invariance tests.
+func conflictGraphShards(dep schedule.Deployment, w lattice.Window, mode Mode, shards int) (*Graph, []lattice.Point, error) {
+	if shards <= 1 {
+		return conflictGraph(dep, w, mode)
+	}
+	sc, err := newConflictScanner(dep, w, shards)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := len(sc.pts)
+	if shards > n {
+		shards = n
+	}
+	if shards <= 1 {
+		g := NewMode(n, mode)
+		sc.scanRange(0, n, sc.newStamp(), g.AddEdge)
+		g.Freeze()
+		return g, sc.pts, nil
+	}
+	bufs := make([][]csrEdge, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		lo, hi := shardRange(n, shards, s)
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			// Size the buffer for the shard's share of a typical edge
+			// count; it grows as needed.
+			buf := make([]csrEdge, 0, (hi-lo)*4)
+			sc.scanRange(lo, hi, sc.newStamp(), func(u, v int) {
+				// scanRange emits u < v, matching csrEdge normalization.
+				buf = append(buf, csrEdge{int32(u), int32(v)})
+			})
+			bufs[s] = buf
+		}(s, lo, hi)
+	}
+	wg.Wait()
+	g := NewMode(n, mode)
+	if g.mode == Bitset {
+		// Forced-bitset builds (tests below the crossover) replay the
+		// buffers; the bitset path is otherwise untouched by sharding.
+		for _, buf := range bufs {
+			for _, e := range buf {
+				g.AddEdge(int(e.u), int(e.v))
+			}
+		}
+		g.Freeze()
+		return g, sc.pts, nil
+	}
+	total := 0
+	for _, buf := range bufs {
+		total += len(buf)
+	}
+	merged := make([]csrEdge, 0, total)
+	for _, buf := range bufs {
+		merged = append(merged, buf...)
+	}
+	g.buf = merged
+	g.Freeze()
+	return g, sc.pts, nil
+}

@@ -1,0 +1,143 @@
+package graph
+
+// Shard-count invariance: the parallel builder must produce a frozen
+// CSR that is bit-identical to the serial build for every shard count —
+// sharding partitions the edge set by smaller endpoint and Freeze
+// canonicalizes row order, so any divergence is a bug.
+
+import (
+	"math/rand"
+	"runtime"
+	"slices"
+	"testing"
+
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/prototile"
+	"tilingsched/internal/schedule"
+)
+
+// TestConflictGraphShardInvariance pins rowPtr/col equality across
+// shard counts 1, 2, 3, 8 and the serial path, for several deployments
+// including asymmetric and disconnected neighborhoods.
+func TestConflictGraphShardInvariance(t *testing.T) {
+	deps := []schedule.Deployment{
+		schedule.NewHomogeneous(prototile.Cross(2, 1)),
+		schedule.NewHomogeneous(prototile.MustTetromino("S")),
+		schedule.NewHomogeneous(prototile.Directional()),
+	}
+	for _, dep := range deps {
+		w := mustBoxWindow(t, 37, 41) // 1517 vertices
+		serial, pts, err := conflictGraph(dep, w, CSR)
+		if err != nil {
+			t.Fatalf("conflictGraph: %v", err)
+		}
+		for _, shards := range []int{1, 2, 3, 8} {
+			g, ptsS, err := conflictGraphShards(dep, w, CSR, shards)
+			if err != nil {
+				t.Fatalf("shards=%d: %v", shards, err)
+			}
+			if len(ptsS) != len(pts) {
+				t.Fatalf("shards=%d: %d points, serial %d", shards, len(ptsS), len(pts))
+			}
+			if !slices.Equal(g.rowPtr, serial.rowPtr) || !slices.Equal(g.col, serial.col) {
+				t.Fatalf("shards=%d: frozen CSR differs from serial build", shards)
+			}
+		}
+		// Forced-bitset sharded build agrees row-for-row too.
+		gB, _, err := conflictGraphShards(dep, w, Bitset, 4)
+		if err != nil {
+			t.Fatalf("bitset shards: %v", err)
+		}
+		for u := 0; u < serial.N(); u++ {
+			got := slices.Clone(gB.Neighbors(u))
+			slices.Sort(got)
+			if !slices.Equal(got, serial.Neighbors(u)) {
+				t.Fatalf("bitset sharded Neighbors(%d) = %v, serial %v", u, got, serial.Neighbors(u))
+			}
+		}
+	}
+}
+
+// TestConflictGraphShardsPublic checks the exported entry point across
+// the bitset/CSR crossover and degenerate shard counts (0, negative,
+// more shards than vertices).
+func TestConflictGraphShardsPublic(t *testing.T) {
+	dep := schedule.NewHomogeneous(prototile.Cross(2, 2))
+	small := lattice.CenteredWindow(2, 3) // 49 vertices — auto resolves to bitset
+	for _, shards := range []int{-1, 0, 1, 4, 1000} {
+		g, pts, err := ConflictGraphShards(dep, small, shards)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if g.Mode() != Bitset {
+			t.Fatalf("shards=%d: mode %v below the crossover, want bitset", shards, g.Mode())
+		}
+		ref, _, err := ConflictGraph(dep, small)
+		if err != nil {
+			t.Fatalf("ConflictGraph: %v", err)
+		}
+		if g.Edges() != ref.Edges() || len(pts) != ref.N() {
+			t.Fatalf("shards=%d: %d edges, want %d", shards, g.Edges(), ref.Edges())
+		}
+	}
+	big := mustBoxWindow(t, 70, 70) // 4900 > BitsetCrossover — auto resolves to CSR
+	serial, _, err := conflictGraph(dep, big, CSR)
+	if err != nil {
+		t.Fatalf("conflictGraph: %v", err)
+	}
+	g, _, err := ConflictGraphShards(dep, big, 8)
+	if err != nil {
+		t.Fatalf("ConflictGraphShards: %v", err)
+	}
+	if g.Mode() != CSR {
+		t.Fatalf("mode %v above the crossover, want CSR", g.Mode())
+	}
+	if !slices.Equal(g.rowPtr, serial.rowPtr) || !slices.Equal(g.col, serial.col) {
+		t.Fatal("public sharded build differs from serial CSR")
+	}
+}
+
+// TestConflictGraphAutoParallel forces GOMAXPROCS above 1 so the
+// automatic ConflictGraph path takes the sharded builder at
+// ParallelThreshold vertices, and checks it against the serial build.
+// Excluded under -short: the window must exceed the threshold, so the
+// build is ~100k box scans.
+func TestConflictGraphAutoParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("threshold-sized window; skipped with -short")
+	}
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	dep := schedule.NewHomogeneous(prototile.Cross(2, 1))
+	w := mustBoxWindow(t, 182, 182) // 33124 ≥ ParallelThreshold
+	if w.Size() < ParallelThreshold {
+		t.Fatalf("test window too small: %d < %d", w.Size(), ParallelThreshold)
+	}
+	g, pts, err := ConflictGraph(dep, w)
+	if err != nil {
+		t.Fatalf("ConflictGraph: %v", err)
+	}
+	serial, _, err := conflictGraph(dep, w, CSR)
+	if err != nil {
+		t.Fatalf("conflictGraph: %v", err)
+	}
+	if len(pts) != serial.N() {
+		t.Fatalf("points = %d, want %d", len(pts), serial.N())
+	}
+	if !slices.Equal(g.rowPtr, serial.rowPtr) || !slices.Equal(g.col, serial.col) {
+		t.Fatal("auto-parallel build differs from serial CSR")
+	}
+	// Spot-check structure against the oracle at a few random pairs.
+	rng := rand.New(rand.NewSource(4))
+	ptsAll := w.Points()
+	for probe := 0; probe < 50; probe++ {
+		i, j := rng.Intn(len(ptsAll)), rng.Intn(len(ptsAll))
+		if i == j {
+			continue
+		}
+		want := schedule.Conflict(dep, ptsAll[i], ptsAll[j])
+		if g.HasEdge(i, j) != want {
+			t.Fatalf("edge %v–%v = %v, oracle %v", ptsAll[i], ptsAll[j], g.HasEdge(i, j), want)
+		}
+	}
+}

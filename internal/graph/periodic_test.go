@@ -1,0 +1,265 @@
+package graph
+
+// Explicit-vs-implicit differential tests: the Periodic adjacency mode
+// must agree edge-for-edge with the explicit bitset/CSR builds and the
+// pairwise schedule.Conflict oracle on deployments where the periodicity
+// contract holds, and DSATUR must color all three modes identically.
+
+import (
+	"errors"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"tilingsched/internal/intmat"
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/prototile"
+	"tilingsched/internal/schedule"
+	"tilingsched/internal/tiling"
+)
+
+// TestPeriodicConflictGraphParity builds the conflict graph of random
+// homogeneous deployments implicitly and checks it — via the shared
+// parity harness — against the map-of-sets oracle fed by the pairwise
+// conflict test, then pins DSATUR colorings across bitset, CSR, and
+// periodic modes.
+func TestPeriodicConflictGraphParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5511))
+	for trial := 0; trial < 4; trial++ {
+		for _, dep := range parityDeployments(rng) {
+			hom, ok := dep.(*schedule.Homogeneous)
+			if !ok {
+				t.Fatal("parity deployment pool is expected to be homogeneous")
+			}
+			var w lattice.Window
+			if trial%2 == 0 {
+				w = lattice.CenteredWindow(2, 2+rng.Intn(2))
+			} else {
+				var err error
+				w, err = lattice.BoxWindow(3+rng.Intn(4), 3+rng.Intn(4))
+				if err != nil {
+					t.Fatalf("BoxWindow: %v", err)
+				}
+			}
+			gP, err := HomogeneousConflictGraph(hom, w)
+			if err != nil {
+				t.Fatalf("HomogeneousConflictGraph: %v", err)
+			}
+			if gP.Mode() != Periodic {
+				t.Fatalf("mode = %v, want periodic", gP.Mode())
+			}
+			if pw, ok := gP.Window(); !ok || !pw.Lo.Equal(w.Lo) || !pw.Hi.Equal(w.Hi) {
+				t.Fatalf("Window() = %v, %v; want %v", pw, ok, w)
+			}
+			pts := w.Points()
+			ng := newNaiveGraph(len(pts))
+			for i := 0; i < len(pts); i++ {
+				for j := i + 1; j < len(pts); j++ {
+					if schedule.Conflict(dep, pts[i], pts[j]) {
+						ng.addEdge(i, j)
+					}
+				}
+			}
+			checkGraphParity(t, "conflict/periodic", gP, ng, rng)
+
+			gBit, _, err := conflictGraph(dep, w, Bitset)
+			if err != nil {
+				t.Fatalf("conflictGraph bitset: %v", err)
+			}
+			gCSR, _, err := conflictGraph(dep, w, CSR)
+			if err != nil {
+				t.Fatalf("conflictGraph csr: %v", err)
+			}
+			cP, kP := DSATUR(gP)
+			cBit, kBit := DSATUR(gBit)
+			cCSR, kCSR := DSATUR(gCSR)
+			if kP != kBit || kP != kCSR || !slices.Equal(cP, cBit) || !slices.Equal(cP, cCSR) {
+				t.Fatalf("DSATUR diverges across modes: periodic %d, bitset %d, csr %d colors",
+					kP, kBit, kCSR)
+			}
+			if !gP.ValidColoring(cP) || !ng.validColoring(cP) {
+				t.Fatal("periodic DSATUR coloring rejected")
+			}
+		}
+	}
+}
+
+// TestPeriodicD1Parity exercises the multi-class stencil path: the D1
+// deployment of a 2×2 torus tiling is periodic modulo diag(2, 2), so
+// the 4-class implicit graph must match the explicit build and the
+// pairwise oracle.
+func TestPeriodicD1Parity(t *testing.T) {
+	domino := prototile.MustNew("domino", lattice.Pt(0, 0), lattice.Pt(1, 0))
+	mono := prototile.MustNew("mono", lattice.Pt(0, 0))
+	tt, err := tiling.NewTorusTiling([]int{2, 2},
+		[]*prototile.Tile{domino, mono},
+		[]tiling.Placement{
+			{TileIndex: 0, Offset: lattice.Pt(0, 0)},
+			{TileIndex: 1, Offset: lattice.Pt(0, 1)},
+			{TileIndex: 1, Offset: lattice.Pt(1, 1)},
+		})
+	if err != nil {
+		t.Fatalf("NewTorusTiling: %v", err)
+	}
+	dep := schedule.NewD1(tt)
+	res, err := tiling.NewResidues(intmat.MustFromRows([][]int64{{2, 0}, {0, 2}}))
+	if err != nil {
+		t.Fatalf("NewResidues: %v", err)
+	}
+	if res.Classes() != 4 {
+		t.Fatalf("classes = %d, want 4", res.Classes())
+	}
+	rng := rand.New(rand.NewSource(88))
+	for _, w := range []lattice.Window{
+		lattice.CenteredWindow(2, 3),
+		mustBoxWindow(t, 6, 7),
+		mustBoxWindow(t, 5, 4),
+	} {
+		gP, err := PeriodicConflictGraph(dep, res, w)
+		if err != nil {
+			t.Fatalf("PeriodicConflictGraph: %v", err)
+		}
+		pts := w.Points()
+		ng := newNaiveGraph(len(pts))
+		for i := 0; i < len(pts); i++ {
+			for j := i + 1; j < len(pts); j++ {
+				if schedule.Conflict(dep, pts[i], pts[j]) {
+					ng.addEdge(i, j)
+				}
+			}
+		}
+		checkGraphParity(t, "conflict/periodic-d1", gP, ng, rng)
+		gCSR, _, err := conflictGraph(dep, w, CSR)
+		if err != nil {
+			t.Fatalf("conflictGraph: %v", err)
+		}
+		cP, kP := DSATUR(gP)
+		cE, kE := DSATUR(gCSR)
+		if kP != kE || !slices.Equal(cP, cE) {
+			t.Fatalf("DSATUR diverges: periodic %d vs explicit %d colors", kP, kE)
+		}
+	}
+}
+
+func mustBoxWindow(t *testing.T, sides ...int) lattice.Window {
+	t.Helper()
+	w, err := lattice.BoxWindow(sides...)
+	if err != nil {
+		t.Fatalf("BoxWindow%v: %v", sides, err)
+	}
+	return w
+}
+
+// TestPeriodicVerifySchedule drives the graph-side verifier in both
+// explicit and implicit modes: the Theorem 1 tiling schedule and plain
+// TDMA must verify collision-free, a constant-slot schedule must be
+// rejected with a collision witness, and the witnesses must agree with
+// schedule.VerifyCollisionFree.
+func TestPeriodicVerifySchedule(t *testing.T) {
+	tile := prototile.Cross(2, 1)
+	lt, ok := tiling.FindLatticeTiling(tile)
+	if !ok {
+		t.Fatal("no lattice tiling for the cross")
+	}
+	s := schedule.FromLatticeTiling(lt)
+	dep := schedule.NewHomogeneous(tile)
+	w := lattice.CenteredWindow(2, 12) // 25² = 625 sensors
+	gP, err := HomogeneousConflictGraph(dep, w)
+	if err != nil {
+		t.Fatalf("HomogeneousConflictGraph: %v", err)
+	}
+	gE, _, err := ConflictGraph(dep, w)
+	if err != nil {
+		t.Fatalf("ConflictGraph: %v", err)
+	}
+	for _, tc := range []struct {
+		name string
+		g    *Graph
+	}{{"periodic", gP}, {"explicit", gE}} {
+		if err := VerifySchedule(tc.g, w, s); err != nil {
+			t.Fatalf("%s: Theorem 1 schedule rejected: %v", tc.name, err)
+		}
+		if err := VerifySchedule(tc.g, w, schedule.PlainTDMA(w)); err != nil {
+			t.Fatalf("%s: TDMA rejected: %v", tc.name, err)
+		}
+		pts := w.Points()
+		bad, err := schedule.NewMapSchedule(1, pts, make([]int, len(pts)))
+		if err != nil {
+			t.Fatalf("NewMapSchedule: %v", err)
+		}
+		verr := VerifySchedule(tc.g, w, bad)
+		var cw schedule.CollisionWitness
+		if !errors.As(verr, &cw) {
+			t.Fatalf("%s: constant schedule accepted (err = %v)", tc.name, verr)
+		}
+		if cw.Slot != 0 || !schedule.Conflict(dep, cw.P, cw.Q) {
+			t.Fatalf("%s: witness %v is not a real conflict", tc.name, cw)
+		}
+	}
+	// The schedule-side verifier agrees on the positive case.
+	if err := schedule.VerifyCollisionFree(s, dep, w); err != nil {
+		t.Fatalf("VerifyCollisionFree: %v", err)
+	}
+	// Vertex-count mismatch is an error, not a silent pass.
+	if err := VerifySchedule(gP, lattice.CenteredWindow(2, 3), s); err == nil {
+		t.Fatal("window/graph size mismatch accepted")
+	}
+}
+
+// TestPeriodicImmutable pins the AddEdge panic: implicit graphs cannot
+// be mutated.
+func TestPeriodicImmutable(t *testing.T) {
+	dep := schedule.NewHomogeneous(prototile.Cross(2, 1))
+	g, err := HomogeneousConflictGraph(dep, lattice.CenteredWindow(2, 2))
+	if err != nil {
+		t.Fatalf("HomogeneousConflictGraph: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddEdge on a periodic graph did not panic")
+		}
+	}()
+	g.AddEdge(0, 1)
+}
+
+// TestPeriodicModeString pins the diagnostic name and the Window
+// accessor's explicit-mode behavior.
+func TestPeriodicModeString(t *testing.T) {
+	if Periodic.String() != "periodic" {
+		t.Fatalf("Periodic.String() = %q", Periodic.String())
+	}
+	if _, ok := New(4).Window(); ok {
+		t.Fatal("explicit graph reported a window")
+	}
+}
+
+// TestPeriodicMemoryFootprint asserts the point of the mode: the
+// implicit representation of a large homogeneous window stores no
+// per-vertex or per-edge adjacency state.
+func TestPeriodicMemoryFootprint(t *testing.T) {
+	dep := schedule.NewHomogeneous(prototile.Cross(2, 1))
+	w := lattice.CenteredWindow(2, 500) // 1001² ≈ 1M vertices
+	g, err := HomogeneousConflictGraph(dep, w)
+	if err != nil {
+		t.Fatalf("HomogeneousConflictGraph: %v", err)
+	}
+	if g.N() != 1001*1001 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// The cross of radius 1 has |N−N \ {0}| = 12 conflict offsets.
+	if len(g.stOff) != 12*2 || g.stPtr[len(g.stPtr)-1] != 12 {
+		t.Fatalf("stencil stores %d ints (%d offsets), want 24 (12)", len(g.stOff), g.stPtr[len(g.stPtr)-1])
+	}
+	if g.col != nil || g.buf != nil || g.adj != nil || g.bits != nil {
+		t.Fatal("periodic graph materialized explicit adjacency state")
+	}
+	// Interior degree matches the stencil size; corners clip.
+	center, _ := w.IndexOf(lattice.Pt(0, 0))
+	if d := g.Degree(center); d != 12 {
+		t.Fatalf("interior degree = %d, want 12", d)
+	}
+	corner, _ := w.IndexOf(lattice.Pt(-500, -500))
+	if d := g.Degree(corner); d != 5 {
+		t.Fatalf("corner degree = %d, want 5", d)
+	}
+}

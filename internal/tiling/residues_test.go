@@ -1,0 +1,105 @@
+package tiling
+
+import (
+	"math/rand"
+	"testing"
+
+	"tilingsched/internal/intmat"
+	"tilingsched/internal/lattice"
+)
+
+// TestResiduesRoundTrip checks, for several period bases, that
+// Representative inverts ClassOf and that classification is invariant
+// under translation by period vectors — the property the implicit
+// periodic conflict graphs build on.
+func TestResiduesRoundTrip(t *testing.T) {
+	periods := []*intmat.Matrix{
+		intmat.Identity(2),
+		intmat.MustFromRows([][]int64{{2, 0}, {0, 3}}),
+		intmat.MustFromRows([][]int64{{2, 1}, {0, 3}}),
+		// Non-HNF basis; brought to HNF internally. det = 5.
+		intmat.MustFromRows([][]int64{{2, 1}, {-1, 2}}),
+		intmat.MustFromRows([][]int64{{3, 0, 0}, {0, 1, 0}, {0, 0, 2}}),
+	}
+	rng := rand.New(rand.NewSource(31))
+	for _, period := range periods {
+		r, err := NewResidues(period)
+		if err != nil {
+			t.Fatalf("NewResidues(%v): %v", period, err)
+		}
+		det, err := r.Period().Det()
+		if err != nil {
+			t.Fatalf("Det: %v", err)
+		}
+		if int64(r.Classes()) != det {
+			t.Fatalf("Classes = %d, det = %d", r.Classes(), det)
+		}
+		if r.Dim() != period.Rows() {
+			t.Fatalf("Dim = %d, want %d", r.Dim(), period.Rows())
+		}
+		for c := 0; c < r.Classes(); c++ {
+			rep := r.Representative(c)
+			got, ok := r.ClassOf(rep)
+			if !ok || got != c {
+				t.Fatalf("ClassOf(Representative(%d)) = %d, %v", c, got, ok)
+			}
+		}
+		// Translation invariance: p and p + Σ k_i·h_i share a class.
+		h := r.Period()
+		for probe := 0; probe < 200; probe++ {
+			p := make(lattice.Point, r.Dim())
+			for a := range p {
+				p[a] = rng.Intn(41) - 20
+			}
+			q := p.Clone()
+			for i := 0; i < r.Dim(); i++ {
+				k := rng.Intn(7) - 3
+				for a := 0; a < r.Dim(); a++ {
+					q[a] += k * int(h.At(i, a))
+				}
+			}
+			cp, okP := r.ClassOf(p)
+			cq, okQ := r.ClassOf(q)
+			if !okP || !okQ || cp != cq {
+				t.Fatalf("period %v: ClassOf(%v) = %d but ClassOf(%v) = %d", period, p, cp, q, cq)
+			}
+		}
+		// Distinct classes for points inside the fundamental box are
+		// already pinned by the Representative round trip above.
+	}
+}
+
+// TestResiduesDimensionMismatch pins the ok=false contract.
+func TestResiduesDimensionMismatch(t *testing.T) {
+	r := IdentityResidues(2)
+	if _, ok := r.ClassOf(lattice.Pt(1, 2, 3)); ok {
+		t.Fatal("ClassOf accepted a 3d point in a 2d classifier")
+	}
+	if c, ok := r.ClassOf(lattice.Pt(17, -4)); !ok || c != 0 {
+		t.Fatalf("identity ClassOf = %d, %v; want 0, true", c, ok)
+	}
+	if r.Classes() != 1 {
+		t.Fatalf("identity Classes = %d, want 1", r.Classes())
+	}
+}
+
+// TestResiduesErrors covers the invalid-basis paths.
+func TestResiduesErrors(t *testing.T) {
+	if _, err := NewResidues(intmat.New(2, 3)); err == nil {
+		t.Fatal("non-square basis accepted")
+	}
+	if _, err := NewResidues(intmat.New(2, 2)); err == nil {
+		t.Fatal("singular basis accepted")
+	}
+}
+
+// TestResiduesRepresentativePanics pins the out-of-range contract.
+func TestResiduesRepresentativePanics(t *testing.T) {
+	r := IdentityResidues(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Representative(1) on a 1-class classifier did not panic")
+		}
+	}()
+	r.Representative(1)
+}
