@@ -1,10 +1,13 @@
 // Command latticed serves tiling schedules over HTTP: compile a plan
 // once, answer batches of SlotOf / MayBroadcast queries with O(1)
-// integer arithmetic per point (internal/service).
+// integer arithmetic per point, and churn dynamic deployment sessions
+// with bounded-disruption rescheduling (internal/service +
+// internal/dynamic).
 //
 // Usage:
 //
 //	go run ./cmd/latticed [-addr :8370] [-cache 256] [-max-batch N] [-max-window N]
+//	                      [-sessions 16] [-debug]
 //
 // Endpoints:
 //
@@ -12,45 +15,93 @@
 //	POST /v1/slots:batch        {"plan":{...},"points":[[3,4],[0,0]]}
 //	                            {"plan":{...},"window":{"lo":[-4,-4],"hi":[4,4]}}
 //	POST /v1/maybroadcast:batch {"plan":{...},"points":[[3,4]],"t":12345}
+//	POST /v1/plan:mutate        {"plan":{...},"window":{...},"events":[{"op":"leave","p":[0,0]}]}
 //	GET  /healthz
+//	GET  /debug/pprof/          CPU/heap/goroutine profiles (opt-in: -debug)
+//	GET  /debug/vars            expvar: registry hit rate, batch sizes,
+//	                            mutation counts under "latticed" (opt-in:
+//	                            -debug; profiles cost CPU and leak
+//	                            internals, so keep the plane off on
+//	                            untrusted networks)
 //
 // Compiled plans are cached in an LRU keyed by the canonical
 // (lattice, tile) signature; concurrent first requests for one plan
-// compile it exactly once. Measure throughput against a running daemon
+// compile it exactly once. Dynamic sessions are keyed by
+// signature + window and versioned by an epoch, so clients track churn
+// through delta responses. Measure throughput against a running daemon
 // with the load generator: go run ./cmd/bench -load http://localhost:8370.
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os/signal"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"tilingsched/internal/service"
 )
 
+// statsSource is the server whose counters /debug/vars reports. expvar
+// registration is process-global and permanent, so the handler registers
+// one Func (publishOnce) that always reads the current server — tests
+// that build several handlers observe the latest.
+var (
+	statsSource atomic.Pointer[service.Server]
+	publishOnce sync.Once
+)
+
 // newHandler assembles the daemon's full HTTP wiring — registry, batch
-// engine, wire layer — from its scalar knobs. Split from main so the
-// end-to-end tests drive exactly what the binary serves via httptest.
-func newHandler(cache, maxBatch, maxWindow int) http.Handler {
-	return service.NewServer(service.NewRegistry(cache), service.ServerOptions{
-		MaxBatch:  maxBatch,
-		MaxWindow: maxWindow,
+// engine, dynamic sessions, wire layer, and (when debug is set) the
+// pprof/expvar instrumentation plane — from its scalar knobs. Split from
+// main so the end-to-end tests drive exactly what the binary serves via
+// httptest.
+func newHandler(cache, maxBatch, maxWindow, sessions int, debug bool) http.Handler {
+	srv := service.NewServer(service.NewRegistry(cache), service.ServerOptions{
+		MaxBatch:    maxBatch,
+		MaxWindow:   maxWindow,
+		MaxSessions: sessions,
 	})
+	if !debug {
+		return srv
+	}
+	statsSource.Store(srv)
+	publishOnce.Do(func() {
+		expvar.Publish("latticed", expvar.Func(func() any {
+			if s := statsSource.Load(); s != nil {
+				return s.Snapshot()
+			}
+			return nil
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/", srv)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
 }
 
 func main() {
 	addr := flag.String("addr", ":8370", "listen address")
 	cache := flag.Int("cache", 256, "plan cache capacity (compiled plans)")
-	maxBatch := flag.Int("max-batch", 0, "max points per explicit batch (0 = default)")
-	maxWindow := flag.Int("max-window", 0, "max points per window shorthand (0 = default)")
+	maxBatch := flag.Int("max-batch", 0, "max points per explicit batch and events per mutate (0 = default)")
+	maxWindow := flag.Int("max-window", 0, "max points per window shorthand or session window (0 = default)")
+	sessions := flag.Int("sessions", 0, "max live dynamic deployment sessions (0 = default)")
+	debug := flag.Bool("debug", false, "serve /debug/pprof and /debug/vars (keep off on untrusted networks)")
 	flag.Parse()
 
-	handler := newHandler(*cache, *maxBatch, *maxWindow)
+	handler := newHandler(*cache, *maxBatch, *maxWindow, *sessions, *debug)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,

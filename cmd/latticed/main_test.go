@@ -35,7 +35,7 @@ func postJSON(t *testing.T, client *http.Client, url, body string) (*http.Respon
 // share a slot, and an explicit point batch agrees with the window
 // shorthand point for point.
 func TestPlanSlotsRoundTrip(t *testing.T) {
-	ts := httptest.NewServer(newHandler(8, 0, 0))
+	ts := httptest.NewServer(newHandler(8, 0, 0, 0, false))
 	defer ts.Close()
 	client := ts.Client()
 
@@ -157,7 +157,7 @@ func TestPlanSlotsRoundTrip(t *testing.T) {
 // TestHandlerErrorWiring drives the failure paths end to end: status
 // codes and JSON error bodies must survive the full HTTP stack.
 func TestHandlerErrorWiring(t *testing.T) {
-	ts := httptest.NewServer(newHandler(4, 3, 25))
+	ts := httptest.NewServer(newHandler(4, 3, 25, 0, false))
 	defer ts.Close()
 	client := ts.Client()
 

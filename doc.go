@@ -59,5 +59,38 @@
 //     number of goroutines may query one plan concurrently.
 //   - cmd/latticed exposes the engine over compact JSON/HTTP
 //     (/v1/plan, /v1/slots:batch, /v1/maybroadcast:batch, /healthz);
-//     cmd/bench -load is the matching load generator.
+//     cmd/bench -load is the matching load generator, and -debug serves
+//     the pprof/expvar observability plane (/debug/pprof, /debug/vars).
+//
+// # Dynamic deployments
+//
+// internal/dynamic opens the churn axis (DESIGN.md §9): real sensor
+// fields lose nodes, gain nodes, and duty-cycle, and a schedule that
+// must be recompiled on every change wastes both the ~70 ms (100k
+// vertices) conflict-graph rebuild and a full recolor's disruption.
+//
+//   - dynamic.Overlay maintains the conflict graph incrementally over a
+//     frozen base graph of any adjacency mode: a tombstone bitset for
+//     departures, added vertices for out-of-window joins, and explicit
+//     edge patches computed by a graph.SiteScanner probe of the
+//     p ± 2·reach bounding box (570 ns per join/leave round trip at
+//     100k vertices vs 73 ms for the rebuild it replaces;
+//     BENCH_<date>_dynamic.json). Compaction re-freezes the overlay
+//     when the delta exceeds a threshold.
+//   - dynamic.Mutator repairs the slot assignment with bounded
+//     disruption: smallest-free-slot joins, then damage-region
+//     DSATUR-repair (the joining vertex plus its saturated neighbors,
+//     exterior colors fixed), then — only when the color budget is
+//     provably exhausted — a full recolor. Every Apply reports a
+//     Disruption and the changed slot assignments as deltas.
+//   - The service layer exposes sessions over POST /v1/plan:mutate,
+//     keyed by core.Signature + window and versioned by an epoch, so
+//     latticed clients track churn from delta responses without
+//     re-downloading schedules; wsn.Config.Churn scripts the same
+//     events through the simulator (the tiling schedule needs no
+//     rescheduling under churn — condition T2 is subset-closed), and
+//     examples/churn walks the whole story. A differential oracle
+//     (internal/dynamic/oracle_test.go) pins every mutation sequence
+//     edge-identical and VerifySchedule-valid against from-scratch
+//     rebuilds across all three base modes.
 package tilingsched

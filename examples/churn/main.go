@@ -1,0 +1,154 @@
+// Churn: drive a dynamic deployment through join/leave/move/fail events
+// and watch the incremental machinery work — the conflict graph is
+// patched (never rebuilt) and the schedule repaired with bounded
+// disruption, while a from-scratch ConflictGraph build of the same
+// deployment is timed alongside for contrast. A second act replays the
+// same churn inside the slotted-radio simulator, where the Theorem 1
+// schedule keeps a perfect delivery ratio with zero rescheduling:
+// condition T2 is closed under subsets, the paper's quiet superpower for
+// churning networks.
+//
+// Run with:
+//
+//	go run ./examples/churn [-half 60]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"tilingsched/internal/dynamic"
+	"tilingsched/internal/graph"
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/prototile"
+	"tilingsched/internal/schedule"
+	"tilingsched/internal/tiling"
+	"tilingsched/internal/wsn"
+)
+
+func main() {
+	half := flag.Int("half", 60, "window half-side r; [-r, r]² sensors")
+	flag.Parse()
+
+	tile := prototile.Cross(2, 1)
+	lt, ok := tiling.FindLatticeTiling(tile)
+	if !ok {
+		log.Fatal("churn: no tiling for the cross")
+	}
+	plan := schedule.FromLatticeTiling(lt)
+	dep := plan.Deployment()
+	w := lattice.CenteredWindow(2, *half)
+	n := w.Size()
+	fmt.Printf("deployment: %d sensors in %s, %d-slot tiling schedule\n\n", n, w, plan.Slots())
+
+	start := time.Now()
+	m, err := dynamic.NewMutator(dep, w, plan, dynamic.Options{
+		Residues: tiling.IdentityResidues(2),
+	})
+	if err != nil {
+		log.Fatalf("churn: %v", err)
+	}
+	fmt.Printf("mutator seeded (implicit periodic base) in %v\n", time.Since(start))
+
+	// The comparator every event avoids: one explicit rebuild.
+	start = time.Now()
+	if _, _, err := graph.ConflictGraph(dep, w); err != nil {
+		log.Fatalf("churn: %v", err)
+	}
+	rebuild := time.Since(start)
+	fmt.Printf("full explicit ConflictGraph rebuild of the same window: %v\n\n", rebuild)
+
+	rng := rand.New(rand.NewSource(1))
+	randomIn := func() lattice.Point {
+		return lattice.Pt(rng.Intn(2**half+1)-*half, rng.Intn(2**half+1)-*half)
+	}
+	batches := [][]dynamic.Event{
+		{{Kind: dynamic.Leave, P: lattice.Pt(0, 0)}},
+		{{Kind: dynamic.Fail, P: lattice.Pt(3, -2)}, {Kind: dynamic.Leave, P: lattice.Pt(-5, 5)}},
+		{{Kind: dynamic.Join, P: lattice.Pt(0, 0)}}, // rejoin
+		{{Kind: dynamic.Join, P: lattice.Pt(*half + 1, 0)}},  // grow past the window
+		{{Kind: dynamic.Join, P: lattice.Pt(*half + 2, 0)}},  // and again, next to it
+		{{Kind: dynamic.Move, P: lattice.Pt(1, 1), To: lattice.Pt(*half + 1, 1)}},
+	}
+	for i := 0; i < 6; i++ { // random in-window churn rounds
+		p := randomIn()
+		if _, err := m.SlotOf(p); err == nil {
+			batches = append(batches, []dynamic.Event{{Kind: dynamic.Leave, P: p}})
+		} else {
+			batches = append(batches, []dynamic.Event{{Kind: dynamic.Join, P: p}})
+		}
+	}
+
+	fmt.Printf("%-44s %10s %8s %8s %8s\n", "batch", "apply", "joined", "left", "reassig")
+	for _, evs := range batches {
+		label := describe(evs)
+		start = time.Now()
+		d, _, err := m.Apply(evs)
+		if err != nil {
+			log.Fatalf("churn: %s: %v", label, err)
+		}
+		el := time.Since(start)
+		fmt.Printf("%-44s %10v %8d %8d %8d\n", label, el, d.Joined, d.Departed, d.Reassigned)
+		if d.FullRecolor {
+			fmt.Printf("%-44s (full recolor: palette now %d)\n", "", m.Slots())
+		}
+	}
+	if err := m.Verify(); err != nil {
+		log.Fatalf("churn: schedule invalid after churn: %v", err)
+	}
+	s := m.Stats()
+	fmt.Printf("\nafter churn: %d live sensors, %d slots, schedule verified collision-free\n",
+		m.AliveCount(), m.Slots())
+	fmt.Printf("stats: %d joins, %d leaves, %d fails, %d moves, %d repairs, %d full recolors\n",
+		s.Joins, s.Leaves, s.Fails, s.Moves, s.Repairs, s.FullRecolors)
+	fmt.Printf("every batch above patched the graph in microseconds; the rebuild it avoided costs %v\n\n", rebuild)
+
+	// Act two: the same story in the radio simulator. Saturated traffic,
+	// scripted churn — the tiling schedule never collides.
+	simW := lattice.CenteredWindow(2, 4)
+	sim, err := wsn.Run(wsn.Config{
+		Window:     simW,
+		Deployment: dep,
+		Protocol:   wsn.NewScheduleMAC("tiling", plan),
+		Traffic:    wsn.Saturated{},
+		Slots:      400,
+		Seed:       7,
+		Churn: []wsn.ChurnEvent{
+			{Slot: 50, P: lattice.Pt(0, 0), Up: false},
+			{Slot: 50, P: lattice.Pt(2, 2), Up: false},
+			{Slot: 120, P: lattice.Pt(0, 0), Up: true},
+			{Slot: 200, P: lattice.Pt(-4, 4), Up: false},
+			{Slot: 300, P: lattice.Pt(2, 2), Up: true},
+		},
+	})
+	if err != nil {
+		log.Fatalf("churn: simulator: %v", err)
+	}
+	fmt.Printf("simulator (%d sensors, saturated, %d churn events): delivery %.3f, %d failed tx, %d collisions\n",
+		simW.Size(), sim.NodesLeft+sim.NodesJoined, sim.DeliveryRatio(), sim.FailedTx, sim.ReceiverCollisions)
+	if sim.FailedTx != 0 {
+		log.Fatal("churn: the tiling schedule collided under churn — that would falsify Theorem 1's subset closure")
+	}
+	fmt.Println("the schedule survived churn untouched: no rescheduling, no collisions.")
+}
+
+// describe renders a batch for the demo table.
+func describe(evs []dynamic.Event) string {
+	out := ""
+	for i, ev := range evs {
+		if i > 0 {
+			out += " + "
+		}
+		out += fmt.Sprintf("%s %s", ev.Kind, ev.P)
+		if ev.Kind == dynamic.Move {
+			out += fmt.Sprintf("→%s", ev.To)
+		}
+	}
+	if len(out) > 44 {
+		out = out[:41] + "..."
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+package dynamic
+
+// Benchmarks behind BENCH_<date>_dynamic.json: the incremental mutation
+// path against the full rebuild it replaces, at 100k and 1M vertices,
+// and the damage-region repair colorer against a full DSATUR. Generate
+// the summary with:
+//
+//	scripts/bench.sh -bench Dynamic -pkg ./... -out BENCH_<date>_dynamic.json
+
+import (
+	"testing"
+
+	"tilingsched/internal/graph"
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/prototile"
+	"tilingsched/internal/schedule"
+	"tilingsched/internal/tiling"
+)
+
+// benchWindow100k is the 317×317 = 100489-sensor window of the
+// large-graph benchmarks (PR 3's BenchmarkConflictGraphLarge scale).
+func benchWindow100k(b *testing.B) lattice.Window {
+	b.Helper()
+	w, err := lattice.BoxWindow(317, 317)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// benchWindow1M is the million-sensor window (PR 4 scale).
+func benchWindow1M(b *testing.B) lattice.Window {
+	b.Helper()
+	return lattice.CenteredWindow(2, 500) // 1001² = 1_002_001
+}
+
+func benchMutator(b *testing.B, w lattice.Window, opts Options) *Mutator {
+	b.Helper()
+	tile := prototile.Cross(2, 1)
+	lt, ok := tiling.FindLatticeTiling(tile)
+	if !ok {
+		b.Fatal("no tiling for cross")
+	}
+	m, err := NewMutator(schedule.NewHomogeneous(tile), w, schedule.FromLatticeTiling(lt), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// joinLeaveRound is one churn round trip: activate a sensor just outside
+// the base window, then deactivate it — the single-sensor mutation the
+// acceptance criterion compares against a full rebuild.
+func joinLeaveRound(b *testing.B, m *Mutator, p lattice.Point) {
+	b.Helper()
+	join := []Event{{Kind: Join, P: p}}
+	leave := []Event{{Kind: Leave, P: p}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.Apply(join); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := m.Apply(leave); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDynamicJoinLeave100k: join + leave round trip on a
+// 100k-vertex CSR-base overlay. Compare BenchmarkDynamicRebuild100k —
+// the cost a static system pays for the same event.
+func BenchmarkDynamicJoinLeave100k(b *testing.B) {
+	m := benchMutator(b, benchWindow100k(b), Options{BaseMode: graph.CSR})
+	joinLeaveRound(b, m, lattice.Pt(317, 158))
+}
+
+// BenchmarkDynamicRebuild100k is the comparator: a from-scratch explicit
+// ConflictGraph build of the same 100k-vertex window.
+func BenchmarkDynamicRebuild100k(b *testing.B) {
+	dep := schedule.NewHomogeneous(prototile.Cross(2, 1))
+	w := benchWindow100k(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := graph.ConflictGraph(dep, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDynamicJoinLeave1M: the same round trip on a million-vertex
+// implicit periodic base — the overlay demotes stencils to explicit
+// patches only inside the damage region.
+func BenchmarkDynamicJoinLeave1M(b *testing.B) {
+	m := benchMutator(b, benchWindow1M(b), Options{Residues: tiling.IdentityResidues(2)})
+	joinLeaveRound(b, m, lattice.Pt(501, 0))
+}
+
+// BenchmarkDynamicRebuild1M is the million-vertex comparator: the
+// explicit CSR rebuild (what a non-periodic deployment would pay).
+func BenchmarkDynamicRebuild1M(b *testing.B) {
+	dep := schedule.NewHomogeneous(prototile.Cross(2, 1))
+	w := benchWindow1M(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := graph.ConflictGraph(dep, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDynamicSitePatch is the cold-join kernel: re-centering the
+// SiteScanner on a mutation site and probing the full p ± 2·reach
+// bounding box — the edge-patch computation a brand-new added vertex
+// pays once.
+func BenchmarkDynamicSitePatch(b *testing.B) {
+	dep := schedule.NewHomogeneous(prototile.Cross(2, 1))
+	sc, err := graph.NewSiteScanner(dep)
+	if err != nil {
+		b.Fatal(err)
+	}
+	site := lattice.Pt(317, 158)
+	box := lattice.CenteredWindow(2, 2*dep.Reach())
+	q := make(lattice.Point, 2)
+	hits := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sc.Reset(site); err != nil {
+			b.Fatal(err)
+		}
+		box.Each(func(d lattice.Point) bool {
+			q[0], q[1] = site[0]+d[0], site[1]+d[1]
+			if sc.Conflicts(q) {
+				hits++
+			}
+			return true
+		})
+	}
+	if hits == 0 {
+		b.Fatal("probe found no conflicts")
+	}
+}
+
+// BenchmarkDynamicRepairRecolor: the DSATUR-repair of one damage region
+// (a vertex plus its live neighbors) on a 10201-sensor deployment —
+// what a budget-exhausted join costs before the full-recolor fallback.
+func BenchmarkDynamicRepairRecolor(b *testing.B) {
+	w, err := lattice.BoxWindow(101, 101)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := benchMutator(b, w, Options{Residues: tiling.IdentityResidues(2)})
+	v, ok := m.Overlay().IndexOf(lattice.Pt(50, 50))
+	if !ok {
+		b.Fatal("center vertex missing")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.colors[v] = -1
+		if _, _, ok := m.repairRegion(v); !ok {
+			b.Fatal("repair failed")
+		}
+	}
+	b.StopTimer()
+	if err := m.Verify(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkDynamicFullDSATUR is the repair comparator: a full DSATUR
+// over the same 10201-sensor graph — the recolor cost the damage-region
+// repair avoids.
+func BenchmarkDynamicFullDSATUR(b *testing.B) {
+	w, err := lattice.BoxWindow(101, 101)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dep := schedule.NewHomogeneous(prototile.Cross(2, 1))
+	g, err := graph.HomogeneousConflictGraph(dep, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, k := graph.DSATUR(g); k != 5 {
+			b.Fatalf("DSATUR used %d colors", k)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package dynamic
+
+import (
+	"errors"
+	"testing"
+
+	"tilingsched/internal/graph"
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/prototile"
+	"tilingsched/internal/schedule"
+	"tilingsched/internal/tiling"
+)
+
+func crossMutator(t *testing.T, w lattice.Window, opts Options) (*Mutator, *schedule.Theorem1) {
+	t.Helper()
+	tile := prototile.Cross(2, 1)
+	lt, ok := tiling.FindLatticeTiling(tile)
+	if !ok {
+		t.Fatal("no tiling for cross")
+	}
+	plan := schedule.FromLatticeTiling(lt)
+	m, err := NewMutator(schedule.NewHomogeneous(tile), w, plan, opts)
+	if err != nil {
+		t.Fatalf("NewMutator: %v", err)
+	}
+	return m, plan
+}
+
+// TestZeroDisruptionRejoin: with the Theorem 1 seed, leave/rejoin churn
+// inside the window never reassigns an existing sensor — the tiling
+// schedule is closed under removal, so the freed slot is always free
+// again at rejoin time.
+func TestZeroDisruptionRejoin(t *testing.T) {
+	w := lattice.CenteredWindow(2, 6)
+	m, _ := crossMutator(t, w, Options{})
+	pts := []lattice.Point{lattice.Pt(0, 0), lattice.Pt(3, -2), lattice.Pt(-6, 6), lattice.Pt(1, 1)}
+	for round := 0; round < 3; round++ {
+		for _, p := range pts {
+			d, changed, err := m.Apply([]Event{{Kind: Leave, P: p}})
+			if err != nil {
+				t.Fatalf("leave %v: %v", p, err)
+			}
+			if d.Reassigned != 0 || d.Departed != 1 || len(changed) != 1 || changed[0].Slot != -1 {
+				t.Fatalf("leave %v: disruption %+v changes %v", p, d, changed)
+			}
+			d, changed, err = m.Apply([]Event{{Kind: Join, P: p}})
+			if err != nil {
+				t.Fatalf("rejoin %v: %v", p, err)
+			}
+			if d.Reassigned != 0 || d.Joined != 1 || d.FullRecolor {
+				t.Fatalf("rejoin %v disrupted: %+v", p, d)
+			}
+			if len(changed) != 1 || changed[0].Slot < 0 || !changed[0].P.Equal(p) {
+				t.Fatalf("rejoin %v changes %v", p, changed)
+			}
+		}
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Slots() != 5 {
+		t.Fatalf("palette grew to %d under pure rejoin churn", m.Slots())
+	}
+}
+
+// TestBoundedDisruptionLargeWindow is the acceptance property at scale:
+// one join into a 10k-sensor deployment reassigns at most the damage
+// region — orders of magnitude below n — and the graph stays the base
+// graph (no rebuild happened: same overlay, zero added vertices).
+func TestBoundedDisruptionLargeWindow(t *testing.T) {
+	w, err := lattice.BoxWindow(100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := crossMutator(t, w, Options{Residues: tiling.IdentityResidues(2)})
+	n := m.AliveCount()
+	if n != 10000 {
+		t.Fatalf("alive = %d", n)
+	}
+	// Out-of-window join: the only path that can disturb anything.
+	p := lattice.Pt(100, 50)
+	d, _, err := m.Apply([]Event{{Kind: Join, P: p}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.FullRecolor {
+		t.Fatalf("single join forced a full recolor: %+v", d)
+	}
+	// Cross conflict degree is ≤ 12; damage-region repair may touch at
+	// most that many existing sensors.
+	if d.Reassigned > 12 {
+		t.Fatalf("join reassigned %d sensors (n = %d)", d.Reassigned, n)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEventErrors pins the failure contract: bad events error without
+// corrupting state, and a failed batch reports the prefix it applied.
+func TestEventErrors(t *testing.T) {
+	w := lattice.CenteredWindow(2, 2)
+	m, _ := crossMutator(t, w, Options{})
+	cases := []struct {
+		name string
+		ev   Event
+	}{
+		{"join occupied", Event{Kind: Join, P: lattice.Pt(0, 0)}},
+		{"leave missing", Event{Kind: Leave, P: lattice.Pt(9, 9)}},
+		{"fail missing", Event{Kind: Fail, P: lattice.Pt(9, 9)}},
+		{"move from missing", Event{Kind: Move, P: lattice.Pt(9, 9), To: lattice.Pt(10, 10)}},
+		{"move onto occupied", Event{Kind: Move, P: lattice.Pt(0, 0), To: lattice.Pt(1, 1)}},
+		{"move to wrong dimension", Event{Kind: Move, P: lattice.Pt(0, 0), To: lattice.Pt(1, 2, 3)}},
+		{"wrong dimension", Event{Kind: Join, P: lattice.Pt(1, 2, 3)}},
+	}
+	for _, c := range cases {
+		if _, _, err := m.Apply([]Event{c.ev}); !errors.Is(err, ErrDynamic) {
+			t.Errorf("%s: err = %v, want ErrDynamic", c.name, err)
+		}
+		if err := m.Verify(); err != nil {
+			t.Errorf("%s corrupted state: %v", c.name, err)
+		}
+	}
+	// A failed Move is a full no-op: the source sensor must still be
+	// scheduled (the half-applied leave would silently drop it).
+	if _, err := m.SlotOf(lattice.Pt(0, 0)); err != nil {
+		t.Fatalf("failed moves dropped the source sensor: %v", err)
+	}
+	// Batch stops at the failing event, keeping the applied prefix.
+	d, changed, err := m.Apply([]Event{
+		{Kind: Leave, P: lattice.Pt(0, 0)},
+		{Kind: Join, P: lattice.Pt(0, 0)},
+		{Kind: Join, P: lattice.Pt(0, 0)}, // occupied again: fails
+	})
+	if !errors.Is(err, ErrDynamic) || d.Events != 2 {
+		t.Fatalf("partial batch: events=%d err=%v", d.Events, err)
+	}
+	if len(changed) != 1 || changed[0].Slot < 0 {
+		t.Fatalf("partial batch changes %v", changed)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchDeltaMerging: a position touched several times in one batch
+// appears once in the deltas, with its final state.
+func TestBatchDeltaMerging(t *testing.T) {
+	w := lattice.CenteredWindow(2, 3)
+	m, _ := crossMutator(t, w, Options{})
+	p, q := lattice.Pt(0, 0), lattice.Pt(4, 0) // q outside the window
+	d, changed, err := m.Apply([]Event{
+		{Kind: Leave, P: p},
+		{Kind: Join, P: p}, // rejoin: departure canceled
+		{Kind: Join, P: q},
+		{Kind: Leave, P: q}, // added then gone: only the departure remains
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Events != 4 || d.Joined != 2 || d.Departed != 2 {
+		t.Fatalf("disruption %+v", d)
+	}
+	got := map[string]int{}
+	for _, ch := range changed {
+		if _, dup := got[ch.P.Key()]; dup {
+			t.Fatalf("position %v appears twice in %v", ch.P, changed)
+		}
+		got[ch.P.Key()] = ch.Slot
+	}
+	if s, ok := got[p.Key()]; !ok || s < 0 {
+		t.Fatalf("rejoined %v missing or departed in deltas: %v", p, changed)
+	}
+	if s, ok := got[q.Key()]; !ok || s != -1 {
+		t.Fatalf("departed %v missing or live in deltas: %v", q, changed)
+	}
+}
+
+// TestMoveAtomicity: a move is one event — source freed, destination
+// colored, one departure and one join in the disruption.
+func TestMoveAtomicity(t *testing.T) {
+	w := lattice.CenteredWindow(2, 3)
+	m, _ := crossMutator(t, w, Options{})
+	from, to := lattice.Pt(2, 2), lattice.Pt(5, 5)
+	d, _, err := m.Apply([]Event{{Kind: Move, P: from, To: to}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Joined != 1 || d.Departed != 1 {
+		t.Fatalf("move disruption %+v", d)
+	}
+	if _, err := m.SlotOf(from); err == nil {
+		t.Fatal("source still scheduled after move")
+	}
+	if _, err := m.SlotOf(to); err != nil {
+		t.Fatalf("destination unscheduled after move: %v", err)
+	}
+	if m.Stats().Moves != 1 {
+		t.Fatalf("stats %+v", m.Stats())
+	}
+}
+
+// TestEachAssignment walks every live sensor exactly once with its
+// current slot.
+func TestEachAssignment(t *testing.T) {
+	w := lattice.CenteredWindow(2, 2)
+	m, plan := crossMutator(t, w, Options{})
+	if _, _, err := m.Apply([]Event{
+		{Kind: Leave, P: lattice.Pt(0, 0)},
+		{Kind: Join, P: lattice.Pt(3, 3)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	m.EachAssignment(func(p lattice.Point, slot int) bool {
+		if _, dup := seen[p.Key()]; dup {
+			t.Fatalf("%v visited twice", p)
+		}
+		seen[p.Key()] = slot
+		return true
+	})
+	if len(seen) != m.AliveCount() {
+		t.Fatalf("visited %d, alive %d", len(seen), m.AliveCount())
+	}
+	if _, ok := seen[lattice.Pt(0, 0).Key()]; ok {
+		t.Fatal("departed sensor visited")
+	}
+	if s, ok := seen[lattice.Pt(1, 1).Key()]; !ok {
+		t.Fatal("untouched sensor missing")
+	} else if want, _ := plan.SlotOf(lattice.Pt(1, 1)); s != want {
+		t.Fatalf("untouched sensor drifted: %d ≠ %d", s, want)
+	}
+}
+
+// TestSiteScannerAgainstConflict pins the SiteScanner probe to the
+// reference pairwise oracle over a dense candidate box.
+func TestSiteScannerAgainstConflict(t *testing.T) {
+	for _, tile := range []*prototile.Tile{
+		prototile.Cross(2, 1),
+		prototile.ChebyshevBall(2, 1),
+		prototile.Directional(),
+	} {
+		dep := schedule.NewHomogeneous(tile)
+		sc, err := graph.NewSiteScanner(dep)
+		if err != nil {
+			t.Fatalf("%s: NewSiteScanner: %v", tile.Name(), err)
+		}
+		for _, site := range []lattice.Point{lattice.Pt(0, 0), lattice.Pt(-3, 5)} {
+			if err := sc.Reset(site); err != nil {
+				t.Fatalf("Reset: %v", err)
+			}
+			box := lattice.CenteredWindow(2, 2*dep.Reach()+2)
+			box.Each(func(d lattice.Point) bool {
+				q := site.Add(d)
+				want := schedule.Conflict(dep, site, q)
+				if got := sc.Conflicts(q); got != want {
+					t.Fatalf("%s: Conflicts(%v vs %v) = %v, want %v", tile.Name(), site, q, got, want)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// TestConflictGraphModeRejectsPeriodic: the explicit-mode constructor
+// must refuse the implicit mode rather than mis-build it.
+func TestConflictGraphModeRejectsPeriodic(t *testing.T) {
+	dep := schedule.NewHomogeneous(prototile.Cross(2, 1))
+	if _, _, err := graph.ConflictGraphMode(dep, lattice.CenteredWindow(2, 2), graph.Periodic); err == nil {
+		t.Fatal("ConflictGraphMode(Periodic) succeeded")
+	}
+}

@@ -1,0 +1,207 @@
+package dynamic
+
+import (
+	"fmt"
+	"math/bits"
+
+	"tilingsched/internal/graph"
+	"tilingsched/internal/schedule"
+)
+
+// This file is the bounded-disruption repair colorer. A Join whose live
+// neighbors exhaust the color budget does not trigger a fresh DSATUR
+// over the whole deployment; instead the damage region — the joining
+// vertex plus the saturated neighbors blocking it — is uncolored and
+// re-extended by a DSATUR restricted to that region, with every color
+// outside the region held fixed. Only when the region itself admits no
+// budget-respecting extension does the Mutator recolor the whole live
+// subgraph (materialized once into an explicit graph so the tuned
+// graph.DSATUR runs unchanged).
+
+// repairRegion attempts the bounded repair around a just-joined,
+// still-uncolored vertex v. On success it returns the damage region and
+// how many previously-colored sensors changed slot; on failure every
+// prior color is restored and ok is false.
+func (m *Mutator) repairRegion(v int) (damage []int, reassigned int, ok bool) {
+	damage = []int{v}
+	old := []int32{-1}
+	m.ov.EachNeighbor(v, func(u int) bool {
+		if m.colors[u] >= 0 {
+			damage = append(damage, u)
+			old = append(old, m.colors[u])
+			m.colors[u] = -1
+		}
+		return true
+	})
+	if !m.repairColors(damage) {
+		for i, u := range damage {
+			m.colors[u] = old[i]
+		}
+		return nil, 0, false
+	}
+	for i, u := range damage {
+		if old[i] >= 0 && m.colors[u] != old[i] {
+			reassigned++
+		}
+		if c := int(m.colors[u]) + 1; c > m.palette {
+			m.palette = c
+		}
+	}
+	return damage, reassigned, true
+}
+
+// repairColors DSATUR-extends the uncolored damage vertices within the
+// budget, keeping every color outside the region fixed. The region is
+// small (a vertex and its neighbors), so selection is a plain
+// max-saturation scan and intra-region adjacency uses HasEdge directly.
+func (m *Mutator) repairColors(damage []int) bool {
+	k := len(damage)
+	words := (m.budget + 63) / 64
+	sat := make([]uint64, k*words)
+	satCount := make([]int, k)
+	done := make([]bool, k)
+	// Exterior saturation: colors of live neighbors outside the region.
+	for i, u := range damage {
+		row := sat[i*words : (i+1)*words]
+		m.ov.EachNeighbor(u, func(n int) bool {
+			if c := m.colors[n]; c >= 0 && int(c) < m.budget {
+				if row[c/64]&(1<<(c%64)) == 0 {
+					row[c/64] |= 1 << (c % 64)
+					satCount[i]++
+				}
+			}
+			return true
+		})
+	}
+	for step := 0; step < k; step++ {
+		best := -1
+		for i := 0; i < k; i++ {
+			if !done[i] && (best < 0 || satCount[i] > satCount[best]) {
+				best = i
+			}
+		}
+		row := sat[best*words : (best+1)*words]
+		c := -1
+		for w, word := range row {
+			if inv := ^word; inv != 0 {
+				if cand := w*64 + bits.TrailingZeros64(inv); cand < m.budget {
+					c = cand
+				}
+				break
+			}
+		}
+		if c < 0 {
+			return false
+		}
+		u := damage[best]
+		m.colors[u] = int32(c)
+		done[best] = true
+		for j, w := range damage {
+			if done[j] || !m.ov.HasEdge(u, w) {
+				continue
+			}
+			jrow := sat[j*words : (j+1)*words]
+			if jrow[c/64]&(1<<(c%64)) == 0 {
+				jrow[c/64] |= 1 << (c % 64)
+				satCount[j]++
+			}
+		}
+	}
+	return true
+}
+
+// fullRecolor recolors the whole live deployment: the alive-induced
+// subgraph is materialized into an explicit graph.Graph once and colored
+// by graph.DSATUR. The palette (and, when provably necessary, the
+// budget) floats up to what DSATUR used; every sensor whose slot moved
+// lands in touched. Returns the number of previously-colored sensors
+// reassigned (the just-joined vertex, colored for the first time, is
+// not one).
+func (m *Mutator) fullRecolor(joined int, touched map[int]struct{}) (int, error) {
+	g, ids := m.materializeAlive()
+	cs, k := graph.DSATUR(g)
+	reassigned := 0
+	for li, v := range ids {
+		c := int32(cs[li])
+		if m.colors[v] != c {
+			if m.colors[v] >= 0 && v != joined {
+				reassigned++
+			}
+			m.colors[v] = c
+			touched[v] = struct{}{}
+		}
+	}
+	touched[joined] = struct{}{}
+	if k > m.palette {
+		m.palette = k
+	}
+	if k > m.budget {
+		m.budget = k
+	}
+	return reassigned, nil
+}
+
+// materializeAlive freezes the alive-induced subgraph into an explicit
+// graph (Auto mode: bitset small, CSR large) with ids mapping local
+// vertices back to overlay ids — the once-per-fallback cost that lets
+// the repair path reuse the tuned colorings of internal/graph.
+func (m *Mutator) materializeAlive() (*graph.Graph, []int) {
+	ids := make([]int, 0, m.ov.AliveCount())
+	local := make([]int32, m.ov.NumVertices())
+	for v := range local {
+		local[v] = -1
+	}
+	for v := 0; v < m.ov.NumVertices(); v++ {
+		if m.ov.Alive(v) {
+			local[v] = int32(len(ids))
+			ids = append(ids, v)
+		}
+	}
+	g := graph.New(len(ids))
+	for li, v := range ids {
+		m.ov.EachNeighbor(v, func(u int) bool {
+			if u > v {
+				g.AddEdge(li, int(local[u]))
+			}
+			return true
+		})
+	}
+	g.Freeze()
+	return g, ids
+}
+
+// Verify independently checks the maintained schedule: every live sensor
+// holds a slot in [0, Slots()) and no live conflict edge is
+// monochromatic. It walks the overlay exactly as a client would, so it
+// is the package's self-check in tests, examples, and demos. A nil
+// return means collision-free; a collision reports the offending pair as
+// a schedule.CollisionWitness.
+func (m *Mutator) Verify() error {
+	n := m.ov.NumVertices()
+	for u := 0; u < n; u++ {
+		if !m.ov.Alive(u) {
+			continue
+		}
+		cu := m.colors[u]
+		if cu < 0 || int(cu) >= m.palette {
+			return fmt.Errorf("%w: live sensor %v has slot %d outside [0, %d)",
+				ErrDynamic, m.ov.PointOf(u), cu, m.palette)
+		}
+		var witness error
+		m.ov.EachNeighbor(u, func(v int) bool {
+			if v > u && m.colors[v] == cu {
+				witness = schedule.CollisionWitness{P: m.ov.PointOf(u), Q: m.ov.PointOf(v), Slot: int(cu)}
+				return false
+			}
+			return true
+		})
+		if witness != nil {
+			return witness
+		}
+	}
+	return nil
+}
+
+// trailingZeros is bits.TrailingZeros64, aliased so dynamic.go stays
+// free of a direct math/bits import.
+func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }

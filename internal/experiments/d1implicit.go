@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"tilingsched/internal/graph"
+	"tilingsched/internal/intmat"
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/schedule"
+	"tilingsched/internal/stats"
+	"tilingsched/internal/tiling"
+)
+
+// TableD1Implicit is derived table E11: implicit periodic conflict
+// graphs for the Section 4 deployment D1. The respectable Moore tiling's
+// deployment is periodic modulo its 4×4 torus, so the conflict graph of
+// any window compresses to 16 per-class stencils — the experiment
+// harness stops paying explicit-build costs (the open ROADMAP item from
+// the million-sensor PR). The table grows the window and records both
+// build times; the checks pin the implicit graph edge-identical to the
+// explicit build and verify the Theorem 2 schedule against the implicit
+// graph with graph.VerifySchedule.
+func TableD1Implicit() (*Result, error) {
+	r := &Result{ID: "E11", Title: "E11 — D1 implicit graphs: per-class stencils vs explicit builds (Moore torus tiling)"}
+	tt, err := RespectableMooreTiling()
+	if err != nil {
+		return nil, err
+	}
+	dep := schedule.NewD1(tt)
+	s, err := schedule.FromTorusTiling(tt)
+	if err != nil {
+		return nil, err
+	}
+	dims := tt.Dims()
+	res, err := tiling.NewResidues(intmat.MustFromRows([][]int64{
+		{int64(dims[0]), 0},
+		{0, int64(dims[1])},
+	}))
+	if err != nil {
+		return nil, err
+	}
+	r.find("residue classes", "%d", res.Classes())
+	t := stats.NewTable("", "window", "sensors", "edges", "explicit µs", "implicit µs", "T2 verified")
+	for _, half := range []int{6, 12, 24, 48} {
+		w := lattice.CenteredWindow(2, half)
+		start := time.Now()
+		gE, _, err := graph.ConflictGraph(dep, w)
+		if err != nil {
+			return nil, err
+		}
+		explicitUS := float64(time.Since(start).Microseconds())
+		start = time.Now()
+		gP, err := graph.PeriodicConflictGraph(dep, res, w)
+		if err != nil {
+			return nil, err
+		}
+		implicitUS := float64(time.Since(start).Microseconds())
+		// Edge parity: same count, and every explicit row answered
+		// identically by the stencils.
+		edges := gE.Edges()
+		if pe := gP.Edges(); pe != edges {
+			r.failf("half %d: implicit has %d edges, explicit %d", half, pe, edges)
+		}
+		for u := 0; u < gE.N(); u++ {
+			for _, v := range gE.Neighbors(u) {
+				if v > u && !gP.HasEdge(u, v) {
+					r.failf("half %d: explicit edge {%d,%d} missing from stencils", half, u, v)
+				}
+			}
+		}
+		// Theorem 2 over the implicit graph: no edge ever materialized.
+		verr := graph.VerifySchedule(gP, w, s)
+		if verr != nil {
+			r.failf("half %d: Theorem 2 schedule rejected on the implicit graph: %v", half, verr)
+		}
+		t.AddRow(fmt.Sprintf("%dx%d", 2*half+1, 2*half+1), stats.I(int64(w.Size())),
+			stats.I(int64(edges)), stats.F(explicitUS), stats.F(implicitUS),
+			fmt.Sprintf("%v", verr == nil))
+	}
+	r.Table = t
+	if res.Classes() != 16 {
+		r.failf("4×4 torus should have 16 residue classes, got %d", res.Classes())
+	}
+	r.find("slots (Theorem 2)", "%d", s.Slots())
+	return r, nil
+}

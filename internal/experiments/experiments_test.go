@@ -206,3 +206,16 @@ func TestResultRender(t *testing.T) {
 		t.Error("failed result reports pass")
 	}
 }
+
+// TestTableD1Implicit regenerates E11: stencil-compressed D1 conflict
+// graphs must match the explicit builds edge for edge and verify the
+// Theorem 2 schedule.
+func TestTableD1Implicit(t *testing.T) {
+	r, err := TableD1Implicit()
+	if err != nil {
+		t.Fatalf("TableD1Implicit: %v", err)
+	}
+	if !r.Passed() {
+		t.Errorf("E11 failed:\n%s", r.Render())
+	}
+}

@@ -40,8 +40,8 @@ func TestAllRunsEverything(t *testing.T) {
 	if err != nil {
 		t.Fatalf("All: %v", err)
 	}
-	if len(results) != 17 {
-		t.Errorf("All returned %d results, want 17", len(results))
+	if len(results) != 18 {
+		t.Errorf("All returned %d results, want 18", len(results))
 	}
 	for _, r := range results {
 		if !r.Passed() {

@@ -121,6 +121,7 @@ func All(seed int64) ([]*Result, error) {
 		func() (*Result, error) { return TableEnergy(seed) },
 		func() (*Result, error) { return TableClockSkew(seed) },
 		func() (*Result, error) { return TableConvergecast(seed) },
+		func() (*Result, error) { return TableD1Implicit() },
 	}
 	out := make([]*Result, 0, len(runners))
 	for _, run := range runners {

@@ -1,0 +1,298 @@
+package service
+
+// Dynamic-deployment sessions: the serving-side face of internal/dynamic.
+// A session is a mutable deployment — a compiled plan restricted to a
+// window, churned by Join/Leave/Move/Fail events — identified by the
+// plan's canonical core.Signature plus the window, and versioned by an
+// epoch that increments once per applied mutation batch. Clients track
+// churn by applying the delta responses (changed slot assignments) in
+// epoch order; an epoch mismatch means missed deltas, answered with 409
+// so the client resyncs with a full snapshot request.
+//
+// Sessions live in a small LRU (they carry per-sensor state, unlike the
+// immutable plans of the Registry); each is guarded by its own mutex, so
+// mutations on different deployments proceed concurrently while one
+// deployment's events serialize.
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"tilingsched/internal/core"
+	"tilingsched/internal/dynamic"
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/tiling"
+)
+
+// DefaultMaxSessions bounds the dynamic-session LRU when ServerOptions
+// leaves it zero. Sessions hold O(window) state (slot table + tombstone
+// bitset), so the bound is deliberately far below the plan cache's.
+const DefaultMaxSessions = 16
+
+// SessionStats counts dynamic-session traffic for /healthz and expvar.
+type SessionStats struct {
+	// Sessions is the number of live sessions.
+	Sessions int `json:"sessions"`
+	// Created and Evicted count session lifecycle events.
+	Created int64 `json:"created"`
+	Evicted int64 `json:"evicted"`
+	// Mutations counts applied mutate batches, Events the individual
+	// deployment events inside them.
+	Mutations int64 `json:"mutations"`
+	Events    int64 `json:"events"`
+	// EpochConflicts counts requests rejected for a stale epoch (409).
+	EpochConflicts int64 `json:"epoch_conflicts"`
+}
+
+// sessionTable is the LRU of live dynamic sessions. Lookup and eviction
+// hold the table lock; event application holds only the session lock.
+type sessionTable struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*dynSession
+	lru     *list.List // of *dynSession
+	stats   SessionStats
+}
+
+// dynSession is one mutable deployment.
+type dynSession struct {
+	key  string
+	elem *list.Element
+
+	mu    sync.Mutex
+	mut   *dynamic.Mutator
+	epoch uint64
+}
+
+func newSessionTable(capacity int) *sessionTable {
+	if capacity <= 0 {
+		capacity = DefaultMaxSessions
+	}
+	return &sessionTable{
+		cap:     capacity,
+		entries: make(map[string]*dynSession),
+		lru:     list.New(),
+	}
+}
+
+// get returns the session for (plan, window), creating it on first use:
+// the mutator is seeded with the plan's Theorem 1 schedule over an
+// implicit periodic base graph, so creation costs O(window) slot lookups
+// and a stencil build, never an explicit edge materialization.
+func (st *sessionTable) get(plan *core.Plan, w lattice.Window) (*dynSession, error) {
+	key := plan.Signature() + "|" + w.String()
+	st.mu.Lock()
+	if s, ok := st.entries[key]; ok {
+		st.lru.MoveToFront(s.elem)
+		st.mu.Unlock()
+		return s, nil
+	}
+	st.mu.Unlock()
+	// Build outside the table lock (the costly part), then publish;
+	// concurrent first requests may both build, and the first to publish
+	// wins (later builds are discarded) — both candidates are identical
+	// epoch-0 states, and keeping the published one preserves any
+	// mutations already applied to it.
+	mut, err := dynamic.NewMutator(plan.Deployment(), w, plan.Schedule(), dynamic.Options{
+		Residues: tiling.IdentityResidues(w.Dim()),
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &dynSession{key: key, mut: mut}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if prev, ok := st.entries[key]; ok {
+		st.lru.MoveToFront(prev.elem)
+		return prev, nil
+	}
+	s.elem = st.lru.PushFront(s)
+	st.entries[key] = s
+	st.stats.Created++
+	for st.lru.Len() > st.cap {
+		back := st.lru.Back()
+		ev := back.Value.(*dynSession)
+		st.lru.Remove(back)
+		delete(st.entries, ev.key)
+		st.stats.Evicted++
+	}
+	return s, nil
+}
+
+// snapshot returns the stats under the table lock.
+func (st *sessionTable) snapshot() SessionStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s := st.stats
+	s.Sessions = st.lru.Len()
+	return s
+}
+
+// record tallies one applied batch.
+func (st *sessionTable) record(events int) {
+	st.mu.Lock()
+	st.stats.Mutations++
+	st.stats.Events += int64(events)
+	st.mu.Unlock()
+}
+
+// recordConflict tallies one stale-epoch rejection.
+func (st *sessionTable) recordConflict() {
+	st.mu.Lock()
+	st.stats.EpochConflicts++
+	st.mu.Unlock()
+}
+
+// --- Wire types -----------------------------------------------------------
+
+// EventSpec is one deployment mutation over the wire.
+type EventSpec struct {
+	// Op is "join", "leave", "fail", or "move".
+	Op string `json:"op"`
+	// P is the position the event acts on.
+	P []int `json:"p"`
+	// To is the destination of a move.
+	To []int `json:"to,omitempty"`
+}
+
+// MutateRequest is the body of POST /v1/plan:mutate. The (plan, window)
+// pair names the session; Events apply in order. Epoch, when non-nil,
+// must match the session's current epoch (optimistic concurrency: a
+// client that missed deltas is told to resync instead of applying
+// against a stale base). Full requests the complete live assignment in
+// the response's Changed list — the resync path — and may carry zero
+// events.
+type MutateRequest struct {
+	Plan   PlanSpec    `json:"plan"`
+	Window WindowSpec  `json:"window"`
+	Events []EventSpec `json:"events"`
+	Epoch  *uint64     `json:"epoch,omitempty"`
+	Full   bool        `json:"full,omitempty"`
+}
+
+// DisruptionSpec is the wire form of dynamic.Disruption.
+type DisruptionSpec struct {
+	Events      int  `json:"events"`
+	Joined      int  `json:"joined"`
+	Departed    int  `json:"departed"`
+	Reassigned  int  `json:"reassigned"`
+	ColorsDelta int  `json:"colors_delta"`
+	FullRecolor bool `json:"full_recolor"`
+	Compacted   bool `json:"compacted"`
+}
+
+// ChangeSpec is one slot delta: the sensor at P now holds Slot, or has
+// departed when Slot is -1.
+type ChangeSpec struct {
+	P    []int `json:"p"`
+	Slot int   `json:"slot"`
+}
+
+// MutateResponse answers a mutate request. Epoch is the session's epoch
+// after this batch; a client holding epoch E applies Changed to reach E.
+// On a 409 (stale epoch) the response carries the current epoch with no
+// changes, and the Error field says why.
+type MutateResponse struct {
+	Signature  string         `json:"signature"`
+	Epoch      uint64         `json:"epoch"`
+	M          int            `json:"m"`
+	Alive      int            `json:"alive"`
+	Disruption DisruptionSpec `json:"disruption"`
+	Changed    []ChangeSpec   `json:"changed"`
+	Error      string         `json:"error,omitempty"`
+}
+
+// DecodeMutateRequest parses a mutate request body and enforces its
+// structural contract: valid JSON, a well-formed window within
+// lim.MaxWindow points, at most lim.MaxBatch events (MaxBatch bounds
+// both point batches and event batches — one knob for per-request work),
+// and every event a known op with sane coordinates. It is the decoding
+// funnel of the mutate endpoint, shaped like DecodeBatchRequest so the
+// same never-panic contract holds for untrusted bytes. Violations wrap
+// ErrSpec (400) or ErrLimit (413).
+func DecodeMutateRequest(data []byte, lim Limits) (MutateRequest, lattice.Window, []dynamic.Event, error) {
+	lim = lim.withDefaults()
+	var req MutateRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		return MutateRequest{}, lattice.Window{}, nil, fmt.Errorf("%w: decoding request: %v", ErrSpec, err)
+	}
+	win, err := req.Window.Window()
+	if err != nil {
+		return MutateRequest{}, lattice.Window{}, nil, fmt.Errorf("%w: %v", ErrSpec, err)
+	}
+	size, err := win.SizeChecked()
+	if err != nil || size > lim.MaxWindow {
+		return MutateRequest{}, lattice.Window{}, nil, fmt.Errorf("%w: window %s exceeds limit %d points",
+			ErrLimit, win, lim.MaxWindow)
+	}
+	if len(req.Events) > lim.MaxBatch {
+		return MutateRequest{}, lattice.Window{}, nil, fmt.Errorf("%w: %d events exceed limit %d",
+			ErrLimit, len(req.Events), lim.MaxBatch)
+	}
+	if len(req.Events) == 0 && !req.Full {
+		return MutateRequest{}, lattice.Window{}, nil, fmt.Errorf("%w: no events and full not requested", ErrSpec)
+	}
+	// Growth bound: every event position must stay within MutateMargin of
+	// the session window, so the deployment's bounding window (which
+	// compaction re-freezes over, and which sizes the per-sensor tables)
+	// cannot be exploded by a single far-away join.
+	bound := win
+	bound.Lo = win.Lo.Clone()
+	bound.Hi = win.Hi.Clone()
+	for a := range bound.Lo {
+		bound.Lo[a] -= MutateMargin
+		bound.Hi[a] += MutateMargin
+	}
+	events := make([]dynamic.Event, len(req.Events))
+	dim := win.Dim()
+	for i, es := range req.Events {
+		ev, err := es.event(dim)
+		if err != nil {
+			return MutateRequest{}, lattice.Window{}, nil, fmt.Errorf("event %d: %w", i, err)
+		}
+		if !bound.Contains(ev.P) || (ev.Kind == dynamic.Move && !bound.Contains(ev.To)) {
+			return MutateRequest{}, lattice.Window{}, nil, fmt.Errorf("%w: event %d outside the window's %d-cell margin",
+				ErrLimit, i, MutateMargin)
+		}
+		events[i] = ev
+	}
+	return req, win, events, nil
+}
+
+// MutateMargin is how far outside its declared window a session's
+// deployment may grow: mutate events beyond window ± MutateMargin are
+// rejected (413). It bounds the session's worst-case bounding window —
+// and with it compaction cost and per-sensor table sizes — regardless of
+// event content.
+const MutateMargin = 32
+
+// event validates and converts one wire event.
+func (es EventSpec) event(dim int) (dynamic.Event, error) {
+	checkPt := func(c []int, what string) (lattice.Point, error) {
+		if len(c) != dim {
+			return nil, fmt.Errorf("%w: %s has dimension %d, want %d", ErrSpec, what, len(c), dim)
+		}
+		return lattice.Point(c), nil
+	}
+	p, err := checkPt(es.P, "p")
+	if err != nil {
+		return dynamic.Event{}, err
+	}
+	switch es.Op {
+	case "join":
+		return dynamic.Event{Kind: dynamic.Join, P: p}, nil
+	case "leave":
+		return dynamic.Event{Kind: dynamic.Leave, P: p}, nil
+	case "fail":
+		return dynamic.Event{Kind: dynamic.Fail, P: p}, nil
+	case "move":
+		to, err := checkPt(es.To, "to")
+		if err != nil {
+			return dynamic.Event{}, err
+		}
+		return dynamic.Event{Kind: dynamic.Move, P: p, To: to}, nil
+	}
+	return dynamic.Event{}, fmt.Errorf("%w: unknown op %q", ErrSpec, es.Op)
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 
 	"tilingsched/internal/core"
 	"tilingsched/internal/lattice"
@@ -15,13 +16,17 @@ import (
 // ServerOptions bounds a server's per-request work. Zero values select
 // the defaults.
 type ServerOptions struct {
-	// MaxBatch caps the number of explicit points per batch request.
+	// MaxBatch caps the number of explicit points per batch request and
+	// the number of events per mutate request.
 	MaxBatch int
 	// MaxWindow caps the number of points a window shorthand may expand
-	// to.
+	// to, and the size of a dynamic session's window.
 	MaxWindow int
 	// MaxBody caps the request body size in bytes.
 	MaxBody int64
+	// MaxSessions caps the live dynamic-deployment sessions
+	// (DefaultMaxSessions when zero).
+	MaxSessions int
 }
 
 const (
@@ -36,16 +41,53 @@ const (
 //	POST /v1/plan               compile (or fetch) a plan, describe it
 //	POST /v1/slots:batch        slots of a point batch or window
 //	POST /v1/maybroadcast:batch may-broadcast bits at time t
-//	GET  /healthz               liveness + registry stats
+//	POST /v1/plan:mutate        churn a dynamic deployment session
+//	GET  /healthz               liveness + registry and session stats
 //
 // Query buffers are pooled, so the steady-state engine work allocates
 // nothing; remaining per-request allocations are JSON encoding and
-// decoding.
+// decoding. Traffic counters (batch sizes, mutation counts) are atomics
+// exposed through Snapshot for /healthz and the daemon's expvar page.
 type Server struct {
-	reg  *Registry
-	opts ServerOptions
-	mux  *http.ServeMux
-	bufs sync.Pool // of *queryBuf
+	reg      *Registry
+	opts     ServerOptions
+	mux      *http.ServeMux
+	bufs     sync.Pool // of *queryBuf
+	sessions *sessionTable
+
+	batchRequests  atomic.Int64
+	batchPoints    atomic.Int64
+	mutateRequests atomic.Int64
+}
+
+// ServerStats is a point-in-time snapshot of a server's traffic
+// counters, shaped for JSON (expvar and /healthz).
+type ServerStats struct {
+	// Plans and Registry mirror the plan cache.
+	Plans    int           `json:"plans"`
+	Registry RegistryStats `json:"registry"`
+	// BatchRequests and BatchPoints count slots/maybroadcast batches and
+	// the points they carried (their ratio is the mean batch size).
+	BatchRequests int64 `json:"batch_requests"`
+	BatchPoints   int64 `json:"batch_points"`
+	// MutateRequests counts /v1/plan:mutate requests (accepted or not);
+	// Sessions breaks down the dynamic-session traffic.
+	MutateRequests int64        `json:"mutate_requests"`
+	Sessions       SessionStats `json:"sessions"`
+}
+
+// Snapshot returns the server's current traffic counters. Safe for
+// concurrent callers; used by /healthz and published to expvar by
+// cmd/latticed.
+func (s *Server) Snapshot() ServerStats {
+	return ServerStats{
+		Plans:          s.reg.Len(),
+		Registry:       s.reg.Stats(),
+		BatchRequests:  s.batchRequests.Load(),
+		BatchPoints:    s.batchPoints.Load(),
+		MutateRequests: s.mutateRequests.Load(),
+		Sessions:       s.sessions.snapshot(),
+	}
 }
 
 // queryBuf carries one request's scratch slices between pool uses.
@@ -75,20 +117,122 @@ func NewServer(reg *Registry, opts ServerOptions) *Server {
 	if opts.MaxBody <= 0 {
 		opts.MaxBody = defaultMaxBody
 	}
-	s := &Server{reg: reg, opts: opts, mux: http.NewServeMux()}
+	s := &Server{reg: reg, opts: opts, mux: http.NewServeMux(), sessions: newSessionTable(opts.MaxSessions)}
 	s.bufs.New = func() any { return new(queryBuf) }
 	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
 	s.mux.HandleFunc("POST /v1/slots:batch", s.handleSlots)
 	s.mux.HandleFunc("POST /v1/maybroadcast:batch", s.handleMay)
+	s.mux.HandleFunc("POST /v1/plan:mutate", s.handleMutate)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
+}
+
+// handleMutate churns a dynamic deployment session: resolve the plan,
+// find or seed the session for (signature, window), apply the event
+// batch under the session lock, and answer the post-batch epoch with the
+// slot deltas. A stale request epoch is a 409 carrying the current epoch
+// so the client can resync (re-request with "full": true).
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	s.mutateRequests.Add(1)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBody))
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeErr(w, status, fmt.Sprintf("reading request: %v", err))
+		return
+	}
+	req, win, events, err := DecodeMutateRequest(body, Limits{MaxBatch: s.opts.MaxBatch, MaxWindow: s.opts.MaxWindow})
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrLimit) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeErr(w, status, err.Error())
+		return
+	}
+	plan, ok := s.getPlan(w, req.Plan)
+	if !ok {
+		return
+	}
+	if win.Dim() != plan.Tile().Dim() {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Sprintf("window dimension %d ≠ plan dimension %d", win.Dim(), plan.Tile().Dim()))
+		return
+	}
+	sess, err := s.sessions.get(plan, win)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	// The session lock covers state mutation and response assembly only;
+	// it is released before any bytes go to the client, so a slow reader
+	// cannot stall the deployment's mutation pipeline.
+	sess.mu.Lock()
+	if req.Epoch != nil && *req.Epoch != sess.epoch {
+		conflict := MutateResponse{
+			Signature: plan.Signature(),
+			Epoch:     sess.epoch,
+			M:         sess.mut.Slots(),
+			Alive:     sess.mut.AliveCount(),
+			Error:     fmt.Sprintf("stale epoch %d (current %d): resync with full=true", *req.Epoch, sess.epoch),
+		}
+		sess.mu.Unlock()
+		s.sessions.recordConflict()
+		writeJSON(w, http.StatusConflict, conflict)
+		return
+	}
+	resp := MutateResponse{Signature: plan.Signature()}
+	if len(events) > 0 {
+		d, changed, aerr := sess.mut.Apply(events)
+		if d.Events > 0 {
+			sess.epoch++
+			s.sessions.record(d.Events)
+		}
+		resp.Disruption = DisruptionSpec{
+			Events:      d.Events,
+			Joined:      d.Joined,
+			Departed:    d.Departed,
+			Reassigned:  d.Reassigned,
+			ColorsDelta: d.ColorsDelta,
+			FullRecolor: d.FullRecolor,
+			Compacted:   d.Compacted,
+		}
+		resp.Changed = make([]ChangeSpec, 0, len(changed))
+		for _, ch := range changed {
+			resp.Changed = append(resp.Changed, ChangeSpec{P: ch.P, Slot: ch.Slot})
+		}
+		if aerr != nil {
+			// The applied prefix stands; report it alongside the error.
+			resp.Error = aerr.Error()
+		}
+	}
+	if req.Full {
+		resp.Changed = resp.Changed[:0]
+		sess.mut.EachAssignment(func(p lattice.Point, slot int) bool {
+			resp.Changed = append(resp.Changed, ChangeSpec{P: p.Clone(), Slot: slot})
+			return true
+		})
+	}
+	resp.Epoch = sess.epoch
+	resp.M = sess.mut.Slots()
+	resp.Alive = sess.mut.AliveCount()
+	sess.mu.Unlock()
+	status := http.StatusOK
+	if resp.Error != "" {
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, resp)
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{OK: true, Plans: s.reg.Len(), Stats: s.reg.Stats()})
+	writeJSON(w, http.StatusOK, HealthResponse{OK: true, Plans: s.reg.Len(), Stats: s.reg.Stats(),
+		Traffic: s.Snapshot()})
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
@@ -144,6 +288,8 @@ func (s *Server) handleSlots(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	s.batchRequests.Add(1)
+	s.batchPoints.Add(int64(len(buf.slots)))
 	writeJSON(w, http.StatusOK, SlotsResponse{M: plan.Slots(), Slots: buf.slots})
 }
 
@@ -168,6 +314,8 @@ func (s *Server) handleMay(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	s.batchRequests.Add(1)
+	s.batchPoints.Add(int64(len(buf.may)))
 	writeJSON(w, http.StatusOK, MayResponse{M: plan.Slots(), T: req.T, May: buf.may})
 }
 

@@ -357,9 +357,13 @@ func DecodeTileSpec(data []byte) (*prototile.Tile, error) {
 	return ts.resolve()
 }
 
-// HealthResponse is the body of GET /healthz.
+// HealthResponse is the body of GET /healthz. Plans and Stats are the
+// original plan-cache fields; Traffic is the full counter snapshot
+// (batch sizes, mutation counts, session stats) added with the dynamic
+// subsystem.
 type HealthResponse struct {
-	OK    bool          `json:"ok"`
-	Plans int           `json:"plans"`
-	Stats RegistryStats `json:"stats"`
+	OK      bool          `json:"ok"`
+	Plans   int           `json:"plans"`
+	Stats   RegistryStats `json:"stats"`
+	Traffic ServerStats   `json:"traffic"`
 }

@@ -161,3 +161,47 @@ func TestDecodeBatchRequestLimitBoundaries(t *testing.T) {
 }
 
 func errorsIsLimit(err error) bool { return errors.Is(err, ErrLimit) }
+
+// FuzzDecodeMutateRequest checks the mutate funnel: never panic, and
+// every accepted request has a bounded window, a bounded event list, and
+// only well-formed in-margin events.
+func FuzzDecodeMutateRequest(f *testing.F) {
+	seeds := []string{
+		`{"plan":{"tile":{"name":"cross:2:1"}},"window":{"lo":[0,0],"hi":[4,4]},"events":[{"op":"leave","p":[1,1]}]}`,
+		`{"window":{"lo":[0,0],"hi":[4,4]},"events":[{"op":"move","p":[0,0],"to":[5,5]}],"epoch":3}`,
+		`{"window":{"lo":[0,0],"hi":[4,4]},"full":true}`,
+		`{"window":{"lo":[0,0],"hi":[4,4]},"events":[{"op":"join","p":[100000,0]}]}`,
+		`{"window":{"lo":[4],"hi":[-4]},"events":[{"op":"leave","p":[0]}]}`,
+		`{"events":[{"op":"leave","p":[0,0]}]}`,
+		`not json`, `{"window":`, `{}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s), 8, 64)
+	}
+	f.Fuzz(func(t *testing.T, data []byte, maxBatch, maxWindow int) {
+		lim := Limits{MaxBatch: maxBatch, MaxWindow: maxWindow}.withDefaults()
+		req, win, events, err := DecodeMutateRequest(data, Limits{MaxBatch: maxBatch, MaxWindow: maxWindow})
+		if err != nil {
+			return
+		}
+		if size, serr := win.SizeChecked(); serr != nil || size > lim.MaxWindow {
+			t.Fatalf("accepted window %s over limit %d", win, lim.MaxWindow)
+		}
+		if len(events) > lim.MaxBatch {
+			t.Fatalf("accepted %d events over limit %d", len(events), lim.MaxBatch)
+		}
+		if len(events) == 0 && !req.Full {
+			t.Fatal("accepted an empty non-full request")
+		}
+		for i, ev := range events {
+			if ev.P.Dim() != win.Dim() {
+				t.Fatalf("event %d dimension %d ≠ window %d", i, ev.P.Dim(), win.Dim())
+			}
+			for a := range ev.P {
+				if ev.P[a] < win.Lo[a]-MutateMargin || ev.P[a] > win.Hi[a]+MutateMargin {
+					t.Fatalf("event %d outside margin: %v in %s", i, ev.P, win)
+				}
+			}
+		}
+	})
+}

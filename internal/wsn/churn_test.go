@@ -1,0 +1,98 @@
+package wsn
+
+import (
+	"errors"
+	"testing"
+
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/prototile"
+	"tilingsched/internal/schedule"
+	"tilingsched/internal/tiling"
+)
+
+// TestChurnKeepsTilingCollisionFree scripts joins and leaves through a
+// saturated run of the Theorem 1 schedule: condition T2 is closed under
+// taking subsets, so whatever subset of sensors is up, no transmission
+// may ever fail — the simulator-side witness of the dynamic-deployments
+// claim.
+func TestChurnKeepsTilingCollisionFree(t *testing.T) {
+	lt, ok := tiling.FindLatticeTiling(prototile.Cross(2, 1))
+	if !ok {
+		t.Fatal("no tiling for cross")
+	}
+	s := schedule.FromLatticeTiling(lt)
+	w := lattice.CenteredWindow(2, 3)
+	churn := []ChurnEvent{
+		{Slot: 10, P: lattice.Pt(0, 0), Up: false},
+		{Slot: 10, P: lattice.Pt(1, 1), Up: false},
+		{Slot: 25, P: lattice.Pt(0, 0), Up: true},
+		{Slot: 40, P: lattice.Pt(-3, 2), Up: false},
+		{Slot: 60, P: lattice.Pt(1, 1), Up: true},
+		{Slot: 60, P: lattice.Pt(-3, 2), Up: true},
+		{Slot: 5, P: lattice.Pt(2, 2), Up: true}, // already up: no-op
+	}
+	m, err := Run(Config{
+		Window:     w,
+		Deployment: s.Deployment(),
+		Protocol:   NewScheduleMAC("tiling", s),
+		Traffic:    Saturated{},
+		Slots:      120,
+		Seed:       1,
+		Churn:      churn,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m.FailedTx != 0 || m.ReceiverCollisions != 0 {
+		t.Fatalf("churned tiling schedule collided: failed=%d rc=%d", m.FailedTx, m.ReceiverCollisions)
+	}
+	if m.NodesLeft != 3 || m.NodesJoined != 3 {
+		t.Fatalf("churn counts left=%d joined=%d, want 3/3", m.NodesLeft, m.NodesJoined)
+	}
+	if m.Transmissions == 0 {
+		t.Fatal("no traffic")
+	}
+
+	// Baseline without churn transmits strictly more (down slots are
+	// lost capacity).
+	base, err := Run(Config{
+		Window:     w,
+		Deployment: s.Deployment(),
+		Protocol:   NewScheduleMAC("tiling", s),
+		Traffic:    Saturated{},
+		Slots:      120,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatalf("baseline Run: %v", err)
+	}
+	if base.Transmissions <= m.Transmissions {
+		t.Fatalf("churn did not reduce transmissions: %d vs %d", m.Transmissions, base.Transmissions)
+	}
+}
+
+// TestChurnValidation rejects out-of-window and negative-slot events.
+func TestChurnValidation(t *testing.T) {
+	lt, ok := tiling.FindLatticeTiling(prototile.Cross(2, 1))
+	if !ok {
+		t.Fatal("no tiling for cross")
+	}
+	s := schedule.FromLatticeTiling(lt)
+	base := Config{
+		Window:     lattice.CenteredWindow(2, 2),
+		Deployment: s.Deployment(),
+		Protocol:   NewScheduleMAC("tiling", s),
+		Traffic:    Saturated{},
+		Slots:      10,
+	}
+	bad := base
+	bad.Churn = []ChurnEvent{{Slot: 1, P: lattice.Pt(99, 99), Up: false}}
+	if _, err := Run(bad); !errors.Is(err, ErrSim) {
+		t.Fatalf("out-of-window churn: err = %v", err)
+	}
+	bad = base
+	bad.Churn = []ChurnEvent{{Slot: -1, P: lattice.Pt(0, 0), Up: false}}
+	if _, err := Run(bad); !errors.Is(err, ErrSim) {
+		t.Fatalf("negative-slot churn: err = %v", err)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"tilingsched/internal/lattice"
 	"tilingsched/internal/schedule"
@@ -52,6 +53,24 @@ type Config struct {
 	// still collision-free (condition T2 is closed under removal), the
 	// schedule keeps working unmodified as the network decays.
 	NodeFailureProb float64
+	// Churn is a deterministic deployment-mutation script: at the start
+	// of each event's slot the sensor at its position joins (Up) or
+	// leaves (!Up). Unlike NodeFailureProb's permanent random deaths,
+	// churn is the planned join/leave/duty-cycle scenario of dynamic
+	// deployments (internal/dynamic): a departed sensor keeps its queue
+	// and resumes on rejoin, and the slot schedule is untouched — the
+	// simulator demonstrates that a tiling schedule needs no
+	// rescheduling under churn (subset-closure of condition T2).
+	// Events may be listed in any order; Run applies them slot-sorted.
+	Churn []ChurnEvent
+}
+
+// ChurnEvent is one scripted deployment mutation: the sensor at P goes
+// up or down at the start of slot Slot. P must lie in the window.
+type ChurnEvent struct {
+	Slot int64
+	P    lattice.Point
+	Up   bool
 }
 
 // Metrics aggregates the outcome of a run.
@@ -73,6 +92,10 @@ type Metrics struct {
 	RadioOnSlots int64
 	// NodesFailed counts sensors that died during the run.
 	NodesFailed int
+	// NodesLeft and NodesJoined count applied churn events (a join of an
+	// already-live node or a leave of an already-dead one is a no-op and
+	// not counted).
+	NodesLeft, NodesJoined int
 	// PerNodeDelivered holds each sensor's successful broadcast count,
 	// for fairness analysis.
 	PerNodeDelivered []int64
@@ -177,6 +200,20 @@ func Run(cfg Config) (Metrics, error) {
 			coveredBy[j] = append(coveredBy[j], i)
 		}
 	}
+	// Validate and slot-sort the churn script (stable: same-slot events
+	// apply in listed order).
+	churn := make([]ChurnEvent, len(cfg.Churn))
+	copy(churn, cfg.Churn)
+	for _, ev := range churn {
+		if _, ok := cfg.Window.IndexOf(ev.P); !ok {
+			return Metrics{}, fmt.Errorf("%w: churn event at %v outside window %s", ErrSim, ev.P, cfg.Window)
+		}
+		if ev.Slot < 0 {
+			return Metrics{}, fmt.Errorf("%w: churn event at negative slot %d", ErrSim, ev.Slot)
+		}
+	}
+	sort.SliceStable(churn, func(a, b int) bool { return churn[a].Slot < churn[b].Slot })
+	nextChurn := 0
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	queues := newRings(n, 8) // arrival slots of queued packets
 	var m Metrics
@@ -191,7 +228,22 @@ func Run(cfg Config) (Metrics, error) {
 		alive[i] = true
 	}
 	for slot := int64(0); slot < cfg.Slots; slot++ {
-		// 0. Failures.
+		// 0a. Scripted churn.
+		for nextChurn < len(churn) && churn[nextChurn].Slot <= slot {
+			ev := churn[nextChurn]
+			nextChurn++
+			i, _ := cfg.Window.IndexOf(ev.P)
+			if alive[i] == ev.Up {
+				continue
+			}
+			alive[i] = ev.Up
+			if ev.Up {
+				m.NodesJoined++
+			} else {
+				m.NodesLeft++
+			}
+		}
+		// 0b. Failures.
 		if cfg.NodeFailureProb > 0 {
 			for i := range alive {
 				if alive[i] && rng.Float64() < cfg.NodeFailureProb {
