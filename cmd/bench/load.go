@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"tilingsched/internal/service"
+	"tilingsched/internal/service/binwire"
 )
 
 // loadConfig parameterizes the HTTP load-generator mode (-load), which
@@ -23,26 +24,88 @@ type loadConfig struct {
 	conns    int
 	batch    int
 	tile     string
+	format   string // "json" or "bin"
+	quiet    bool   // suppress per-run printing (the -wire sweep prints its own table)
 }
 
-// runLoad hammers POST /v1/slots:batch with conns concurrent workers for
-// the configured duration and prints request and point-lookup
-// throughput. The batch body is built once (deterministic points drawn
-// from a seeded source) and shared by every request, so the generator
-// itself stays cheap enough to saturate the server.
-func runLoad(cfg loadConfig) error {
-	cfg.baseURL = strings.TrimRight(cfg.baseURL, "/")
+// loadResult is one load-generator measurement, shaped for the
+// BENCH_<date>_wire.json comparison file.
+type loadResult struct {
+	Format        string  `json:"format"`
+	Batch         int     `json:"batch"`
+	Requests      int64   `json:"requests"`
+	Failures      int64   `json:"failures"`
+	Seconds       float64 `json:"seconds"`
+	ReqPerSec     float64 `json:"req_per_sec"`
+	LookupsPerSec float64 `json:"lookups_per_sec"`
+	BodyBytes     int     `json:"request_body_bytes"`
+}
+
+// buildLoadBody renders the shared batch request body in the configured
+// wire format, returning the body and its content type.
+func buildLoadBody(cfg loadConfig) ([]byte, string, error) {
 	rng := rand.New(rand.NewSource(1))
 	points := make([][]int, cfg.batch)
 	for i := range points {
 		points[i] = []int{rng.Intn(2001) - 1000, rng.Intn(2001) - 1000}
 	}
-	body, err := json.Marshal(service.BatchRequest{
+	req := service.BatchRequest{
 		Plan:   service.PlanSpec{Tile: service.TileSpec{Name: cfg.tile}},
 		Points: points,
-	})
+	}
+	switch cfg.format {
+	case "", "json":
+		body, err := json.Marshal(req)
+		return body, "application/json", err
+	case "bin":
+		e := binwire.Get()
+		defer binwire.Put(e)
+		service.EncodeBatchBinary(e, req, false, "")
+		return bytes.Clone(e.Bytes()), service.BinaryContentType, nil
+	}
+	return nil, "", fmt.Errorf("unknown load format %q (want json or bin)", cfg.format)
+}
+
+// checkLoadReply validates the warm-up reply in the configured format.
+func checkLoadReply(cfg loadConfig, status int, body []byte) error {
+	if cfg.format == "bin" {
+		sr, err := service.DecodeSlotsStream(body)
+		if err != nil {
+			return fmt.Errorf("warm-up decode: %v", err)
+		}
+		if len(sr.Slots) != cfg.batch {
+			return fmt.Errorf("warm-up reply has %d slots, want %d", len(sr.Slots), cfg.batch)
+		}
+		return nil
+	}
+	var warm struct {
+		service.SlotsResponse
+		service.ErrorResponse
+	}
+	if err := json.Unmarshal(body, &warm); err != nil {
+		return fmt.Errorf("warm-up decode: %v", err)
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("warm-up request: status %d: %s", status, warm.Error)
+	}
+	if len(warm.Slots) != cfg.batch {
+		return fmt.Errorf("warm-up reply has %d slots, want %d", len(warm.Slots), cfg.batch)
+	}
+	return nil
+}
+
+// runLoad hammers POST /v1/slots:batch with conns concurrent workers for
+// the configured duration and reports request and point-lookup
+// throughput. The batch body is built once (deterministic points drawn
+// from a seeded source) and shared by every request, so the generator
+// itself stays cheap enough to saturate the server. The format field
+// selects the JSON codec or the binary wire protocol — same endpoint,
+// negotiated by Content-Type.
+func runLoad(cfg loadConfig) (loadResult, error) {
+	cfg.baseURL = strings.TrimRight(cfg.baseURL, "/")
+	body, contentType, err := buildLoadBody(cfg)
 	if err != nil {
-		return err
+		return loadResult{}, err
 	}
 	url := cfg.baseURL + "/v1/slots:batch"
 	client := &http.Client{Transport: &http.Transport{
@@ -52,23 +115,17 @@ func runLoad(cfg loadConfig) error {
 
 	// One warm-up request compiles the plan and validates the reply
 	// shape before the clock starts.
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	resp, err := client.Post(url, contentType, bytes.NewReader(body))
 	if err != nil {
-		return fmt.Errorf("warm-up request: %v", err)
+		return loadResult{}, fmt.Errorf("warm-up request: %v", err)
 	}
-	var warm struct {
-		service.SlotsResponse
-		service.ErrorResponse
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&warm); err != nil {
-		return fmt.Errorf("warm-up decode: %v", err)
-	}
+	reply, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("warm-up request: status %d: %s", resp.StatusCode, warm.Error)
+	if err != nil {
+		return loadResult{}, fmt.Errorf("warm-up read: %v", err)
 	}
-	if len(warm.Slots) != cfg.batch {
-		return fmt.Errorf("warm-up reply has %d slots, want %d", len(warm.Slots), cfg.batch)
+	if err := checkLoadReply(cfg, resp.StatusCode, reply); err != nil {
+		return loadResult{}, err
 	}
 
 	var requests, failures atomic.Int64
@@ -79,7 +136,7 @@ func runLoad(cfg loadConfig) error {
 		go func() {
 			defer wg.Done()
 			for time.Now().Before(deadline) {
-				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				resp, err := client.Post(url, contentType, bytes.NewReader(body))
 				if err != nil {
 					failures.Add(1)
 					continue
@@ -100,12 +157,27 @@ func runLoad(cfg loadConfig) error {
 
 	reqs, fails := requests.Load(), failures.Load()
 	secs := elapsed.Seconds()
-	fmt.Printf("load: %s tile=%s batch=%d conns=%d duration=%s\n",
-		cfg.baseURL, cfg.tile, cfg.batch, cfg.conns, elapsed.Round(time.Millisecond))
-	fmt.Printf("load: %d requests (%d failed), %.0f req/s, %.0f lookups/s\n",
-		reqs, fails, float64(reqs)/secs, float64(reqs)*float64(cfg.batch)/secs)
-	if fails > 0 {
-		return fmt.Errorf("%d failed requests", fails)
+	res := loadResult{
+		Format:        cfg.format,
+		Batch:         cfg.batch,
+		Requests:      reqs,
+		Failures:      fails,
+		Seconds:       secs,
+		ReqPerSec:     float64(reqs) / secs,
+		LookupsPerSec: float64(reqs) * float64(cfg.batch) / secs,
+		BodyBytes:     len(body),
 	}
-	return nil
+	if res.Format == "" {
+		res.Format = "json"
+	}
+	if !cfg.quiet {
+		fmt.Printf("load: %s tile=%s format=%s batch=%d conns=%d duration=%s\n",
+			cfg.baseURL, cfg.tile, res.Format, cfg.batch, cfg.conns, elapsed.Round(time.Millisecond))
+		fmt.Printf("load: %d requests (%d failed), %.0f req/s, %.0f lookups/s\n",
+			reqs, fails, res.ReqPerSec, res.LookupsPerSec)
+	}
+	if fails > 0 {
+		return res, fmt.Errorf("%d failed requests", fails)
+	}
+	return res, nil
 }

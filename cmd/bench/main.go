@@ -7,12 +7,17 @@
 //	go run ./cmd/bench [-bench regex] [-count N] [-pkg ./...] [-out file]
 //	go run ./cmd/bench -parse raw.txt [-out file]   # summarize existing output
 //	go run ./cmd/bench -load http://localhost:8370  # latticed load generator
+//	go run ./cmd/bench -wire                        # JSON vs binary serving sweep
 //
 // With -parse the raw `go test -bench` output in the given file is
 // summarized instead of running the benchmarks — useful for snapshotting
 // a baseline captured before a change. With -load the tool becomes an
 // HTTP load generator against a running cmd/latticed daemon, reporting
-// batch-query requests/s and point lookups/s (see -load-* flags).
+// batch-query requests/s and point lookups/s (see -load-* flags;
+// -load-format selects the JSON codec or the binary wire protocol).
+// With -wire it starts an in-process handler and sweeps batch sizes ×
+// wire formats, writing BENCH_<date>_wire.json with the binary/JSON
+// speedup per batch size.
 package main
 
 import (
@@ -65,15 +70,24 @@ func main() {
 	loadConns := flag.Int("load-conns", 8, "concurrent load generator connections")
 	loadBatch := flag.Int("load-batch", 1024, "points per batch request")
 	loadTile := flag.String("load-tile", "cross:2:1", "tile spec queried by the load generator")
+	loadFormat := flag.String("load-format", "json", "wire format for -load: json or bin")
+	wire := flag.Bool("wire", false, "run the in-process JSON-vs-binary serving sweep")
 	flag.Parse()
 
+	if *wire {
+		if err := runWire(*loadDuration, *loadConns, *loadTile, *out); err != nil {
+			fatal("wire: %v", err)
+		}
+		return
+	}
 	if *load != "" {
-		if err := runLoad(loadConfig{
+		if _, err := runLoad(loadConfig{
 			baseURL:  *load,
 			duration: *loadDuration,
 			conns:    *loadConns,
 			batch:    *loadBatch,
 			tile:     *loadTile,
+			format:   *loadFormat,
 		}); err != nil {
 			fatal("load: %v", err)
 		}

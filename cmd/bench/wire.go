@@ -1,0 +1,114 @@
+package main
+
+// The -wire mode: an apples-to-apples comparison of the JSON codec and
+// the binary wire protocol over real HTTP. It starts an in-process
+// latticed handler on a loopback listener, sweeps batch sizes × wire
+// formats through the load generator, and writes the results (with the
+// binary/JSON lookup-throughput ratio per batch size) to
+// BENCH_<date>_wire.json — the serving-path companion to the
+// BENCH_<date>.json microbenchmark trajectory.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"time"
+
+	"tilingsched/internal/service"
+)
+
+// wireBatches are the batch sizes the -wire sweep measures.
+var wireBatches = []int{64, 1024, 16384}
+
+// WireSummary is the on-disk schema of a BENCH_<date>_wire.json file.
+type WireSummary struct {
+	Date        string       `json:"date"`
+	GoVersion   string       `json:"go_version"`
+	GOOS        string       `json:"goos"`
+	GOARCH      string       `json:"goarch"`
+	NumCPU      int          `json:"num_cpu"`
+	Tile        string       `json:"tile"`
+	Conns       int          `json:"conns"`
+	DurationSec float64      `json:"duration_sec_per_cell"`
+	Results     []loadResult `json:"results"`
+	// SpeedupByBatch is binary ÷ JSON end-to-end lookups/s at each batch
+	// size — the number the ISSUE's ≥5× acceptance bar reads.
+	SpeedupByBatch map[string]float64 `json:"speedup_by_batch"`
+}
+
+// runWire executes the JSON-vs-binary serving sweep and writes the
+// summary to out (BENCH_<date>_wire.json when empty).
+func runWire(duration time.Duration, conns int, tile, out string) error {
+	reg := service.NewRegistry(0)
+	handler := service.NewServer(reg, service.ServerOptions{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: handler}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	s := WireSummary{
+		Date:           time.Now().Format("2006-01-02"),
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		NumCPU:         runtime.NumCPU(),
+		Tile:           tile,
+		Conns:          conns,
+		DurationSec:    duration.Seconds(),
+		SpeedupByBatch: map[string]float64{},
+	}
+	perBatch := map[int]map[string]float64{}
+	for _, batch := range wireBatches {
+		for _, format := range []string{"json", "bin"} {
+			res, err := runLoad(loadConfig{
+				baseURL:  base,
+				duration: duration,
+				conns:    conns,
+				batch:    batch,
+				tile:     tile,
+				format:   format,
+				quiet:    true,
+			})
+			if err != nil {
+				return fmt.Errorf("%s batch=%d: %v", format, batch, err)
+			}
+			fmt.Printf("wire: format=%-4s batch=%-5d  %9.0f req/s  %12.0f lookups/s  (%d-byte request)\n",
+				format, batch, res.ReqPerSec, res.LookupsPerSec, res.BodyBytes)
+			s.Results = append(s.Results, res)
+			if perBatch[batch] == nil {
+				perBatch[batch] = map[string]float64{}
+			}
+			perBatch[batch][format] = res.LookupsPerSec
+		}
+	}
+	for batch, by := range perBatch {
+		if by["json"] > 0 {
+			s.SpeedupByBatch[strconv.Itoa(batch)] = by["bin"] / by["json"]
+		}
+	}
+	for _, batch := range wireBatches {
+		fmt.Printf("wire: batch=%-5d binary/JSON speedup %.2fx\n",
+			batch, s.SpeedupByBatch[strconv.Itoa(batch)])
+	}
+
+	if out == "" {
+		out = "BENCH_" + s.Date + "_wire.json"
+	}
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}

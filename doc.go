@@ -61,6 +61,15 @@
 //     (/v1/plan, /v1/slots:batch, /v1/maybroadcast:batch, /healthz);
 //     cmd/bench -load is the matching load generator, and -debug serves
 //     the pprof/expvar observability plane (/debug/pprof, /debug/vars).
+//   - The same endpoints also speak a binary wire protocol (DESIGN.md
+//     §10), negotiated by Content-Type application/x-lattice-bin:
+//     length-prefixed frames over internal/service/binwire varint
+//     primitives, delta-encoded point batches, signature handles that
+//     skip re-sending plan specs, and streamed chunk-frame responses.
+//     One shared handler core keeps both codecs semantically identical
+//     (parity tests pin it); the binary path serves 6-10x the JSON
+//     codec's lookups/s end to end (BENCH_<date>_wire.json, cmd/bench
+//     -wire).
 //
 // # Dynamic deployments
 //

@@ -68,10 +68,10 @@ func main() {
 	batches := [][]dynamic.Event{
 		{{Kind: dynamic.Leave, P: lattice.Pt(0, 0)}},
 		{{Kind: dynamic.Fail, P: lattice.Pt(3, -2)}, {Kind: dynamic.Leave, P: lattice.Pt(-5, 5)}},
-		{{Kind: dynamic.Join, P: lattice.Pt(0, 0)}}, // rejoin
-		{{Kind: dynamic.Join, P: lattice.Pt(*half + 1, 0)}},  // grow past the window
-		{{Kind: dynamic.Join, P: lattice.Pt(*half + 2, 0)}},  // and again, next to it
-		{{Kind: dynamic.Move, P: lattice.Pt(1, 1), To: lattice.Pt(*half + 1, 1)}},
+		{{Kind: dynamic.Join, P: lattice.Pt(0, 0)}},       // rejoin
+		{{Kind: dynamic.Join, P: lattice.Pt(*half+1, 0)}}, // grow past the window
+		{{Kind: dynamic.Join, P: lattice.Pt(*half+2, 0)}}, // and again, next to it
+		{{Kind: dynamic.Move, P: lattice.Pt(1, 1), To: lattice.Pt(*half+1, 1)}},
 	}
 	for i := 0; i < 6; i++ { // random in-window churn rounds
 		p := randomIn()

@@ -279,6 +279,134 @@ func TestOracleCompactionParity(t *testing.T) {
 	}
 }
 
+// ringPool returns the points of the margin-expanded window that lie
+// strictly outside the base window — the out-of-window destinations a
+// periodic base must patch by stencil translation rather than by
+// scanning.
+func ringPool(t *testing.T, w lattice.Window, margin int) []lattice.Point {
+	t.Helper()
+	var out []lattice.Point
+	for _, p := range poolWindow(t, w, margin) {
+		if !w.Contains(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// driveMoves shuttles sensors across the window boundary: the stream is
+// dominated by Move events alternating inner→outer and outer→inner, so
+// on a periodic base every batch runs the ConflictOffsets translation
+// fast path — for base-window vertices, for far-outside added vertices,
+// and for rejoins of previously tombstoned added positions.
+func driveMoves(t *testing.T, m *Mutator, dep schedule.Deployment, inner, outer []lattice.Point, steps int, rng *rand.Rand) {
+	t.Helper()
+	ov := m.Overlay()
+	active := func(p lattice.Point) bool {
+		id, ok := ov.IndexOf(p)
+		return ok && ov.Alive(id)
+	}
+	pick := func(pool []lattice.Point, want bool) (lattice.Point, bool) {
+		for tries := 0; tries < 64; tries++ {
+			p := pool[rng.Intn(len(pool))]
+			if active(p) == want {
+				return p, true
+			}
+		}
+		return nil, false
+	}
+	moves := 0
+	for s := 0; s < steps; s++ {
+		from, to := inner, outer
+		if s%2 == 1 {
+			from, to = outer, inner
+		}
+		p, okP := pick(from, true)
+		q, okQ := pick(to, false)
+		var evs []Event
+		switch {
+		case okP && okQ:
+			evs = []Event{{Kind: Move, P: p, To: q}}
+			moves++
+		case okQ:
+			evs = []Event{{Kind: Join, P: q}}
+		case okP:
+			evs = []Event{{Kind: Leave, P: p}}
+		default:
+			continue
+		}
+		if _, _, err := m.Apply(evs); err != nil {
+			t.Fatalf("Apply(%v): %v", evs, err)
+		}
+		if err := m.Verify(); err != nil {
+			t.Fatalf("Verify after %v: %v", evs, err)
+		}
+		oracleCheck(t, m, dep)
+	}
+	if moves < steps/3 {
+		t.Fatalf("stream degenerated: only %d/%d steps were moves", moves, steps)
+	}
+}
+
+// TestOraclePeriodicMoveHeavy stresses the periodic join/Move fast path
+// against the from-scratch oracle: on a periodic base, joins (and the
+// join half of every Move) patch conflict edges by translating the
+// residue class's stencil row instead of probing neighborhoods with a
+// SiteScanner — including for destinations outside the base window,
+// where no vertex existed at freeze time. Runs both the single-class
+// homogeneous case and the multi-class D1 torus case.
+func TestOraclePeriodicMoveHeavy(t *testing.T) {
+	t.Run("homogeneous", func(t *testing.T) {
+		tile := prototile.Cross(2, 1)
+		dep := schedule.NewHomogeneous(tile)
+		w, err := lattice.BoxWindow(4, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := NewMutator(dep, w, nil, Options{Residues: tiling.IdentityResidues(2)})
+		if err != nil {
+			t.Fatalf("NewMutator: %v", err)
+		}
+		if m.Overlay().BaseMode() != graph.Periodic {
+			t.Fatalf("base mode %v, want Periodic", m.Overlay().BaseMode())
+		}
+		rng := rand.New(rand.NewSource(41))
+		driveMoves(t, m, dep, w.Points(), ringPool(t, w, 3), 120, rng)
+	})
+	t.Run("d1-torus", func(t *testing.T) {
+		domino := prototile.MustNew("domino", lattice.Pt(0, 0), lattice.Pt(1, 0))
+		mono := prototile.MustNew("mono", lattice.Pt(0, 0))
+		tt, err := tiling.NewTorusTiling([]int{2, 2},
+			[]*prototile.Tile{domino, mono},
+			[]tiling.Placement{
+				{TileIndex: 0, Offset: lattice.Pt(0, 0)},
+				{TileIndex: 1, Offset: lattice.Pt(0, 1)},
+				{TileIndex: 1, Offset: lattice.Pt(1, 1)},
+			})
+		if err != nil {
+			t.Fatalf("NewTorusTiling: %v", err)
+		}
+		dep := schedule.NewD1(tt)
+		res, err := tiling.NewResidues(intmat.MustFromRows([][]int64{{2, 0}, {0, 2}}))
+		if err != nil {
+			t.Fatalf("NewResidues: %v", err)
+		}
+		w, err := lattice.BoxWindow(5, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := NewMutator(dep, w, nil, Options{Residues: res})
+		if err != nil {
+			t.Fatalf("NewMutator: %v", err)
+		}
+		if m.Overlay().BaseMode() != graph.Periodic {
+			t.Fatalf("base mode %v, want Periodic", m.Overlay().BaseMode())
+		}
+		rng := rand.New(rand.NewSource(43))
+		driveMoves(t, m, dep, w.Points(), ringPool(t, w, 3), 120, rng)
+	})
+}
+
 // TestOracleManyStreams fuzzes wider: several seeds over a Moore
 // deployment with default options, ensuring no stream ever diverges.
 func TestOracleManyStreams(t *testing.T) {

@@ -229,8 +229,15 @@ func (o *Overlay) Degree(u int) int {
 // join activates a sensor at p, returning its vertex id. In-window
 // joins and rejoins of previously-added positions revive the tombstoned
 // vertex in O(1) (their edges are already known); a genuinely new
-// outside position appends an added vertex and computes its patch rows
-// with a SiteScanner probe of the p ± 2·reach box.
+// outside position appends an added vertex and computes its patch rows.
+//
+// Patch-row cost depends on the base mode. Over a periodic base the
+// conflict partners of p are exactly p + d for the stencil offsets d of
+// p's residue class — valid outside the window too, since periodicity
+// holds on the whole lattice — so the row is O(|stencil|) translations
+// (the Move fast path: a departing-and-rejoining sensor never re-probes
+// neighborhoods). Explicit bases fall back to a SiteScanner probe of
+// the p ± 2·reach box, O(box · |N|).
 func (o *Overlay) join(p lattice.Point) (int, error) {
 	if p.Dim() != o.w.Dim() {
 		return 0, fmt.Errorf("%w: join %v has dimension %d, want %d", ErrDynamic, p, p.Dim(), o.w.Dim())
@@ -250,14 +257,40 @@ func (o *Overlay) join(p lattice.Point) (int, error) {
 		o.alive = append(o.alive, 0)
 	}
 	o.setAlive(id, true)
+	reach := o.site.Reach()
+	dim := o.w.Dim()
+	if row, ok := o.base.ConflictOffsets(q); ok {
+		// Periodic fast path: translate the stencil row of q's residue
+		// class. Base candidates are the translated offsets that land in
+		// the window (dead ones get patch edges too, so a later rejoin
+		// needs no rescan); added candidates check offset membership
+		// behind a Chebyshev prefilter.
+		c := make(lattice.Point, dim)
+		for k := 0; k < len(row); k += dim {
+			for a := 0; a < dim; a++ {
+				c[a] = q[a] + row[k+a]
+			}
+			if j, ok := o.w.IndexOf(c); ok {
+				o.addPatch(id, j)
+			}
+		}
+		for k, a := range o.added {
+			v := o.baseN + k
+			if v == id {
+				continue
+			}
+			if chebyshevDist(q, a) <= 2*reach && offsetInRow(row, q, a) {
+				o.addPatch(id, v)
+			}
+		}
+		return id, nil
+	}
 	if err := o.site.Reset(q); err != nil {
 		return 0, err
 	}
-	reach := o.site.Reach()
 	// Base-window candidates: the bounding box p ± 2·reach clipped to the
 	// window, probed point by point. Dead candidates get patch edges too,
 	// so a later rejoin needs no rescan.
-	dim := o.w.Dim()
 	boxLo := make(lattice.Point, dim)
 	boxHi := make(lattice.Point, dim)
 	empty := false
@@ -310,6 +343,25 @@ func (o *Overlay) leave(p lattice.Point) (int, error) {
 	}
 	o.setAlive(id, false)
 	return id, nil
+}
+
+// offsetInRow reports whether the offset a − q appears in the
+// flattened stencil row (dim = len(q) ints per offset).
+func offsetInRow(row []int, q, a lattice.Point) bool {
+	dim := len(q)
+	for k := 0; k < len(row); k += dim {
+		match := true
+		for x := 0; x < dim; x++ {
+			if a[x]-q[x] != row[k+x] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
 }
 
 // chebyshevDist is the L∞ distance between same-dimension points.

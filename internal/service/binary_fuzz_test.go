@@ -1,0 +1,171 @@
+package service
+
+// Fuzz targets for the binary decode funnels (binary.go,
+// binary_mutate.go) — the binary twins of wire_fuzz_test.go. The
+// funnels face unauthenticated bytes, so whatever the input they must
+// return an error — never panic — and anything they accept must respect
+// the documented limits. CI runs each target for a 10s smoke.
+
+import (
+	"testing"
+
+	"tilingsched/internal/dynamic"
+	"tilingsched/internal/service/binwire"
+)
+
+// binarySeed renders a valid encoded request for the seed corpus.
+func binarySeed(build func(e *binwire.Buffer)) []byte {
+	var e binwire.Buffer
+	build(&e)
+	return e.Bytes()
+}
+
+// FuzzDecodeBinaryBatch checks that binary batch decoding never panics
+// and that every accepted request satisfies the same structural
+// contract as the JSON funnel: exactly one of points/window, batch
+// within MaxBatch, window expansion within MaxWindow, uniform point
+// dimension within the tile bound.
+func FuzzDecodeBinaryBatch(f *testing.F) {
+	seeds := [][]byte{
+		binarySeed(func(e *binwire.Buffer) {
+			EncodeBatchBinary(e, BatchRequest{
+				Plan:   PlanSpec{Tile: TileSpec{Name: "cross:2:1"}},
+				Points: [][]int{{3, 4}, {0, 0}},
+			}, false, "")
+		}),
+		binarySeed(func(e *binwire.Buffer) {
+			EncodeBatchBinary(e, BatchRequest{
+				Plan:   PlanSpec{Lattice: "square", Tile: TileSpec{Name: "rect:4:2"}},
+				Window: &WindowSpec{Lo: []int{-4, -4}, Hi: []int{4, 4}},
+			}, false, "")
+		}),
+		binarySeed(func(e *binwire.Buffer) {
+			EncodeBatchBinary(e, BatchRequest{
+				Plan:   PlanSpec{Tile: TileSpec{Points: [][]int{{0, 0}, {1, 0}}}},
+				Points: [][]int{{1, 7}},
+				T:      -12345,
+			}, true, "")
+		}),
+		binarySeed(func(e *binwire.Buffer) {
+			EncodeBatchBinary(e, BatchRequest{Points: [][]int{{9}}}, true, "square|cross:2:1")
+		}),
+		binarySeed(func(e *binwire.Buffer) { // wrong frame type for the funnel
+			e.BeginFrame(binwire.FrameMutate)
+			e.Uvarint(0)
+			e.EndFrame()
+		}),
+		{0, 0, 0, 0}, {1, 0, 0, 0, 0x01}, []byte("not a frame"), {},
+	}
+	for _, s := range seeds {
+		f.Add(s, 8, 64)
+	}
+	f.Fuzz(func(t *testing.T, data []byte, maxBatch, maxWindow int) {
+		lim := Limits{MaxBatch: maxBatch, MaxWindow: maxWindow}.withDefaults()
+		var sc BinScratch
+		req, err := DecodeBinaryBatch(data, Limits{MaxBatch: maxBatch, MaxWindow: maxWindow}, &sc)
+		if err != nil {
+			return
+		}
+		if req.Kind != binwire.FrameBatchSlots && req.Kind != binwire.FrameBatchMay {
+			t.Fatalf("accepted kind %#x", req.Kind)
+		}
+		hasPoints := len(req.Points) > 0
+		if hasPoints == req.UseWindow {
+			t.Fatalf("accepted request with points=%v window=%v", hasPoints, req.UseWindow)
+		}
+		if hasPoints {
+			if len(req.Points) > lim.MaxBatch {
+				t.Fatalf("accepted batch of %d over limit %d", len(req.Points), lim.MaxBatch)
+			}
+			dim := len(req.Points[0])
+			if dim < 1 || dim > maxTileDim {
+				t.Fatalf("accepted point dimension %d", dim)
+			}
+			for i, p := range req.Points {
+				if len(p) != dim {
+					t.Fatalf("point %d has dimension %d ≠ %d", i, len(p), dim)
+				}
+			}
+		} else {
+			size, serr := req.Window.SizeChecked()
+			if serr != nil || size > lim.MaxWindow {
+				t.Fatalf("accepted window of %d points (err %v) over limit %d", size, serr, lim.MaxWindow)
+			}
+		}
+	})
+}
+
+// FuzzDecodeBinaryMutate checks the binary mutate funnel: never panic,
+// and every accepted request has a bounded window, a bounded event
+// list, and only well-formed in-margin events.
+func FuzzDecodeBinaryMutate(f *testing.F) {
+	stale := uint64(3)
+	seeds := [][]byte{
+		binarySeed(func(e *binwire.Buffer) {
+			_ = EncodeMutateBinary(e, MutateRequest{
+				Plan:   PlanSpec{Tile: TileSpec{Name: "cross:2:1"}},
+				Window: WindowSpec{Lo: []int{0, 0}, Hi: []int{4, 4}},
+				Events: []EventSpec{{Op: "leave", P: []int{1, 1}}},
+			}, "")
+		}),
+		binarySeed(func(e *binwire.Buffer) {
+			_ = EncodeMutateBinary(e, MutateRequest{
+				Window: WindowSpec{Lo: []int{0, 0}, Hi: []int{4, 4}},
+				Events: []EventSpec{{Op: "move", P: []int{0, 0}, To: []int{5, 5}}},
+				Epoch:  &stale,
+			}, "")
+		}),
+		binarySeed(func(e *binwire.Buffer) {
+			_ = EncodeMutateBinary(e, MutateRequest{
+				Window: WindowSpec{Lo: []int{0, 0}, Hi: []int{4, 4}},
+				Full:   true,
+			}, "square|cross:2:1")
+		}),
+		binarySeed(func(e *binwire.Buffer) { // out-of-margin event
+			_ = EncodeMutateBinary(e, MutateRequest{
+				Window: WindowSpec{Lo: []int{0, 0}, Hi: []int{4, 4}},
+				Events: []EventSpec{{Op: "join", P: []int{100000, 0}}},
+			}, "")
+		}),
+		{0, 0, 0, 0}, []byte("not a frame"), {},
+	}
+	for _, s := range seeds {
+		f.Add(s, 8, 64)
+	}
+	f.Fuzz(func(t *testing.T, data []byte, maxBatch, maxWindow int) {
+		lim := Limits{MaxBatch: maxBatch, MaxWindow: maxWindow}.withDefaults()
+		req, err := DecodeBinaryMutate(data, Limits{MaxBatch: maxBatch, MaxWindow: maxWindow})
+		if err != nil {
+			return
+		}
+		win := req.Window
+		if size, serr := win.SizeChecked(); serr != nil || size > lim.MaxWindow {
+			t.Fatalf("accepted window %s over limit %d", win, lim.MaxWindow)
+		}
+		if len(req.Events) > lim.MaxBatch {
+			t.Fatalf("accepted %d events over limit %d", len(req.Events), lim.MaxBatch)
+		}
+		if len(req.Events) == 0 && !req.Full {
+			t.Fatal("accepted an empty non-full request")
+		}
+		for i, ev := range req.Events {
+			if ev.P.Dim() != win.Dim() {
+				t.Fatalf("event %d dimension %d ≠ window %d", i, ev.P.Dim(), win.Dim())
+			}
+			check := func(p []int) {
+				for a := range p {
+					if p[a] < win.Lo[a]-MutateMargin || p[a] > win.Hi[a]+MutateMargin {
+						t.Fatalf("event %d outside margin: %v in %s", i, p, win)
+					}
+				}
+			}
+			check(ev.P)
+			if ev.Kind == dynamic.Move {
+				if ev.To.Dim() != win.Dim() {
+					t.Fatalf("event %d destination dimension %d ≠ window %d", i, ev.To.Dim(), win.Dim())
+				}
+				check(ev.To)
+			}
+		}
+	})
+}

@@ -1,0 +1,456 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"tilingsched/internal/dynamic"
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/prototile"
+	"tilingsched/internal/service/binwire"
+)
+
+// --- Binary ↔ JSON parity --------------------------------------------------
+
+// batchParityCorpus is the valid subset of the JSON fuzz corpus
+// (FuzzDecodeBatchRequest) plus signature-path cases: every request a
+// JSON client can make must survive the binary round trip unchanged.
+var batchParityCorpus = []string{
+	`{"plan":{"tile":{"name":"cross:2:1"}},"points":[[3,4],[0,0]]}`,
+	`{"plan":{"tile":{"name":"cross:2:1"}},"window":{"lo":[-4,-4],"hi":[4,4]}}`,
+	`{"plan":{"tile":{"points":[[0,0],[1,0]]}},"points":[[1]],"t":12345}`,
+	`{"plan":{"lattice":"square","tile":{"name":"rect:4:2"}},"points":[[100,-250],[-7,2],[0,0],[3,4]]}`,
+	`{"plan":{"tile":{"name":"cross:2:1"}},"points":[[3,4]],"t":-1}`,
+	`{"plan":{"tile":{"name":"chebyshev:3:2"}},"window":{"lo":[7,7],"hi":[7,7]}}`,
+}
+
+// TestBinaryBatchParity round-trips the JSON corpus through the binary
+// codec: JSON-decode, binary-encode, binary-decode, and compare every
+// field — the two formats must accept the same requests and mean the
+// same thing.
+func TestBinaryBatchParity(t *testing.T) {
+	for _, src := range batchParityCorpus {
+		for _, may := range []bool{false, true} {
+			req, win, err := DecodeBatchRequest([]byte(src), Limits{})
+			if err != nil {
+				t.Fatalf("JSON corpus entry rejected: %s: %v", src, err)
+			}
+			e := binwire.Get()
+			EncodeBatchBinary(e, req, may, "")
+			var sc BinScratch
+			bin, err := DecodeBinaryBatch(e.Bytes(), Limits{}, &sc)
+			binwire.Put(e)
+			if err != nil {
+				t.Fatalf("binary decode of %s: %v", src, err)
+			}
+			wantKind := binwire.FrameBatchSlots
+			if may {
+				wantKind = binwire.FrameBatchMay
+			}
+			if bin.Kind != wantKind {
+				t.Errorf("%s: kind %#x, want %#x", src, bin.Kind, wantKind)
+			}
+			if bin.Plan.Spec.Lattice != req.Plan.Lattice || bin.Plan.Spec.Tile.Name != req.Plan.Tile.Name {
+				t.Errorf("%s: plan spec %+v ≠ %+v", src, bin.Plan.Spec, req.Plan)
+			}
+			if len(req.Plan.Tile.Points) > 0 && !reflect.DeepEqual(bin.Plan.Spec.Tile.Points, req.Plan.Tile.Points) {
+				t.Errorf("%s: tile points %v ≠ %v", src, bin.Plan.Spec.Tile.Points, req.Plan.Tile.Points)
+			}
+			if win != nil {
+				if !bin.UseWindow || !bin.Window.Lo.Equal(win.Lo) || !bin.Window.Hi.Equal(win.Hi) {
+					t.Errorf("%s: window %v ≠ %v", src, bin.Window, *win)
+				}
+			} else {
+				if bin.UseWindow || len(bin.Points) != len(req.Points) {
+					t.Fatalf("%s: %d binary points for %d JSON points", src, len(bin.Points), len(req.Points))
+				}
+				for i := range req.Points {
+					if !bin.Points[i].Equal(lattice.Point(req.Points[i])) {
+						t.Errorf("%s: point %d = %v, want %v", src, i, bin.Points[i], req.Points[i])
+					}
+				}
+			}
+			if may && bin.T != req.T {
+				t.Errorf("%s: t %d ≠ %d", src, bin.T, req.T)
+			}
+		}
+	}
+}
+
+// mutateParityCorpus mirrors FuzzDecodeMutateRequest's valid seeds.
+var mutateParityCorpus = []string{
+	`{"plan":{"tile":{"name":"cross:2:1"}},"window":{"lo":[0,0],"hi":[4,4]},"events":[{"op":"leave","p":[1,1]}]}`,
+	`{"window":{"lo":[0,0],"hi":[4,4]},"events":[{"op":"move","p":[0,0],"to":[5,5]}],"epoch":3}`,
+	`{"window":{"lo":[0,0],"hi":[4,4]},"full":true}`,
+	`{"window":{"lo":[-2,-2],"hi":[6,6]},"events":[{"op":"join","p":[1,2]},{"op":"fail","p":[-1,0]},{"op":"leave","p":[3,3]}],"epoch":0,"full":true}`,
+}
+
+// TestBinaryMutateParity round-trips the mutate corpus: the binary
+// funnel must produce the same window, epoch, flags, and event batch as
+// the JSON funnel.
+func TestBinaryMutateParity(t *testing.T) {
+	for _, src := range mutateParityCorpus {
+		req, win, events, err := DecodeMutateRequest([]byte(src), Limits{})
+		if err != nil {
+			t.Fatalf("JSON corpus entry rejected: %s: %v", src, err)
+		}
+		e := binwire.Get()
+		if err := EncodeMutateBinary(e, req, ""); err != nil {
+			t.Fatalf("encode %s: %v", src, err)
+		}
+		bin, err := DecodeBinaryMutate(e.Bytes(), Limits{})
+		binwire.Put(e)
+		if err != nil {
+			t.Fatalf("binary decode of %s: %v", src, err)
+		}
+		if !bin.Window.Lo.Equal(win.Lo) || !bin.Window.Hi.Equal(win.Hi) {
+			t.Errorf("%s: window %v ≠ %v", src, bin.Window, win)
+		}
+		if bin.HasEpoch != (req.Epoch != nil) || (req.Epoch != nil && bin.Epoch != *req.Epoch) {
+			t.Errorf("%s: epoch (%v,%d) ≠ %v", src, bin.HasEpoch, bin.Epoch, req.Epoch)
+		}
+		if bin.Full != req.Full {
+			t.Errorf("%s: full %v ≠ %v", src, bin.Full, req.Full)
+		}
+		if len(bin.Events) != len(events) {
+			t.Fatalf("%s: %d events ≠ %d", src, len(bin.Events), len(events))
+		}
+		for i := range events {
+			if bin.Events[i].Kind != events[i].Kind || !bin.Events[i].P.Equal(events[i].P) {
+				t.Errorf("%s: event %d = %+v, want %+v", src, i, bin.Events[i], events[i])
+			}
+			if events[i].Kind == dynamic.Move && !bin.Events[i].To.Equal(events[i].To) {
+				t.Errorf("%s: event %d destination %v, want %v", src, i, bin.Events[i].To, events[i].To)
+			}
+		}
+	}
+}
+
+// TestBinaryMutateResponseRoundTrip pins the response frame grammar:
+// server-side encode, client-side decode, field-for-field equality.
+func TestBinaryMutateResponseRoundTrip(t *testing.T) {
+	want := MutateResponse{
+		Signature: "square|cross:2:1",
+		Epoch:     7,
+		M:         5,
+		Alive:     24,
+		Disruption: DisruptionSpec{
+			Events: 3, Joined: 1, Departed: 1, Reassigned: 4,
+			ColorsDelta: -1, FullRecolor: true, Compacted: true,
+		},
+		Changed: []ChangeSpec{{P: []int{1, 2}, Slot: 3}, {P: []int{-4, 0}, Slot: 0}},
+		Error:   "partial apply",
+	}
+	e := binwire.Get()
+	defer binwire.Put(e)
+	encodeMutateResponse(e, want)
+	got, err := DecodeMutateStream(e.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// --- End-to-end over HTTP --------------------------------------------------
+
+// postBin POSTs body under the binary content type and returns the
+// response with its raw bytes.
+func postBin(t *testing.T, srv *httptest.Server, path string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := srv.Client().Post(srv.URL+path, BinaryContentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// encodeBatch renders one binary batch request body.
+func encodeBatch(req BatchRequest, may bool, sig string) []byte {
+	e := binwire.Get()
+	defer binwire.Put(e)
+	EncodeBatchBinary(e, req, may, sig)
+	return bytes.Clone(e.Bytes())
+}
+
+// TestServerBinarySlotsEndToEnd drives the binary protocol the way the
+// load generator does — explicit batch, then a window big enough to
+// force multiple chunk frames — and cross-checks every slot against the
+// in-process plan and the JSON answers.
+func TestServerBinarySlotsEndToEnd(t *testing.T) {
+	srv := newTestServer(t, ServerOptions{})
+	plan := mustPlan(t, prototile.Cross(2, 1))
+	spec := PlanSpec{Tile: TileSpec{Name: "cross:2:1"}}
+
+	pts := [][]int{{3, 4}, {0, 0}, {-7, 2}, {100, -250}}
+	resp, body := postBin(t, srv, "/v1/slots:batch", encodeBatch(BatchRequest{Plan: spec, Points: pts}, false, ""))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %q", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != BinaryContentType {
+		t.Fatalf("response content type %q", ct)
+	}
+	sr, err := DecodeSlotsStream(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.M != 5 || len(sr.Slots) != len(pts) {
+		t.Fatalf("m=%d slots=%d, want m=5 slots=%d", sr.M, len(sr.Slots), len(pts))
+	}
+	for i, c := range pts {
+		want, err := plan.SlotOf(lattice.Pt(c...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(sr.Slots[i]) != want {
+			t.Errorf("slot of %v = %d, want %d", c, sr.Slots[i], want)
+		}
+	}
+
+	// 257×257 = 66049 points: spans five chunk frames at 16384/chunk.
+	w := lattice.CenteredWindow(2, 128)
+	resp, body = postBin(t, srv, "/v1/slots:batch",
+		encodeBatch(BatchRequest{Plan: spec, Window: &WindowSpec{Lo: w.Lo, Hi: w.Hi}}, false, ""))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("window status %d: %q", resp.StatusCode, body)
+	}
+	sr, err = DecodeSlotsStream(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := QueryWindowSlots(plan, w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Slots) != len(want) {
+		t.Fatalf("window reply has %d slots, want %d", len(sr.Slots), len(want))
+	}
+	for i := range want {
+		if sr.Slots[i] != want[i] {
+			t.Fatalf("window slot %d = %d, want %d", i, sr.Slots[i], want[i])
+		}
+	}
+}
+
+// TestServerBinaryMayEndToEnd checks the bit-packed may-broadcast path
+// against the in-process engine at an awkward (non-multiple-of-8)
+// batch size.
+func TestServerBinaryMayEndToEnd(t *testing.T) {
+	srv := newTestServer(t, ServerOptions{})
+	plan := mustPlan(t, prototile.Cross(2, 1))
+	spec := PlanSpec{Tile: TileSpec{Name: "cross:2:1"}}
+	const tm = int64(-13)
+
+	w := lattice.CenteredWindow(2, 5) // 121 points: 15 packed bytes + 1 spare bit
+	resp, body := postBin(t, srv, "/v1/maybroadcast:batch",
+		encodeBatch(BatchRequest{Plan: spec, Window: &WindowSpec{Lo: w.Lo, Hi: w.Hi}, T: tm}, true, ""))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %q", resp.StatusCode, body)
+	}
+	mr, err := DecodeMayStream(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.M != 5 || mr.T != tm {
+		t.Fatalf("head m=%d t=%d, want m=5 t=%d", mr.M, mr.T, tm)
+	}
+	want, err := QueryWindowMayBroadcast(plan, w, tm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mr.May) != len(want) {
+		t.Fatalf("%d flags, want %d", len(mr.May), len(want))
+	}
+	for i := range want {
+		if mr.May[i] != want[i] {
+			t.Fatalf("flag %d = %v, want %v", i, mr.May[i], want[i])
+		}
+	}
+}
+
+// TestServerBinarySignatureRef exercises the plan-by-signature fast
+// path: unknown signatures 404 (client re-sends the spec), and after a
+// spec-form request has compiled the plan, the signature form answers
+// identically.
+func TestServerBinarySignatureRef(t *testing.T) {
+	srv := newTestServer(t, ServerOptions{})
+	spec := PlanSpec{Tile: TileSpec{Name: "cross:2:1"}}
+	pts := [][]int{{3, 4}, {0, 0}}
+
+	resp, body := postBin(t, srv, "/v1/slots:batch",
+		encodeBatch(BatchRequest{Points: pts}, false, "no-such-signature"))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown signature: status %d, want 404", resp.StatusCode)
+	}
+	if _, err := DecodeSlotsStream(body); err == nil {
+		t.Fatal("error response decoded as success")
+	}
+
+	// Compile via the JSON plan endpoint to learn the signature.
+	resp, body = postJSON(t, srv, "/v1/plan", PlanRequest{Plan: spec})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan status %d: %s", resp.StatusCode, body)
+	}
+	var pr PlanResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+
+	specResp, specBody := postBin(t, srv, "/v1/slots:batch", encodeBatch(BatchRequest{Plan: spec, Points: pts}, false, ""))
+	sigResp, sigBody := postBin(t, srv, "/v1/slots:batch", encodeBatch(BatchRequest{Points: pts}, false, pr.Signature))
+	if specResp.StatusCode != http.StatusOK || sigResp.StatusCode != http.StatusOK {
+		t.Fatalf("statuses %d / %d", specResp.StatusCode, sigResp.StatusCode)
+	}
+	if !bytes.Equal(specBody, sigBody) {
+		t.Fatal("signature-form answer differs from spec-form answer")
+	}
+}
+
+// TestServerBinaryErrors pins the binary decode funnel's HTTP statuses:
+// malformed frames 400, over-limit batches and windows 413, oversized
+// bodies 413, mismatched endpoint/frame kinds 400 — all as decodable
+// Error frames, never hangs or panics.
+func TestServerBinaryErrors(t *testing.T) {
+	srv := newTestServer(t, ServerOptions{MaxBatch: 4, MaxWindow: 100, MaxBody: 256})
+	spec := PlanSpec{Tile: TileSpec{Name: "cross:2:1"}}
+
+	cases := []struct {
+		name   string
+		body   []byte
+		status int
+	}{
+		{"garbage", []byte("\x01\x02\x03"), http.StatusBadRequest},
+		{"empty", nil, http.StatusBadRequest},
+		{"json to binary endpoint", []byte(`{"points":[[0,0]]}`), http.StatusBadRequest},
+		{"batch over limit",
+			encodeBatch(BatchRequest{Plan: spec, Points: [][]int{{0, 0}, {1, 0}, {2, 0}, {3, 0}, {4, 0}}}, false, ""),
+			http.StatusRequestEntityTooLarge},
+		{"window over limit",
+			encodeBatch(BatchRequest{Plan: spec, Window: &WindowSpec{Lo: []int{0, 0}, Hi: []int{10, 10}}}, false, ""),
+			http.StatusRequestEntityTooLarge},
+		{"wrong frame kind", encodeBatch(BatchRequest{Plan: spec, Points: [][]int{{0, 0}}}, true, ""),
+			http.StatusBadRequest},
+		{"oversized body", bytes.Repeat([]byte{0}, 512), http.StatusRequestEntityTooLarge},
+	}
+	for _, c := range cases {
+		resp, body := postBin(t, srv, "/v1/slots:batch", c.body)
+		if resp.StatusCode != c.status {
+			t.Errorf("%s: status %d, want %d", c.name, resp.StatusCode, c.status)
+			continue
+		}
+		_, err := DecodeSlotsStream(body)
+		we, ok := err.(*WireError)
+		if !ok {
+			t.Errorf("%s: response not an Error frame: %v", c.name, err)
+			continue
+		}
+		if we.Status != c.status {
+			t.Errorf("%s: frame status %d ≠ HTTP %d", c.name, we.Status, c.status)
+		}
+	}
+}
+
+// TestServerBinaryMutateEndToEnd drives a session through the binary
+// codec: join, epoch advance, stale-epoch conflict (409 with a
+// MutateResult frame carrying the current epoch), and a full resync.
+func TestServerBinaryMutateEndToEnd(t *testing.T) {
+	srv := newTestServer(t, ServerOptions{})
+	spec := PlanSpec{Tile: TileSpec{Name: "cross:2:1"}}
+	win := WindowSpec{Lo: []int{0, 0}, Hi: []int{4, 4}}
+
+	encode := func(req MutateRequest) []byte {
+		e := binwire.Get()
+		defer binwire.Put(e)
+		if err := EncodeMutateBinary(e, req, ""); err != nil {
+			t.Fatal(err)
+		}
+		return bytes.Clone(e.Bytes())
+	}
+
+	resp, body := postBin(t, srv, "/v1/plan:mutate", encode(MutateRequest{
+		Plan: spec, Window: win,
+		Events: []EventSpec{{Op: "leave", P: []int{1, 1}}, {Op: "move", P: []int{2, 2}, To: []int{5, 5}}},
+	}))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutate status %d: %q", resp.StatusCode, body)
+	}
+	mr, err := DecodeMutateStream(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.Epoch != 1 || mr.Disruption.Events != 2 || mr.Signature == "" {
+		t.Fatalf("after batch: %+v", mr)
+	}
+
+	stale := uint64(0)
+	resp, body = postBin(t, srv, "/v1/plan:mutate", encode(MutateRequest{
+		Plan: spec, Window: win, Epoch: &stale,
+		Events: []EventSpec{{Op: "leave", P: []int{0, 0}}},
+	}))
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("stale epoch status %d, want 409", resp.StatusCode)
+	}
+	mr, err = DecodeMutateStream(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.Epoch != 1 || mr.Error == "" {
+		t.Fatalf("conflict response %+v", mr)
+	}
+
+	resp, body = postBin(t, srv, "/v1/plan:mutate", encode(MutateRequest{Plan: spec, Window: win, Full: true}))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resync status %d: %q", resp.StatusCode, body)
+	}
+	mr, err = DecodeMutateStream(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5×5 window minus one leave, minus one move-out-then-in (the move
+	// stays live at its destination outside the original count... the
+	// destination (5,5) is outside the window but within margin, so the
+	// sensor stays alive): 25 - 1 = 24 live assignments.
+	if len(mr.Changed) != mr.Alive || mr.Alive != 24 {
+		t.Fatalf("resync: %d changed, alive %d", len(mr.Changed), mr.Alive)
+	}
+}
+
+// TestServerBinaryMatchesJSON answers the same query through both
+// codecs and requires identical semantics — the parity property at the
+// HTTP layer.
+func TestServerBinaryMatchesJSON(t *testing.T) {
+	srv := newTestServer(t, ServerOptions{})
+	spec := PlanSpec{Tile: TileSpec{Name: "rect:4:2"}}
+	w := lattice.CenteredWindow(2, 9)
+	req := BatchRequest{Plan: spec, Window: &WindowSpec{Lo: w.Lo, Hi: w.Hi}, T: 42}
+
+	jResp, jBody := postJSON(t, srv, "/v1/maybroadcast:batch", req)
+	bResp, bBody := postBin(t, srv, "/v1/maybroadcast:batch", encodeBatch(req, true, ""))
+	if jResp.StatusCode != http.StatusOK || bResp.StatusCode != http.StatusOK {
+		t.Fatalf("statuses %d / %d", jResp.StatusCode, bResp.StatusCode)
+	}
+	var jm MayResponse
+	if err := json.Unmarshal(jBody, &jm); err != nil {
+		t.Fatal(err)
+	}
+	bm, err := DecodeMayStream(bBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(jm, bm) {
+		t.Fatalf("JSON and binary answers differ:\n json %+v\n bin  %+v", jm, bm)
+	}
+	if len(bBody) >= len(jBody) {
+		t.Errorf("binary response (%d bytes) not smaller than JSON (%d bytes)", len(bBody), len(jBody))
+	}
+}

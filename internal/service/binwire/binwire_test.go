@@ -1,0 +1,142 @@
+package binwire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestZigzagRoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 2, -2, 63, -64, 1 << 40, -(1 << 40), math.MaxInt64, math.MinInt64} {
+		if got := Unzigzag(Zigzag(v)); got != v {
+			t.Fatalf("Unzigzag(Zigzag(%d)) = %d", v, got)
+		}
+	}
+	// Small magnitudes must stay small (the compression property the
+	// point encodings rely on).
+	if Zigzag(0) != 0 || Zigzag(-1) != 1 || Zigzag(1) != 2 || Zigzag(-2) != 3 {
+		t.Fatalf("zigzag ordering broken: %d %d %d %d", Zigzag(0), Zigzag(-1), Zigzag(1), Zigzag(-2))
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	e := Get()
+	defer Put(e)
+	e.BeginFrame(FrameSlotsHead)
+	e.Uvarint(5)
+	e.Varint(-12345)
+	e.String("cross:2:1")
+	e.Byte(0xAB)
+	e.EndFrame()
+	e.BeginFrame(FrameEnd)
+	e.EndFrame()
+
+	r := NewReader(e.Bytes())
+	typ, pay := r.Frame()
+	if typ != FrameSlotsHead {
+		t.Fatalf("frame type %#x, want %#x", typ, FrameSlotsHead)
+	}
+	if got := pay.Uvarint(); got != 5 {
+		t.Fatalf("uvarint %d, want 5", got)
+	}
+	if got := pay.Varint(); got != -12345 {
+		t.Fatalf("varint %d, want -12345", got)
+	}
+	if got := pay.String(64); got != "cross:2:1" {
+		t.Fatalf("string %q", got)
+	}
+	if got := pay.Byte(); got != 0xAB {
+		t.Fatalf("byte %#x", got)
+	}
+	pay.Done()
+	if pay.Err() != nil {
+		t.Fatalf("payload err: %v", pay.Err())
+	}
+	typ, pay = r.Frame()
+	if typ != FrameEnd || pay.Remaining() != 0 {
+		t.Fatalf("end frame: type %#x remaining %d", typ, pay.Remaining())
+	}
+	if r.Remaining() != 0 || r.Err() != nil {
+		t.Fatalf("stream not fully consumed: %d left, err %v", r.Remaining(), r.Err())
+	}
+}
+
+func TestReaderStickyError(t *testing.T) {
+	r := NewReader([]byte{0x80}) // truncated uvarint
+	if r.Uvarint() != 0 || r.Err() == nil {
+		t.Fatal("truncated uvarint accepted")
+	}
+	// Every later read stays failed and returns zero values.
+	if r.Byte() != 0 || r.String(8) != "" || r.Remaining() != 0 {
+		t.Fatal("reads after failure not zeroed")
+	}
+	if !errors.Is(r.Err(), ErrMalformed) {
+		t.Fatalf("err %v does not wrap ErrMalformed", r.Err())
+	}
+}
+
+func TestReaderBounds(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+		read func(r *Reader)
+	}{
+		{"frame header short", []byte{1, 0, 0}, func(r *Reader) { r.Frame() }},
+		{"frame length zero", []byte{0, 0, 0, 0, 0}, func(r *Reader) { r.Frame() }},
+		{"frame length past end", []byte{9, 0, 0, 0, FrameEnd}, func(r *Reader) { r.Frame() }},
+		{"string past end", []byte{5, 'h', 'i'}, func(r *Reader) { r.String(64) }},
+		{"string over bound", []byte{7, 'x'}, func(r *Reader) { r.String(3) }},
+		{"count over bound", []byte{200, 1}, func(r *Reader) { r.Count(100, "n") }},
+		{"trailing garbage", []byte{0, 0}, func(r *Reader) { r.Byte(); r.Done() }},
+		{"overlong varint", bytes.Repeat([]byte{0x80}, 11), func(r *Reader) { r.Uvarint() }},
+	}
+	for _, c := range cases {
+		r := NewReader(c.data)
+		c.read(&r)
+		if !errors.Is(r.Err(), ErrMalformed) {
+			t.Errorf("%s: err = %v, want ErrMalformed", c.name, r.Err())
+		}
+	}
+}
+
+func TestCountNegativeMax(t *testing.T) {
+	r := NewReader([]byte{1})
+	if r.Count(-5, "n"); r.Err() == nil {
+		t.Fatal("count 1 accepted under negative bound")
+	}
+}
+
+func TestBufferReuse(t *testing.T) {
+	e := Get()
+	e.BeginFrame(FrameError)
+	e.Uvarint(400)
+	e.String("boom")
+	e.EndFrame()
+	n := e.Len()
+	Put(e)
+	e2 := Get()
+	defer Put(e2)
+	if e2.Len() != 0 {
+		t.Fatalf("pooled buffer not reset: len %d (was %d)", e2.Len(), n)
+	}
+}
+
+func TestUnknownFrameSkippable(t *testing.T) {
+	e := Get()
+	defer Put(e)
+	e.BeginFrame(0x60) // unknown type
+	e.Uvarint(99)
+	e.EndFrame()
+	e.BeginFrame(FrameEnd)
+	e.EndFrame()
+	r := NewReader(e.Bytes())
+	typ, _ := r.Frame() // skip unknown payload wholesale
+	if typ != 0x60 {
+		t.Fatalf("type %#x", typ)
+	}
+	typ, _ = r.Frame()
+	if typ != FrameEnd || r.Err() != nil {
+		t.Fatalf("skip landed on %#x, err %v", typ, r.Err())
+	}
+}

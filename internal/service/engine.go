@@ -82,6 +82,83 @@ func QueryWindowMayBroadcast(p *core.Plan, w lattice.Window, t int64, dst []bool
 	return dst, err
 }
 
+// QueryWindowSlotsChunked answers a window slot query in runs of at
+// most chunk values, invoking emit with each filled run in the
+// window's lexicographic point order. The buf slice (grown to chunk
+// capacity once) is reused for every run, so the answer to an
+// arbitrarily large window never materializes in memory at once — the
+// streaming backbone of the binary wire protocol's chunked responses.
+// emit returning false abandons the query (e.g. the client hung up).
+func QueryWindowSlotsChunked(p *core.Plan, w lattice.Window, chunk int, buf []int32, emit func([]int32) bool) error {
+	if w.Dim() != p.Tile().Dim() {
+		return fmt.Errorf("service: window dimension %d ≠ plan dimension %d", w.Dim(), p.Tile().Dim())
+	}
+	if chunk <= 0 {
+		chunk = 1
+	}
+	buf = buf[:0]
+	var err error
+	w.Each(func(pt lattice.Point) bool {
+		var s int
+		s, err = p.SlotOf(pt)
+		if err != nil {
+			return false
+		}
+		buf = append(buf, int32(s))
+		if len(buf) == chunk {
+			if !emit(buf) {
+				return false
+			}
+			buf = buf[:0]
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if len(buf) > 0 {
+		emit(buf)
+	}
+	return nil
+}
+
+// QueryWindowMayChunked is QueryWindowSlotsChunked for may-broadcast
+// answers: runs of at most chunk booleans (slot == active slot at t)
+// in lexicographic window order through the reused buf.
+func QueryWindowMayChunked(p *core.Plan, w lattice.Window, t int64, chunk int, buf []bool, emit func([]bool) bool) error {
+	if w.Dim() != p.Tile().Dim() {
+		return fmt.Errorf("service: window dimension %d ≠ plan dimension %d", w.Dim(), p.Tile().Dim())
+	}
+	if chunk <= 0 {
+		chunk = 1
+	}
+	r := slotAt(p, t)
+	buf = buf[:0]
+	var err error
+	w.Each(func(pt lattice.Point) bool {
+		var s int
+		s, err = p.SlotOf(pt)
+		if err != nil {
+			return false
+		}
+		buf = append(buf, int32(s) == r)
+		if len(buf) == chunk {
+			if !emit(buf) {
+				return false
+			}
+			buf = buf[:0]
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if len(buf) > 0 {
+		emit(buf)
+	}
+	return nil
+}
+
 // slotAt returns the active slot at time t: t mod m, normalized into
 // [0, m).
 func slotAt(p *core.Plan, t int64) int32 {

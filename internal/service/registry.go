@@ -15,6 +15,12 @@
 //     immutable, so any number of goroutines may query one concurrently.
 //   - Wire layer (wire.go, server.go): a compact JSON request/response
 //     format and the HTTP handlers behind cmd/latticed.
+//   - Binary wire layer (binary.go, binary_mutate.go, server_binary.go,
+//     over the binwire subpackage's framing primitives): a
+//     length-prefixed varint protocol served by the same handlers,
+//     negotiated by Content-Type (BinaryContentType), with streamed
+//     chunked responses and the same Limits-bounded decode funnels as
+//     the JSON plane.
 //
 // See DESIGN.md §5 for the subsystem's contracts.
 package service
@@ -186,6 +192,33 @@ func (r *Registry) GetSpec(spec PlanSpec) (*core.Plan, error) {
 		}
 	}
 	return r.Get(sig, func() (*core.Plan, error) { return core.NewPlan(lat, tile) })
+}
+
+// Lookup returns the plan already cached under sig without compiling
+// anything — the binary wire protocol's plan-by-signature reference
+// path (a client that compiled a plan once re-addresses it by its
+// canonical signature, skipping spec resolution entirely). A signature
+// currently being compiled is waited for like Get; an unknown
+// signature returns ok=false (the HTTP layer answers 404 so the client
+// re-sends the full spec). Safe for concurrent callers.
+func (r *Registry) Lookup(sig string) (*core.Plan, bool) {
+	r.mu.Lock()
+	e, ok := r.entries[sig]
+	if !ok {
+		r.stats.Misses++
+		r.mu.Unlock()
+		return nil, false
+	}
+	r.stats.Hits++
+	if e.elem != nil {
+		r.lru.MoveToFront(e.elem)
+	}
+	r.mu.Unlock()
+	<-e.ready
+	if e.err != nil {
+		return nil, false
+	}
+	return e.plan, true
 }
 
 // Len returns the number of cached plans (in-flight compilations

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"tilingsched/internal/core"
+	"tilingsched/internal/dynamic"
 	"tilingsched/internal/lattice"
 )
 
@@ -49,11 +50,12 @@ const (
 // decoding. Traffic counters (batch sizes, mutation counts) are atomics
 // exposed through Snapshot for /healthz and the daemon's expvar page.
 type Server struct {
-	reg      *Registry
-	opts     ServerOptions
-	mux      *http.ServeMux
-	bufs     sync.Pool // of *queryBuf
-	sessions *sessionTable
+	reg        *Registry
+	opts       ServerOptions
+	mux        *http.ServeMux
+	bufs       sync.Pool // of *queryBuf
+	binScratch sync.Pool // of *BinScratch (binary decode arenas)
+	sessions   *sessionTable
 
 	batchRequests  atomic.Int64
 	batchPoints    atomic.Int64
@@ -91,10 +93,13 @@ func (s *Server) Snapshot() ServerStats {
 }
 
 // queryBuf carries one request's scratch slices between pool uses.
+// body is the binary path's raw-request buffer (the JSON decoder reads
+// through its own machinery).
 type queryBuf struct {
 	pts   []lattice.Point
 	slots []int32
 	may   []bool
+	body  []byte
 }
 
 // putBuf returns buf to the pool, dropping the point aliases into the
@@ -119,6 +124,7 @@ func NewServer(reg *Registry, opts ServerOptions) *Server {
 	}
 	s := &Server{reg: reg, opts: opts, mux: http.NewServeMux(), sessions: newSessionTable(opts.MaxSessions)}
 	s.bufs.New = func() any { return new(queryBuf) }
+	s.binScratch.New = func() any { return new(BinScratch) }
 	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
 	s.mux.HandleFunc("POST /v1/slots:batch", s.handleSlots)
 	s.mux.HandleFunc("POST /v1/maybroadcast:batch", s.handleMay)
@@ -133,6 +139,10 @@ func NewServer(reg *Registry, opts ServerOptions) *Server {
 // slot deltas. A stale request epoch is a 409 carrying the current epoch
 // so the client can resync (re-request with "full": true).
 func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	if isBinaryRequest(r) {
+		s.handleMutateBin(w, r)
+		return
+	}
 	s.mutateRequests.Add(1)
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBody))
 	if err != nil {
@@ -144,7 +154,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, status, fmt.Sprintf("reading request: %v", err))
 		return
 	}
-	req, win, events, err := DecodeMutateRequest(body, Limits{MaxBatch: s.opts.MaxBatch, MaxWindow: s.opts.MaxWindow})
+	req, win, events, err := DecodeMutateRequest(body, s.limits())
 	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, ErrLimit) {
@@ -162,27 +172,45 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("window dimension %d ≠ plan dimension %d", win.Dim(), plan.Tile().Dim()))
 		return
 	}
+	var epoch uint64
+	if req.Epoch != nil {
+		epoch = *req.Epoch
+	}
+	resp, status, cerr := s.mutateCore(plan, win, req.Epoch != nil, epoch, req.Full, events)
+	if cerr != nil {
+		writeErr(w, status, cerr.Error())
+		return
+	}
+	writeJSON(w, status, resp)
+}
+
+// mutateCore is the codec-independent mutate path shared by the JSON
+// and binary handlers: find or seed the session for (plan, window),
+// apply the event batch under the session lock, and assemble the
+// response. Returns the response and its HTTP status (200, 400 on a
+// partial apply, 409 on a stale epoch — the conflict response carries
+// the current epoch so the client can resync); a non-nil error means
+// there is no MutateResponse payload (session-table failure, 500).
+func (s *Server) mutateCore(plan *core.Plan, win lattice.Window, hasEpoch bool, epoch uint64, full bool, events []dynamic.Event) (MutateResponse, int, error) {
 	sess, err := s.sessions.get(plan, win)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err.Error())
-		return
+		return MutateResponse{}, http.StatusInternalServerError, err
 	}
 	// The session lock covers state mutation and response assembly only;
 	// it is released before any bytes go to the client, so a slow reader
 	// cannot stall the deployment's mutation pipeline.
 	sess.mu.Lock()
-	if req.Epoch != nil && *req.Epoch != sess.epoch {
+	if hasEpoch && epoch != sess.epoch {
 		conflict := MutateResponse{
 			Signature: plan.Signature(),
 			Epoch:     sess.epoch,
 			M:         sess.mut.Slots(),
 			Alive:     sess.mut.AliveCount(),
-			Error:     fmt.Sprintf("stale epoch %d (current %d): resync with full=true", *req.Epoch, sess.epoch),
+			Error:     fmt.Sprintf("stale epoch %d (current %d): resync with full=true", epoch, sess.epoch),
 		}
 		sess.mu.Unlock()
 		s.sessions.recordConflict()
-		writeJSON(w, http.StatusConflict, conflict)
-		return
+		return conflict, http.StatusConflict, nil
 	}
 	resp := MutateResponse{Signature: plan.Signature()}
 	if len(events) > 0 {
@@ -209,7 +237,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 			resp.Error = aerr.Error()
 		}
 	}
-	if req.Full {
+	if full {
 		resp.Changed = resp.Changed[:0]
 		sess.mut.EachAssignment(func(p lattice.Point, slot int) bool {
 			resp.Changed = append(resp.Changed, ChangeSpec{P: p.Clone(), Slot: slot})
@@ -224,7 +252,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	if resp.Error != "" {
 		status = http.StatusBadRequest
 	}
-	writeJSON(w, status, resp)
+	return resp, status, nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -268,6 +296,10 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSlots(w http.ResponseWriter, r *http.Request) {
+	if isBinaryRequest(r) {
+		s.handleBatchBin(w, r, false)
+		return
+	}
 	req, win, ok := s.decodeBatch(w, r)
 	if !ok {
 		return
@@ -294,6 +326,10 @@ func (s *Server) handleSlots(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMay(w http.ResponseWriter, r *http.Request) {
+	if isBinaryRequest(r) {
+		s.handleBatchBin(w, r, true)
+		return
+	}
 	req, win, ok := s.decodeBatch(w, r)
 	if !ok {
 		return
@@ -379,15 +415,20 @@ func (s *Server) getPlan(w http.ResponseWriter, spec PlanSpec) (*core.Plan, bool
 	if err == nil {
 		return plan, true
 	}
-	status := http.StatusInternalServerError
+	writeErr(w, planErrStatus(err), err.Error())
+	return nil, false
+}
+
+// planErrStatus maps a plan-compilation failure to its HTTP status
+// (shared by the JSON and binary plan resolvers).
+func planErrStatus(err error) int {
 	switch {
 	case errors.Is(err, ErrSpec):
-		status = http.StatusBadRequest
+		return http.StatusBadRequest
 	case errors.Is(err, core.ErrNotExact):
-		status = http.StatusUnprocessableEntity
+		return http.StatusUnprocessableEntity
 	}
-	writeErr(w, status, err.Error())
-	return nil, false
+	return http.StatusInternalServerError
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {

@@ -1,0 +1,343 @@
+package service
+
+// Binary HTTP handlers: the serving hot path under Content-Type
+// negotiation. A request carrying BinaryContentType on the batch or
+// mutate endpoints is decoded by the binary funnels and answered as a
+// binary frame sequence streamed in bounded flushes — a 1M-point
+// window answer goes out as ~64 chunk frames through one pooled
+// buffer, never materializing at once. The JSON handlers and these
+// share the engine and the mutate session core; only the codec
+// differs, so the two formats cannot drift semantically.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"tilingsched/internal/core"
+	"tilingsched/internal/service/binwire"
+)
+
+const (
+	// binChunkPoints is the number of answers per response chunk frame.
+	binChunkPoints = 16384
+	// binFlushBytes is the encode-buffer size that triggers a flush to
+	// the client mid-stream.
+	binFlushBytes = 32 << 10
+)
+
+// isBinaryRequest reports whether the request selected the binary wire
+// protocol via its Content-Type (parameters ignored).
+func isBinaryRequest(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.TrimSpace(ct) == BinaryContentType
+}
+
+// writeBinErr answers a failed binary request: an Error frame (status +
+// message) terminated by an End frame, under the binary content type.
+func writeBinErr(w http.ResponseWriter, status int, msg string) {
+	e := binwire.Get()
+	defer binwire.Put(e)
+	e.BeginFrame(binwire.FrameError)
+	e.Uvarint(uint64(status))
+	e.String(msg)
+	e.EndFrame()
+	e.BeginFrame(binwire.FrameEnd)
+	e.EndFrame()
+	w.Header().Set("Content-Type", BinaryContentType)
+	w.WriteHeader(status)
+	_, _ = w.Write(e.Bytes())
+}
+
+// wireStatus maps a decode-funnel error to its HTTP status: ErrLimit is
+// 413, everything else (ErrSpec, malformed bytes) 400.
+func wireStatus(err error) int {
+	if errors.Is(err, ErrLimit) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// limits bundles the server's decode bounds.
+func (s *Server) limits() Limits {
+	return Limits{MaxBatch: s.opts.MaxBatch, MaxWindow: s.opts.MaxWindow}
+}
+
+// readBodyInto reads the size-capped request body into dst's backing
+// array (grown as needed, reused across requests via the query-buffer
+// pool) so the binary hot path does not allocate a fresh body buffer
+// per request.
+func readBodyInto(dst []byte, w http.ResponseWriter, r *http.Request, maxBody int64) ([]byte, error) {
+	rd := http.MaxBytesReader(w, r.Body, maxBody)
+	dst = dst[:0]
+	if cap(dst) == 0 {
+		dst = make([]byte, 0, 4096)
+	}
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := rd.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
+}
+
+// readBin reads a binary request body into buf.body, answering binary
+// errors (400 malformed read, 413 oversized) itself.
+func (s *Server) readBin(w http.ResponseWriter, r *http.Request, buf *queryBuf) bool {
+	var err error
+	buf.body, err = readBodyInto(buf.body, w, r, s.opts.MaxBody)
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeBinErr(w, status, fmt.Sprintf("reading request: %v", err))
+		return false
+	}
+	return true
+}
+
+// planBin resolves a binary plan reference: the signature form is a
+// pure cache lookup (404 on a miss, so the client re-sends the spec),
+// the spec form compiles through the registry with the JSON path's
+// status mapping.
+func (s *Server) planBin(w http.ResponseWriter, ref BinPlanRef) (*core.Plan, bool) {
+	if ref.Signature != "" {
+		plan, ok := s.reg.Lookup(ref.Signature)
+		if !ok {
+			writeBinErr(w, http.StatusNotFound,
+				fmt.Sprintf("unknown plan signature %q: re-send the full plan spec", ref.Signature))
+			return nil, false
+		}
+		return plan, true
+	}
+	plan, err := s.reg.GetSpec(ref.Spec)
+	if err != nil {
+		writeBinErr(w, planErrStatus(err), err.Error())
+		return nil, false
+	}
+	return plan, true
+}
+
+// binStream incrementally writes an encoded frame sequence to the
+// client, flushing whenever the pooled buffer passes binFlushBytes.
+// Write errors stick (the client hung up; nothing more to send).
+type binStream struct {
+	w     http.ResponseWriter
+	e     *binwire.Buffer
+	err   error
+	wrote bool
+}
+
+// flush writes the buffered frames out if forced or past the flush
+// threshold, returning false once the client is gone.
+func (st *binStream) flush(force bool) bool {
+	if st.err != nil {
+		return false
+	}
+	if !force && st.e.Len() < binFlushBytes {
+		return true
+	}
+	if st.e.Len() == 0 {
+		return true
+	}
+	if !st.wrote {
+		st.w.Header().Set("Content-Type", BinaryContentType)
+		st.wrote = true
+	}
+	_, st.err = st.w.Write(st.e.Bytes())
+	st.e.Reset()
+	return st.err == nil
+}
+
+// end emits the terminating End frame and flushes everything.
+func (st *binStream) end() {
+	st.e.BeginFrame(binwire.FrameEnd)
+	st.e.EndFrame()
+	st.flush(true)
+}
+
+// emitSlotsChunk appends one slots chunk frame.
+func (st *binStream) emitSlotsChunk(slots []int32) bool {
+	st.e.BeginFrame(binwire.FrameSlotsChunk)
+	st.e.Uvarint(uint64(len(slots)))
+	for _, v := range slots {
+		st.e.Uvarint(uint64(v))
+	}
+	st.e.EndFrame()
+	return st.flush(false)
+}
+
+// emitMayChunk appends one bit-packed may chunk frame (LSB-first,
+// eight flags per byte).
+func (st *binStream) emitMayChunk(flags []bool) bool {
+	st.e.BeginFrame(binwire.FrameMayChunk)
+	st.e.Uvarint(uint64(len(flags)))
+	var b byte
+	for i, f := range flags {
+		if f {
+			b |= 1 << (i % 8)
+		}
+		if i%8 == 7 {
+			st.e.Byte(b)
+			b = 0
+		}
+	}
+	if len(flags)%8 != 0 {
+		st.e.Byte(b)
+	}
+	st.e.EndFrame()
+	return st.flush(false)
+}
+
+// handleBatchBin serves one binary batch request (slots when may is
+// false, may-broadcast when true): decode through the fuzzed binary
+// funnel, resolve the plan, pre-validate dimensions so the engine
+// cannot fail mid-stream, then stream head + chunk frames + end.
+func (s *Server) handleBatchBin(w http.ResponseWriter, r *http.Request, may bool) {
+	buf := s.bufs.Get().(*queryBuf)
+	defer s.putBuf(buf)
+	if !s.readBin(w, r, buf) {
+		return
+	}
+	sc := s.binScratch.Get().(*BinScratch)
+	defer func() {
+		sc.Release()
+		s.binScratch.Put(sc)
+	}()
+	req, err := DecodeBinaryBatch(buf.body, s.limits(), sc)
+	if err != nil {
+		writeBinErr(w, wireStatus(err), err.Error())
+		return
+	}
+	want := binwire.FrameBatchSlots
+	if may {
+		want = binwire.FrameBatchMay
+	}
+	if req.Kind != want {
+		writeBinErr(w, http.StatusBadRequest,
+			fmt.Sprintf("frame type %#x does not match this endpoint", req.Kind))
+		return
+	}
+	plan, ok := s.planBin(w, req.Plan)
+	if !ok {
+		return
+	}
+	// Uniform-dimension pre-check: the batch decoder guarantees every
+	// point (or the window) shares one dimension, so checking it here
+	// once means the engine cannot error after the head frame is out.
+	dim := len(req.Points)
+	if req.UseWindow {
+		dim = req.Window.Dim()
+	} else if dim > 0 {
+		dim = len(req.Points[0])
+	}
+	if dim != plan.Tile().Dim() {
+		writeBinErr(w, http.StatusBadRequest,
+			fmt.Sprintf("query dimension %d ≠ plan dimension %d", dim, plan.Tile().Dim()))
+		return
+	}
+	total := len(req.Points)
+	if req.UseWindow {
+		total = req.Window.Size()
+	}
+	s.batchRequests.Add(1)
+	s.batchPoints.Add(int64(total))
+
+	e := binwire.Get()
+	defer binwire.Put(e)
+	st := binStream{w: w, e: e}
+	if may {
+		st.e.BeginFrame(binwire.FrameMayHead)
+		st.e.Uvarint(uint64(plan.Slots()))
+		st.e.Varint(req.T)
+		st.e.Uvarint(uint64(total))
+		st.e.EndFrame()
+		if req.UseWindow {
+			err = QueryWindowMayChunked(plan, req.Window, req.T, binChunkPoints, buf.may[:0], st.emitMayChunk)
+		} else {
+			buf.may, err = QueryMayBroadcast(plan, req.Points, req.T, buf.may[:0])
+			for off := 0; err == nil && off < len(buf.may); off += binChunkPoints {
+				if !st.emitMayChunk(buf.may[off:min(off+binChunkPoints, len(buf.may))]) {
+					return
+				}
+			}
+		}
+	} else {
+		st.e.BeginFrame(binwire.FrameSlotsHead)
+		st.e.Uvarint(uint64(plan.Slots()))
+		st.e.Uvarint(uint64(total))
+		st.e.EndFrame()
+		if req.UseWindow {
+			err = QueryWindowSlotsChunked(plan, req.Window, binChunkPoints, buf.slots[:0], st.emitSlotsChunk)
+		} else {
+			buf.slots, err = QuerySlots(plan, req.Points, buf.slots[:0])
+			for off := 0; err == nil && off < len(buf.slots); off += binChunkPoints {
+				if !st.emitSlotsChunk(buf.slots[off:min(off+binChunkPoints, len(buf.slots))]) {
+					return
+				}
+			}
+		}
+	}
+	if err != nil {
+		// Unreachable after the dimension pre-check, but if the engine
+		// ever fails before the head frame went out, answer properly;
+		// mid-stream the truncated sequence (no End frame) is the signal.
+		if !st.wrote {
+			writeBinErr(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+	st.end()
+}
+
+// handleMutateBin serves one binary mutate request through the same
+// session core as the JSON handler and answers a MutateResult frame
+// (also on epoch conflicts, status 409, so the client sees the current
+// epoch) or an Error frame for plan/session failures.
+func (s *Server) handleMutateBin(w http.ResponseWriter, r *http.Request) {
+	s.mutateRequests.Add(1)
+	buf := s.bufs.Get().(*queryBuf)
+	defer s.putBuf(buf)
+	if !s.readBin(w, r, buf) {
+		return
+	}
+	req, err := DecodeBinaryMutate(buf.body, s.limits())
+	if err != nil {
+		writeBinErr(w, wireStatus(err), err.Error())
+		return
+	}
+	plan, ok := s.planBin(w, req.Plan)
+	if !ok {
+		return
+	}
+	if req.Window.Dim() != plan.Tile().Dim() {
+		writeBinErr(w, http.StatusBadRequest,
+			fmt.Sprintf("window dimension %d ≠ plan dimension %d", req.Window.Dim(), plan.Tile().Dim()))
+		return
+	}
+	resp, status, cerr := s.mutateCore(plan, req.Window, req.HasEpoch, req.Epoch, req.Full, req.Events)
+	if cerr != nil {
+		writeBinErr(w, status, cerr.Error())
+		return
+	}
+	e := binwire.Get()
+	defer binwire.Put(e)
+	encodeMutateResponse(e, resp)
+	w.Header().Set("Content-Type", BinaryContentType)
+	w.WriteHeader(status)
+	_, _ = w.Write(e.Bytes())
+}
