@@ -253,10 +253,14 @@ func DecodeBinaryBatch(data []byte, lim Limits, sc *BinScratch) (BinBatch, error
 	}
 	switch qt := r.Byte(); qt {
 	case 0: // explicit point batch, delta-encoded
-		count := int(r.Uvarint())
-		if r.Err() == nil && count > lim.MaxBatch {
-			return BinBatch{}, fmt.Errorf("%w: batch of %d points exceeds limit %d", ErrLimit, count, lim.MaxBatch)
+		// Bound the count while still unsigned: a raw int() conversion of
+		// an attacker-chosen uvarint ≥ 2^63 would go negative and slip
+		// past both the limit and the emptiness checks.
+		rawCount := r.Uvarint()
+		if r.Err() == nil && rawCount > uint64(lim.MaxBatch) {
+			return BinBatch{}, fmt.Errorf("%w: batch of %d points exceeds limit %d", ErrLimit, rawCount, lim.MaxBatch)
 		}
+		count := int(rawCount)
 		dim := r.Count(maxTileDim, "point dimension")
 		if r.Err() != nil {
 			return BinBatch{}, failSpec(&r)
@@ -453,7 +457,9 @@ func DecodeSlotsStream(data []byte) (SlotsResponse, error) {
 	if r.Err() != nil {
 		return resp, failSpec(&r)
 	}
-	resp.Slots = make([]int32, 0, total)
+	// Cap the pre-allocation: total is a server-sent claim, so a
+	// malicious or corrupt head frame must not size gigabytes up front.
+	resp.Slots = make([]int32, 0, min(total, 1<<16))
 	for {
 		typ, r = stream.Frame()
 		if stream.Err() != nil {
@@ -462,7 +468,7 @@ func DecodeSlotsStream(data []byte) (SlotsResponse, error) {
 		switch typ {
 		case binwire.FrameSlotsChunk:
 			n := r.Count(total-len(resp.Slots), "chunk size")
-			for i := 0; i < n; i++ {
+			for i := 0; i < n && r.Err() == nil; i++ {
 				resp.Slots = append(resp.Slots, int32(r.Count(math.MaxInt32, "slot")))
 			}
 			r.Done()
@@ -502,7 +508,9 @@ func DecodeMayStream(data []byte) (MayResponse, error) {
 	if r.Err() != nil {
 		return resp, failSpec(&r)
 	}
-	resp.May = make([]bool, 0, total)
+	// Same pre-allocation cap as DecodeSlotsStream: don't trust the
+	// server-sent total before the chunks back it with real bytes.
+	resp.May = make([]bool, 0, min(total, 1<<16))
 	for {
 		typ, r = stream.Frame()
 		if stream.Err() != nil {

@@ -88,13 +88,17 @@ func DecodeBinaryMutate(data []byte, lim Limits) (BinMutate, error) {
 		req.HasEpoch = true
 	}
 	req.Full = flags&binMutFull != 0
-	count := int(r.Uvarint())
+	// Bound the count while still unsigned: a raw int() conversion of an
+	// attacker-chosen uvarint ≥ 2^63 would go negative and slip past both
+	// the limit and the emptiness checks into make().
+	rawCount := r.Uvarint()
 	if r.Err() != nil {
 		return BinMutate{}, failSpec(&r)
 	}
-	if count > lim.MaxBatch {
-		return BinMutate{}, fmt.Errorf("%w: %d events exceed limit %d", ErrLimit, count, lim.MaxBatch)
+	if rawCount > uint64(lim.MaxBatch) {
+		return BinMutate{}, fmt.Errorf("%w: %d events exceed limit %d", ErrLimit, rawCount, lim.MaxBatch)
 	}
+	count := int(rawCount)
 	if count == 0 && !req.Full {
 		return BinMutate{}, fmt.Errorf("%w: no events and full not requested", ErrSpec)
 	}
@@ -282,7 +286,7 @@ func DecodeMutateStream(data []byte) (MutateResponse, error) {
 		return resp, failSpec(&r)
 	}
 	resp.Changed = make([]ChangeSpec, 0, min(count, 1<<16))
-	for i := 0; i < count; i++ {
+	for i := 0; i < count && r.Err() == nil; i++ {
 		p := make([]int, dim)
 		for a := 0; a < dim; a++ {
 			p[a] = int(r.Varint())

@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -79,6 +80,49 @@ func TestBinaryBatchParity(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestBinaryHugeCountRejected pins the unsigned-count guard: a crafted
+// frame claiming ≥ 2^63 points/events must be rejected with ErrLimit
+// before any allocation — a raw int() conversion would go negative,
+// slip past the limit checks, and panic in make().
+func TestBinaryHugeCountRejected(t *testing.T) {
+	const huge = uint64(1) << 63
+	planRef := func(e *binwire.Buffer) {
+		e.Byte(0) // plan tag: spec
+		e.String("")
+		e.Byte(0) // tile tag: name
+		e.String("cross:2:1")
+	}
+
+	batch := binwire.Get()
+	batch.BeginFrame(binwire.FrameBatchSlots)
+	planRef(batch)
+	batch.Byte(0) // query tag: explicit points
+	batch.Uvarint(huge)
+	batch.Uvarint(2) // dim
+	batch.EndFrame()
+	var sc BinScratch
+	if _, err := DecodeBinaryBatch(batch.Bytes(), Limits{}, &sc); !errors.Is(err, ErrLimit) {
+		t.Errorf("huge point count: err %v, want ErrLimit", err)
+	}
+	binwire.Put(batch)
+
+	mut := binwire.Get()
+	mut.BeginFrame(binwire.FrameMutate)
+	planRef(mut)
+	mut.Uvarint(2) // window dim
+	mut.Varint(0)
+	mut.Varint(0)
+	mut.Uvarint(4)
+	mut.Uvarint(4)
+	mut.Byte(0) // flags
+	mut.Uvarint(huge)
+	mut.EndFrame()
+	if _, err := DecodeBinaryMutate(mut.Bytes(), Limits{}); !errors.Is(err, ErrLimit) {
+		t.Errorf("huge event count: err %v, want ErrLimit", err)
+	}
+	binwire.Put(mut)
 }
 
 // mutateParityCorpus mirrors FuzzDecodeMutateRequest's valid seeds.

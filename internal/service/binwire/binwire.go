@@ -15,7 +15,7 @@
 // any well-formed frame, and a reader can skip unknown frame types).
 // Within payloads:
 //
-//	uvarint := LEB128 (7 bits per byte, little-endian, ≤ MaxVarintLen bytes)
+//	uvarint := LEB128 (7 bits per byte, little-endian, ≤ MaxVarintLen bytes, minimal)
 //	svarint := zigzag(v) as uvarint   (0→0, -1→1, 1→2, -2→3, …)
 //	string  := len:uvarint bytes
 //
@@ -42,7 +42,9 @@ var ErrMalformed = errors.New("binwire: malformed frame")
 
 // MaxVarintLen is the longest accepted LEB128 encoding (10 bytes covers
 // every uint64; anything longer is rejected as overlong rather than
-// silently wrapped).
+// silently wrapped). Decoding also rejects non-minimal encodings (e.g.
+// 0x80 0x00 for 0), so every value has exactly one wire form and frames
+// can be compared byte-wise.
 const MaxVarintLen = 10
 
 // FrameHeaderLen is the byte length of a frame header: the u32le length
@@ -194,7 +196,9 @@ func (r *Reader) Remaining() int {
 	return len(r.data) - r.off
 }
 
-// Uvarint reads one LEB128 value.
+// Uvarint reads one LEB128 value, rejecting truncated, overlong
+// (>64-bit), and non-minimal encodings — the wire form of a value is
+// canonical, so encoded frames can be compared byte-wise.
 func (r *Reader) Uvarint() uint64 {
 	if r.err != nil {
 		return 0
@@ -202,6 +206,13 @@ func (r *Reader) Uvarint() uint64 {
 	v, n := binary.Uvarint(r.data[r.off:])
 	if n <= 0 || n > MaxVarintLen {
 		r.Fail(fmt.Errorf("%w: bad uvarint at offset %d", ErrMalformed, r.off))
+		return 0
+	}
+	// A minimal encoding never ends in a zero continuation byte: the
+	// last byte carries the most significant bits, so a trailing 0x00
+	// means the same value fits in fewer bytes (0x80 0x00 vs 0x00).
+	if n > 1 && r.data[r.off+n-1] == 0 {
+		r.Fail(fmt.Errorf("%w: non-minimal uvarint at offset %d", ErrMalformed, r.off))
 		return 0
 	}
 	r.off += n

@@ -90,6 +90,8 @@ func TestReaderBounds(t *testing.T) {
 		{"count over bound", []byte{200, 1}, func(r *Reader) { r.Count(100, "n") }},
 		{"trailing garbage", []byte{0, 0}, func(r *Reader) { r.Byte(); r.Done() }},
 		{"overlong varint", bytes.Repeat([]byte{0x80}, 11), func(r *Reader) { r.Uvarint() }},
+		{"non-minimal varint", []byte{0x80, 0x00}, func(r *Reader) { r.Uvarint() }},
+		{"non-minimal varint long", []byte{0xFF, 0x80, 0x00}, func(r *Reader) { r.Uvarint() }},
 	}
 	for _, c := range cases {
 		r := NewReader(c.data)
@@ -97,6 +99,17 @@ func TestReaderBounds(t *testing.T) {
 		if !errors.Is(r.Err(), ErrMalformed) {
 			t.Errorf("%s: err = %v, want ErrMalformed", c.name, r.Err())
 		}
+	}
+}
+
+// TestUvarintMaxRoundTrip pins that the minimality check does not
+// reject the canonical 10-byte encoding of the largest uint64.
+func TestUvarintMaxRoundTrip(t *testing.T) {
+	var e Buffer
+	e.Uvarint(math.MaxUint64)
+	r := NewReader(e.Bytes())
+	if got := r.Uvarint(); got != math.MaxUint64 || r.Err() != nil {
+		t.Fatalf("max uint64 round trip: %d, err %v", got, r.Err())
 	}
 }
 
