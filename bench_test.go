@@ -13,6 +13,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"tilingsched/internal/boundary"
 	"tilingsched/internal/core"
@@ -485,6 +486,32 @@ func BenchmarkServiceBatchSlots(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkServiceBatchSlotsInstrumented is BenchmarkServiceBatchSlots
+// plus the full per-batch telemetry record a served request pays
+// (request counter, latency + engine-phase histograms, batch-size
+// distribution, plan-traffic sketch). The delta against the
+// uninstrumented twin is the instrumentation tax, which DESIGN.md §11
+// pins within noise of the engine contract — recording is a handful of
+// atomic adds per batch, amortized over ~4k points.
+func BenchmarkServiceBatchSlotsInstrumented(b *testing.B) {
+	plan := servicePlan(b)
+	met := service.NewServer(service.NewRegistry(2), service.ServerOptions{}).Metrics()
+	sig := plan.Signature()
+	pts := lattice.CenteredWindow(2, 31).Points()
+	dst := make([]int32, 0, len(pts))
+	met.ObserveBatch(sig, len(pts), time.Microsecond) // admit the signature to the sketch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		var err error
+		dst, err = service.QuerySlots(plan, pts, dst[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		met.ObserveBatch(sig, len(dst), time.Since(start))
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tilingsched/internal/obs"
 	"tilingsched/internal/service"
 	"tilingsched/internal/service/binwire"
 )
@@ -29,7 +30,10 @@ type loadConfig struct {
 }
 
 // loadResult is one load-generator measurement, shaped for the
-// BENCH_<date>_wire.json comparison file.
+// BENCH_<date>_wire.json comparison file. The latency percentiles are
+// estimated from the same log2 histogram the server exports on
+// /metrics (internal/obs), so client- and server-side numbers share
+// one bucket layout.
 type loadResult struct {
 	Format        string  `json:"format"`
 	Batch         int     `json:"batch"`
@@ -39,6 +43,10 @@ type loadResult struct {
 	ReqPerSec     float64 `json:"req_per_sec"`
 	LookupsPerSec float64 `json:"lookups_per_sec"`
 	BodyBytes     int     `json:"request_body_bytes"`
+	P50Ms         float64 `json:"p50_ms"`
+	P90Ms         float64 `json:"p90_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	P999Ms        float64 `json:"p999_ms"`
 }
 
 // buildLoadBody renders the shared batch request body in the configured
@@ -129,6 +137,7 @@ func runLoad(cfg loadConfig) (loadResult, error) {
 	}
 
 	var requests, failures atomic.Int64
+	var lat obs.Histogram // request latency in ns, shared by all workers
 	deadline := time.Now().Add(cfg.duration)
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.conns; w++ {
@@ -136,6 +145,7 @@ func runLoad(cfg loadConfig) (loadResult, error) {
 		go func() {
 			defer wg.Done()
 			for time.Now().Before(deadline) {
+				reqStart := time.Now()
 				resp, err := client.Post(url, contentType, bytes.NewReader(body))
 				if err != nil {
 					failures.Add(1)
@@ -147,6 +157,7 @@ func runLoad(cfg loadConfig) (loadResult, error) {
 					failures.Add(1)
 					continue
 				}
+				lat.Record(uint64(time.Since(reqStart)))
 				requests.Add(1)
 			}
 		}()
@@ -157,6 +168,8 @@ func runLoad(cfg loadConfig) (loadResult, error) {
 
 	reqs, fails := requests.Load(), failures.Load()
 	secs := elapsed.Seconds()
+	snap := lat.Snapshot()
+	toMs := func(q float64) float64 { return snap.Quantile(q) / 1e6 }
 	res := loadResult{
 		Format:        cfg.format,
 		Batch:         cfg.batch,
@@ -166,6 +179,10 @@ func runLoad(cfg loadConfig) (loadResult, error) {
 		ReqPerSec:     float64(reqs) / secs,
 		LookupsPerSec: float64(reqs) * float64(cfg.batch) / secs,
 		BodyBytes:     len(body),
+		P50Ms:         toMs(0.50),
+		P90Ms:         toMs(0.90),
+		P99Ms:         toMs(0.99),
+		P999Ms:        toMs(0.999),
 	}
 	if res.Format == "" {
 		res.Format = "json"
@@ -175,6 +192,8 @@ func runLoad(cfg loadConfig) (loadResult, error) {
 			cfg.baseURL, cfg.tile, res.Format, cfg.batch, cfg.conns, elapsed.Round(time.Millisecond))
 		fmt.Printf("load: %d requests (%d failed), %.0f req/s, %.0f lookups/s\n",
 			reqs, fails, res.ReqPerSec, res.LookupsPerSec)
+		fmt.Printf("load: latency p50=%.2fms p90=%.2fms p99=%.2fms p99.9=%.2fms\n",
+			res.P50Ms, res.P90Ms, res.P99Ms, res.P999Ms)
 	}
 	if fails > 0 {
 		return res, fmt.Errorf("%d failed requests", fails)

@@ -13,7 +13,8 @@
 // summarized instead of running the benchmarks — useful for snapshotting
 // a baseline captured before a change. With -load the tool becomes an
 // HTTP load generator against a running cmd/latticed daemon, reporting
-// batch-query requests/s and point lookups/s (see -load-* flags;
+// batch-query requests/s, point lookups/s, and p50/p90/p99/p99.9
+// request latency from an internal/obs histogram (see -load-* flags;
 // -load-format selects the JSON codec or the binary wire protocol).
 // With -wire it starts an in-process handler and sweeps batch sizes ×
 // wire formats, writing BENCH_<date>_wire.json with the binary/JSON

@@ -80,8 +80,8 @@ func runWire(duration time.Duration, conns int, tile, out string) error {
 			if err != nil {
 				return fmt.Errorf("%s batch=%d: %v", format, batch, err)
 			}
-			fmt.Printf("wire: format=%-4s batch=%-5d  %9.0f req/s  %12.0f lookups/s  (%d-byte request)\n",
-				format, batch, res.ReqPerSec, res.LookupsPerSec, res.BodyBytes)
+			fmt.Printf("wire: format=%-4s batch=%-5d  %9.0f req/s  %12.0f lookups/s  p50=%.2fms p99=%.2fms  (%d-byte request)\n",
+				format, batch, res.ReqPerSec, res.LookupsPerSec, res.P50Ms, res.P99Ms, res.BodyBytes)
 			s.Results = append(s.Results, res)
 			if perBatch[batch] == nil {
 				perBatch[batch] = map[string]float64{}

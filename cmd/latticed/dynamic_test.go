@@ -21,7 +21,7 @@ import (
 // check the local copy stays consistent with a full resync — without
 // ever re-downloading slots in between.
 func TestMutateRoundTrip(t *testing.T) {
-	ts := httptest.NewServer(newHandler(8, 0, 0, 0, false))
+	ts := httptest.NewServer(newHandler(daemonOptions{cache: 8}))
 	defer ts.Close()
 	client := ts.Client()
 
@@ -153,18 +153,23 @@ func TestMutateRoundTrip(t *testing.T) {
 	}
 }
 
-// TestDebugEndpoints checks the instrumentation plane: pprof and expvar
-// respond when -debug is on, and the expvar page carries the server's
-// live counters under "latticed".
+// TestDebugEndpoints checks the opt-in debug plane: pprof and
+// /debug/vars respond when -debug is on, and the vars page carries
+// this handler's live counters — including the plan registry's real
+// hit/miss numbers — under "latticed".
 func TestDebugEndpoints(t *testing.T) {
-	ts := httptest.NewServer(newHandler(8, 0, 0, 0, true))
+	ts := httptest.NewServer(newHandler(daemonOptions{cache: 8, debug: true}))
 	defer ts.Close()
 	client := ts.Client()
 
-	// Generate some traffic so the counters are non-zero.
+	// Generate some traffic so the counters are non-zero: the first
+	// batch compiles the plan (a registry miss), the second hits the
+	// cache.
 	const body = `{"plan":{"tile":{"name":"cross:2:1"}},"points":[[0,0],[1,2],[3,4]]}`
-	if resp, raw := postJSON(t, client, ts.URL+"/v1/slots:batch", body); resp.StatusCode != http.StatusOK {
-		t.Fatalf("slots batch: %d %s", resp.StatusCode, raw)
+	for i := 0; i < 2; i++ {
+		if resp, raw := postJSON(t, client, ts.URL+"/v1/slots:batch", body); resp.StatusCode != http.StatusOK {
+			t.Fatalf("slots batch: %d %s", resp.StatusCode, raw)
+		}
 	}
 
 	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/vars"} {
@@ -187,10 +192,17 @@ func TestDebugEndpoints(t *testing.T) {
 		Latticed service.ServerStats `json:"latticed"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
-		t.Fatalf("decoding expvar page: %v", err)
+		t.Fatalf("decoding vars page: %v", err)
 	}
-	if vars.Latticed.BatchRequests < 1 || vars.Latticed.BatchPoints < 3 || vars.Latticed.Plans < 1 {
-		t.Fatalf("expvar counters %+v", vars.Latticed)
+	if vars.Latticed.BatchRequests < 2 || vars.Latticed.BatchPoints < 6 || vars.Latticed.Plans < 1 {
+		t.Fatalf("vars counters %+v", vars.Latticed)
+	}
+	// The registry stats are this handler's real cache traffic, not a
+	// process-global approximation: one miss compiled the plan, the
+	// second request hit.
+	reg := vars.Latticed.Registry
+	if reg.Misses != 1 || reg.Compilations != 1 || reg.Hits < 1 || reg.Evictions != 0 {
+		t.Fatalf("registry stats %+v", reg)
 	}
 
 	// The service endpoints still work through the debug mux.
@@ -199,7 +211,7 @@ func TestDebugEndpoints(t *testing.T) {
 	}
 
 	// Off switch: no debug endpoints without the flag.
-	plain := httptest.NewServer(newHandler(8, 0, 0, 0, false))
+	plain := httptest.NewServer(newHandler(daemonOptions{cache: 8}))
 	defer plain.Close()
 	presp, err := plain.Client().Get(plain.URL + "/debug/vars")
 	if err != nil {

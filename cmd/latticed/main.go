@@ -7,7 +7,7 @@
 // Usage:
 //
 //	go run ./cmd/latticed [-addr :8370] [-cache 256] [-max-batch N] [-max-window N]
-//	                      [-sessions 16] [-debug]
+//	                      [-sessions 16] [-slow-ms 0] [-debug]
 //
 // Endpoints:
 //
@@ -17,12 +17,26 @@
 //	POST /v1/maybroadcast:batch {"plan":{...},"points":[[3,4]],"t":12345}
 //	POST /v1/plan:mutate        {"plan":{...},"window":{...},"events":[{"op":"leave","p":[0,0]}]}
 //	GET  /healthz
+//	GET  /metrics               Prometheus text exposition (always on):
+//	                            request/error/latency by endpoint × codec,
+//	                            phase and batch-size histograms, plan-cache
+//	                            and session traffic, dynamic repair tiers,
+//	                            per-plan traffic top-K, Go runtime stats
 //	GET  /debug/pprof/          CPU/heap/goroutine profiles (opt-in: -debug)
-//	GET  /debug/vars            expvar: registry hit rate, batch sizes,
-//	                            mutation counts under "latticed" (opt-in:
+//	GET  /debug/vars            JSON counters: registry hits/misses/
+//	                            evictions, batch sizes, mutation and
+//	                            session traffic under "latticed" (opt-in:
 //	                            -debug; profiles cost CPU and leak
 //	                            internals, so keep the plane off on
 //	                            untrusted networks)
+//
+// Telemetry is per-handler (no process globals): every handler built by
+// newHandler carries its own metrics registry, so tests and multi-server
+// processes observe independent counters. Recording on the request path
+// is lock-free atomic adds — the 18 ns/point engine contract survives
+// instrumentation (DESIGN.md §11). -slow-ms N samples requests slower
+// than N milliseconds into the log with their decode/engine/encode
+// phase split (at most one entry per 100ms).
 //
 // Compiled plans are cached in an LRU keyed by the canonical
 // (lattice, tile) signature; concurrent first requests for one plan
@@ -34,61 +48,76 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
-	"expvar"
 	"flag"
 	"log"
 	"net/http"
 	"net/http/pprof"
 	"os/signal"
-	"sync"
-	"sync/atomic"
 	"syscall"
 	"time"
 
+	"tilingsched/internal/obs"
 	"tilingsched/internal/service"
 )
 
-// statsSource is the server whose counters /debug/vars reports. expvar
-// registration is process-global and permanent, so the handler registers
-// one Func (publishOnce) that always reads the current server — tests
-// that build several handlers observe the latest.
-var (
-	statsSource atomic.Pointer[service.Server]
-	publishOnce sync.Once
-)
+// daemonOptions are newHandler's knobs — the flag set, minus the
+// listen address.
+type daemonOptions struct {
+	cache     int // plan-cache capacity
+	maxBatch  int // points per batch / events per mutate (0 = default)
+	maxWindow int // points per window shorthand (0 = default)
+	sessions  int // live dynamic sessions (0 = default)
+	slowMs    int // slow-request log threshold in ms (0 = off)
+	debug     bool
+}
+
+// logSlow is the daemon's slow-request sink: one structured log line
+// per sampled trace.
+func logSlow(sr service.SlowRequest) {
+	log.Printf("latticed: slow request endpoint=%s codec=%s status=%d sig=%q points=%d total=%s decode=%s engine=%s encode=%s",
+		sr.Endpoint, sr.Codec, sr.Status, sr.Signature, sr.BatchPoints,
+		sr.Total, sr.Decode, sr.Engine, sr.Encode)
+}
 
 // newHandler assembles the daemon's full HTTP wiring — registry, batch
-// engine, dynamic sessions, wire layer, and (when debug is set) the
-// pprof/expvar instrumentation plane — from its scalar knobs. Split from
-// main so the end-to-end tests drive exactly what the binary serves via
-// httptest.
-func newHandler(cache, maxBatch, maxWindow, sessions int, debug bool) http.Handler {
-	srv := service.NewServer(service.NewRegistry(cache), service.ServerOptions{
-		MaxBatch:    maxBatch,
-		MaxWindow:   maxWindow,
-		MaxSessions: sessions,
-	})
-	if !debug {
-		return srv
+// engine, dynamic sessions, wire layer, the always-on /metrics
+// exposition, and (when debug is set) the pprof/debug-vars plane —
+// from its knobs. Split from main so the end-to-end tests drive
+// exactly what the binary serves via httptest.
+func newHandler(o daemonOptions) http.Handler {
+	opts := service.ServerOptions{
+		MaxBatch:    o.maxBatch,
+		MaxWindow:   o.maxWindow,
+		MaxSessions: o.sessions,
 	}
-	statsSource.Store(srv)
-	publishOnce.Do(func() {
-		expvar.Publish("latticed", expvar.Func(func() any {
-			if s := statsSource.Load(); s != nil {
-				return s.Snapshot()
-			}
-			return nil
-		}))
-	})
+	if o.slowMs > 0 {
+		opts.SlowThreshold = time.Duration(o.slowMs) * time.Millisecond
+		opts.SlowLog = logSlow
+	}
+	srv := service.NewServer(service.NewRegistry(o.cache), opts)
 	mux := http.NewServeMux()
 	mux.Handle("/", srv)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", obs.ContentType)
+		if err := srv.WriteMetrics(w); err != nil {
+			return // client hung up mid-scrape; nothing to answer
+		}
+		_ = obs.WriteGoRuntime(w)
+	})
+	if !o.debug {
+		return mux
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{"latticed": srv.Snapshot()})
+	})
 	return mux
 }
 
@@ -98,10 +127,18 @@ func main() {
 	maxBatch := flag.Int("max-batch", 0, "max points per explicit batch and events per mutate (0 = default)")
 	maxWindow := flag.Int("max-window", 0, "max points per window shorthand or session window (0 = default)")
 	sessions := flag.Int("sessions", 0, "max live dynamic deployment sessions (0 = default)")
+	slowMs := flag.Int("slow-ms", 0, "log requests slower than this many milliseconds (0 = off)")
 	debug := flag.Bool("debug", false, "serve /debug/pprof and /debug/vars (keep off on untrusted networks)")
 	flag.Parse()
 
-	handler := newHandler(*cache, *maxBatch, *maxWindow, *sessions, *debug)
+	handler := newHandler(daemonOptions{
+		cache:     *cache,
+		maxBatch:  *maxBatch,
+		maxWindow: *maxWindow,
+		sessions:  *sessions,
+		slowMs:    *slowMs,
+		debug:     *debug,
+	})
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,

@@ -35,7 +35,7 @@ func postJSON(t *testing.T, client *http.Client, url, body string) (*http.Respon
 // share a slot, and an explicit point batch agrees with the window
 // shorthand point for point.
 func TestPlanSlotsRoundTrip(t *testing.T) {
-	ts := httptest.NewServer(newHandler(8, 0, 0, 0, false))
+	ts := httptest.NewServer(newHandler(daemonOptions{cache: 8}))
 	defer ts.Close()
 	client := ts.Client()
 
@@ -157,7 +157,7 @@ func TestPlanSlotsRoundTrip(t *testing.T) {
 // TestHandlerErrorWiring drives the failure paths end to end: status
 // codes and JSON error bodies must survive the full HTTP stack.
 func TestHandlerErrorWiring(t *testing.T) {
-	ts := httptest.NewServer(newHandler(4, 3, 25, 0, false))
+	ts := httptest.NewServer(newHandler(daemonOptions{cache: 4, maxBatch: 3, maxWindow: 25}))
 	defer ts.Close()
 	client := ts.Client()
 

@@ -60,7 +60,7 @@
 //   - cmd/latticed exposes the engine over compact JSON/HTTP
 //     (/v1/plan, /v1/slots:batch, /v1/maybroadcast:batch, /healthz);
 //     cmd/bench -load is the matching load generator, and -debug serves
-//     the pprof/expvar observability plane (/debug/pprof, /debug/vars).
+//     the pprof/debug-vars plane (/debug/pprof, /debug/vars).
 //   - The same endpoints also speak a binary wire protocol (DESIGN.md
 //     §10), negotiated by Content-Type application/x-lattice-bin:
 //     length-prefixed frames over internal/service/binwire varint
@@ -70,6 +70,22 @@
 //     (parity tests pin it); the binary path serves 6-10x the JSON
 //     codec's lookups/s end to end (BENCH_<date>_wire.json, cmd/bench
 //     -wire).
+//
+// # Telemetry
+//
+// internal/obs is the stdlib-only telemetry plane (DESIGN.md §11):
+// lock-free atomic counters, gauges, and fixed-bucket log2 latency
+// histograms (Record is three atomic adds, 0 allocs), a bounded
+// space-saving top-K traffic sketch, and Prometheus text exposition
+// (v0.0.4) written without any client library. Every service.Server
+// carries its own obs.Registry — no process globals — recording
+// per-endpoint × codec requests/errors/latency, decode/engine/encode
+// phase splits, batch-size and repair-tier distributions, plan-cache
+// and session traffic, and per-plan-signature point volume. cmd/latticed
+// always serves GET /metrics; -slow-ms samples requests past a
+// threshold into the log with their phase split. The instrumentation
+// tax is pinned by alloc guards and the instrumented-vs-bare engine
+// benchmark (BENCH_<date>_obs.json).
 //
 // # Dynamic deployments
 //

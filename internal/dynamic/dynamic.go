@@ -29,6 +29,7 @@ package dynamic
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"tilingsched/internal/graph"
 	"tilingsched/internal/lattice"
@@ -140,6 +141,10 @@ type Options struct {
 	// (added vertices + dead base vertices) exceeds it; 0 means
 	// DefaultCompactThreshold, negative disables auto-compaction.
 	CompactThreshold int
+	// Metrics, when non-nil, receives the mutator's telemetry (event
+	// counts by op, repair-tier counts, disruption and compaction
+	// histograms). Nil disables recording at zero cost.
+	Metrics *Metrics
 }
 
 // DefaultCompactThreshold is the overlay size (added vertices plus dead
@@ -158,6 +163,7 @@ type Mutator struct {
 	budget  int
 	thresh  int
 	stats   Stats
+	met     *Metrics // nil disables telemetry
 }
 
 // NewMutator builds a mutator over the deployment restricted to the
@@ -172,7 +178,8 @@ func NewMutator(dep schedule.Deployment, w lattice.Window, init schedule.Schedul
 	if err != nil {
 		return nil, err
 	}
-	m := &Mutator{ov: ov, thresh: opts.CompactThreshold}
+	m := &Mutator{ov: ov, thresh: opts.CompactThreshold, met: opts.Metrics}
+	ov.met = opts.Metrics
 	if m.thresh == 0 {
 		m.thresh = DefaultCompactThreshold
 	}
@@ -273,10 +280,12 @@ func (m *Mutator) Apply(events []Event) (Disruption, []SlotChange, error) {
 		d.Events++
 	}
 	d.ColorsDelta = m.palette - startPalette
+	m.met.recordApply(d.Reassigned)
 	// Materialize the deltas before any compaction: the touched set holds
 	// vertex ids, which a compaction renumbers.
 	changed := m.changes(touched, departed)
 	if m.thresh > 0 && m.ov.OverlaySize() > m.thresh {
+		compactStart := time.Now()
 		remap, err := m.ov.compact()
 		if err != nil {
 			return d, changed, err
@@ -294,6 +303,7 @@ func (m *Mutator) Apply(events []Event) (Disruption, []SlotChange, error) {
 			m.colors = fresh
 			d.Compacted = true
 			m.stats.Compactions++
+			m.met.recordCompaction(time.Since(compactStart))
 		}
 	}
 	return d, changed, nil
@@ -334,12 +344,14 @@ func (m *Mutator) applyOne(ev Event, d *Disruption, touched map[int]struct{}, de
 		} else {
 			m.stats.Leaves++
 		}
+		m.met.recordEvent(ev.Kind)
 		return nil
 	case Join:
 		if err := m.joinAndColor(ev.P, d, touched, departed); err != nil {
 			return err
 		}
 		m.stats.Joins++
+		m.met.recordEvent(Join)
 		return nil
 	case Move:
 		// Leave + Join as one event: validate the destination — right
@@ -364,6 +376,7 @@ func (m *Mutator) applyOne(ev Event, d *Disruption, touched map[int]struct{}, de
 			return err
 		}
 		m.stats.Moves++
+		m.met.recordEvent(Move)
 		return nil
 	}
 	return fmt.Errorf("%w: unknown event kind %d", ErrDynamic, ev.Kind)
@@ -388,6 +401,7 @@ func (m *Mutator) joinAndColor(p lattice.Point, d *Disruption, touched map[int]s
 			m.palette = c + 1
 		}
 		touched[id] = struct{}{}
+		m.met.recordRepair(tierSmallest)
 		return nil
 	}
 	m.stats.Repairs++
@@ -396,9 +410,11 @@ func (m *Mutator) joinAndColor(p lattice.Point, d *Disruption, touched map[int]s
 		for _, v := range damage {
 			touched[v] = struct{}{}
 		}
+		m.met.recordRepair(tierRegion)
 		return nil
 	}
 	m.stats.FullRecolors++
+	m.met.recordRepair(tierFull)
 	d.FullRecolor = true
 	reassigned, err := m.fullRecolor(id, touched)
 	if err != nil {

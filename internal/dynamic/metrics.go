@@ -1,0 +1,97 @@
+package dynamic
+
+import (
+	"time"
+
+	"tilingsched/internal/obs"
+)
+
+// Metrics is the package's telemetry hook: a set of pre-resolved
+// internal/obs handles the Mutator and Overlay record into as events
+// apply. Construct one with NewMetrics and pass it via Options; a nil
+// Metrics disables recording entirely (every record method is
+// nil-receiver safe), so library users pay nothing unless they opt in.
+//
+// Recording costs one to three atomic adds per call — safe on the
+// event hot path and from the serving layer's request handlers.
+type Metrics struct {
+	events      [4]*obs.Counter // indexed by EventKind
+	repairs     [3]*obs.Counter // indexed by repair tier
+	reassigned  *obs.Histogram  // Disruption.Reassigned per Apply batch
+	compactions *obs.Counter
+	compactNs   *obs.Histogram // wall time of each overlay re-freeze
+	patchRow    *obs.Histogram // patch-row edges per new added vertex
+}
+
+// Repair tiers, cheapest first: the smallest-free scan, the bounded
+// DSATUR region repair, and the full live recolor.
+const (
+	tierSmallest = iota
+	tierRegion
+	tierFull
+)
+
+// NewMetrics registers the package's metric families in r and returns
+// the recording handles. Families:
+//
+//	latticed_dynamic_events_total{op="join"|"leave"|"fail"|"move"}
+//	latticed_dynamic_repairs_total{tier="smallest"|"region"|"full"}
+//	latticed_dynamic_reassigned        (histogram, sensors per batch)
+//	latticed_dynamic_compactions_total
+//	latticed_dynamic_compaction_ns     (histogram)
+//	latticed_dynamic_patch_row_edges   (histogram, per added vertex)
+func NewMetrics(r *obs.Registry) *Metrics {
+	m := &Metrics{}
+	for k := Join; k <= Move; k++ {
+		m.events[k] = r.Counter(`latticed_dynamic_events_total{op="` + k.String() + `"}`)
+	}
+	for i, tier := range []string{"smallest", "region", "full"} {
+		m.repairs[i] = r.Counter(`latticed_dynamic_repairs_total{tier="` + tier + `"}`)
+	}
+	m.reassigned = r.Histogram("latticed_dynamic_reassigned")
+	m.compactions = r.Counter("latticed_dynamic_compactions_total")
+	m.compactNs = r.Histogram("latticed_dynamic_compaction_ns")
+	m.patchRow = r.Histogram("latticed_dynamic_patch_row_edges")
+	return m
+}
+
+// recordEvent tallies one applied event by op.
+func (mm *Metrics) recordEvent(k EventKind) {
+	if mm == nil || k > Move {
+		return
+	}
+	mm.events[k].Inc()
+}
+
+// recordRepair tallies which coloring tier resolved a join.
+func (mm *Metrics) recordRepair(tier int) {
+	if mm == nil {
+		return
+	}
+	mm.repairs[tier].Inc()
+}
+
+// recordApply records one batch's reassignment disruption.
+func (mm *Metrics) recordApply(reassigned int) {
+	if mm == nil {
+		return
+	}
+	mm.reassigned.Record(uint64(reassigned))
+}
+
+// recordCompaction records one overlay re-freeze and its wall time.
+func (mm *Metrics) recordCompaction(d time.Duration) {
+	if mm == nil {
+		return
+	}
+	mm.compactions.Inc()
+	mm.compactNs.Record(uint64(d))
+}
+
+// recordPatchRow records the patch-row size of a newly added vertex.
+func (mm *Metrics) recordPatchRow(edges int) {
+	if mm == nil {
+		return
+	}
+	mm.patchRow.Record(uint64(edges))
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRecordZeroAlloc is the zero-overhead guard of the telemetry
+// substrate: recording into counters, gauges, and histograms must not
+// allocate, or the instrumented engine batch path would regress its
+// 0 allocs/op contract.
+func TestRecordZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(42)
+		g.Add(-1)
+		h.Record(18)
+		h.Record(1 << 30)
+	}); n != 0 {
+		t.Fatalf("record path allocates %v per run, want 0", n)
+	}
+}
+
+// TestSnapshotUnderConcurrentRecorders hammers registry snapshots and
+// Prometheus exposition concurrently with recorders on every metric
+// kind — the race-detector test of the scrape path. It also checks the
+// monotonic-read contract: counters never decrease between scrapes.
+func TestSnapshotUnderConcurrentRecorders(t *testing.T) {
+	r := NewRegistry()
+	const writers = 8
+	const perWriter = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			c := r.Counter("hammer_total")
+			h := r.Histogram(`hammer_ns{w="x"}`)
+			g := r.Gauge("hammer_live")
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				h.Record(seed + uint64(i))
+				g.Set(int64(i))
+			}
+		}(uint64(w) << 10)
+	}
+
+	stop := make(chan struct{})
+	scraperDone := make(chan struct{})
+	go func() {
+		defer close(scraperDone)
+		var lastCounter, lastHist uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := r.Snapshot()
+			if v := s.Counters["hammer_total"]; v < lastCounter {
+				t.Errorf("counter went backwards: %d after %d", v, lastCounter)
+				return
+			} else {
+				lastCounter = v
+			}
+			if hs := s.Histograms[`hammer_ns{w="x"}`]; hs.Count < lastHist {
+				t.Errorf("histogram count went backwards: %d after %d", hs.Count, lastHist)
+				return
+			} else {
+				lastHist = hs.Count
+			}
+			if err := r.WritePrometheus(discard{}); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	<-scraperDone
+
+	s := r.Snapshot()
+	if got := s.Counters["hammer_total"]; got != writers*perWriter {
+		t.Fatalf("final counter %d, want %d", got, writers*perWriter)
+	}
+	if got := s.Histograms[`hammer_ns{w="x"}`].Count; got != writers*perWriter {
+		t.Fatalf("final histogram count %d, want %d", got, writers*perWriter)
+	}
+}
+
+// discard is an io.Writer that drops everything (keeps the scrape loop
+// from building huge strings).
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

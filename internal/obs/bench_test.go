@@ -1,0 +1,32 @@
+package obs
+
+import "testing"
+
+// The record path's cost budget: every recorder below runs on the
+// serving hot path, so each must stay a few nanoseconds and 0 allocs/op
+// (the alloc half of the contract is pinned by TestRecordZeroAlloc).
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(uint64(i))
+	}
+}
+
+func BenchmarkTopKRecordHit(b *testing.B) {
+	t := NewTopK(8)
+	t.Record("square|cross:2:1", 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t.Record("square|cross:2:1", 4096)
+	}
+}

@@ -1,0 +1,122 @@
+package obs
+
+import "math/bits"
+
+// NumBuckets is the fixed bucket count of every Histogram: bucket i
+// holds values whose binary length is i (i.e. v in [2^(i-1), 2^i), with
+// bucket 0 holding exactly v = 0), and the last bucket absorbs
+// everything at or above 2^(NumBuckets-2). For nanosecond latencies the
+// range spans 1 ns to ~4.6 minutes at ≤2× resolution — the precomputed
+// log2 bucket index is what keeps Record at a few atomic adds.
+const NumBuckets = 40
+
+// Histogram is a fixed-bucket log2 histogram recorded with atomic adds:
+// no locks, no allocations, safe to call per batch on the engine path.
+// The zero value is ready to use. Values are unsigned (a duration in
+// nanoseconds, a batch size); bucket boundaries are powers of two.
+type Histogram struct {
+	count   Counter
+	sum     Counter
+	buckets [NumBuckets]Counter
+}
+
+// bucketOf returns the bucket index of v: its binary length, clamped to
+// the last bucket.
+func bucketOf(v uint64) int {
+	i := bits.Len64(v)
+	if i >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return i
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i, 2^i − 1.
+// The last bucket is unbounded (rendered as le="+Inf").
+func BucketUpper(i int) uint64 {
+	if i >= NumBuckets-1 {
+		return ^uint64(0)
+	}
+	return 1<<uint(i) - 1
+}
+
+// Record adds one observation. Three atomic adds: the bucket, the sum,
+// and the count. Safe for any number of concurrent callers.
+func (h *Histogram) Record(v uint64) {
+	h.buckets[bucketOf(v)].Inc()
+	h.sum.Add(v)
+	h.count.Inc()
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all recorded values.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Snapshot captures the histogram's current state with one atomic load
+// per bucket. Concurrent recorders may land between loads, so the
+// snapshot is weakly consistent (Count may differ from the bucket total
+// by in-flight records); every individual value is torn-free.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram, the input to
+// percentile estimation and exposition.
+type HistogramSnapshot struct {
+	// Count and Sum aggregate all observations.
+	Count, Sum uint64
+	// Buckets[i] counts observations of binary length i (see NumBuckets).
+	Buckets [NumBuckets]uint64
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the recorded values
+// by linear interpolation inside the containing log2 bucket — exact to
+// within the bucket's 2× width, which is the standard trade of a
+// fixed-bucket histogram. Returns 0 when nothing was recorded.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	total := uint64(0)
+	for _, b := range s.Buckets {
+		total += b
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := float64(0)
+	for i, b := range s.Buckets {
+		if b == 0 {
+			continue
+		}
+		next := cum + float64(b)
+		if next >= rank {
+			lo := float64(0)
+			if i > 0 {
+				lo = float64(uint64(1) << uint(i-1))
+			}
+			hi := float64(uint64(1)<<uint(i)) - 1
+			if i >= NumBuckets-1 {
+				hi = lo * 2 // open-ended tail: assume one bucket width
+			}
+			frac := 0.0
+			if b > 0 {
+				frac = (rank - cum) / float64(b)
+			}
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	return float64(uint64(1) << uint(NumBuckets-1))
+}

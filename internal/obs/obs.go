@@ -1,0 +1,59 @@
+// Package obs is the telemetry substrate of the serving stack: lock-free
+// counters, gauges, and fixed-bucket log2 histograms cheap enough to
+// record on the zero-alloc engine hot paths, plus a Registry that names
+// them and renders Prometheus text exposition (format v0.0.4) with no
+// external dependencies.
+//
+// Design contract, in the style of the batch engine's hot paths:
+//
+//   - Recording (Counter.Add, Gauge.Set, Histogram.Record) is one to
+//     three atomic adds — no locks, no allocations, no time lookups —
+//     so instrumenting a per-batch serving path costs nanoseconds and
+//     the AllocsPerRun guard tests pin it at 0 allocs.
+//   - Handles are obtained once (Registry.Counter et al. take the
+//     registration lock) and then shared freely: every method on a
+//     handle is safe for any number of concurrent callers.
+//   - Snapshots are weakly consistent: the metric set is captured under
+//     the registration lock, each value with one atomic load. Counters
+//     are monotonic, so two successive scrapes always observe
+//     non-decreasing values — there are no torn reads, only values that
+//     may be a few events apart across different metrics.
+//
+// Metric names may carry a constant Prometheus label block, e.g.
+// `requests_total{endpoint="slots",codec="json"}`; the exposition writer
+// groups such series under one family TYPE line. See DESIGN.md §11.
+package obs
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing metric (requests served, events
+// applied). The zero value is ready to use; all methods are safe for
+// concurrent callers and allocation-free.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n to the counter.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is a point-in-time signed value (live sessions, cached plans).
+// The zero value is ready to use; all methods are safe for concurrent
+// callers and allocation-free.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }

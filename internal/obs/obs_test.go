@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-10)
+	if got := g.Load(); got != -3 {
+		t.Fatalf("gauge = %d, want -3", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {255, 8}, {256, 9},
+		{1 << 38, NumBuckets - 1}, {^uint64(0), NumBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// BucketUpper is the inclusive top of each bucket: a value lands in
+	// the first bucket whose upper bound is ≥ the value.
+	for _, c := range cases {
+		i := bucketOf(c.v)
+		if up := BucketUpper(i); c.v > up {
+			t.Errorf("value %d above its bucket %d upper bound %d", c.v, i, up)
+		}
+		if i > 0 && i < NumBuckets-1 {
+			if up := BucketUpper(i - 1); c.v <= up {
+				t.Errorf("value %d fits bucket %d already (upper %d)", c.v, i-1, up)
+			}
+		}
+	}
+
+	var h Histogram
+	for _, v := range []uint64{1, 2, 3, 100, 100, 1000} {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 || s.Sum != 1206 {
+		t.Fatalf("count=%d sum=%d, want 6, 1206", s.Count, s.Sum)
+	}
+	total := uint64(0)
+	for _, b := range s.Buckets {
+		total += b
+	}
+	if total != 6 {
+		t.Fatalf("bucket total %d, want 6", total)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if q := h.Snapshot().Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+	// 1000 values uniform in [1, 1000]: the quantile estimate must land
+	// within its value's log2 bucket (≤2× relative error).
+	for v := uint64(1); v <= 1000; v++ {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	for _, c := range []struct{ q, want float64 }{{0.5, 500}, {0.9, 900}, {0.99, 990}} {
+		got := s.Quantile(c.q)
+		if got < c.want/2 || got > c.want*2 {
+			t.Errorf("Quantile(%v) = %v, want within 2x of %v", c.q, got, c.want)
+		}
+	}
+	if q := s.Quantile(-1); q <= 0 || math.IsNaN(q) {
+		t.Errorf("Quantile(-1) = %v", q)
+	}
+	if q := s.Quantile(2); q < s.Quantile(0.99) {
+		t.Errorf("Quantile(2) = %v below p99", q)
+	}
+}
+
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("Counter not idempotent")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("Gauge not idempotent")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Fatal("Histogram not idempotent")
+	}
+	r.Counter("a").Add(3)
+	r.Gauge("g").Set(-2)
+	r.Histogram("h").Record(9)
+	s := r.Snapshot()
+	if s.Counters["a"] != 3 || s.Gauges["g"] != -2 || s.Histograms["h"].Count != 1 {
+		t.Fatalf("snapshot off: %+v", s)
+	}
+}
+
+func TestTopKSpaceSaving(t *testing.T) {
+	tk := NewTopK(2)
+	tk.Record("heavy", 100)
+	tk.Record("light", 1)
+	tk.Record("new", 5) // evicts light (count 1), inherits 1+5
+	entries := tk.Snapshot()
+	if len(entries) != 2 {
+		t.Fatalf("%d entries, want 2", len(entries))
+	}
+	if entries[0].Key != "heavy" || entries[0].Count != 100 {
+		t.Fatalf("top entry %+v", entries[0])
+	}
+	if entries[1].Key != "new" || entries[1].Count != 6 {
+		t.Fatalf("second entry %+v (want new, 6: space-saving inherits the evicted min)", entries[1])
+	}
+	// The cardinality bound holds no matter how many keys arrive.
+	for i := 0; i < 100; i++ {
+		tk.Record(strings.Repeat("k", i+1), 1)
+	}
+	if got := len(tk.Snapshot()); got != 2 {
+		t.Fatalf("tracked %d keys, capacity 2", got)
+	}
+}
+
+func TestFamilySplit(t *testing.T) {
+	for _, c := range []struct{ name, fam, labels string }{
+		{"plain", "plain", ""},
+		{`a{b="c"}`, "a", `b="c"`},
+		{`a{b="c",d="e"}`, "a", `b="c",d="e"`},
+	} {
+		fam, labels := family(c.name)
+		if fam != c.fam || labels != c.labels {
+			t.Errorf("family(%q) = %q, %q, want %q, %q", c.name, fam, labels, c.fam, c.labels)
+		}
+	}
+	if got := joinLabels(`a="b"`, `le="+Inf"`); got != `{a="b",le="+Inf"}` {
+		t.Errorf("joinLabels = %q", got)
+	}
+	if got := EscapeLabel("a\"b\\c\nd"); got != `a\"b\\c\nd` {
+		t.Errorf("EscapeLabel = %q", got)
+	}
+}

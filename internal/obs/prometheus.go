@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders Prometheus text exposition format v0.0.4 from a
+// Registry snapshot, stdlib-only. Series are grouped by family (the
+// metric name before any '{' label block) so each family gets exactly
+// one `# TYPE` line; histograms expand into cumulative `_bucket` series
+// (le = 2^i − 1 for log2 bucket i, then "+Inf") plus `_sum` and
+// `_count`. Exposition runs on the scrape path, never the serving hot
+// path, so it favors clarity over allocation thrift.
+
+// ContentType is the Content-Type header value of the exposition
+// format this package writes.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// family splits a metric name into its family and the label block's
+// inner text ("" when unlabeled): `a{b="c"}` → (`a`, `b="c"`).
+func family(name string) (fam, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// joinLabels renders a label block from the existing inner text plus
+// one extra label ("" to add none).
+func joinLabels(labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return ""
+	case labels == "":
+		return "{" + extra + "}"
+	case extra == "":
+		return "{" + labels + "}"
+	}
+	return "{" + labels + "," + extra + "}"
+}
+
+// EscapeLabel escapes a label value per the exposition format:
+// backslash, double quote, and newline.
+func EscapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// promSeries is one rendered series line (name with labels + value).
+type promSeries struct {
+	name  string
+	value string
+}
+
+// promFamily groups the series of one family under its TYPE.
+type promFamily struct {
+	name   string
+	kind   string // "counter", "gauge", "histogram"
+	series []promSeries
+}
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format v0.0.4: families sorted by name, one `# TYPE` line
+// each, histograms as cumulative buckets + sum + count. Values are read
+// through Snapshot, so concurrent recorders are safe and counters never
+// appear to decrease across scrapes.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return writeSnapshot(w, r.Snapshot())
+}
+
+// writeSnapshot renders an already-captured snapshot (the testable
+// core of WritePrometheus).
+func writeSnapshot(w io.Writer, s Snapshot) error {
+	fams := map[string]*promFamily{}
+	add := func(fam, kind, series, value string) {
+		f, ok := fams[fam]
+		if !ok {
+			f = &promFamily{name: fam, kind: kind}
+			fams[fam] = f
+		}
+		f.series = append(f.series, promSeries{name: series, value: value})
+	}
+	for name, v := range s.Counters {
+		fam, labels := family(name)
+		add(fam, "counter", fam+joinLabels(labels, ""), strconv.FormatUint(v, 10))
+	}
+	for name, v := range s.Gauges {
+		fam, labels := family(name)
+		add(fam, "gauge", fam+joinLabels(labels, ""), strconv.FormatInt(v, 10))
+	}
+	for name, h := range s.Histograms {
+		fam, labels := family(name)
+		top := NumBuckets - 1
+		for top > 0 && h.Buckets[top] == 0 {
+			top--
+		}
+		total := uint64(0)
+		for _, b := range h.Buckets {
+			total += b
+		}
+		cum := uint64(0)
+		for i := 0; i <= top && i < NumBuckets-1; i++ {
+			cum += h.Buckets[i]
+			if h.Buckets[i] == 0 && i > 0 {
+				continue // empty interior buckets add nothing cumulative
+			}
+			le := strconv.FormatUint(BucketUpper(i), 10)
+			add(fam, "histogram", fam+"_bucket"+joinLabels(labels, `le="`+le+`"`),
+				strconv.FormatUint(cum, 10))
+		}
+		add(fam, "histogram", fam+"_bucket"+joinLabels(labels, `le="+Inf"`),
+			strconv.FormatUint(total, 10))
+		add(fam, "histogram", fam+"_sum"+joinLabels(labels, ""), strconv.FormatUint(h.Sum, 10))
+		add(fam, "histogram", fam+"_count"+joinLabels(labels, ""), strconv.FormatUint(h.Count, 10))
+	}
+
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := fams[n]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].name < f.series[j].name })
+		for _, s := range f.series {
+			if _, err := fmt.Fprintf(w, "%s %s\n", s.name, s.value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteTopK renders a TopK sketch as one counter family: each tracked
+// key becomes a series `family{label="key"} count` (key escaped). The
+// family must not collide with a name registered in a Registry written
+// to the same stream.
+func WriteTopK(w io.Writer, fam, label string, t *TopK) error {
+	entries := t.Snapshot()
+	if len(entries) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", fam); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if _, err := fmt.Fprintf(w, "%s{%s=\"%s\"} %d\n", fam, label, EscapeLabel(e.Key), e.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"bufio"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseExposition is the test-side exposition parser: series name
+// (labels included) → value, plus family → declared type. Formats this
+// package writes must round-trip through it.
+func parseExposition(t *testing.T, text string) (map[string]float64, map[string]string) {
+	t.Helper()
+	values := map[string]float64{}
+	types := map[string]string{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			fam, kind, found := strings.Cut(rest, " ")
+			if !found {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			if prev, dup := types[fam]; dup && prev != kind {
+				t.Fatalf("family %q declared both %q and %q", fam, prev, kind)
+			}
+			types[fam] = kind
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed series line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("series %q: bad value: %v", line, err)
+		}
+		if _, dup := values[line[:i]]; dup {
+			t.Fatalf("duplicate series %q", line[:i])
+		}
+		values[line[:i]] = v
+	}
+	return values, types
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`req_total{endpoint="slots",codec="json"}`).Add(3)
+	r.Counter(`req_total{endpoint="slots",codec="bin"}`).Add(2)
+	r.Gauge("live").Set(7)
+	h := r.Histogram(`lat_ns{endpoint="slots"}`)
+	h.Record(100) // bucket 7 (le 127)
+	h.Record(200) // bucket 8 (le 255)
+	h.Record(200)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if !strings.HasSuffix(text, "\n") {
+		t.Fatal("exposition must end with a newline")
+	}
+	values, types := parseExposition(t, text)
+
+	if types["req_total"] != "counter" || types["live"] != "gauge" || types["lat_ns"] != "histogram" {
+		t.Fatalf("types %v", types)
+	}
+	if values[`req_total{endpoint="slots",codec="json"}`] != 3 ||
+		values[`req_total{endpoint="slots",codec="bin"}`] != 2 {
+		t.Fatalf("counter series wrong: %v", values)
+	}
+	if values["live"] != 7 {
+		t.Fatalf("gauge = %v", values["live"])
+	}
+	// Histogram: cumulative buckets, sum, count, labels preserved with
+	// le appended.
+	if values[`lat_ns_bucket{endpoint="slots",le="127"}`] != 1 {
+		t.Fatalf("le=127 bucket: %v", values)
+	}
+	if values[`lat_ns_bucket{endpoint="slots",le="255"}`] != 3 {
+		t.Fatalf("le=255 bucket not cumulative: %v", values)
+	}
+	if values[`lat_ns_bucket{endpoint="slots",le="+Inf"}`] != 3 {
+		t.Fatalf("+Inf bucket: %v", values)
+	}
+	if values[`lat_ns_sum{endpoint="slots"}`] != 500 || values[`lat_ns_count{endpoint="slots"}`] != 3 {
+		t.Fatalf("sum/count: %v", values)
+	}
+
+	// One TYPE line per family, before any of its series.
+	if strings.Count(text, "# TYPE req_total ") != 1 {
+		t.Fatalf("req_total TYPE emitted more than once:\n%s", text)
+	}
+	typeIdx := strings.Index(text, "# TYPE req_total ")
+	seriesIdx := strings.Index(text, `req_total{`)
+	if seriesIdx < typeIdx {
+		t.Fatal("series emitted before its TYPE line")
+	}
+}
+
+func TestWriteTopK(t *testing.T) {
+	tk := NewTopK(4)
+	tk.Record(`sig"with\quotes`, 9)
+	tk.Record("plain", 4)
+	var sb strings.Builder
+	if err := WriteTopK(&sb, "plan_points_total", "signature", tk); err != nil {
+		t.Fatal(err)
+	}
+	values, types := parseExposition(t, sb.String())
+	if types["plan_points_total"] != "counter" {
+		t.Fatalf("types %v", types)
+	}
+	if values[`plan_points_total{signature="plain"}`] != 4 {
+		t.Fatalf("plain series: %v", values)
+	}
+	if values[`plan_points_total{signature="sig\"with\\quotes"}`] != 9 {
+		t.Fatalf("escaped series: %v", values)
+	}
+
+	// An empty sketch writes nothing (no dangling TYPE line).
+	sb.Reset()
+	if err := WriteTopK(&sb, "empty", "k", NewTopK(1)); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Fatalf("empty sketch wrote %q", sb.String())
+	}
+}
+
+func TestWriteGoRuntime(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteGoRuntime(&sb); err != nil {
+		t.Fatal(err)
+	}
+	values, types := parseExposition(t, sb.String())
+	if values["go_goroutines"] < 1 {
+		t.Fatalf("go_goroutines = %v", values["go_goroutines"])
+	}
+	if values["go_memstats_heap_alloc_bytes"] <= 0 {
+		t.Fatalf("heap alloc = %v", values["go_memstats_heap_alloc_bytes"])
+	}
+	for _, fam := range []string{"go_gc_cycles_total", "go_gc_pause_seconds_total", "go_memstats_alloc_bytes_total"} {
+		if types[fam] != "counter" {
+			t.Fatalf("%s type %q", fam, types[fam])
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package obs
+
+import "sync"
+
+// Registry names and owns a set of metrics. Handle acquisition
+// (Counter, Gauge, Histogram) takes the registration lock and is
+// idempotent — the same name always returns the same handle — so
+// callers fetch handles once at wiring time and record through them
+// lock-free forever after. Registries are cheap and independent: each
+// server (or test) builds its own, so there is no process-global
+// metric state.
+//
+// A name may embed a constant Prometheus label block, e.g.
+// `requests_total{endpoint="slots",codec="json"}`. Series sharing the
+// text before the '{' form one family in the exposition output.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty metric registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = new(Counter)
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = new(Gauge)
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = new(Histogram)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot captures every registered metric's current value. The metric
+// set is fixed under the registration lock; each value is one atomic
+// load (histograms one load per bucket), so the snapshot is weakly
+// consistent across metrics and torn-free within each. Counters are
+// monotonic: successive snapshots never observe a value decrease.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	r.mu.Unlock()
+
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(counters)),
+		Gauges:     make(map[string]int64, len(gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(hists)),
+	}
+	for n, c := range counters {
+		s.Counters[n] = c.Load()
+	}
+	for n, g := range gauges {
+		s.Gauges[n] = g.Load()
+	}
+	for n, h := range hists {
+		s.Histograms[n] = h.Snapshot()
+	}
+	return s
+}
+
+// Snapshot is a point-in-time copy of a Registry's metrics, keyed by
+// full metric name (label block included).
+type Snapshot struct {
+	// Counters, Gauges, and Histograms hold every registered metric's
+	// value at snapshot time.
+	Counters   map[string]uint64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramSnapshot
+}

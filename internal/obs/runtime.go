@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+)
+
+// WriteGoRuntime renders the Go runtime's own health metrics in
+// exposition format: goroutine count, heap sizes, cumulative
+// allocation, and GC cycle/pause totals. It calls runtime.ReadMemStats
+// (a brief stop-the-world), so it belongs on the scrape path only —
+// cmd/latticed appends it to every /metrics response after the
+// registry's metrics.
+func WriteGoRuntime(w io.Writer) error {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	type metric struct {
+		name, kind, value string
+	}
+	metrics := []metric{
+		{"go_goroutines", "gauge", strconv.Itoa(runtime.NumGoroutine())},
+		{"go_memstats_heap_alloc_bytes", "gauge", strconv.FormatUint(ms.HeapAlloc, 10)},
+		{"go_memstats_heap_objects", "gauge", strconv.FormatUint(ms.HeapObjects, 10)},
+		{"go_memstats_sys_bytes", "gauge", strconv.FormatUint(ms.Sys, 10)},
+		{"go_memstats_alloc_bytes_total", "counter", strconv.FormatUint(ms.TotalAlloc, 10)},
+		{"go_gc_cycles_total", "counter", strconv.FormatUint(uint64(ms.NumGC), 10)},
+		{"go_gc_pause_seconds_total", "counter",
+			strconv.FormatFloat(float64(ms.PauseTotalNs)/1e9, 'g', -1, 64)},
+	}
+	for _, m := range metrics {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n", m.name, m.kind, m.name, m.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

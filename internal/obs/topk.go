@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// TopK tracks the heaviest keys of an unbounded key space within a
+// fixed memory budget — per-plan-signature traffic in the serving
+// stack, where the signature space is client-controlled and must not
+// grow server state without bound. It implements the space-saving
+// sketch: at most capacity keys are tracked; when a new key arrives at
+// capacity, the minimum-count key is evicted and the newcomer inherits
+// its count (so heavy keys are never undercounted, light keys may be
+// overcounted by at most the evicted minimum — the standard guarantee).
+//
+// Record takes a mutex, so TopK belongs on per-request paths (one
+// Record per request), not per-point hot loops.
+type TopK struct {
+	mu     sync.Mutex
+	cap    int
+	counts map[string]uint64
+}
+
+// TopKEntry is one tracked key and its (possibly overcounted) total.
+type TopKEntry struct {
+	// Key is the tracked key; Count its space-saving count.
+	Key   string
+	Count uint64
+}
+
+// NewTopK returns a sketch tracking at most capacity keys (minimum 1).
+func NewTopK(capacity int) *TopK {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TopK{cap: capacity, counts: make(map[string]uint64, capacity)}
+}
+
+// Record adds n to key's count, evicting the minimum-count key if the
+// sketch is full and key is new. Safe for concurrent callers.
+func (t *TopK) Record(key string, n uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.counts[key]; ok {
+		t.counts[key] += n
+		return
+	}
+	if len(t.counts) < t.cap {
+		t.counts[key] = n
+		return
+	}
+	minKey, minCount := "", ^uint64(0)
+	for k, c := range t.counts {
+		if c < minCount {
+			minKey, minCount = k, c
+		}
+	}
+	delete(t.counts, minKey)
+	t.counts[key] = minCount + n
+}
+
+// Snapshot returns the tracked entries sorted by descending count (ties
+// by key, so the order is deterministic).
+func (t *TopK) Snapshot() []TopKEntry {
+	t.mu.Lock()
+	out := make([]TopKEntry, 0, len(t.counts))
+	for k, c := range t.counts {
+		out = append(out, TopKEntry{Key: k, Count: c})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}

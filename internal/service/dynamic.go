@@ -54,6 +54,7 @@ type sessionTable struct {
 	entries map[string]*dynSession
 	lru     *list.List // of *dynSession
 	stats   SessionStats
+	met     *Metrics // nil in tests that build a bare table
 }
 
 // dynSession is one mutable deployment.
@@ -66,7 +67,7 @@ type dynSession struct {
 	epoch uint64
 }
 
-func newSessionTable(capacity int) *sessionTable {
+func newSessionTable(capacity int, met *Metrics) *sessionTable {
 	if capacity <= 0 {
 		capacity = DefaultMaxSessions
 	}
@@ -74,6 +75,7 @@ func newSessionTable(capacity int) *sessionTable {
 		cap:     capacity,
 		entries: make(map[string]*dynSession),
 		lru:     list.New(),
+		met:     met,
 	}
 }
 
@@ -95,9 +97,11 @@ func (st *sessionTable) get(plan *core.Plan, w lattice.Window) (*dynSession, err
 	// wins (later builds are discarded) — both candidates are identical
 	// epoch-0 states, and keeping the published one preserves any
 	// mutations already applied to it.
-	mut, err := dynamic.NewMutator(plan.Deployment(), w, plan.Schedule(), dynamic.Options{
-		Residues: tiling.IdentityResidues(w.Dim()),
-	})
+	opts := dynamic.Options{Residues: tiling.IdentityResidues(w.Dim())}
+	if st.met != nil {
+		opts.Metrics = st.met.dyn
+	}
+	mut, err := dynamic.NewMutator(plan.Deployment(), w, plan.Schedule(), opts)
 	if err != nil {
 		return nil, err
 	}
@@ -117,6 +121,13 @@ func (st *sessionTable) get(plan *core.Plan, w lattice.Window) (*dynSession, err
 		st.lru.Remove(back)
 		delete(st.entries, ev.key)
 		st.stats.Evicted++
+		if st.met != nil {
+			st.met.sessEvicted.Inc()
+		}
+	}
+	if st.met != nil {
+		st.met.sessCreated.Inc()
+		st.met.sessLive.Set(int64(st.lru.Len()))
 	}
 	return s, nil
 }
@@ -136,6 +147,10 @@ func (st *sessionTable) record(events int) {
 	st.stats.Mutations++
 	st.stats.Events += int64(events)
 	st.mu.Unlock()
+	if st.met != nil {
+		st.met.sessMutations.Inc()
+		st.met.sessEvents.Add(uint64(events))
+	}
 }
 
 // recordConflict tallies one stale-epoch rejection.
@@ -143,6 +158,9 @@ func (st *sessionTable) recordConflict() {
 	st.mu.Lock()
 	st.stats.EpochConflicts++
 	st.mu.Unlock()
+	if st.met != nil {
+		st.met.sessConfl.Inc()
+	}
 }
 
 // --- Wire types -----------------------------------------------------------

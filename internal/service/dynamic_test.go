@@ -38,7 +38,7 @@ func mustWindow(t *testing.T, lo, hi []int) lattice.Window {
 // session, and the LRU evicts in order.
 func TestSessionLifecycle(t *testing.T) {
 	plan := testPlan(t)
-	st := newSessionTable(2)
+	st := newSessionTable(2, nil)
 	w1 := mustWindow(t, []int{0, 0}, []int{4, 4})
 	s1, err := st.get(plan, w1)
 	if err != nil {

@@ -1,0 +1,285 @@
+package service
+
+// Server telemetry: every request that reaches the wire layer is
+// counted, timed, and traced through a per-server internal/obs
+// registry. The instrument wrapper around each endpoint handler does
+// the uniform work (request/error counters, end-to-end latency split
+// by endpoint × codec); handlers fill in a pooled reqTrace with the
+// request's plan signature, batch size, and per-phase wall times
+// (decode → engine → encode), which the wrapper folds into the phase
+// histograms, the per-plan traffic sketch, and — past the configured
+// threshold — a sampled slow-request log. Recording is pre-resolved
+// atomic handles only: no locks, no allocations on the request path
+// beyond the pooled trace.
+
+import (
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"tilingsched/internal/dynamic"
+	"tilingsched/internal/obs"
+)
+
+// Instrumented endpoints, in mux order. /healthz and the daemon's
+// /metrics are deliberately uninstrumented: they are the ops plane
+// reading the telemetry, not traffic worth telemetering.
+const (
+	epPlan = iota
+	epSlots
+	epMay
+	epMutate
+	numEndpoints
+)
+
+// Codecs a request can select via Content-Type.
+const (
+	codecJSON = iota
+	codecBin
+	numCodecs
+)
+
+var (
+	epNames    = [numEndpoints]string{"plan", "slots", "maybroadcast", "mutate"}
+	codecNames = [numCodecs]string{"json", "bin"}
+)
+
+// planTrafficK bounds the per-plan-signature traffic sketch: at most
+// this many signatures are tracked (space-saving top-K), so exposition
+// cardinality stays fixed no matter how many plans clients request.
+const planTrafficK = 32
+
+// slowLogMinInterval rate-limits the slow-request log: at most one
+// entry per interval, so a latency storm degrades to a sample instead
+// of a log flood.
+const slowLogMinInterval = 100 * time.Millisecond
+
+// SlowRequest is one sampled slow-request trace, handed to the
+// ServerOptions.SlowLog callback when a request's end-to-end time
+// crosses ServerOptions.SlowThreshold.
+type SlowRequest struct {
+	// Endpoint and Codec identify the request ("slots", "bin", ...).
+	Endpoint, Codec string
+	// Signature is the plan's canonical signature ("" if the request
+	// died before plan resolution).
+	Signature string
+	// BatchPoints is the answer size (points, flags, or events).
+	BatchPoints int
+	// Status is the HTTP status the handler answered.
+	Status int
+	// Total is the end-to-end handler time; Decode, Engine, and Encode
+	// are the phase splits (Encode is zero on the binary streaming
+	// path, where encoding interleaves with the engine phase).
+	Total, Decode, Engine, Encode time.Duration
+}
+
+// Metrics is a server's telemetry plane: one obs.Registry per server
+// (no process globals — tests and multi-handler processes keep
+// independent counters) plus pre-resolved handles for everything the
+// request path records. Snapshot it through WritePrometheus via
+// (*Server).WriteMetrics.
+type Metrics struct {
+	reg *obs.Registry
+
+	// Per-endpoint × codec request accounting.
+	requests [numEndpoints][numCodecs]*obs.Counter
+	errors   [numEndpoints][numCodecs]*obs.Counter
+	latency  [numEndpoints][numCodecs]*obs.Histogram
+
+	// Request-phase wall times and batch-size distribution.
+	decodeNs, engineNs, encodeNs *obs.Histogram
+	batchSize                    *obs.Histogram
+
+	// Per-plan-signature traffic (points answered), bounded top-K.
+	planTraffic *obs.TopK
+	plans       *obs.Gauge // cached plans; set at scrape time
+
+	// Plan-registry traffic.
+	regHits, regMisses, regCompilations *obs.Counter
+	regEvictions, regErrors, regDedup   *obs.Counter
+
+	// Dynamic-session traffic.
+	sessLive                             *obs.Gauge
+	sessCreated, sessEvicted             *obs.Counter
+	sessMutations, sessEvents, sessConfl *obs.Counter
+
+	// Dyn is the dynamic-subsystem telemetry, registered in the same
+	// registry and passed to every session's Mutator.
+	dyn *dynamic.Metrics
+
+	slowThreshold time.Duration
+	slowLog       func(SlowRequest)
+	lastSlow      atomic.Int64 // unix nanos of the last slow-log entry
+}
+
+// newServerMetrics registers the server's metric families and
+// resolves their recording handles once, so the request path never
+// touches the registry map.
+func newServerMetrics(opts ServerOptions) *Metrics {
+	r := obs.NewRegistry()
+	m := &Metrics{
+		reg:           r,
+		planTraffic:   obs.NewTopK(planTrafficK),
+		slowThreshold: opts.SlowThreshold,
+		slowLog:       opts.SlowLog,
+	}
+	for ep := 0; ep < numEndpoints; ep++ {
+		for c := 0; c < numCodecs; c++ {
+			labels := `{endpoint="` + epNames[ep] + `",codec="` + codecNames[c] + `"}`
+			m.requests[ep][c] = r.Counter("latticed_requests_total" + labels)
+			m.errors[ep][c] = r.Counter("latticed_errors_total" + labels)
+			m.latency[ep][c] = r.Histogram("latticed_request_ns" + labels)
+		}
+	}
+	m.decodeNs = r.Histogram(`latticed_phase_ns{phase="decode"}`)
+	m.engineNs = r.Histogram(`latticed_phase_ns{phase="engine"}`)
+	m.encodeNs = r.Histogram(`latticed_phase_ns{phase="encode"}`)
+	m.batchSize = r.Histogram("latticed_batch_points")
+	m.plans = r.Gauge("latticed_plans")
+	m.regHits = r.Counter("latticed_registry_hits_total")
+	m.regMisses = r.Counter("latticed_registry_misses_total")
+	m.regCompilations = r.Counter("latticed_registry_compilations_total")
+	m.regEvictions = r.Counter("latticed_registry_evictions_total")
+	m.regErrors = r.Counter("latticed_registry_errors_total")
+	m.regDedup = r.Counter("latticed_registry_singleflight_dedup_total")
+	m.sessLive = r.Gauge("latticed_sessions_live")
+	m.sessCreated = r.Counter("latticed_sessions_created_total")
+	m.sessEvicted = r.Counter("latticed_sessions_evicted_total")
+	m.sessMutations = r.Counter("latticed_mutations_total")
+	m.sessEvents = r.Counter("latticed_mutation_events_total")
+	m.sessConfl = r.Counter("latticed_epoch_conflicts_total")
+	m.dyn = dynamic.NewMetrics(r)
+	return m
+}
+
+// Registry exposes the underlying obs registry (tests and embedders
+// that want to render or extend it).
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
+// ObserveBatch folds one engine batch into the telemetry plane without
+// going through the HTTP wrapper — for embedders (and the repository
+// benchmarks) that call QuerySlots directly but still account traffic
+// in this server's registry. It records the slots endpoint's request
+// counter and latency, the engine-phase histogram, the batch-size
+// distribution, and the plan's traffic sketch — the exact recording
+// work a served batch pays.
+func (m *Metrics) ObserveBatch(sig string, points int, engine time.Duration) {
+	tr := reqTrace{sig: sig, batch: points, engineNs: engine}
+	m.observe(epSlots, codecJSON, 200, engine, &tr)
+}
+
+// reqTrace carries one request's trace from its handler back to the
+// instrument wrapper. Pooled; zeroed at checkout.
+type reqTrace struct {
+	sig                          string
+	batch                        int
+	decodeNs, engineNs, encodeNs time.Duration
+}
+
+// observe folds one finished request into the metrics plane. It is
+// the wrapper's single recording call: counters, latency and phase
+// histograms, batch size, and plan-traffic sketch — all lock-free
+// atomic adds except the sketch (a short mutex hold, skipped when the
+// request resolved no plan).
+func (m *Metrics) observe(ep, codec, status int, total time.Duration, tr *reqTrace) {
+	m.requests[ep][codec].Inc()
+	m.latency[ep][codec].Record(uint64(total))
+	if status >= 400 {
+		m.errors[ep][codec].Inc()
+	}
+	if tr.decodeNs > 0 {
+		m.decodeNs.Record(uint64(tr.decodeNs))
+	}
+	if tr.engineNs > 0 {
+		m.engineNs.Record(uint64(tr.engineNs))
+	}
+	if tr.encodeNs > 0 {
+		m.encodeNs.Record(uint64(tr.encodeNs))
+	}
+	if tr.batch > 0 {
+		m.batchSize.Record(uint64(tr.batch))
+		if tr.sig != "" {
+			m.planTraffic.Record(tr.sig, uint64(tr.batch))
+		}
+	}
+}
+
+// slowSample reports whether a request of the given duration should
+// be handed to the slow log: configured, past the threshold, and not
+// rate-limited (one entry per slowLogMinInterval, claimed by CAS so
+// concurrent slow requests log once).
+func (m *Metrics) slowSample(total time.Duration, now int64) bool {
+	if m.slowLog == nil || m.slowThreshold <= 0 || total < m.slowThreshold {
+		return false
+	}
+	last := m.lastSlow.Load()
+	if now-last < int64(slowLogMinInterval) {
+		return false
+	}
+	return m.lastSlow.CompareAndSwap(last, now)
+}
+
+// statusRecorder captures the status a handler answered so the
+// instrument wrapper can count errors without parsing bodies. A
+// handler that writes a body without WriteHeader keeps the implicit
+// 200.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+// WriteHeader records the status and forwards it.
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps an endpoint handler with the uniform telemetry:
+// codec negotiation, status capture, end-to-end timing, and the
+// observe/slow-log calls. Handlers receive the pooled trace to fill
+// in signature, batch size, and phase times.
+func (s *Server) instrument(ep int, h func(w http.ResponseWriter, r *http.Request, tr *reqTrace)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		codec := codecJSON
+		if isBinaryRequest(r) {
+			codec = codecBin
+		}
+		tr := s.traces.Get().(*reqTrace)
+		*tr = reqTrace{}
+		sr := statusRecorder{ResponseWriter: w, status: 200}
+		start := time.Now()
+		h(&sr, r, tr)
+		total := time.Since(start)
+		s.met.observe(ep, codec, sr.status, total, tr)
+		if s.met.slowSample(total, start.Add(total).UnixNano()) {
+			s.met.slowLog(SlowRequest{
+				Endpoint:    epNames[ep],
+				Codec:       codecNames[codec],
+				Signature:   tr.sig,
+				BatchPoints: tr.batch,
+				Status:      sr.status,
+				Total:       total,
+				Decode:      tr.decodeNs,
+				Engine:      tr.engineNs,
+				Encode:      tr.encodeNs,
+			})
+		}
+		s.traces.Put(tr)
+	}
+}
+
+// Metrics returns the server's telemetry plane.
+func (s *Server) Metrics() *Metrics { return s.met }
+
+// WriteMetrics renders the server's full telemetry in Prometheus text
+// exposition format: scrape-time gauges (cached plans), every
+// registered family, then the per-plan traffic sketch. The daemon's
+// /metrics handler calls this and appends obs.WriteGoRuntime.
+func (s *Server) WriteMetrics(w io.Writer) error {
+	s.met.plans.Set(int64(s.reg.Len()))
+	if err := s.met.reg.WritePrometheus(w); err != nil {
+		return err
+	}
+	return obs.WriteTopK(w, "latticed_plan_points_total", "signature", s.met.planTraffic)
+}

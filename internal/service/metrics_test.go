@@ -1,0 +1,137 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestObserveZeroAlloc is the service layer's zero-overhead guard: the
+// instrument wrapper's entire per-request recording (request/error
+// counters, latency and phase histograms, batch size, and the warmed
+// traffic sketch) must not allocate, or instrumentation would erode
+// the engine path's 0 allocs/op contract.
+func TestObserveZeroAlloc(t *testing.T) {
+	m := newServerMetrics(ServerOptions{})
+	tr := &reqTrace{
+		sig:      "square|cross:2:1",
+		batch:    4096,
+		decodeNs: 5 * time.Microsecond,
+		engineNs: 80 * time.Microsecond,
+		encodeNs: 30 * time.Microsecond,
+	}
+	// Warm the sketch so the signature is an existing key (steady
+	// state: a serving plan's signature is tracked after its first
+	// request).
+	m.planTraffic.Record(tr.sig, 1)
+	if n := testing.AllocsPerRun(1000, func() {
+		m.observe(epSlots, codecJSON, 200, 150*time.Microsecond, tr)
+		m.observe(epSlots, codecBin, 500, 150*time.Microsecond, tr)
+	}); n != 0 {
+		t.Fatalf("observe allocates %v per run, want 0", n)
+	}
+}
+
+// TestSlowSample pins the slow-log gate: below-threshold requests
+// never sample, above-threshold ones sample at most once per
+// rate-limit interval.
+func TestSlowSample(t *testing.T) {
+	m := newServerMetrics(ServerOptions{
+		SlowThreshold: 10 * time.Millisecond,
+		SlowLog:       func(SlowRequest) {},
+	})
+	now := int64(1_000_000_000_000)
+	if m.slowSample(time.Millisecond, now) {
+		t.Fatal("fast request sampled")
+	}
+	if !m.slowSample(20*time.Millisecond, now) {
+		t.Fatal("slow request not sampled")
+	}
+	// Within the rate-limit window: suppressed.
+	if m.slowSample(20*time.Millisecond, now+int64(slowLogMinInterval)/2) {
+		t.Fatal("rate limit did not suppress")
+	}
+	// Past the window: sampled again.
+	if !m.slowSample(20*time.Millisecond, now+2*int64(slowLogMinInterval)) {
+		t.Fatal("sample after the window suppressed")
+	}
+	// Unconfigured metrics never sample.
+	off := newServerMetrics(ServerOptions{})
+	if off.slowSample(time.Hour, now) {
+		t.Fatal("unconfigured slow log sampled")
+	}
+}
+
+// TestSlowLogEndToEnd drives a real request through a server with a
+// zero-ish threshold and checks the trace carries the request's
+// identity and phase split.
+func TestSlowLogEndToEnd(t *testing.T) {
+	traces := make(chan SlowRequest, 1)
+	s := NewServer(NewRegistry(4), ServerOptions{
+		SlowThreshold: time.Nanosecond, // everything is slow
+		SlowLog: func(sr SlowRequest) {
+			select {
+			case traces <- sr:
+			default:
+			}
+		},
+	})
+	body := `{"plan":{"tile":{"name":"cross:2:1"}},"points":[[0,0],[1,2],[3,4]]}`
+	req := httptest.NewRequest("POST", "/v1/slots:batch", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("slots: %d %s", rec.Code, rec.Body)
+	}
+	select {
+	case sr := <-traces:
+		if sr.Endpoint != "slots" || sr.Codec != "json" || sr.Status != 200 {
+			t.Fatalf("trace identity %+v", sr)
+		}
+		if sr.BatchPoints != 3 || sr.Signature == "" {
+			t.Fatalf("trace payload %+v", sr)
+		}
+		if sr.Total <= 0 || sr.Engine <= 0 || sr.Decode <= 0 {
+			t.Fatalf("trace timings %+v", sr)
+		}
+	default:
+		t.Fatal("no slow trace captured")
+	}
+}
+
+// TestMetricsExposition checks WriteMetrics end-to-end at the package
+// level: served traffic shows up in the exposition with the plans
+// gauge set at scrape time.
+func TestMetricsExposition(t *testing.T) {
+	s := NewServer(NewRegistry(4), ServerOptions{})
+	body := `{"plan":{"tile":{"name":"cross:2:1"}},"points":[[0,0],[1,2]]}`
+	for i := 0; i < 3; i++ {
+		req := httptest.NewRequest("POST", "/v1/slots:batch", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("slots: %d %s", rec.Code, rec.Body)
+		}
+	}
+	var sb strings.Builder
+	if err := s.WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`latticed_requests_total{endpoint="slots",codec="json"} 3`,
+		`latticed_registry_misses_total 1`,
+		`latticed_registry_hits_total 2`,
+		`latticed_plans 1`,
+		`latticed_batch_points_count 3`,
+		`latticed_batch_points_sum 6`,
+		"# TYPE latticed_request_ns histogram",
+		`latticed_plan_points_total{signature=`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+}

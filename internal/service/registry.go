@@ -65,6 +65,7 @@ type Registry struct {
 	entries map[string]*regEntry
 	lru     *list.List // of *regEntry; front = most recently used
 	stats   RegistryStats
+	met     *Metrics // nil until a Server instruments this registry
 
 	// sigs memoizes (lattice, tile-name) → canonical signature for
 	// named tile specs, so a warm GetSpec skips materializing the tile
@@ -111,6 +112,14 @@ func (r *Registry) Get(sig string, compile CompileFunc) (*core.Plan, error) {
 	r.mu.Lock()
 	if e, ok := r.entries[sig]; ok {
 		r.stats.Hits++
+		if r.met != nil {
+			r.met.regHits.Inc()
+			// A hit on an entry not yet on the LRU joined an in-flight
+			// compilation: singleflight saved a duplicate compile.
+			if e.elem == nil {
+				r.met.regDedup.Inc()
+			}
+		}
 		if e.elem != nil {
 			r.lru.MoveToFront(e.elem)
 		}
@@ -121,6 +130,9 @@ func (r *Registry) Get(sig string, compile CompileFunc) (*core.Plan, error) {
 	e := &regEntry{sig: sig, ready: make(chan struct{})}
 	r.entries[sig] = e
 	r.stats.Misses++
+	if r.met != nil {
+		r.met.regMisses.Inc()
+	}
 	r.mu.Unlock()
 
 	plan, err := runCompile(sig, compile)
@@ -130,9 +142,15 @@ func (r *Registry) Get(sig string, compile CompileFunc) (*core.Plan, error) {
 	if err != nil {
 		// Failures are reported to waiters but not cached.
 		r.stats.Errors++
+		if r.met != nil {
+			r.met.regErrors.Inc()
+		}
 		delete(r.entries, sig)
 	} else {
 		r.stats.Compilations++
+		if r.met != nil {
+			r.met.regCompilations.Inc()
+		}
 		e.elem = r.lru.PushFront(e)
 		for r.lru.Len() > r.cap {
 			back := r.lru.Back()
@@ -140,11 +158,24 @@ func (r *Registry) Get(sig string, compile CompileFunc) (*core.Plan, error) {
 			r.lru.Remove(back)
 			delete(r.entries, ev.sig)
 			r.stats.Evictions++
+			if r.met != nil {
+				r.met.regEvictions.Inc()
+			}
 		}
 	}
 	r.mu.Unlock()
 	close(e.ready)
 	return plan, err
+}
+
+// instrument points the registry's counters at a server's metrics
+// plane (in addition to the mutex-guarded RegistryStats, which stay
+// authoritative for /healthz). A registry shared by several servers
+// reports to whichever instrumented it last.
+func (r *Registry) instrument(m *Metrics) {
+	r.mu.Lock()
+	r.met = m
+	r.mu.Unlock()
 }
 
 // runCompile invokes compile, converting a panic into an error so the
@@ -206,10 +237,19 @@ func (r *Registry) Lookup(sig string) (*core.Plan, bool) {
 	e, ok := r.entries[sig]
 	if !ok {
 		r.stats.Misses++
+		if r.met != nil {
+			r.met.regMisses.Inc()
+		}
 		r.mu.Unlock()
 		return nil, false
 	}
 	r.stats.Hits++
+	if r.met != nil {
+		r.met.regHits.Inc()
+		if e.elem == nil {
+			r.met.regDedup.Inc()
+		}
+	}
 	if e.elem != nil {
 		r.lru.MoveToFront(e.elem)
 	}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tilingsched/internal/core"
 	"tilingsched/internal/dynamic"
@@ -28,6 +29,13 @@ type ServerOptions struct {
 	// MaxSessions caps the live dynamic-deployment sessions
 	// (DefaultMaxSessions when zero).
 	MaxSessions int
+	// SlowThreshold, when positive, samples requests slower than it
+	// into SlowLog (at most one per 100ms): endpoint, codec, plan
+	// signature, batch size, and decode/engine/encode phase times.
+	SlowThreshold time.Duration
+	// SlowLog receives the sampled slow-request traces. Nil disables
+	// slow-request logging regardless of SlowThreshold.
+	SlowLog func(SlowRequest)
 }
 
 const (
@@ -55,7 +63,9 @@ type Server struct {
 	mux        *http.ServeMux
 	bufs       sync.Pool // of *queryBuf
 	binScratch sync.Pool // of *BinScratch (binary decode arenas)
+	traces     sync.Pool // of *reqTrace
 	sessions   *sessionTable
+	met        *Metrics
 
 	batchRequests  atomic.Int64
 	batchPoints    atomic.Int64
@@ -122,13 +132,16 @@ func NewServer(reg *Registry, opts ServerOptions) *Server {
 	if opts.MaxBody <= 0 {
 		opts.MaxBody = defaultMaxBody
 	}
-	s := &Server{reg: reg, opts: opts, mux: http.NewServeMux(), sessions: newSessionTable(opts.MaxSessions)}
+	s := &Server{reg: reg, opts: opts, mux: http.NewServeMux(), met: newServerMetrics(opts)}
+	s.sessions = newSessionTable(opts.MaxSessions, s.met)
+	reg.instrument(s.met)
 	s.bufs.New = func() any { return new(queryBuf) }
 	s.binScratch.New = func() any { return new(BinScratch) }
-	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
-	s.mux.HandleFunc("POST /v1/slots:batch", s.handleSlots)
-	s.mux.HandleFunc("POST /v1/maybroadcast:batch", s.handleMay)
-	s.mux.HandleFunc("POST /v1/plan:mutate", s.handleMutate)
+	s.traces.New = func() any { return new(reqTrace) }
+	s.mux.HandleFunc("POST /v1/plan", s.instrument(epPlan, s.handlePlan))
+	s.mux.HandleFunc("POST /v1/slots:batch", s.instrument(epSlots, s.handleSlots))
+	s.mux.HandleFunc("POST /v1/maybroadcast:batch", s.instrument(epMay, s.handleMay))
+	s.mux.HandleFunc("POST /v1/plan:mutate", s.instrument(epMutate, s.handleMutate))
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
 }
@@ -138,12 +151,13 @@ func NewServer(reg *Registry, opts ServerOptions) *Server {
 // batch under the session lock, and answer the post-batch epoch with the
 // slot deltas. A stale request epoch is a 409 carrying the current epoch
 // so the client can resync (re-request with "full": true).
-func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request, tr *reqTrace) {
 	if isBinaryRequest(r) {
-		s.handleMutateBin(w, r)
+		s.handleMutateBin(w, r, tr)
 		return
 	}
 	s.mutateRequests.Add(1)
+	decodeStart := time.Now()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBody))
 	if err != nil {
 		status := http.StatusBadRequest
@@ -167,6 +181,9 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	tr.sig = plan.Signature()
+	tr.batch = len(events)
+	tr.decodeNs = time.Since(decodeStart)
 	if win.Dim() != plan.Tile().Dim() {
 		writeErr(w, http.StatusBadRequest,
 			fmt.Sprintf("window dimension %d ≠ plan dimension %d", win.Dim(), plan.Tile().Dim()))
@@ -176,12 +193,16 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	if req.Epoch != nil {
 		epoch = *req.Epoch
 	}
+	engineStart := time.Now()
 	resp, status, cerr := s.mutateCore(plan, win, req.Epoch != nil, epoch, req.Full, events)
+	tr.engineNs = time.Since(engineStart)
 	if cerr != nil {
 		writeErr(w, status, cerr.Error())
 		return
 	}
+	encodeStart := time.Now()
 	writeJSON(w, status, resp)
+	tr.encodeNs = time.Since(encodeStart)
 }
 
 // mutateCore is the codec-independent mutate path shared by the JSON
@@ -263,7 +284,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		Traffic: s.Snapshot()})
 }
 
-func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request, tr *reqTrace) {
+	decodeStart := time.Now()
 	var req PlanRequest
 	if !s.decode(w, r, &req) {
 		return
@@ -272,6 +294,8 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	tr.sig = plan.Signature()
+	tr.decodeNs = time.Since(decodeStart)
 	period := plan.Tiling().Period()
 	rows := make([][]int64, period.Rows())
 	for i := range rows {
@@ -285,6 +309,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	for i, pt := range tilePts {
 		tile[i] = pt
 	}
+	encodeStart := time.Now()
 	writeJSON(w, http.StatusOK, PlanResponse{
 		Signature: plan.Signature(),
 		Lattice:   plan.Lattice().Name(),
@@ -293,13 +318,15 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		Period:    rows,
 		Tile:      tile,
 	})
+	tr.encodeNs = time.Since(encodeStart)
 }
 
-func (s *Server) handleSlots(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSlots(w http.ResponseWriter, r *http.Request, tr *reqTrace) {
 	if isBinaryRequest(r) {
-		s.handleBatchBin(w, r, false)
+		s.handleBatchBin(w, r, false, tr)
 		return
 	}
+	decodeStart := time.Now()
 	req, win, ok := s.decodeBatch(w, r)
 	if !ok {
 		return
@@ -308,28 +335,36 @@ func (s *Server) handleSlots(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	tr.sig = plan.Signature()
+	tr.decodeNs = time.Since(decodeStart)
 	buf := s.bufs.Get().(*queryBuf)
 	defer s.putBuf(buf)
+	engineStart := time.Now()
 	var err error
 	if win != nil {
 		buf.slots, err = QueryWindowSlots(plan, *win, buf.slots[:0])
 	} else {
 		buf.slots, err = QuerySlots(plan, buf.points(req.Points), buf.slots[:0])
 	}
+	tr.engineNs = time.Since(engineStart)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	s.batchRequests.Add(1)
 	s.batchPoints.Add(int64(len(buf.slots)))
+	tr.batch = len(buf.slots)
+	encodeStart := time.Now()
 	writeJSON(w, http.StatusOK, SlotsResponse{M: plan.Slots(), Slots: buf.slots})
+	tr.encodeNs = time.Since(encodeStart)
 }
 
-func (s *Server) handleMay(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleMay(w http.ResponseWriter, r *http.Request, tr *reqTrace) {
 	if isBinaryRequest(r) {
-		s.handleBatchBin(w, r, true)
+		s.handleBatchBin(w, r, true, tr)
 		return
 	}
+	decodeStart := time.Now()
 	req, win, ok := s.decodeBatch(w, r)
 	if !ok {
 		return
@@ -338,21 +373,28 @@ func (s *Server) handleMay(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	tr.sig = plan.Signature()
+	tr.decodeNs = time.Since(decodeStart)
 	buf := s.bufs.Get().(*queryBuf)
 	defer s.putBuf(buf)
+	engineStart := time.Now()
 	var err error
 	if win != nil {
 		buf.may, err = QueryWindowMayBroadcast(plan, *win, req.T, buf.may[:0])
 	} else {
 		buf.may, err = QueryMayBroadcast(plan, buf.points(req.Points), req.T, buf.may[:0])
 	}
+	tr.engineNs = time.Since(engineStart)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	s.batchRequests.Add(1)
 	s.batchPoints.Add(int64(len(buf.may)))
+	tr.batch = len(buf.may)
+	encodeStart := time.Now()
 	writeJSON(w, http.StatusOK, MayResponse{M: plan.Slots(), T: req.T, May: buf.may})
+	tr.encodeNs = time.Since(encodeStart)
 }
 
 // points adapts wire coordinates to lattice points in the pooled scratch

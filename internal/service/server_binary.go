@@ -15,6 +15,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"tilingsched/internal/core"
 	"tilingsched/internal/service/binwire"
@@ -207,7 +208,8 @@ func (st *binStream) emitMayChunk(flags []bool) bool {
 // false, may-broadcast when true): decode through the fuzzed binary
 // funnel, resolve the plan, pre-validate dimensions so the engine
 // cannot fail mid-stream, then stream head + chunk frames + end.
-func (s *Server) handleBatchBin(w http.ResponseWriter, r *http.Request, may bool) {
+func (s *Server) handleBatchBin(w http.ResponseWriter, r *http.Request, may bool, tr *reqTrace) {
+	decodeStart := time.Now()
 	buf := s.bufs.Get().(*queryBuf)
 	defer s.putBuf(buf)
 	if !s.readBin(w, r, buf) {
@@ -256,6 +258,14 @@ func (s *Server) handleBatchBin(w http.ResponseWriter, r *http.Request, may bool
 	}
 	s.batchRequests.Add(1)
 	s.batchPoints.Add(int64(total))
+	tr.sig = plan.Signature()
+	tr.batch = total
+	tr.decodeNs = time.Since(decodeStart)
+	// On the streaming path the engine and encode phases interleave
+	// chunk by chunk; the whole stream is accounted to the engine phase
+	// and encodeNs stays zero.
+	engineStart := time.Now()
+	defer func() { tr.engineNs = time.Since(engineStart) }()
 
 	e := binwire.Get()
 	defer binwire.Put(e)
@@ -308,8 +318,9 @@ func (s *Server) handleBatchBin(w http.ResponseWriter, r *http.Request, may bool
 // session core as the JSON handler and answers a MutateResult frame
 // (also on epoch conflicts, status 409, so the client sees the current
 // epoch) or an Error frame for plan/session failures.
-func (s *Server) handleMutateBin(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleMutateBin(w http.ResponseWriter, r *http.Request, tr *reqTrace) {
 	s.mutateRequests.Add(1)
+	decodeStart := time.Now()
 	buf := s.bufs.Get().(*queryBuf)
 	defer s.putBuf(buf)
 	if !s.readBin(w, r, buf) {
@@ -324,20 +335,27 @@ func (s *Server) handleMutateBin(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	tr.sig = plan.Signature()
+	tr.batch = len(req.Events)
+	tr.decodeNs = time.Since(decodeStart)
 	if req.Window.Dim() != plan.Tile().Dim() {
 		writeBinErr(w, http.StatusBadRequest,
 			fmt.Sprintf("window dimension %d ≠ plan dimension %d", req.Window.Dim(), plan.Tile().Dim()))
 		return
 	}
+	engineStart := time.Now()
 	resp, status, cerr := s.mutateCore(plan, req.Window, req.HasEpoch, req.Epoch, req.Full, req.Events)
+	tr.engineNs = time.Since(engineStart)
 	if cerr != nil {
 		writeBinErr(w, status, cerr.Error())
 		return
 	}
+	encodeStart := time.Now()
 	e := binwire.Get()
 	defer binwire.Put(e)
 	encodeMutateResponse(e, resp)
 	w.Header().Set("Content-Type", BinaryContentType)
 	w.WriteHeader(status)
 	_, _ = w.Write(e.Bytes())
+	tr.encodeNs = time.Since(encodeStart)
 }
