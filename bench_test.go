@@ -639,6 +639,49 @@ func BenchmarkDynamicMutateHTTP(b *testing.B) {
 	}
 }
 
+// BenchmarkDynamicMutateHTTPPersist is BenchmarkDynamicMutateHTTP with
+// durable sessions enabled (WAL append per batch, fsync off — the
+// -data default): the delta over the plain benchmark is the full
+// persistence overhead on the mutation hot path, pinned within 20% of
+// the PR 5 baseline by BENCH_*_wal.json.
+func BenchmarkDynamicMutateHTTPPersist(b *testing.B) {
+	svc := service.NewServer(service.NewRegistry(8), service.ServerOptions{})
+	if err := svc.EnablePersistence(service.PersistOptions{Dir: b.TempDir()}); err != nil {
+		b.Fatal(err)
+	}
+	srv := httptest.NewServer(svc)
+	defer srv.Close()
+	body, err := json.Marshal(service.MutateRequest{
+		Plan:   service.PlanSpec{Tile: service.TileSpec{Name: "cross:2:1"}},
+		Window: service.WindowSpec{Lo: []int{0, 0}, Hi: []int{99, 99}},
+		Events: []service.EventSpec{
+			{Op: "leave", P: []int{50, 50}},
+			{Op: "join", P: []int{50, 50}},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := srv.Client()
+	url := srv.URL + "/v1/plan:mutate"
+	var resp service.MutateResponse
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Changed = resp.Changed[:0]
+		if err := json.NewDecoder(r.Body).Decode(&resp); err != nil {
+			b.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK || resp.Disruption.Events != 2 {
+			b.Fatalf("status %d, disruption %+v", r.StatusCode, resp.Disruption)
+		}
+	}
+}
+
 // BenchmarkSolveTorus measures the exact-cover tiler on the 4×4 torus with
 // S and Z tetrominoes (64 solutions).
 func BenchmarkSolveTorus(b *testing.B) {

@@ -7,7 +7,15 @@
 // Usage:
 //
 //	go run ./cmd/latticed [-addr :8370] [-cache 256] [-max-batch N] [-max-window N]
-//	                      [-sessions 16] [-slow-ms 0] [-debug]
+//	                      [-sessions 16] [-slow-ms 0] [-data DIR] [-fsync] [-debug]
+//
+// With -data DIR, dynamic mutation sessions are durable (DESIGN.md
+// §12): every applied batch appends to a per-session write-ahead log,
+// snapshots bound the log, evicted sessions flush first and reload on
+// the next touch, and a restart restores every persisted session at its
+// last epoch before serving. -fsync additionally syncs the WAL per
+// batch (power-loss durability at a per-mutation fsync cost; without
+// it appends still survive process restarts).
 //
 // Endpoints:
 //
@@ -65,12 +73,15 @@ import (
 // daemonOptions are newHandler's knobs — the flag set, minus the
 // listen address.
 type daemonOptions struct {
-	cache     int // plan-cache capacity
-	maxBatch  int // points per batch / events per mutate (0 = default)
-	maxWindow int // points per window shorthand (0 = default)
-	sessions  int // live dynamic sessions (0 = default)
-	slowMs    int // slow-request log threshold in ms (0 = off)
+	cache     int    // plan-cache capacity
+	maxBatch  int    // points per batch / events per mutate (0 = default)
+	maxWindow int    // points per window shorthand (0 = default)
+	sessions  int    // live dynamic sessions (0 = default)
+	slowMs    int    // slow-request log threshold in ms (0 = off)
+	data      string // session data directory ("" = sessions not durable)
+	fsync     bool   // fsync the session WAL per mutation batch
 	debug     bool
+	logf      func(format string, args ...any) // nil = log.Printf
 }
 
 // logSlow is the daemon's slow-request sink: one structured log line
@@ -87,16 +98,46 @@ func logSlow(sr service.SlowRequest) {
 // from its knobs. Split from main so the end-to-end tests drive
 // exactly what the binary serves via httptest.
 func newHandler(o daemonOptions) http.Handler {
+	h, _, err := newDaemon(o)
+	if err != nil {
+		// Only reachable with a data directory configured and unusable.
+		log.Fatalf("latticed: %v", err)
+	}
+	return h
+}
+
+// newDaemon is newHandler plus the underlying service server (for the
+// shutdown flush and the restart tests) and the persistence setup:
+// with a data directory set, durable sessions are enabled and every
+// persisted session is restored before the handler serves traffic.
+func newDaemon(o daemonOptions) (http.Handler, *service.Server, error) {
+	logf := o.logf
+	if logf == nil {
+		logf = log.Printf
+	}
 	opts := service.ServerOptions{
 		MaxBatch:    o.maxBatch,
 		MaxWindow:   o.maxWindow,
 		MaxSessions: o.sessions,
+		Logf:        logf,
 	}
 	if o.slowMs > 0 {
 		opts.SlowThreshold = time.Duration(o.slowMs) * time.Millisecond
 		opts.SlowLog = logSlow
 	}
 	srv := service.NewServer(service.NewRegistry(o.cache), opts)
+	if o.data != "" {
+		if err := srv.EnablePersistence(service.PersistOptions{Dir: o.data, Fsync: o.fsync}); err != nil {
+			return nil, nil, err
+		}
+		n, err := srv.RestoreSessions()
+		if err != nil {
+			return nil, nil, err
+		}
+		if n > 0 {
+			logf("latticed: restored %d session(s) from %s", n, o.data)
+		}
+	}
 	mux := http.NewServeMux()
 	mux.Handle("/", srv)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -107,7 +148,7 @@ func newHandler(o daemonOptions) http.Handler {
 		_ = obs.WriteGoRuntime(w)
 	})
 	if !o.debug {
-		return mux
+		return mux, srv, nil
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -118,7 +159,7 @@ func newHandler(o daemonOptions) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(map[string]any{"latticed": srv.Snapshot()})
 	})
-	return mux
+	return mux, srv, nil
 }
 
 func main() {
@@ -128,17 +169,24 @@ func main() {
 	maxWindow := flag.Int("max-window", 0, "max points per window shorthand or session window (0 = default)")
 	sessions := flag.Int("sessions", 0, "max live dynamic deployment sessions (0 = default)")
 	slowMs := flag.Int("slow-ms", 0, "log requests slower than this many milliseconds (0 = off)")
+	data := flag.String("data", "", "session data directory: mutation sessions persist (WAL + snapshots) and survive restarts (\"\" = off)")
+	fsync := flag.Bool("fsync", false, "with -data: fsync the session WAL after every mutation batch")
 	debug := flag.Bool("debug", false, "serve /debug/pprof and /debug/vars (keep off on untrusted networks)")
 	flag.Parse()
 
-	handler := newHandler(daemonOptions{
+	handler, svc, err := newDaemon(daemonOptions{
 		cache:     *cache,
 		maxBatch:  *maxBatch,
 		maxWindow: *maxWindow,
 		sessions:  *sessions,
 		slowMs:    *slowMs,
+		data:      *data,
+		fsync:     *fsync,
 		debug:     *debug,
 	})
+	if err != nil {
+		log.Fatalf("latticed: %v", err)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
@@ -150,7 +198,9 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	shutdownDone := make(chan struct{})
 	go func() {
+		defer close(shutdownDone)
 		<-ctx.Done()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
@@ -160,6 +210,13 @@ func main() {
 	log.Printf("latticed: serving on %s (plan cache %d)", *addr, *cache)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("latticed: %v", err)
+	}
+	// ErrServerClosed means Shutdown ran: wait for in-flight requests to
+	// drain, then checkpoint every dirty session so a restart over the
+	// same data directory replays nothing.
+	<-shutdownDone
+	if n := svc.FlushSessions(); n > 0 {
+		log.Printf("latticed: flushed %d dirty session(s) to %s", n, *data)
 	}
 	log.Printf("latticed: shut down")
 }

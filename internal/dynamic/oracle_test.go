@@ -407,6 +407,128 @@ func TestOraclePeriodicMoveHeavy(t *testing.T) {
 	})
 }
 
+// assignmentMap collects a mutator's live assignment as key→slot.
+func assignmentMap(m *Mutator) map[string]int {
+	out := map[string]int{}
+	m.EachAssignment(func(p lattice.Point, slot int) bool {
+		out[p.Key()] = slot
+		return true
+	})
+	return out
+}
+
+// requireStateIdentical asserts two mutators describe the same
+// deployment: identical live point sets with identical slots, and
+// identical adjacency over every live pair — the restore contract of
+// the service layer's snapshot persistence.
+func requireStateIdentical(t *testing.T, label string, want, got *Mutator) {
+	t.Helper()
+	wa, ga := assignmentMap(want), assignmentMap(got)
+	if len(wa) != len(ga) {
+		t.Fatalf("%s: %d live sensors, want %d", label, len(ga), len(wa))
+	}
+	for k, slot := range wa {
+		if ga[k] != slot {
+			t.Fatalf("%s: slot of %s = %d, want %d", label, k, ga[k], slot)
+		}
+	}
+	// Edge parity over live pairs, through each overlay's own ids.
+	var pts []lattice.Point
+	want.EachAssignment(func(p lattice.Point, _ int) bool {
+		pts = append(pts, p.Clone())
+		return true
+	})
+	wantID := func(p lattice.Point) int { v, _ := want.ov.IndexOf(p); return v }
+	gotID := func(p lattice.Point) int { v, _ := got.ov.IndexOf(p); return v }
+	for i, p := range pts {
+		for _, q := range pts[i+1:] {
+			we := want.ov.HasEdge(wantID(p), wantID(q))
+			ge := got.ov.HasEdge(gotID(p), gotID(q))
+			if we != ge {
+				t.Fatalf("%s: edge parity %v–%v: got %v, want %v", label, p, q, ge, we)
+			}
+		}
+	}
+}
+
+// TestOracleStateRoundTrip is the persist/restore leg of the oracle: a
+// churned mutator's State must rebuild — via NewMutatorFromState, the
+// path session snapshots restore through — into a mutator that is
+// slot- and edge-identical to the original, verifies, matches the
+// from-scratch oracle rebuild, and stays oracle-valid under further
+// churn.
+func TestOracleStateRoundTrip(t *testing.T) {
+	tile := prototile.Cross(2, 1)
+	dep := schedule.NewHomogeneous(tile)
+	lt, ok := tiling.FindLatticeTiling(tile)
+	if !ok {
+		t.Fatal("no tiling for cross")
+	}
+	plan := schedule.FromLatticeTiling(lt)
+	w, err := lattice.BoxWindow(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		opts := Options{Residues: tiling.IdentityResidues(2)}
+		m, err := NewMutator(dep, w, plan, opts)
+		if err != nil {
+			t.Fatalf("NewMutator: %v", err)
+		}
+		rng := rand.New(rand.NewSource(5000 + seed))
+		driveStream(t, m, dep, poolWindow(t, w, 2), 60, rng, 12)
+
+		st := m.State()
+		restored, err := NewMutatorFromState(dep, st, opts)
+		if err != nil {
+			t.Fatalf("NewMutatorFromState: %v", err)
+		}
+		requireStateIdentical(t, fmt.Sprintf("seed %d", seed), m, restored)
+		if err := restored.Verify(); err != nil {
+			t.Fatalf("restored mutator invalid: %v", err)
+		}
+		oracleCheck(t, restored, dep)
+
+		// A checkpoint is a value: churning the original must not leak
+		// into the captured state or the restored twin.
+		before := assignmentMap(restored)
+		driveStream(t, m, dep, poolWindow(t, w, 2), 10, rng, 12)
+		if len(assignmentMap(restored)) != len(before) {
+			t.Fatal("churning the source mutated the restored twin")
+		}
+
+		// And the restored twin must hold up under its own churn.
+		driveStream(t, restored, dep, poolWindow(t, restored.State().Window, 2), 40, rng, 12)
+	}
+
+	// Empty-deployment checkpoint: capture after everything leaves,
+	// restore, rejoin.
+	m, err := NewMutator(dep, w, plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []Event
+	for _, p := range w.Points() {
+		evs = append(evs, Event{Kind: Leave, P: p})
+	}
+	if _, _, err := m.Apply(evs); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewMutatorFromState(dep, m.State(), Options{})
+	if err != nil {
+		t.Fatalf("restore of empty deployment: %v", err)
+	}
+	if restored.AliveCount() != 0 {
+		t.Fatalf("empty restore has %d live sensors", restored.AliveCount())
+	}
+	if _, _, err := restored.Apply([]Event{{Kind: Join, P: lattice.Pt(1, 1)}}); err != nil {
+		t.Fatalf("rejoin after empty restore: %v", err)
+	}
+	if err := restored.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestOracleManyStreams fuzzes wider: several seeds over a Moore
 // deployment with default options, ensuring no stream ever diverges.
 func TestOracleManyStreams(t *testing.T) {

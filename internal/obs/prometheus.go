@@ -54,9 +54,16 @@ func EscapeLabel(v string) string {
 }
 
 // promSeries is one rendered series line (name with labels + value).
+// group and le are the sort key: series order within a family is
+// (group, le, name), so a histogram's `_bucket` series — which share a
+// group (the series name sans le label) — sort by numeric le ascending
+// with +Inf (le = MaxUint64) last, as OpenMetrics requires, instead of
+// lexicographically ("+Inf" < "1023" < "127" in byte order).
 type promSeries struct {
 	name  string
 	value string
+	group string
+	le    uint64
 }
 
 // promFamily groups the series of one family under its TYPE.
@@ -79,13 +86,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 // core of WritePrometheus).
 func writeSnapshot(w io.Writer, s Snapshot) error {
 	fams := map[string]*promFamily{}
-	add := func(fam, kind, series, value string) {
+	addBucket := func(fam, kind, series, value, group string, le uint64) {
 		f, ok := fams[fam]
 		if !ok {
 			f = &promFamily{name: fam, kind: kind}
 			fams[fam] = f
 		}
-		f.series = append(f.series, promSeries{name: series, value: value})
+		f.series = append(f.series, promSeries{name: series, value: value, group: group, le: le})
+	}
+	add := func(fam, kind, series, value string) {
+		addBucket(fam, kind, series, value, series, 0)
 	}
 	for name, v := range s.Counters {
 		fam, labels := family(name)
@@ -111,12 +121,13 @@ func writeSnapshot(w io.Writer, s Snapshot) error {
 			if h.Buckets[i] == 0 && i > 0 {
 				continue // empty interior buckets add nothing cumulative
 			}
-			le := strconv.FormatUint(BucketUpper(i), 10)
-			add(fam, "histogram", fam+"_bucket"+joinLabels(labels, `le="`+le+`"`),
-				strconv.FormatUint(cum, 10))
+			le := BucketUpper(i)
+			addBucket(fam, "histogram",
+				fam+"_bucket"+joinLabels(labels, `le="`+strconv.FormatUint(le, 10)+`"`),
+				strconv.FormatUint(cum, 10), fam+"_bucket"+joinLabels(labels, ""), le)
 		}
-		add(fam, "histogram", fam+"_bucket"+joinLabels(labels, `le="+Inf"`),
-			strconv.FormatUint(total, 10))
+		addBucket(fam, "histogram", fam+"_bucket"+joinLabels(labels, `le="+Inf"`),
+			strconv.FormatUint(total, 10), fam+"_bucket"+joinLabels(labels, ""), ^uint64(0))
 		add(fam, "histogram", fam+"_sum"+joinLabels(labels, ""), strconv.FormatUint(h.Sum, 10))
 		add(fam, "histogram", fam+"_count"+joinLabels(labels, ""), strconv.FormatUint(h.Count, 10))
 	}
@@ -131,7 +142,16 @@ func writeSnapshot(w io.Writer, s Snapshot) error {
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
 			return err
 		}
-		sort.Slice(f.series, func(i, j int) bool { return f.series[i].name < f.series[j].name })
+		sort.Slice(f.series, func(i, j int) bool {
+			a, b := f.series[i], f.series[j]
+			if a.group != b.group {
+				return a.group < b.group
+			}
+			if a.le != b.le {
+				return a.le < b.le
+			}
+			return a.name < b.name
+		})
 		for _, s := range f.series {
 			if _, err := fmt.Fprintf(w, "%s %s\n", s.name, s.value); err != nil {
 				return err

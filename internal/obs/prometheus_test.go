@@ -106,6 +106,70 @@ func TestWritePrometheus(t *testing.T) {
 	}
 }
 
+// TestBucketOrder pins the OpenMetrics bucket-ordering contract at the
+// byte level: within one histogram's series, `_bucket` lines appear in
+// numeric le order with +Inf last. Lexicographic name sorting — the old
+// behavior — would emit `+Inf` first and `1023` before `127`.
+func TestBucketOrder(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(`lat_ns{endpoint="slots"}`)
+	h.Record(100)   // le 127
+	h.Record(1000)  // le 1023
+	h.Record(10000) // le 16383
+	// A second label set in the same family must stay contiguous, with
+	// its own buckets independently ordered.
+	h2 := r.Histogram(`lat_ns{endpoint="mutate"}`)
+	h2.Record(100)
+	h2.Record(1000)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+
+	for _, group := range [][]string{
+		{
+			`lat_ns_bucket{endpoint="slots",le="127"}`,
+			`lat_ns_bucket{endpoint="slots",le="1023"}`,
+			`lat_ns_bucket{endpoint="slots",le="16383"}`,
+			`lat_ns_bucket{endpoint="slots",le="+Inf"}`,
+		},
+		{
+			`lat_ns_bucket{endpoint="mutate",le="127"}`,
+			`lat_ns_bucket{endpoint="mutate",le="1023"}`,
+			`lat_ns_bucket{endpoint="mutate",le="+Inf"}`,
+		},
+	} {
+		prev := -1
+		for _, series := range group {
+			idx := strings.Index(text, series+" ")
+			if idx < 0 {
+				t.Fatalf("series %s missing:\n%s", series, text)
+			}
+			if idx < prev {
+				t.Fatalf("series %s out of numeric le order:\n%s", series, text)
+			}
+			prev = idx
+		}
+	}
+
+	// Contiguity: between a label set's first bucket and its +Inf there
+	// must be no line from another label set.
+	first := strings.Index(text, `lat_ns_bucket{endpoint="mutate",le="127"}`)
+	last := strings.Index(text, `lat_ns_bucket{endpoint="mutate",le="+Inf"}`)
+	if strings.Contains(text[first:last], `endpoint="slots"`) {
+		t.Fatalf("bucket groups interleaved:\n%s", text)
+	}
+
+	// Parseability and cumulative values survive the reordering.
+	values, _ := parseExposition(t, text)
+	if values[`lat_ns_bucket{endpoint="slots",le="16383"}`] != 3 ||
+		values[`lat_ns_bucket{endpoint="slots",le="+Inf"}`] != 3 {
+		t.Fatalf("cumulative values wrong: %v", values)
+	}
+}
+
 func TestWriteTopK(t *testing.T) {
 	tk := NewTopK(4)
 	tk.Record(`sig"with\quotes`, 9)

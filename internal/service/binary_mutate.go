@@ -106,10 +106,7 @@ func DecodeBinaryMutate(data []byte, lim Limits) (BinMutate, error) {
 	// must stay within MutateMargin of the session window.
 	dim := req.Window.Dim()
 	bound := lattice.Window{Lo: req.Window.Lo.Clone(), Hi: req.Window.Hi.Clone()}
-	for a := range bound.Lo {
-		bound.Lo[a] -= MutateMargin
-		bound.Hi[a] += MutateMargin
-	}
+	growMargin(bound)
 	readPoint := func() lattice.Point {
 		p := make(lattice.Point, dim)
 		for a := 0; a < dim; a++ {

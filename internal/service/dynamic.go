@@ -18,6 +18,7 @@ import (
 	"container/list"
 	"encoding/json"
 	"fmt"
+	"math"
 	"sync"
 
 	"tilingsched/internal/core"
@@ -35,9 +36,15 @@ const DefaultMaxSessions = 16
 type SessionStats struct {
 	// Sessions is the number of live sessions.
 	Sessions int `json:"sessions"`
-	// Created and Evicted count session lifecycle events.
-	Created int64 `json:"created"`
-	Evicted int64 `json:"evicted"`
+	// Created and Evicted count session lifecycle events; EvictedDirty
+	// is the subset of evictions that discarded (or, with persistence
+	// on, flushed) churn state — sessions past epoch 0.
+	Created      int64 `json:"created"`
+	Evicted      int64 `json:"evicted"`
+	EvictedDirty int64 `json:"evicted_dirty"`
+	// Restored counts sessions rebuilt from the data directory
+	// (restore-on-miss and restore-on-start).
+	Restored int64 `json:"restored"`
 	// Mutations counts applied mutate batches, Events the individual
 	// deployment events inside them.
 	Mutations int64 `json:"mutations"`
@@ -55,6 +62,14 @@ type sessionTable struct {
 	lru     *list.List // of *dynSession
 	stats   SessionStats
 	met     *Metrics // nil in tests that build a bare table
+
+	// store, when non-nil, makes sessions durable (DESIGN.md §12):
+	// lookups restore evicted sessions from disk, evictions flush dirty
+	// ones first. Set by Server.EnablePersistence before traffic.
+	store *SessionStore
+	// logf receives operational log lines (dirty evictions, persistence
+	// recoveries); nil discards them.
+	logf func(format string, args ...any)
 }
 
 // dynSession is one mutable deployment.
@@ -65,6 +80,9 @@ type dynSession struct {
 	mu    sync.Mutex
 	mut   *dynamic.Mutator
 	epoch uint64
+	// disk is the session's WAL handle when persistence is on; nil once
+	// the session is evicted (appends stop, the on-disk flush stands).
+	disk *sessionDisk
 }
 
 func newSessionTable(capacity int, met *Metrics) *sessionTable {
@@ -82,7 +100,9 @@ func newSessionTable(capacity int, met *Metrics) *sessionTable {
 // get returns the session for (plan, window), creating it on first use:
 // the mutator is seeded with the plan's Theorem 1 schedule over an
 // implicit periodic base graph, so creation costs O(window) slot lookups
-// and a stencil build, never an explicit edge materialization.
+// and a stencil build, never an explicit edge materialization. With
+// persistence on, a session that was evicted (or predates this process)
+// restores from its snapshot + WAL instead of reseeding at epoch 0.
 func (st *sessionTable) get(plan *core.Plan, w lattice.Window) (*dynSession, error) {
 	key := plan.Signature() + "|" + w.String()
 	st.mu.Lock()
@@ -95,26 +115,51 @@ func (st *sessionTable) get(plan *core.Plan, w lattice.Window) (*dynSession, err
 	// Build outside the table lock (the costly part), then publish;
 	// concurrent first requests may both build, and the first to publish
 	// wins (later builds are discarded) — both candidates are identical
-	// epoch-0 states, and keeping the published one preserves any
-	// mutations already applied to it.
+	// states, and keeping the published one preserves any mutations
+	// already applied to it.
 	opts := dynamic.Options{Residues: tiling.IdentityResidues(w.Dim())}
 	if st.met != nil {
 		opts.Metrics = st.met.dyn
 	}
-	mut, err := dynamic.NewMutator(plan.Deployment(), w, plan.Schedule(), opts)
-	if err != nil {
-		return nil, err
+	var (
+		mut   *dynamic.Mutator
+		disk  *sessionDisk
+		epoch uint64
+		err   error
+	)
+	if st.store != nil {
+		disk, mut, epoch, err = st.store.open(plan, w, opts)
+		if err != nil {
+			return nil, err
+		}
 	}
-	s := &dynSession{key: key, mut: mut}
+	restored := mut != nil
+	if mut == nil {
+		mut, err = dynamic.NewMutator(plan.Deployment(), w, plan.Schedule(), opts)
+		if err != nil {
+			if disk != nil {
+				disk.close()
+			}
+			return nil, err
+		}
+	}
+	s := &dynSession{key: key, mut: mut, epoch: epoch, disk: disk}
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	if prev, ok := st.entries[key]; ok {
 		st.lru.MoveToFront(prev.elem)
+		st.mu.Unlock()
+		if disk != nil {
+			disk.close()
+		}
 		return prev, nil
 	}
 	s.elem = st.lru.PushFront(s)
 	st.entries[key] = s
 	st.stats.Created++
+	if restored {
+		st.stats.Restored++
+	}
+	var evicted []*dynSession
 	for st.lru.Len() > st.cap {
 		back := st.lru.Back()
 		ev := back.Value.(*dynSession)
@@ -124,12 +169,86 @@ func (st *sessionTable) get(plan *core.Plan, w lattice.Window) (*dynSession, err
 		if st.met != nil {
 			st.met.sessEvicted.Inc()
 		}
+		evicted = append(evicted, ev)
 	}
 	if st.met != nil {
 		st.met.sessCreated.Inc()
+		if restored {
+			st.met.sessRestored.Inc()
+		}
 		st.met.sessLive.Set(int64(st.lru.Len()))
 	}
+	st.mu.Unlock()
+	// Dirty-eviction bookkeeping (and the disk flush) needs the evicted
+	// session's lock, which must never be taken under the table lock —
+	// mutateCore holds session-then-table (via record), so the reverse
+	// order would deadlock.
+	for _, ev := range evicted {
+		st.finishEvict(ev)
+	}
 	return s, nil
+}
+
+// finishEvict completes an eviction outside the table lock: a dirty
+// session (epoch > 0) is counted and logged, and — with persistence on —
+// flushed to a snapshot before its WAL handle is released. Taking the
+// session lock first means an in-flight mutate on the evicted session
+// finishes (and lands in the flush) before the handle goes away.
+func (st *sessionTable) finishEvict(s *dynSession) {
+	s.mu.Lock()
+	dirty := s.epoch > 0
+	epoch := s.epoch
+	if s.disk != nil {
+		if dirty {
+			if err := s.disk.snapshot(s.mut, s.epoch); err != nil {
+				st.logfSafe("latticed: flushing evicted session %s: %v", s.key, err)
+			}
+		}
+		s.disk.close()
+		s.disk = nil
+	}
+	s.mu.Unlock()
+	if dirty {
+		st.mu.Lock()
+		st.stats.EvictedDirty++
+		st.mu.Unlock()
+		if st.met != nil {
+			st.met.sessEvictedDirty.Inc()
+		}
+		st.logfSafe("latticed: evicted dirty session %s at epoch %d", s.key, epoch)
+	}
+}
+
+// flushAll snapshots every live dirty session to the data directory
+// (graceful shutdown); sessions stay live and keep their WAL handles.
+// Returns the number of sessions flushed.
+func (st *sessionTable) flushAll() int {
+	st.mu.Lock()
+	live := make([]*dynSession, 0, st.lru.Len())
+	for e := st.lru.Front(); e != nil; e = e.Next() {
+		live = append(live, e.Value.(*dynSession))
+	}
+	st.mu.Unlock()
+	n := 0
+	for _, s := range live {
+		s.mu.Lock()
+		if s.disk != nil && s.epoch > 0 {
+			if err := s.disk.snapshot(s.mut, s.epoch); err != nil {
+				st.logfSafe("latticed: flushing session %s: %v", s.key, err)
+			} else {
+				n++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// logfSafe logs through the table's sink when one is configured.
+func (st *sessionTable) logfSafe(format string, args ...any) {
+	if st.logf != nil {
+		st.logf(format, args...)
+	}
 }
 
 // snapshot returns the stats under the table lock.
@@ -259,10 +378,7 @@ func DecodeMutateRequest(data []byte, lim Limits) (MutateRequest, lattice.Window
 	bound := win
 	bound.Lo = win.Lo.Clone()
 	bound.Hi = win.Hi.Clone()
-	for a := range bound.Lo {
-		bound.Lo[a] -= MutateMargin
-		bound.Hi[a] += MutateMargin
-	}
+	growMargin(bound)
 	events := make([]dynamic.Event, len(req.Events))
 	dim := win.Dim()
 	for i, es := range req.Events {
@@ -285,6 +401,29 @@ func DecodeMutateRequest(data []byte, lim Limits) (MutateRequest, lattice.Window
 // and with it compaction cost and per-sensor table sizes — regardless of
 // event content.
 const MutateMargin = 32
+
+// growMargin widens a window (whose corners the caller owns) by
+// MutateMargin per axis with saturating arithmetic: a window corner
+// within MutateMargin of the int extremes clamps instead of wrapping,
+// which would invert the bound and misclassify every event.
+func growMargin(bound lattice.Window) {
+	for a := range bound.Lo {
+		bound.Lo[a] = satAdd(bound.Lo[a], -MutateMargin)
+		bound.Hi[a] = satAdd(bound.Hi[a], MutateMargin)
+	}
+}
+
+// satAdd returns a+b clamped to the int range instead of wrapping.
+func satAdd(a, b int) int {
+	s := a + b
+	if b > 0 && s < a {
+		return math.MaxInt
+	}
+	if b < 0 && s > a {
+		return math.MinInt
+	}
+	return s
+}
 
 // event validates and converts one wire event.
 func (es EventSpec) event(dim int) (dynamic.Event, error) {

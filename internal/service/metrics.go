@@ -102,7 +102,15 @@ type Metrics struct {
 	// Dynamic-session traffic.
 	sessLive                             *obs.Gauge
 	sessCreated, sessEvicted             *obs.Counter
+	sessEvictedDirty, sessRestored       *obs.Counter
 	sessMutations, sessEvents, sessConfl *obs.Counter
+
+	// Session-persistence plane (DESIGN.md §12): WAL appends and their
+	// wall time, per-record fsyncs, snapshot writes, events replayed on
+	// restore, and torn-tail (or corrupt-file) recoveries.
+	walAppends, walFsyncs, snapshots    *obs.Counter
+	tornTails, replayedEvents           *obs.Counter
+	walAppendNs, walFsyncNs, snapshotNs *obs.Histogram
 
 	// Dyn is the dynamic-subsystem telemetry, registered in the same
 	// registry and passed to every session's Mutator.
@@ -146,9 +154,19 @@ func newServerMetrics(opts ServerOptions) *Metrics {
 	m.sessLive = r.Gauge("latticed_sessions_live")
 	m.sessCreated = r.Counter("latticed_sessions_created_total")
 	m.sessEvicted = r.Counter("latticed_sessions_evicted_total")
+	m.sessEvictedDirty = r.Counter("latticed_sessions_evicted_dirty_total")
+	m.sessRestored = r.Counter("latticed_sessions_restored_total")
 	m.sessMutations = r.Counter("latticed_mutations_total")
 	m.sessEvents = r.Counter("latticed_mutation_events_total")
 	m.sessConfl = r.Counter("latticed_epoch_conflicts_total")
+	m.walAppends = r.Counter("latticed_wal_appends_total")
+	m.walFsyncs = r.Counter("latticed_wal_fsyncs_total")
+	m.snapshots = r.Counter("latticed_snapshots_total")
+	m.tornTails = r.Counter("latticed_wal_torn_tails_total")
+	m.replayedEvents = r.Counter("latticed_wal_replayed_events_total")
+	m.walAppendNs = r.Histogram("latticed_wal_append_ns")
+	m.walFsyncNs = r.Histogram("latticed_wal_fsync_ns")
+	m.snapshotNs = r.Histogram("latticed_snapshot_ns")
 	m.dyn = dynamic.NewMetrics(r)
 	return m
 }

@@ -1,0 +1,827 @@
+package service
+
+// Session persistence (DESIGN.md §12): dynamic mutation sessions are
+// the one piece of serving state that cannot be recomputed — the paper's
+// schedules are compile-once, but a session's churn history (joins,
+// departures, moves) exists only in the mutation stream. This file makes
+// that stream durable with a per-session append-only WAL plus periodic
+// snapshots, both framed by binwire:
+//
+//	<id>.wal    header frame (identity, base epoch) followed by one
+//	            record frame per applied mutation batch: the post-batch
+//	            epoch stamp and the applied events, CRC-guarded.
+//	<id>.snap   one frame holding the identity plus a dynamic.State
+//	            (bounding window, slot table with tombstones) at a
+//	            snapshot epoch, CRC-guarded, written via tmp + rename.
+//
+// <id> is a hash of the session key (plan signature + window), and both
+// headers carry the full identity — lattice name, tile points, window —
+// so restore-on-start can recompile the plan from the file alone.
+//
+// Crash-safety invariants:
+//
+//   - Appends are sequential writes of whole frames; a crash can only
+//     tear the final record. Replay detects the torn tail (truncated
+//     frame or CRC mismatch), truncates the file back to the last good
+//     record, and counts the recovery.
+//   - Snapshots are written to a temp file, fsynced, and renamed before
+//     the WAL is reset, so every point in time has either the old
+//     (snapshot, log) pair or the new one.
+//   - Replay is idempotent: records whose epoch is at or below the
+//     restored epoch are skipped, so a crash between the snapshot
+//     rename and the WAL reset double-applies nothing.
+//   - Epochs re-derive from the files: the session resumes at the
+//     snapshot epoch plus one per replayed record.
+//
+// Fsync policy: snapshot writes always sync before rename; WAL appends
+// sync per record only when PersistOptions.Fsync is set (the default
+// trusts the OS page cache, surviving process restarts but not power
+// loss — see DESIGN.md §12 for the trade).
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"tilingsched/internal/core"
+	"tilingsched/internal/dynamic"
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/service/binwire"
+)
+
+// PersistOptions configures session persistence (Server.EnablePersistence).
+type PersistOptions struct {
+	// Dir is the data directory; one WAL (and at most one snapshot) per
+	// session lives under it. Created if missing.
+	Dir string
+	// Fsync syncs the WAL after every appended record. Off, appends
+	// still reach the file immediately (restart-safe) but a power loss
+	// can drop the unsynced suffix; snapshots sync regardless.
+	Fsync bool
+	// SnapshotEvery is the number of logged events after which the
+	// session is snapshotted and its WAL truncated. 0 selects
+	// DefaultSnapshotEvery; negative disables periodic snapshots
+	// (eviction and FlushSessions still write them).
+	SnapshotEvery int
+}
+
+// DefaultSnapshotEvery is the WAL growth bound: after this many logged
+// events a snapshot replaces the log, keeping replay O(SnapshotEvery)
+// instead of O(session lifetime).
+const DefaultSnapshotEvery = 4096
+
+// persistVersion is the on-disk format version, bumped on any frame
+// grammar change.
+const persistVersion = 1
+
+// Persistence frame types (disjoint from the wire protocol's for
+// clarity; the files never share a stream with HTTP frames).
+const (
+	framePersistSnap      byte = 0x60
+	framePersistWALHeader byte = 0x61
+	framePersistWALRecord byte = 0x62
+)
+
+// maxWALRecordEvents bounds the event count a single WAL record may
+// declare, so a corrupt length cannot size a huge allocation during
+// replay.
+const maxWALRecordEvents = 1 << 20
+
+// SessionStore owns a data directory of per-session WAL + snapshot
+// pairs. One store serves one sessionTable; all per-session file I/O
+// happens under that session's mutex, so the store itself needs no
+// locking.
+type SessionStore struct {
+	dir       string
+	fsync     bool
+	snapEvery int
+	met       *Metrics // nil in bare tests
+	logf      func(format string, args ...any)
+}
+
+// newSessionStore validates the options and creates the directory.
+func newSessionStore(o PersistOptions, met *Metrics, logf func(string, ...any)) (*SessionStore, error) {
+	if o.Dir == "" {
+		return nil, fmt.Errorf("%w: persistence requires a data directory", ErrSpec)
+	}
+	if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: creating data dir: %w", err)
+	}
+	st := &SessionStore{dir: o.Dir, fsync: o.Fsync, snapEvery: o.SnapshotEvery, met: met, logf: logf}
+	if st.snapEvery == 0 {
+		st.snapEvery = DefaultSnapshotEvery
+	}
+	return st, nil
+}
+
+// logfSafe logs through the store's sink when one is configured.
+func (st *SessionStore) logfSafe(format string, args ...any) {
+	if st.logf != nil {
+		st.logf(format, args...)
+	}
+}
+
+// sessIdent is the on-disk identity of a session: enough to recompile
+// its plan (lattice name + canonical tile points) and re-key it
+// (signature + declared window).
+type sessIdent struct {
+	sig  string
+	lat  string
+	tile []lattice.Point
+	win  lattice.Window
+}
+
+// identOf derives the identity from a live (plan, window) pair.
+func identOf(plan *core.Plan, w lattice.Window) sessIdent {
+	return sessIdent{
+		sig:  plan.Signature(),
+		lat:  plan.Lattice().Name(),
+		tile: plan.Tile().Points(),
+		win:  w,
+	}
+}
+
+// sessionFileID maps a session key to its filename stem: a truncated
+// SHA-256, so arbitrary signatures and windows stay filesystem-safe.
+func sessionFileID(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:16])
+}
+
+// paths returns the snapshot and WAL paths of a session id.
+func (st *SessionStore) paths(id string) (snap, wal string) {
+	return filepath.Join(st.dir, id+".snap"), filepath.Join(st.dir, id+".wal")
+}
+
+// --- Frame encoding -------------------------------------------------------
+
+// beginCRCFrame opens a frame and reserves its 4-byte CRC slot,
+// returning the slot's offset for endCRCFrame. The frame must be the
+// buffer's last content when closed.
+func beginCRCFrame(e *binwire.Buffer, typ byte) int {
+	e.BeginFrame(typ)
+	off := e.Len()
+	e.Raw([]byte{0, 0, 0, 0})
+	return off
+}
+
+// endCRCFrame closes the frame and fills the CRC of everything after
+// the slot.
+func endCRCFrame(e *binwire.Buffer, off int) {
+	e.EndFrame()
+	b := e.Bytes()
+	binary.LittleEndian.PutUint32(b[off:], crc32.ChecksumIEEE(b[off+4:]))
+}
+
+// crcBody verifies a CRC-guarded payload and returns a reader over the
+// guarded bytes.
+func crcBody(r *binwire.Reader) (binwire.Reader, error) {
+	head := r.Bytes(4)
+	if head == nil {
+		return binwire.Reader{}, fmt.Errorf("%w: payload too short for CRC", binwire.ErrMalformed)
+	}
+	want := binary.LittleEndian.Uint32(head)
+	rest := r.Bytes(r.Remaining())
+	if crc32.ChecksumIEEE(rest) != want {
+		return binwire.Reader{}, fmt.Errorf("%w: CRC mismatch", binwire.ErrMalformed)
+	}
+	return binwire.NewReader(rest), nil
+}
+
+// encodeIdent appends the identity fields.
+func encodeIdent(e *binwire.Buffer, id sessIdent) {
+	e.String(id.sig)
+	e.String(id.lat)
+	dim := id.win.Dim()
+	e.Uvarint(uint64(dim))
+	e.Uvarint(uint64(len(id.tile)))
+	for _, pt := range id.tile {
+		for a := 0; a < dim; a++ {
+			e.Varint(int64(pt[a]))
+		}
+	}
+	for a := 0; a < dim; a++ {
+		e.Varint(int64(id.win.Lo[a]))
+	}
+	for a := 0; a < dim; a++ {
+		e.Varint(int64(id.win.Hi[a]))
+	}
+}
+
+// decodeIdent reads the identity fields with the wire-level bounds.
+func decodeIdent(r *binwire.Reader) (sessIdent, error) {
+	var id sessIdent
+	id.sig = r.String(1 << 12)
+	id.lat = r.String(64)
+	dim := r.Count(maxTileDim, "identity dimension")
+	tileN := r.Count(maxTilePoints, "identity tile size")
+	if err := r.Err(); err != nil {
+		return sessIdent{}, err
+	}
+	if dim < 1 {
+		return sessIdent{}, fmt.Errorf("%w: identity dimension 0", binwire.ErrMalformed)
+	}
+	id.tile = make([]lattice.Point, tileN)
+	for i := range id.tile {
+		p := make(lattice.Point, dim)
+		for a := 0; a < dim; a++ {
+			p[a] = int(r.Varint())
+		}
+		id.tile[i] = p
+	}
+	lo := make(lattice.Point, dim)
+	hi := make(lattice.Point, dim)
+	for a := 0; a < dim; a++ {
+		lo[a] = int(r.Varint())
+	}
+	for a := 0; a < dim; a++ {
+		hi[a] = int(r.Varint())
+	}
+	if err := r.Err(); err != nil {
+		return sessIdent{}, err
+	}
+	w, err := lattice.NewWindow(lo, hi)
+	if err != nil {
+		return sessIdent{}, fmt.Errorf("%w: identity window: %v", binwire.ErrMalformed, err)
+	}
+	id.win = w
+	return id, nil
+}
+
+// encodeSnapshot builds the complete snapshot file contents.
+func encodeSnapshot(e *binwire.Buffer, id sessIdent, epoch uint64, st dynamic.State) {
+	off := beginCRCFrame(e, framePersistSnap)
+	e.Uvarint(persistVersion)
+	encodeIdent(e, id)
+	e.Uvarint(epoch)
+	e.Uvarint(uint64(st.Palette))
+	e.Uvarint(uint64(st.Budget))
+	dim := id.win.Dim()
+	for a := 0; a < dim; a++ {
+		e.Varint(int64(st.Window.Lo[a]))
+	}
+	for a := 0; a < dim; a++ {
+		e.Varint(int64(st.Window.Hi[a]))
+	}
+	e.Uvarint(uint64(len(st.Slots)))
+	for _, s := range st.Slots {
+		e.Varint(int64(s))
+	}
+	endCRCFrame(e, off)
+}
+
+// decodeSnapshot parses a snapshot file.
+func decodeSnapshot(data []byte) (sessIdent, uint64, dynamic.State, error) {
+	stream := binwire.NewReader(data)
+	typ, payload := stream.Frame()
+	if err := stream.Err(); err != nil {
+		return sessIdent{}, 0, dynamic.State{}, err
+	}
+	if typ != framePersistSnap {
+		return sessIdent{}, 0, dynamic.State{}, fmt.Errorf("%w: frame %#x is not a snapshot", binwire.ErrMalformed, typ)
+	}
+	r, err := crcBody(&payload)
+	if err != nil {
+		return sessIdent{}, 0, dynamic.State{}, err
+	}
+	if v := r.Uvarint(); v != persistVersion {
+		if r.Err() == nil {
+			return sessIdent{}, 0, dynamic.State{}, fmt.Errorf("%w: snapshot version %d", binwire.ErrMalformed, v)
+		}
+		return sessIdent{}, 0, dynamic.State{}, r.Err()
+	}
+	id, err := decodeIdent(&r)
+	if err != nil {
+		return sessIdent{}, 0, dynamic.State{}, err
+	}
+	epoch := r.Uvarint()
+	var st dynamic.State
+	st.Palette = r.Count(1<<31-1, "palette")
+	st.Budget = r.Count(1<<31-1, "budget")
+	dim := id.win.Dim()
+	lo := make(lattice.Point, dim)
+	hi := make(lattice.Point, dim)
+	for a := 0; a < dim; a++ {
+		lo[a] = int(r.Varint())
+	}
+	for a := 0; a < dim; a++ {
+		hi[a] = int(r.Varint())
+	}
+	if err := r.Err(); err != nil {
+		return sessIdent{}, 0, dynamic.State{}, err
+	}
+	w, err := lattice.NewWindow(lo, hi)
+	if err != nil {
+		return sessIdent{}, 0, dynamic.State{}, fmt.Errorf("%w: state window: %v", binwire.ErrMalformed, err)
+	}
+	st.Window = w
+	size, err := w.SizeChecked()
+	if err != nil {
+		return sessIdent{}, 0, dynamic.State{}, fmt.Errorf("%w: state window: %v", binwire.ErrMalformed, err)
+	}
+	n := r.Count(size, "slot count")
+	if r.Err() == nil && n != size {
+		return sessIdent{}, 0, dynamic.State{}, fmt.Errorf("%w: %d slots for a %d-point window", binwire.ErrMalformed, n, size)
+	}
+	st.Slots = make([]int32, n)
+	for i := range st.Slots {
+		st.Slots[i] = int32(r.Varint())
+	}
+	r.Done()
+	if err := r.Err(); err != nil {
+		return sessIdent{}, 0, dynamic.State{}, err
+	}
+	return id, epoch, st, nil
+}
+
+// encodeWALHeader builds the WAL's opening frame.
+func encodeWALHeader(e *binwire.Buffer, id sessIdent, baseEpoch uint64) {
+	off := beginCRCFrame(e, framePersistWALHeader)
+	e.Uvarint(persistVersion)
+	encodeIdent(e, id)
+	e.Uvarint(baseEpoch)
+	endCRCFrame(e, off)
+}
+
+// decodeWALHeader parses the WAL's opening frame payload.
+func decodeWALHeader(payload *binwire.Reader) (sessIdent, uint64, error) {
+	r, err := crcBody(payload)
+	if err != nil {
+		return sessIdent{}, 0, err
+	}
+	if v := r.Uvarint(); v != persistVersion {
+		if r.Err() == nil {
+			return sessIdent{}, 0, fmt.Errorf("%w: WAL version %d", binwire.ErrMalformed, v)
+		}
+		return sessIdent{}, 0, r.Err()
+	}
+	id, err := decodeIdent(&r)
+	if err != nil {
+		return sessIdent{}, 0, err
+	}
+	base := r.Uvarint()
+	r.Done()
+	if err := r.Err(); err != nil {
+		return sessIdent{}, 0, err
+	}
+	return id, base, nil
+}
+
+// encodeWALRecord builds one record frame: the post-batch epoch stamp
+// plus the applied events.
+func encodeWALRecord(e *binwire.Buffer, dim int, epoch uint64, events []dynamic.Event) {
+	off := beginCRCFrame(e, framePersistWALRecord)
+	e.Uvarint(epoch)
+	e.Uvarint(uint64(len(events)))
+	for _, ev := range events {
+		e.Byte(byte(ev.Kind))
+		for a := 0; a < dim; a++ {
+			e.Varint(int64(ev.P[a]))
+		}
+		if ev.Kind == dynamic.Move {
+			for a := 0; a < dim; a++ {
+				e.Varint(int64(ev.To[a]))
+			}
+		}
+	}
+	endCRCFrame(e, off)
+}
+
+// decodeWALRecord parses one record frame payload.
+func decodeWALRecord(payload *binwire.Reader, dim int) (uint64, []dynamic.Event, error) {
+	r, err := crcBody(payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	epoch := r.Uvarint()
+	n := r.Count(maxWALRecordEvents, "record events")
+	if err := r.Err(); err != nil {
+		return 0, nil, err
+	}
+	events := make([]dynamic.Event, 0, n)
+	readPoint := func() lattice.Point {
+		p := make(lattice.Point, dim)
+		for a := 0; a < dim; a++ {
+			p[a] = int(r.Varint())
+		}
+		return p
+	}
+	for i := 0; i < n; i++ {
+		kind := dynamic.EventKind(r.Byte())
+		ev := dynamic.Event{Kind: kind, P: readPoint()}
+		switch kind {
+		case dynamic.Join, dynamic.Leave, dynamic.Fail:
+		case dynamic.Move:
+			ev.To = readPoint()
+		default:
+			if r.Err() != nil {
+				return 0, nil, r.Err()
+			}
+			return 0, nil, fmt.Errorf("%w: record event %d has unknown kind %d", binwire.ErrMalformed, i, kind)
+		}
+		if r.Err() != nil {
+			return 0, nil, r.Err()
+		}
+		events = append(events, ev)
+	}
+	r.Done()
+	if err := r.Err(); err != nil {
+		return 0, nil, err
+	}
+	return epoch, events, nil
+}
+
+// --- Per-session disk state -----------------------------------------------
+
+// sessionDisk is one session's durable face: the open WAL plus the
+// bookkeeping that decides when to snapshot. All methods run under the
+// owning session's mutex.
+type sessionDisk struct {
+	store     *SessionStore
+	ident     sessIdent
+	id        string
+	wal       *os.File
+	walEvents int // events logged since the last snapshot
+}
+
+// append logs one applied batch: the post-batch epoch and the applied
+// event prefix, as a single CRC-guarded frame, fsynced per the store's
+// policy.
+func (d *sessionDisk) append(epoch uint64, events []dynamic.Event) error {
+	start := time.Now()
+	e := binwire.Get()
+	defer binwire.Put(e)
+	encodeWALRecord(e, d.ident.win.Dim(), epoch, events)
+	if _, err := d.wal.Write(e.Bytes()); err != nil {
+		return fmt.Errorf("service: WAL append: %w", err)
+	}
+	d.walEvents += len(events)
+	if m := d.store.met; m != nil {
+		m.walAppends.Inc()
+		m.walAppendNs.Record(uint64(time.Since(start)))
+	}
+	if d.store.fsync {
+		syncStart := time.Now()
+		if err := d.wal.Sync(); err != nil {
+			return fmt.Errorf("service: WAL fsync: %w", err)
+		}
+		if m := d.store.met; m != nil {
+			m.walFsyncs.Inc()
+			m.walFsyncNs.Record(uint64(time.Since(syncStart)))
+		}
+	}
+	return nil
+}
+
+// shouldSnapshot reports whether the WAL has outgrown the snapshot
+// threshold.
+func (d *sessionDisk) shouldSnapshot() bool {
+	return d.store.snapEvery > 0 && d.walEvents >= d.store.snapEvery
+}
+
+// snapshot checkpoints the mutator: the state is written to a temp
+// file, fsynced, renamed over the snapshot path, and only then is the
+// WAL reset to an empty log based at the snapshot epoch. A crash
+// between the two steps leaves stale WAL records, which replay skips by
+// epoch (idempotence).
+func (d *sessionDisk) snapshot(mut *dynamic.Mutator, epoch uint64) error {
+	start := time.Now()
+	snapPath, walPath := d.store.paths(d.id)
+	e := binwire.Get()
+	defer binwire.Put(e)
+	encodeSnapshot(e, d.ident, epoch, mut.State())
+	if err := writeFileSync(snapPath, e.Bytes()); err != nil {
+		return fmt.Errorf("service: writing snapshot: %w", err)
+	}
+	e.Reset()
+	encodeWALHeader(e, d.ident, epoch)
+	fresh, err := replaceFileSync(walPath, e.Bytes())
+	if err != nil {
+		return fmt.Errorf("service: resetting WAL: %w", err)
+	}
+	_ = d.wal.Close()
+	d.wal = fresh
+	d.walEvents = 0
+	if m := d.store.met; m != nil {
+		m.snapshots.Inc()
+		m.snapshotNs.Record(uint64(time.Since(start)))
+	}
+	return nil
+}
+
+// close releases the WAL handle (eviction, shutdown).
+func (d *sessionDisk) close() {
+	if d.wal != nil {
+		_ = d.wal.Close()
+		d.wal = nil
+	}
+}
+
+// writeFileSync writes data to path atomically: temp file, fsync,
+// rename.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// replaceFileSync atomically replaces path with data and returns an
+// open handle positioned at its end, ready for appends.
+func replaceFileSync(path string, data []byte) (*os.File, error) {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return nil, err
+	}
+	tmp := f.Name()
+	fail := func(err error) (*os.File, error) {
+		f.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
+	if _, err := f.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fail(err)
+	}
+	return f, nil
+}
+
+// --- Open / restore -------------------------------------------------------
+
+// open attaches a session to its on-disk state. When a snapshot or WAL
+// exists, the session is restored — snapshot state first, then every
+// WAL record above the restored epoch replayed through the normal Apply
+// path — and the returned mutator is non-nil with the re-derived epoch.
+// When nothing (usable) is on disk, the returned mutator is nil and the
+// caller seeds a fresh session; either way the returned disk handle is
+// ready for appends. Corrupt tails and unreadable files are recovered
+// (truncate / recreate) and counted, never fatal; only real I/O errors
+// fail the open.
+func (st *SessionStore) open(plan *core.Plan, w lattice.Window, dopts dynamic.Options) (*sessionDisk, *dynamic.Mutator, uint64, error) {
+	ident := identOf(plan, w)
+	id := sessionFileID(ident.sig + "|" + w.String())
+	snapPath, walPath := st.paths(id)
+	d := &sessionDisk{store: st, ident: ident, id: id}
+
+	var mut *dynamic.Mutator
+	var epoch uint64
+	if data, err := os.ReadFile(snapPath); err == nil {
+		sid, sepoch, state, derr := decodeSnapshot(data)
+		if derr == nil && sid.sig == ident.sig {
+			mut, derr = dynamic.NewMutatorFromState(plan.Deployment(), state, dopts)
+			if derr == nil {
+				epoch = sepoch
+			}
+		}
+		if derr != nil || mut == nil {
+			st.logfSafe("latticed: dropping corrupt snapshot %s: %v", snapPath, derr)
+			if m := st.met; m != nil {
+				m.tornTails.Inc()
+			}
+			os.Remove(snapPath)
+			mut, epoch = nil, 0
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, nil, 0, fmt.Errorf("service: reading snapshot: %w", err)
+	}
+
+	walData, walErr := os.ReadFile(walPath)
+	switch {
+	case walErr == nil:
+		seeded := mut != nil
+		replayed, rmut, repoch, rerr := st.replay(plan, w, dopts, mut, epoch, walPath, walData)
+		if rerr != nil {
+			return nil, nil, 0, rerr
+		}
+		mut, epoch = rmut, repoch
+		// A WAL with no snapshot and no replayable records describes a
+		// session that never mutated: treat it as fresh so the caller
+		// seeds it (identical state, cheaper path).
+		if !seeded && replayed == 0 && mut != nil && epoch == 0 {
+			mut = nil
+		}
+		if d.wal, walErr = os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644); walErr != nil {
+			return nil, nil, 0, fmt.Errorf("service: opening WAL: %w", walErr)
+		}
+	case os.IsNotExist(walErr):
+		// Fresh WAL based at the restored epoch (0 for a new session).
+		e := binwire.Get()
+		encodeWALHeader(e, ident, epoch)
+		f, err := replaceFileSync(walPath, e.Bytes())
+		binwire.Put(e)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("service: creating WAL: %w", err)
+		}
+		d.wal = f
+	default:
+		return nil, nil, 0, fmt.Errorf("service: reading WAL: %w", walErr)
+	}
+	return d, mut, epoch, nil
+}
+
+// replay applies a WAL's records on top of the given state (nil mut:
+// seed from the plan schedule first). It truncates any torn tail and
+// returns the number of events replayed plus the final mutator and
+// epoch.
+func (st *SessionStore) replay(plan *core.Plan, w lattice.Window, dopts dynamic.Options, mut *dynamic.Mutator, epoch uint64, walPath string, data []byte) (int, *dynamic.Mutator, uint64, error) {
+	r := binwire.NewReader(data)
+	typ, payload := r.Frame()
+	if r.Err() != nil || typ != framePersistWALHeader {
+		// Unusable header: the log carries nothing recoverable. Reset it.
+		st.logfSafe("latticed: resetting WAL with corrupt header %s", walPath)
+		if m := st.met; m != nil {
+			m.tornTails.Inc()
+		}
+		e := binwire.Get()
+		defer binwire.Put(e)
+		encodeWALHeader(e, identOf(plan, w), epoch)
+		if f, err := replaceFileSync(walPath, e.Bytes()); err == nil {
+			f.Close()
+		} else {
+			return 0, nil, 0, fmt.Errorf("service: resetting WAL: %w", err)
+		}
+		return 0, mut, epoch, nil
+	}
+	if _, _, err := decodeWALHeader(&payload); err != nil {
+		st.logfSafe("latticed: resetting WAL with corrupt header %s: %v", walPath, err)
+		if m := st.met; m != nil {
+			m.tornTails.Inc()
+		}
+		e := binwire.Get()
+		defer binwire.Put(e)
+		encodeWALHeader(e, identOf(plan, w), epoch)
+		if f, err := replaceFileSync(walPath, e.Bytes()); err == nil {
+			f.Close()
+		} else {
+			return 0, nil, 0, fmt.Errorf("service: resetting WAL: %w", err)
+		}
+		return 0, mut, epoch, nil
+	}
+
+	dim := w.Dim()
+	replayed := 0
+	torn := false
+	good := len(data) - r.Remaining()
+	for r.Remaining() > 0 {
+		typ, payload := r.Frame()
+		if r.Err() != nil {
+			torn = true
+			break
+		}
+		if typ != framePersistWALRecord {
+			// Unknown frame type: skip (forward compatibility).
+			good = len(data) - r.Remaining()
+			continue
+		}
+		recEpoch, events, derr := decodeWALRecord(&payload, dim)
+		if derr != nil {
+			torn = true
+			break
+		}
+		if recEpoch > epoch {
+			if mut == nil {
+				var err error
+				mut, err = seedMutator(plan, w, dopts)
+				if err != nil {
+					return 0, nil, 0, err
+				}
+			}
+			if _, _, aerr := mut.Apply(events); aerr != nil {
+				// A logged batch that no longer applies means the prefix
+				// up to here is the usable log; drop the rest.
+				st.logfSafe("latticed: WAL %s: replay stopped at epoch %d: %v", walPath, recEpoch, aerr)
+				torn = true
+				break
+			}
+			epoch = recEpoch
+			replayed += len(events)
+		}
+		good = len(data) - r.Remaining()
+	}
+	if torn {
+		st.logfSafe("latticed: WAL %s: torn tail detected, truncating %d trailing bytes",
+			walPath, len(data)-good)
+		if m := st.met; m != nil {
+			m.tornTails.Inc()
+		}
+		if err := os.Truncate(walPath, int64(good)); err != nil {
+			return 0, nil, 0, fmt.Errorf("service: truncating torn WAL: %w", err)
+		}
+	}
+	if m := st.met; m != nil && replayed > 0 {
+		m.replayedEvents.Add(uint64(replayed))
+	}
+	return replayed, mut, epoch, nil
+}
+
+// seedMutator builds the epoch-0 session state: the plan's Theorem 1
+// schedule over the declared window (shared by sessionTable.get and
+// replay).
+func seedMutator(plan *core.Plan, w lattice.Window, dopts dynamic.Options) (*dynamic.Mutator, error) {
+	return dynamic.NewMutator(plan.Deployment(), w, plan.Schedule(), dopts)
+}
+
+// list scans the data directory and returns the identity of every
+// persisted session, oldest first (so restoring in order leaves the
+// most recently touched sessions at the front of the LRU).
+func (st *SessionStore) list() ([]sessIdent, error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, fmt.Errorf("service: reading data dir: %w", err)
+	}
+	type cand struct {
+		ident sessIdent
+		mtime time.Time
+	}
+	byID := map[string]*cand{}
+	add := func(stem string, ident sessIdent, mtime time.Time) {
+		c, ok := byID[stem]
+		if !ok {
+			byID[stem] = &cand{ident: ident, mtime: mtime}
+			return
+		}
+		if mtime.After(c.mtime) {
+			c.mtime = mtime
+		}
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		info, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		switch {
+		case filepath.Ext(name) == ".snap":
+			data, err := os.ReadFile(filepath.Join(st.dir, name))
+			if err != nil {
+				continue
+			}
+			ident, _, _, derr := decodeSnapshot(data)
+			if derr != nil {
+				st.logfSafe("latticed: skipping unreadable snapshot %s: %v", name, derr)
+				continue
+			}
+			add(name[:len(name)-len(".snap")], ident, info.ModTime())
+		case filepath.Ext(name) == ".wal":
+			data, err := os.ReadFile(filepath.Join(st.dir, name))
+			if err != nil {
+				continue
+			}
+			r := binwire.NewReader(data)
+			typ, payload := r.Frame()
+			if r.Err() != nil || typ != framePersistWALHeader {
+				st.logfSafe("latticed: skipping WAL with unreadable header %s", name)
+				continue
+			}
+			ident, _, derr := decodeWALHeader(&payload)
+			if derr != nil {
+				st.logfSafe("latticed: skipping WAL with unreadable header %s: %v", name, derr)
+				continue
+			}
+			add(name[:len(name)-len(".wal")], ident, info.ModTime())
+		}
+	}
+	out := make([]sessIdent, 0, len(byID))
+	stems := make([]string, 0, len(byID))
+	for stem := range byID {
+		stems = append(stems, stem)
+	}
+	sort.Slice(stems, func(i, j int) bool {
+		a, b := byID[stems[i]], byID[stems[j]]
+		if !a.mtime.Equal(b.mtime) {
+			return a.mtime.Before(b.mtime)
+		}
+		return stems[i] < stems[j]
+	})
+	for _, stem := range stems {
+		out = append(out, byID[stem].ident)
+	}
+	return out, nil
+}

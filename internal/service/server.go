@@ -36,6 +36,9 @@ type ServerOptions struct {
 	// SlowLog receives the sampled slow-request traces. Nil disables
 	// slow-request logging regardless of SlowThreshold.
 	SlowLog func(SlowRequest)
+	// Logf, when non-nil, receives operational log lines (dirty session
+	// evictions, persistence recoveries). Daemons wire it to log.Printf.
+	Logf func(format string, args ...any)
 }
 
 const (
@@ -134,6 +137,7 @@ func NewServer(reg *Registry, opts ServerOptions) *Server {
 	}
 	s := &Server{reg: reg, opts: opts, mux: http.NewServeMux(), met: newServerMetrics(opts)}
 	s.sessions = newSessionTable(opts.MaxSessions, s.met)
+	s.sessions.logf = opts.Logf
 	reg.instrument(s.met)
 	s.bufs.New = func() any { return new(queryBuf) }
 	s.binScratch.New = func() any { return new(BinScratch) }
@@ -144,6 +148,68 @@ func NewServer(reg *Registry, opts ServerOptions) *Server {
 	s.mux.HandleFunc("POST /v1/plan:mutate", s.instrument(epMutate, s.handleMutate))
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
+}
+
+// EnablePersistence turns on durable sessions (DESIGN.md §12): every
+// mutation batch appends to a per-session WAL under o.Dir, snapshots
+// bound the log, evicted sessions flush-then-restore instead of losing
+// churn, and RestoreSessions reloads the directory on start. Call it
+// before the server handles traffic (the store pointer is read without
+// synchronization on the session path).
+func (s *Server) EnablePersistence(o PersistOptions) error {
+	store, err := newSessionStore(o, s.met, s.opts.Logf)
+	if err != nil {
+		return err
+	}
+	s.sessions.store = store
+	return nil
+}
+
+// FlushSessions snapshots every dirty live session to the data
+// directory and returns the number flushed — the graceful-shutdown
+// hook. A no-op (returning 0) without persistence.
+func (s *Server) FlushSessions() int {
+	return s.sessions.flushAll()
+}
+
+// RestoreSessions reloads every session persisted in the data directory
+// (restore-on-start): each on-disk identity recompiles its plan through
+// the registry and re-enters the table via the normal restore path,
+// oldest first so the most recently written sessions end up at the LRU
+// front. An identity whose plan no longer compiles to the recorded
+// signature is skipped with a log line, never fatal. Returns the number
+// restored; without persistence it is a no-op.
+func (s *Server) RestoreSessions() (int, error) {
+	st := s.sessions
+	if st.store == nil {
+		return 0, nil
+	}
+	idents, err := st.store.list()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, id := range idents {
+		tile := make([][]int, len(id.tile))
+		for i, pt := range id.tile {
+			tile[i] = pt
+		}
+		plan, err := s.reg.GetSpec(PlanSpec{Lattice: id.lat, Tile: TileSpec{Points: tile}})
+		if err != nil {
+			st.logfSafe("latticed: restore: compiling plan for %s: %v", id.sig, err)
+			continue
+		}
+		if plan.Signature() != id.sig {
+			st.logfSafe("latticed: restore: plan %s compiled to signature %s, skipping", id.sig, plan.Signature())
+			continue
+		}
+		if _, err := st.get(plan, id.win); err != nil {
+			st.logfSafe("latticed: restore: session %s|%s: %v", id.sig, id.win, err)
+			continue
+		}
+		n++
+	}
+	return n, nil
 }
 
 // handleMutate churns a dynamic deployment session: resolve the plan,
@@ -239,6 +305,24 @@ func (s *Server) mutateCore(plan *core.Plan, win lattice.Window, hasEpoch bool, 
 		if d.Events > 0 {
 			sess.epoch++
 			s.sessions.record(d.Events)
+			if sess.disk != nil {
+				// Log the applied prefix (Apply stops at the first bad
+				// event, so events[:d.Events] is exactly what changed
+				// state) stamped with the post-batch epoch. An append
+				// failure drops durability for this session — with a log
+				// line — rather than serving errors: the last flushed
+				// state stands, and replaying a WAL with a hole would
+				// corrupt, so the handle is closed for good.
+				if perr := sess.disk.append(sess.epoch, events[:d.Events]); perr != nil {
+					s.sessions.logfSafe("latticed: session %s: %v (persistence disabled for this session)", sess.key, perr)
+					sess.disk.close()
+					sess.disk = nil
+				} else if sess.disk.shouldSnapshot() {
+					if perr := sess.disk.snapshot(sess.mut, sess.epoch); perr != nil {
+						s.sessions.logfSafe("latticed: session %s: %v", sess.key, perr)
+					}
+				}
+			}
 		}
 		resp.Disruption = DisruptionSpec{
 			Events:      d.Events,

@@ -3,6 +3,11 @@
 # Extra arguments are forwarded to cmd/bench, e.g.:
 #
 #   scripts/bench.sh -bench 'SlotAssignment|SimulatorSlot|DSATUR' -count 5
+#
+# The session-persistence overhead baseline (WAL append + the durable
+# mutate path vs the plain one, fsync off) is pinned by:
+#
+#   scripts/bench.sh -bench 'DynamicMutateHTTP|WALAppend' -pkg ./... -out "BENCH_$(date +%F)_wal.json"
 set -euo pipefail
 cd "$(dirname "$0")/.."
 go run ./cmd/bench "$@"
