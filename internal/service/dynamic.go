@@ -55,6 +55,16 @@ type SessionStats struct {
 
 // sessionTable is the LRU of live dynamic sessions. Lookup and eviction
 // hold the table lock; event application holds only the session lock.
+//
+// Persistence makes per-key ordering load-bearing: a session's on-disk
+// WAL and snapshot are renamed over by first-open, periodic snapshots,
+// and eviction flushes, so two goroutines touching the same key's files
+// concurrently can strand a live O_APPEND handle on an unlinked inode —
+// silently discarding every subsequent append. The table therefore
+// serializes the full per-key file lifecycle: `building` single-flights
+// the first open (concurrent misses wait instead of racing duplicate
+// opens), and `evicting` is a barrier a re-open waits on until the
+// eviction flush has closed the old handle and finished its renames.
 type sessionTable struct {
 	mu      sync.Mutex
 	cap     int
@@ -62,6 +72,13 @@ type sessionTable struct {
 	lru     *list.List // of *dynSession
 	stats   SessionStats
 	met     *Metrics // nil in tests that build a bare table
+
+	// building holds one channel per key whose first build/open is in
+	// flight; concurrent misses wait on it. evicting holds one channel
+	// per key whose eviction flush is in flight; a re-open waits on it.
+	// Both are closed (and removed) when the owning operation finishes.
+	building map[string]chan struct{}
+	evicting map[string]chan struct{}
 
 	// store, when non-nil, makes sessions durable (DESIGN.md §12):
 	// lookups restore evicted sessions from disk, evictions flush dirty
@@ -83,6 +100,11 @@ type dynSession struct {
 	// disk is the session's WAL handle when persistence is on; nil once
 	// the session is evicted (appends stop, the on-disk flush stands).
 	disk *sessionDisk
+	// gone marks the session evicted: its flush has run (or is running)
+	// and the table no longer knows it. A handler holding a stale pointer
+	// must re-get instead of mutating an unreachable — and, with
+	// persistence on, no-longer-durable — ghost.
+	gone bool
 }
 
 func newSessionTable(capacity int, met *Metrics) *sessionTable {
@@ -90,10 +112,12 @@ func newSessionTable(capacity int, met *Metrics) *sessionTable {
 		capacity = DefaultMaxSessions
 	}
 	return &sessionTable{
-		cap:     capacity,
-		entries: make(map[string]*dynSession),
-		lru:     list.New(),
-		met:     met,
+		cap:      capacity,
+		entries:  make(map[string]*dynSession),
+		lru:      list.New(),
+		met:      met,
+		building: make(map[string]chan struct{}),
+		evicting: make(map[string]chan struct{}),
 	}
 }
 
@@ -105,18 +129,45 @@ func newSessionTable(capacity int, met *Metrics) *sessionTable {
 // restores from its snapshot + WAL instead of reseeding at epoch 0.
 func (st *sessionTable) get(plan *core.Plan, w lattice.Window) (*dynSession, error) {
 	key := plan.Signature() + "|" + w.String()
-	st.mu.Lock()
-	if s, ok := st.entries[key]; ok {
-		st.lru.MoveToFront(s.elem)
+	var build chan struct{}
+	for {
+		st.mu.Lock()
+		if s, ok := st.entries[key]; ok {
+			st.lru.MoveToFront(s.elem)
+			st.mu.Unlock()
+			return s, nil
+		}
+		// A pending eviction flush or an in-flight first build owns this
+		// key's on-disk state (snapshot + WAL renames, the old handle);
+		// wait for it to finish rather than racing its renames with our
+		// open, which could leave the published session appending to an
+		// unlinked inode.
+		if ch, ok := st.evicting[key]; ok {
+			st.mu.Unlock()
+			<-ch
+			continue
+		}
+		if ch, ok := st.building[key]; ok {
+			st.mu.Unlock()
+			<-ch
+			continue
+		}
+		build = make(chan struct{})
+		st.building[key] = build
 		st.mu.Unlock()
-		return s, nil
+		break
 	}
-	st.mu.Unlock()
-	// Build outside the table lock (the costly part), then publish;
-	// concurrent first requests may both build, and the first to publish
-	// wins (later builds are discarded) — both candidates are identical
-	// states, and keeping the published one preserves any mutations
-	// already applied to it.
+	// Build outside the table lock (the costly part): this goroutine is
+	// the key's sole builder — concurrent misses wait on the build
+	// channel and then find the published session — so the disk open,
+	// restore, and fresh-WAL creation never run twice for one key.
+	fail := func(err error) (*dynSession, error) {
+		st.mu.Lock()
+		delete(st.building, key)
+		st.mu.Unlock()
+		close(build)
+		return nil, err
+	}
 	opts := dynamic.Options{Residues: tiling.IdentityResidues(w.Dim())}
 	if st.met != nil {
 		opts.Metrics = st.met.dyn
@@ -130,7 +181,7 @@ func (st *sessionTable) get(plan *core.Plan, w lattice.Window) (*dynSession, err
 	if st.store != nil {
 		disk, mut, epoch, err = st.store.open(plan, w, opts)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 	}
 	restored := mut != nil
@@ -140,19 +191,12 @@ func (st *sessionTable) get(plan *core.Plan, w lattice.Window) (*dynSession, err
 			if disk != nil {
 				disk.close()
 			}
-			return nil, err
+			return fail(err)
 		}
 	}
 	s := &dynSession{key: key, mut: mut, epoch: epoch, disk: disk}
 	st.mu.Lock()
-	if prev, ok := st.entries[key]; ok {
-		st.lru.MoveToFront(prev.elem)
-		st.mu.Unlock()
-		if disk != nil {
-			disk.close()
-		}
-		return prev, nil
-	}
+	delete(st.building, key)
 	s.elem = st.lru.PushFront(s)
 	st.entries[key] = s
 	st.stats.Created++
@@ -169,6 +213,10 @@ func (st *sessionTable) get(plan *core.Plan, w lattice.Window) (*dynSession, err
 		if st.met != nil {
 			st.met.sessEvicted.Inc()
 		}
+		// The eviction barrier goes up in the same critical section that
+		// removes the key, so a miss for it can never slip between
+		// removal and the flush.
+		st.evicting[ev.key] = make(chan struct{})
 		evicted = append(evicted, ev)
 	}
 	if st.met != nil {
@@ -179,6 +227,7 @@ func (st *sessionTable) get(plan *core.Plan, w lattice.Window) (*dynSession, err
 		st.met.sessLive.Set(int64(st.lru.Len()))
 	}
 	st.mu.Unlock()
+	close(build)
 	// Dirty-eviction bookkeeping (and the disk flush) needs the evicted
 	// session's lock, which must never be taken under the table lock —
 	// mutateCore holds session-then-table (via record), so the reverse
@@ -193,9 +242,13 @@ func (st *sessionTable) get(plan *core.Plan, w lattice.Window) (*dynSession, err
 // session (epoch > 0) is counted and logged, and — with persistence on —
 // flushed to a snapshot before its WAL handle is released. Taking the
 // session lock first means an in-flight mutate on the evicted session
-// finishes (and lands in the flush) before the handle goes away.
+// finishes (and lands in the flush) before the handle goes away; marking
+// the session gone sends later stale-pointer mutates back through get.
+// Only then does the eviction barrier come down, so a re-open for the
+// key reads the flushed files with no live handle left behind.
 func (st *sessionTable) finishEvict(s *dynSession) {
 	s.mu.Lock()
+	s.gone = true
 	dirty := s.epoch > 0
 	epoch := s.epoch
 	if s.disk != nil {
@@ -208,10 +261,17 @@ func (st *sessionTable) finishEvict(s *dynSession) {
 		s.disk = nil
 	}
 	s.mu.Unlock()
+	st.mu.Lock()
 	if dirty {
-		st.mu.Lock()
 		st.stats.EvictedDirty++
-		st.mu.Unlock()
+	}
+	ch := st.evicting[s.key]
+	delete(st.evicting, s.key)
+	st.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+	if dirty {
 		if st.met != nil {
 			st.met.sessEvictedDirty.Inc()
 		}

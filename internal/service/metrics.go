@@ -107,9 +107,12 @@ type Metrics struct {
 
 	// Session-persistence plane (DESIGN.md §12): WAL appends and their
 	// wall time, per-record fsyncs, snapshot writes, events replayed on
-	// restore, and torn-tail (or corrupt-file) recoveries.
+	// restore, and the three recovery modes kept distinct — torn WAL
+	// tails truncated, corrupt snapshots dropped, and unusable WALs
+	// (corrupt header or a base epoch past the restored state) reset.
 	walAppends, walFsyncs, snapshots    *obs.Counter
-	tornTails, replayedEvents           *obs.Counter
+	tornTails, snapsDropped, walResets  *obs.Counter
+	replayedEvents                      *obs.Counter
 	walAppendNs, walFsyncNs, snapshotNs *obs.Histogram
 
 	// Dyn is the dynamic-subsystem telemetry, registered in the same
@@ -163,6 +166,8 @@ func newServerMetrics(opts ServerOptions) *Metrics {
 	m.walFsyncs = r.Counter("latticed_wal_fsyncs_total")
 	m.snapshots = r.Counter("latticed_snapshots_total")
 	m.tornTails = r.Counter("latticed_wal_torn_tails_total")
+	m.snapsDropped = r.Counter("latticed_snapshots_dropped_total")
+	m.walResets = r.Counter("latticed_wal_resets_total")
 	m.replayedEvents = r.Counter("latticed_wal_replayed_events_total")
 	m.walAppendNs = r.Histogram("latticed_wal_append_ns")
 	m.walFsyncNs = r.Histogram("latticed_wal_fsync_ns")

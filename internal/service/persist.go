@@ -30,13 +30,21 @@ package service
 //   - Replay is idempotent: records whose epoch is at or below the
 //     restored epoch are skipped, so a crash between the snapshot
 //     rename and the WAL reset double-applies nothing.
+//   - Replay honors the WAL's base epoch: a log based past the state
+//     actually restored (snapshot lost, corrupt, or rolled back) is
+//     unrecoverable — its suffix would replay onto the wrong base — so
+//     it is reset to the restored state instead of fabricating an
+//     assignment.
 //   - Epochs re-derive from the files: the session resumes at the
 //     snapshot epoch plus one per replayed record.
 //
-// Fsync policy: snapshot writes always sync before rename; WAL appends
-// sync per record only when PersistOptions.Fsync is set (the default
-// trusts the OS page cache, surviving process restarts but not power
-// loss — see DESIGN.md §12 for the trade).
+// Fsync policy: snapshot writes always sync before rename, and every
+// rename is followed by an fsync of the data directory (a rename whose
+// directory entry is not synced can be lost — or reordered against the
+// WAL reset — on power loss, silently rolling the pair back). WAL
+// appends sync per record only when PersistOptions.Fsync is set (the
+// default trusts the OS page cache, surviving process restarts but not
+// power loss — see DESIGN.md §12 for the trade).
 
 import (
 	"crypto/sha256"
@@ -94,9 +102,11 @@ const (
 const maxWALRecordEvents = 1 << 20
 
 // SessionStore owns a data directory of per-session WAL + snapshot
-// pairs. One store serves one sessionTable; all per-session file I/O
-// happens under that session's mutex, so the store itself needs no
-// locking.
+// pairs. One store serves one sessionTable, which serializes all of a
+// key's file I/O: a live session's appends and snapshots run under its
+// mutex, open runs only for the table's single-flighted builder, and a
+// re-open waits out the key's eviction flush (sessionTable.building /
+// .evicting) — so the store itself needs no locking.
 type SessionStore struct {
 	dir       string
 	fsync     bool
@@ -404,7 +414,15 @@ func decodeWALRecord(payload *binwire.Reader, dim int) (uint64, []dynamic.Event,
 	if err := r.Err(); err != nil {
 		return 0, nil, err
 	}
-	events := make([]dynamic.Event, 0, n)
+	// Pre-allocate only what the payload could actually hold — one kind
+	// byte plus at least one varint byte per coordinate — so a corrupt
+	// count cannot size a huge allocation before the first event byte is
+	// read (the static cap alone still admits ~50 MB of Event headers).
+	capHint := n
+	if most := r.Remaining() / (1 + dim); capHint > most {
+		capHint = most
+	}
+	events := make([]dynamic.Event, 0, capHint)
 	readPoint := func() lattice.Point {
 		p := make(lattice.Point, dim)
 		for a := 0; a < dim; a++ {
@@ -545,7 +563,27 @@ func writeFileSync(path string, data []byte) error {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(path)
+}
+
+// syncDir fsyncs the directory containing path, making a preceding
+// rename durable: file-level fsyncs order the data, but only a
+// directory sync pins the rename itself, and an unpinned rename can be
+// lost — or reordered against a later one — on power loss.
+func syncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
 }
 
 // replaceFileSync atomically replaces path with data and returns an
@@ -569,6 +607,10 @@ func replaceFileSync(path string, data []byte) (*os.File, error) {
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		return fail(err)
+	}
+	if err := syncDir(path); err != nil {
+		f.Close()
+		return nil, err
 	}
 	return f, nil
 }
@@ -603,7 +645,7 @@ func (st *SessionStore) open(plan *core.Plan, w lattice.Window, dopts dynamic.Op
 		if derr != nil || mut == nil {
 			st.logfSafe("latticed: dropping corrupt snapshot %s: %v", snapPath, derr)
 			if m := st.met; m != nil {
-				m.tornTails.Inc()
+				m.snapsDropped.Inc()
 			}
 			os.Remove(snapPath)
 			mut, epoch = nil, 0
@@ -646,6 +688,24 @@ func (st *SessionStore) open(plan *core.Plan, w lattice.Window, dopts dynamic.Op
 	return d, mut, epoch, nil
 }
 
+// resetWAL replaces a log the restore cannot use (corrupt header, or a
+// base epoch past the restored state) with a bare header based at
+// epoch, counting the reset.
+func (st *SessionStore) resetWAL(ident sessIdent, walPath string, epoch uint64) error {
+	if m := st.met; m != nil {
+		m.walResets.Inc()
+	}
+	e := binwire.Get()
+	defer binwire.Put(e)
+	encodeWALHeader(e, ident, epoch)
+	f, err := replaceFileSync(walPath, e.Bytes())
+	if err != nil {
+		return fmt.Errorf("service: resetting WAL: %w", err)
+	}
+	f.Close()
+	return nil
+}
+
 // replay applies a WAL's records on top of the given state (nil mut:
 // seed from the plan schedule first). It truncates any torn tail and
 // returns the number of events replayed plus the final mutator and
@@ -653,34 +713,31 @@ func (st *SessionStore) open(plan *core.Plan, w lattice.Window, dopts dynamic.Op
 func (st *SessionStore) replay(plan *core.Plan, w lattice.Window, dopts dynamic.Options, mut *dynamic.Mutator, epoch uint64, walPath string, data []byte) (int, *dynamic.Mutator, uint64, error) {
 	r := binwire.NewReader(data)
 	typ, payload := r.Frame()
-	if r.Err() != nil || typ != framePersistWALHeader {
+	var base uint64
+	headerOK := r.Err() == nil && typ == framePersistWALHeader
+	if headerOK {
+		var herr error
+		_, base, herr = decodeWALHeader(&payload)
+		headerOK = herr == nil
+	}
+	if !headerOK {
 		// Unusable header: the log carries nothing recoverable. Reset it.
 		st.logfSafe("latticed: resetting WAL with corrupt header %s", walPath)
-		if m := st.met; m != nil {
-			m.tornTails.Inc()
-		}
-		e := binwire.Get()
-		defer binwire.Put(e)
-		encodeWALHeader(e, identOf(plan, w), epoch)
-		if f, err := replaceFileSync(walPath, e.Bytes()); err == nil {
-			f.Close()
-		} else {
-			return 0, nil, 0, fmt.Errorf("service: resetting WAL: %w", err)
+		if err := st.resetWAL(identOf(plan, w), walPath, epoch); err != nil {
+			return 0, nil, 0, err
 		}
 		return 0, mut, epoch, nil
 	}
-	if _, _, err := decodeWALHeader(&payload); err != nil {
-		st.logfSafe("latticed: resetting WAL with corrupt header %s: %v", walPath, err)
-		if m := st.met; m != nil {
-			m.tornTails.Inc()
-		}
-		e := binwire.Get()
-		defer binwire.Put(e)
-		encodeWALHeader(e, identOf(plan, w), epoch)
-		if f, err := replaceFileSync(walPath, e.Bytes()); err == nil {
-			f.Close()
-		} else {
-			return 0, nil, 0, fmt.Errorf("service: resetting WAL: %w", err)
+	if base > epoch {
+		// The log is based on state we do not have — the snapshot it was
+		// truncated against is lost, corrupt, or rolled back, so events
+		// 1..base are gone. Replaying the surviving suffix onto the
+		// restored (older or seed) state would fabricate a silently wrong
+		// assignment; reset to the state actually restored instead.
+		st.logfSafe("latticed: WAL %s based at epoch %d but restored state is at epoch %d: dropping unrecoverable log",
+			walPath, base, epoch)
+		if err := st.resetWAL(identOf(plan, w), walPath, epoch); err != nil {
+			return 0, nil, 0, err
 		}
 		return 0, mut, epoch, nil
 	}

@@ -16,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"tilingsched/internal/core"
@@ -438,6 +439,189 @@ func BenchmarkWALAppend(b *testing.B) {
 		if err := disk.append(uint64(i+1), events); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestPersistEvictionReopenRace is the per-key file-serialization
+// regression: with a capacity-1 LRU two windows evict each other on
+// every alternation, so an eviction flush (snapshot + WAL-reset rename)
+// racing a same-key restore used to strand the restored session's
+// O_APPEND handle on an unlinked inode — every later append silently
+// discarded. The contract checked here is the PR's zero-lost-sessions
+// guarantee under that churn: after the hammering, a fresh server over
+// the same directory must see every acked epoch.
+func TestPersistEvictionReopenRace(t *testing.T) {
+	dir := t.TempDir()
+	s := newPersistServer(t, dir, ServerOptions{MaxSessions: 1})
+	windows := [2]string{persistTestWindow, `"window":{"lo":[0,0],"hi":[2,2]}`}
+	bodies := [2]string{
+		`{"plan":{"tile":{"name":"cross:2:1"}},` + windows[0] + `,"events":[{"op":"fail","p":[1,1]},{"op":"join","p":[1,1]}]}`,
+		`{"plan":{"tile":{"name":"cross:2:1"}},` + windows[1] + `,"events":[{"op":"fail","p":[0,0]},{"op":"join","p":[0,0]}]}`,
+	}
+	const rounds = 40
+	var acked [2]uint64
+	var wg sync.WaitGroup
+	for i := range bodies {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				req := httptest.NewRequest("POST", "/v1/plan:mutate", strings.NewReader(bodies[i]))
+				rec := httptest.NewRecorder()
+				s.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					t.Errorf("window %d round %d: status %d: %s", i, r, rec.Code, rec.Body)
+					return
+				}
+				var resp MutateResponse
+				if err := json.NewDecoder(rec.Body).Decode(&resp); err != nil {
+					t.Errorf("window %d round %d: decoding response: %v", i, r, err)
+					return
+				}
+				if resp.Epoch > acked[i] {
+					acked[i] = resp.Epoch
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	// Each goroutine is its window's sole mutator, so its acked epoch
+	// must be exactly rounds — and must survive a restart intact.
+	s2 := newPersistServer(t, dir, ServerOptions{})
+	for i := range bodies {
+		if acked[i] != rounds {
+			t.Fatalf("window %d acked epoch %d, want %d", i, acked[i], rounds)
+		}
+		body := `{"plan":{"tile":{"name":"cross:2:1"}},` + windows[i] + `,"full":true}`
+		resync := mutateJSON(t, s2, body, http.StatusOK)
+		if resync.Epoch != acked[i] {
+			t.Fatalf("window %d restored at epoch %d, want %d (acked mutations lost)", i, resync.Epoch, acked[i])
+		}
+	}
+}
+
+// persistToEpoch3WithSnapshot drives a session to epoch 3 with
+// SnapshotEvery=2, leaving a snapshot at epoch 2 and a WAL based at 2
+// holding the epoch-3 record — the shape the base-epoch recovery tests
+// start from.
+func persistToEpoch3WithSnapshot(t *testing.T, dir string) {
+	t.Helper()
+	s := NewServer(NewRegistry(8), ServerOptions{})
+	if err := s.EnablePersistence(PersistOptions{Dir: dir, SnapshotEvery: 2}); err != nil {
+		t.Fatal(err)
+	}
+	mutateJSON(t, s, persistBody(`"events":[{"op":"leave","p":[1,1]}]`), http.StatusOK)
+	mutateJSON(t, s, persistBody(`"events":[{"op":"leave","p":[2,2]}]`), http.StatusOK)
+	mutateJSON(t, s, persistBody(`"events":[{"op":"join","p":[6,2]}]`), http.StatusOK)
+	snaps, _ := filepath.Glob(filepath.Join(dir, "*.snap"))
+	if len(snaps) != 1 {
+		t.Fatalf("snapshot files %v, want exactly 1", snaps)
+	}
+}
+
+// TestPersistLostSnapshotResetsWAL pins the base-epoch check: a WAL
+// based at epoch 2 whose snapshot is gone must NOT replay its suffix
+// onto a fresh seed (events 1..2 are unrecoverable — the result would
+// be silently wrong). The session resets to a clean epoch-0 seed, the
+// reset is counted, and the reset WAL keeps working.
+func TestPersistLostSnapshotResetsWAL(t *testing.T) {
+	dir := t.TempDir()
+	persistToEpoch3WithSnapshot(t, dir)
+	snaps, _ := filepath.Glob(filepath.Join(dir, "*.snap"))
+	if err := os.Remove(snaps[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := newPersistServer(t, dir, ServerOptions{})
+	resync := mutateJSON(t, s2, persistBody(`"full":true`), http.StatusOK)
+	if resync.Epoch != 0 {
+		t.Fatalf("epoch after lost snapshot = %d, want 0 (clean reseed, not a suffix replay)", resync.Epoch)
+	}
+	got := changedMap(resync)
+	if len(got) != 25 {
+		t.Fatalf("reseed has %d sensors, want the full 25-point seed", len(got))
+	}
+	if _, ok := got["1,1"]; !ok {
+		t.Fatal("reseed missing 1,1: the unrecoverable suffix was replayed onto the seed")
+	}
+	var sb strings.Builder
+	if err := s2.WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "latticed_wal_resets_total 1") {
+		t.Fatalf("WAL reset not counted:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "latticed_wal_torn_tails_total 0") {
+		t.Fatal("WAL reset miscounted as a torn tail")
+	}
+
+	// The reset log accepts appends and restores them.
+	mutateJSON(t, s2, persistBody(`"events":[{"op":"leave","p":[0,0]}]`), http.StatusOK)
+	s3 := newPersistServer(t, dir, ServerOptions{})
+	if resync := mutateJSON(t, s3, persistBody(`"full":true`), http.StatusOK); resync.Epoch != 1 {
+		t.Fatalf("post-reset append lost: epoch %d, want 1", resync.Epoch)
+	}
+}
+
+// TestPersistCorruptSnapshotDropped flips one snapshot byte: the CRC
+// drops it under its own counter (not the torn-tail one), and because
+// the WAL is based past the lost state the session resets to epoch 0
+// instead of replaying the suffix.
+func TestPersistCorruptSnapshotDropped(t *testing.T) {
+	dir := t.TempDir()
+	persistToEpoch3WithSnapshot(t, dir)
+	snaps, _ := filepath.Glob(filepath.Join(dir, "*.snap"))
+	data, err := os.ReadFile(snaps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x01
+	if err := os.WriteFile(snaps[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := newPersistServer(t, dir, ServerOptions{})
+	resync := mutateJSON(t, s2, persistBody(`"full":true`), http.StatusOK)
+	if resync.Epoch != 0 {
+		t.Fatalf("epoch after corrupt snapshot = %d, want 0", resync.Epoch)
+	}
+	var sb strings.Builder
+	if err := s2.WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"latticed_snapshots_dropped_total 1",
+		"latticed_wal_resets_total 1",
+		"latticed_wal_torn_tails_total 0",
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+// TestDecodeWALRecordCorruptCount pins the allocation bound: a record
+// declaring the full maxWALRecordEvents count over a near-empty payload
+// must fail cleanly — the pre-allocation is sized by the payload (one
+// kind byte + one varint byte per coordinate minimum), not by the
+// attacker-controlled count.
+func TestDecodeWALRecordCorruptCount(t *testing.T) {
+	e := binwire.Get()
+	defer binwire.Put(e)
+	off := beginCRCFrame(e, framePersistWALRecord)
+	e.Uvarint(7)                  // epoch
+	e.Uvarint(maxWALRecordEvents) // declared count; no event bytes follow
+	endCRCFrame(e, off)
+	r := binwire.NewReader(e.Bytes())
+	_, payload := r.Frame()
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if _, _, err := decodeWALRecord(&payload, 2); err == nil {
+		t.Fatal("record with a declared count beyond its payload decoded")
 	}
 }
 

@@ -279,14 +279,26 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request, tr *reqTra
 // the current epoch so the client can resync); a non-nil error means
 // there is no MutateResponse payload (session-table failure, 500).
 func (s *Server) mutateCore(plan *core.Plan, win lattice.Window, hasEpoch bool, epoch uint64, full bool, events []dynamic.Event) (MutateResponse, int, error) {
-	sess, err := s.sessions.get(plan, win)
-	if err != nil {
-		return MutateResponse{}, http.StatusInternalServerError, err
+	var sess *dynSession
+	for {
+		var err error
+		sess, err = s.sessions.get(plan, win)
+		if err != nil {
+			return MutateResponse{}, http.StatusInternalServerError, err
+		}
+		// The session lock covers state mutation and response assembly
+		// only; it is released before any bytes go to the client, so a
+		// slow reader cannot stall the deployment's mutation pipeline.
+		sess.mu.Lock()
+		if !sess.gone {
+			break
+		}
+		// Evicted between lookup and lock: its flush has run and the
+		// table no longer knows it, so anything applied here would be
+		// acked yet unreachable (and unpersisted). Re-get the live
+		// session instead.
+		sess.mu.Unlock()
 	}
-	// The session lock covers state mutation and response assembly only;
-	// it is released before any bytes go to the client, so a slow reader
-	// cannot stall the deployment's mutation pipeline.
-	sess.mu.Lock()
 	if hasEpoch && epoch != sess.epoch {
 		conflict := MutateResponse{
 			Signature: plan.Signature(),
