@@ -8,6 +8,8 @@
 //	go run ./cmd/bench -parse raw.txt [-out file]   # summarize existing output
 //	go run ./cmd/bench -load http://localhost:8370  # latticed load generator
 //	go run ./cmd/bench -wire                        # JSON vs binary serving sweep
+//	go run ./cmd/bench -push                        # push fan-out vs poll sweep
+//	go run ./cmd/bench -subscribe http://localhost:8370  # live push-stream client
 //
 // With -parse the raw `go test -bench` output in the given file is
 // summarized instead of running the benchmarks — useful for snapshotting
@@ -18,7 +20,13 @@
 // -load-format selects the JSON codec or the binary wire protocol).
 // With -wire it starts an in-process handler and sweeps batch sizes ×
 // wire formats, writing BENCH_<date>_wire.json with the binary/JSON
-// speedup per batch size.
+// speedup per batch size. With -push it sweeps the push plane
+// (DESIGN.md §13): 1k/10k/100k in-process subscribers on one mutation
+// session, delivery-latency percentiles per population, and a
+// full-resync poll baseline over real HTTP for comparison, written to
+// BENCH_<date>_push.json. With -subscribe it opens one live push
+// stream against a running daemon (-load-format json|bin, -sub-epoch
+// to resume) and reports the deltas it applied.
 package main
 
 import (
@@ -73,11 +81,27 @@ func main() {
 	loadTile := flag.String("load-tile", "cross:2:1", "tile spec queried by the load generator")
 	loadFormat := flag.String("load-format", "json", "wire format for -load: json or bin")
 	wire := flag.Bool("wire", false, "run the in-process JSON-vs-binary serving sweep")
+	push := flag.Bool("push", false, "run the in-process push fan-out vs poll sweep")
+	pushEpochs := flag.Int("push-epochs", 10, "mutation epochs per push sweep cell")
+	subscribe := flag.String("subscribe", "", "base URL of a latticed daemon to open a live push stream against")
+	subEpoch := flag.Int64("sub-epoch", -1, "with -subscribe: resume epoch (-1 = fresh attach)")
 	flag.Parse()
 
 	if *wire {
 		if err := runWire(*loadDuration, *loadConns, *loadTile, *out); err != nil {
 			fatal("wire: %v", err)
+		}
+		return
+	}
+	if *push {
+		if err := runPush(*pushEpochs, *loadDuration, *loadConns, *out); err != nil {
+			fatal("push: %v", err)
+		}
+		return
+	}
+	if *subscribe != "" {
+		if err := runSubscribe(*subscribe, *loadFormat, *subEpoch, *loadDuration); err != nil {
+			fatal("subscribe: %v", err)
 		}
 		return
 	}

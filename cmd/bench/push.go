@@ -1,0 +1,350 @@
+package main
+
+// Push-plane benchmarks (DESIGN.md §13). Two modes:
+//
+// The -push sweep starts an in-process service server, attaches 1k/10k/
+// 100k in-process subscribers to one mutation session, drives scripted
+// mutate batches through the HTTP handler, and measures the fan-out
+// delivery latency (publish → subscriber receive) percentiles plus
+// aggregate delta throughput. A poll baseline — full-resync mutate
+// requests hammered over real HTTP — prices the alternative: the
+// summary reports how long the same subscriber population would take to
+// poll one round at the measured poll throughput, which is the number
+// the push plane exists to beat. Results land in BENCH_<date>_push.json.
+//
+// The -subscribe mode is a live client against a running daemon: it
+// opens one push stream, applies deltas to a local assignment copy, and
+// reports what it saw — the observability counterpart to -load.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"tilingsched/internal/obs"
+	"tilingsched/internal/service"
+	"tilingsched/internal/service/binwire"
+)
+
+// pushSubscriberCounts is the -push sweep's subscriber-population axis.
+var pushSubscriberCounts = []int{1_000, 10_000, 100_000}
+
+// pushPlan addresses the benchmark session (shared by push and poll
+// legs so both price the same assignment size).
+var (
+	pushTile   = "cross:2:1"
+	pushWindow = service.WindowSpec{Lo: []int{0, 0}, Hi: []int{4, 4}}
+)
+
+// pushResult is one sweep cell: fan-out delivery latency and throughput
+// for a subscriber population.
+type pushResult struct {
+	Subscribers  int     `json:"subscribers"`
+	Epochs       int     `json:"epochs"`
+	Deltas       int64   `json:"deltas_delivered"`
+	Seconds      float64 `json:"seconds"`
+	DeltasPerSec float64 `json:"deltas_per_sec"`
+	// Delivery latency: publish (mutate applied) → subscriber receive.
+	P50Us  float64 `json:"delivery_p50_us"`
+	P90Us  float64 `json:"delivery_p90_us"`
+	P99Us  float64 `json:"delivery_p99_us"`
+	P999Us float64 `json:"delivery_p999_us"`
+	// PollRoundSeconds is how long this population would take to learn
+	// one epoch by polling instead, at the measured poll throughput.
+	PollRoundSeconds float64 `json:"poll_round_seconds"`
+}
+
+// pollBaseline is the poll leg: full-resync request throughput over
+// real HTTP.
+type pollBaseline struct {
+	Conns     int     `json:"conns"`
+	Requests  int64   `json:"requests"`
+	Seconds   float64 `json:"seconds"`
+	ReqPerSec float64 `json:"req_per_sec"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+}
+
+// PushSummary is the on-disk schema of a BENCH_<date>_push.json file.
+type PushSummary struct {
+	Date      string       `json:"date"`
+	GoVersion string       `json:"go_version"`
+	GOOS      string       `json:"goos"`
+	GOARCH    string       `json:"goarch"`
+	NumCPU    int          `json:"num_cpu"`
+	Tile      string       `json:"tile"`
+	Poll      pollBaseline `json:"poll_baseline"`
+	Push      []pushResult `json:"push"`
+}
+
+// pushMutateBody renders epoch e's scripted batch: one join per epoch,
+// marching along the window margin so no event ever conflicts.
+func pushMutateBody(e int) string {
+	return fmt.Sprintf(`{"plan":{"tile":{"name":%q}},"window":{"lo":[0,0],"hi":[4,4]},`+
+		`"events":[{"op":"join","p":[%d,%d]}]}`, pushTile, 6+e%20, 6+e/20)
+}
+
+// runPushCell attaches n in-process subscribers and measures delivery
+// latency across the scripted epochs.
+func runPushCell(n, epochs int) (pushResult, error) {
+	s := service.NewServer(service.NewRegistry(8), service.ServerOptions{
+		MaxSubscribers: n + 1,
+		SubscribeQueue: epochs + 4, // hold every epoch: the cell measures latency, not drops
+	})
+	spec := service.PlanSpec{Tile: service.TileSpec{Name: pushTile}}
+	zero := uint64(0)
+	feeds := make([]*service.Subscription, n)
+	for i := range feeds {
+		f, err := s.Subscribe(spec, pushWindow, &zero)
+		if err != nil {
+			return pushResult{}, fmt.Errorf("subscriber %d: %v", i, err)
+		}
+		feeds[i] = f
+	}
+
+	// t0[e] is stamped by the driver before the mutate that produces
+	// epoch e; the channel receive orders the subscriber's read after it.
+	t0 := make([]time.Time, epochs+1)
+	var lat obs.Histogram
+	var delivered int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, f := range feeds {
+		wg.Add(1)
+		go func(f *service.Subscription) {
+			defer wg.Done()
+			defer f.Close()
+			count := int64(0)
+			for d := range f.C {
+				lat.Record(uint64(time.Since(t0[d.Epoch])))
+				count++
+				if d.Epoch >= uint64(epochs) {
+					break
+				}
+			}
+			mu.Lock()
+			delivered += count
+			mu.Unlock()
+		}(f)
+	}
+
+	start := time.Now()
+	for e := 1; e <= epochs; e++ {
+		t0[e] = time.Now()
+		req := httptest.NewRequest("POST", "/v1/plan:mutate", strings.NewReader(pushMutateBody(e)))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			return pushResult{}, fmt.Errorf("mutate epoch %d: status %d: %s", e, rec.Code, rec.Body.String())
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	snap := lat.Snapshot()
+	toUs := func(q float64) float64 { return snap.Quantile(q) / 1e3 }
+	return pushResult{
+		Subscribers:  n,
+		Epochs:       epochs,
+		Deltas:       delivered,
+		Seconds:      elapsed.Seconds(),
+		DeltasPerSec: float64(delivered) / elapsed.Seconds(),
+		P50Us:        toUs(0.50),
+		P90Us:        toUs(0.90),
+		P99Us:        toUs(0.99),
+		P999Us:       toUs(0.999),
+	}, nil
+}
+
+// runPollBaseline hammers the full-resync poll a subscriber population
+// would otherwise issue, over real HTTP.
+func runPollBaseline(duration time.Duration, conns int) (pollBaseline, error) {
+	s := service.NewServer(service.NewRegistry(8), service.ServerOptions{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	body := []byte(fmt.Sprintf(`{"plan":{"tile":{"name":%q}},"window":{"lo":[0,0],"hi":[4,4]},`+
+		`"events":[],"full":true}`, pushTile))
+	client := ts.Client()
+	client.Transport = &http.Transport{MaxIdleConns: conns, MaxIdleConnsPerHost: conns}
+
+	var requests int64
+	var lat obs.Histogram
+	var mu sync.Mutex
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < conns; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			count := int64(0)
+			for time.Now().Before(deadline) {
+				reqStart := time.Now()
+				resp, err := client.Post(ts.URL+"/v1/plan:mutate", "application/json", bytes.NewReader(body))
+				if err != nil {
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					lat.Record(uint64(time.Since(reqStart)))
+					count++
+				}
+			}
+			mu.Lock()
+			requests += count
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	snap := lat.Snapshot()
+	return pollBaseline{
+		Conns:     conns,
+		Requests:  requests,
+		Seconds:   elapsed.Seconds(),
+		ReqPerSec: float64(requests) / elapsed.Seconds(),
+		P50Ms:     snap.Quantile(0.50) / 1e6,
+		P99Ms:     snap.Quantile(0.99) / 1e6,
+	}, nil
+}
+
+// runPush executes the push-vs-poll sweep and writes
+// BENCH_<date>_push.json (or out when set).
+func runPush(epochs int, pollDuration time.Duration, conns int, out string) error {
+	s := PushSummary{
+		Date:      time.Now().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Tile:      pushTile,
+	}
+	poll, err := runPollBaseline(pollDuration, conns)
+	if err != nil {
+		return fmt.Errorf("poll baseline: %v", err)
+	}
+	s.Poll = poll
+	fmt.Printf("push: poll baseline %d conns  %9.0f polls/s  p50=%.2fms p99=%.2fms\n",
+		poll.Conns, poll.ReqPerSec, poll.P50Ms, poll.P99Ms)
+
+	for _, n := range pushSubscriberCounts {
+		res, err := runPushCell(n, epochs)
+		if err != nil {
+			return fmt.Errorf("push n=%d: %v", n, err)
+		}
+		if poll.ReqPerSec > 0 {
+			res.PollRoundSeconds = float64(n) / poll.ReqPerSec
+		}
+		s.Push = append(s.Push, res)
+		fmt.Printf("push: subs=%-6d %9.0f deltas/s  delivery p50=%.0fµs p90=%.0fµs p99=%.0fµs p99.9=%.0fµs  poll round=%.1fs\n",
+			n, res.DeltasPerSec, res.P50Us, res.P90Us, res.P99Us, res.P999Us, res.PollRoundSeconds)
+	}
+
+	if out == "" {
+		out = "BENCH_" + s.Date + "_push.json"
+	}
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// runSubscribe is the live client mode: one push stream against a
+// running daemon, deltas applied to a local copy until the duration (or
+// the stream) ends.
+func runSubscribe(baseURL, format string, epoch int64, duration time.Duration) error {
+	baseURL = strings.TrimRight(baseURL, "/")
+	req := service.SubscribeRequest{
+		Plan:   service.PlanSpec{Tile: service.TileSpec{Name: pushTile}},
+		Window: pushWindow,
+	}
+	if epoch >= 0 {
+		e := uint64(epoch)
+		req.Epoch = &e
+	}
+	var body []byte
+	contentType := "application/json"
+	switch format {
+	case "", "json":
+		var err error
+		if body, err = json.Marshal(req); err != nil {
+			return err
+		}
+	case "bin":
+		e := binwire.Get()
+		defer binwire.Put(e)
+		service.EncodeSubscribeBinary(e, req, "")
+		body = bytes.Clone(e.Bytes())
+		contentType = service.BinaryContentType
+	default:
+		return fmt.Errorf("unknown subscribe format %q (want json or bin)", format)
+	}
+
+	resp, err := http.Post(baseURL+"/v1/plan:subscribe", contentType, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("subscribe: status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	st, err := service.OpenSubscribeStream(resp.Body, resp.Header.Get("Content-Type"))
+	if err != nil {
+		return err
+	}
+	hello := st.Hello()
+	fmt.Printf("subscribe: %s sig=%s epoch=%d m=%d alive=%d\n",
+		baseURL, hello.Signature, hello.Epoch, hello.M, hello.Alive)
+
+	// The read loop has no deadline hook, so the duration closes the
+	// body out from under it — the idiomatic way to abort a stream read.
+	timer := time.AfterFunc(duration, func() { resp.Body.Close() })
+	defer timer.Stop()
+
+	copyMap := map[string]int{}
+	deltas, changes, resyncs := 0, 0, 0
+	start := time.Now()
+	for {
+		d, err := st.Next()
+		if err != nil {
+			if errors.Is(err, service.ErrStreamEnded) {
+				fmt.Printf("subscribe: server ended the stream at epoch %d: %s\n", d.Epoch, d.Bye)
+			}
+			break
+		}
+		deltas++
+		changes += len(d.Changed)
+		if d.Full {
+			resyncs++
+			copyMap = map[string]int{}
+		}
+		for _, ch := range d.Changed {
+			key := fmt.Sprint(ch.P)
+			if ch.Slot < 0 {
+				delete(copyMap, key)
+			} else {
+				copyMap[key] = ch.Slot
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("subscribe: %d deltas (%d changes, %d resyncs) in %s; local copy holds %d sensors\n",
+		deltas, changes, resyncs, elapsed.Round(time.Millisecond), len(copyMap))
+	return nil
+}

@@ -7,7 +7,8 @@
 // Usage:
 //
 //	go run ./cmd/latticed [-addr :8370] [-cache 256] [-max-batch N] [-max-window N]
-//	                      [-sessions 16] [-slow-ms 0] [-data DIR] [-fsync] [-debug]
+//	                      [-sessions 16] [-max-subscribers N] [-sub-queue N]
+//	                      [-slow-ms 0] [-data DIR] [-fsync] [-debug]
 //
 // With -data DIR, dynamic mutation sessions are durable (DESIGN.md
 // §12): every applied batch appends to a per-session write-ahead log,
@@ -17,6 +18,14 @@
 // batch (power-loss durability at a per-mutation fsync cost; without
 // it appends still survive process restarts).
 //
+// Sessions also push (DESIGN.md §13): POST /v1/plan:subscribe holds the
+// connection open and streams one delta per applied mutation batch, so
+// sensors learn reassignments without polling. A subscriber that falls
+// more than -sub-queue epochs behind is dropped with a terminal "resync
+// required" element rather than ever stalling the mutate path; one that
+// reconnects with a stale epoch is caught up from the WAL when -data
+// covers the gap, and answered with a full resync otherwise.
+//
 // Endpoints:
 //
 //	POST /v1/plan               {"plan":{"tile":{"name":"cross:2:1"}}}
@@ -24,6 +33,9 @@
 //	                            {"plan":{...},"window":{"lo":[-4,-4],"hi":[4,4]}}
 //	POST /v1/maybroadcast:batch {"plan":{...},"points":[[3,4]],"t":12345}
 //	POST /v1/plan:mutate        {"plan":{...},"window":{...},"events":[{"op":"leave","p":[0,0]}]}
+//	POST /v1/plan:subscribe     {"plan":{...},"window":{...},"epoch":12} — streams
+//	                            session deltas (ndjson, or frames under the
+//	                            binary content type) until the client leaves
 //	GET  /healthz
 //	GET  /metrics               Prometheus text exposition (always on):
 //	                            request/error/latency by endpoint × codec,
@@ -77,6 +89,8 @@ type daemonOptions struct {
 	maxBatch  int    // points per batch / events per mutate (0 = default)
 	maxWindow int    // points per window shorthand (0 = default)
 	sessions  int    // live dynamic sessions (0 = default)
+	maxSubs   int    // push subscribers per session (0 = default)
+	subQueue  int    // per-subscriber delta-queue depth (0 = default)
 	slowMs    int    // slow-request log threshold in ms (0 = off)
 	data      string // session data directory ("" = sessions not durable)
 	fsync     bool   // fsync the session WAL per mutation batch
@@ -116,10 +130,12 @@ func newDaemon(o daemonOptions) (http.Handler, *service.Server, error) {
 		logf = log.Printf
 	}
 	opts := service.ServerOptions{
-		MaxBatch:    o.maxBatch,
-		MaxWindow:   o.maxWindow,
-		MaxSessions: o.sessions,
-		Logf:        logf,
+		MaxBatch:       o.maxBatch,
+		MaxWindow:      o.maxWindow,
+		MaxSessions:    o.sessions,
+		MaxSubscribers: o.maxSubs,
+		SubscribeQueue: o.subQueue,
+		Logf:           logf,
 	}
 	if o.slowMs > 0 {
 		opts.SlowThreshold = time.Duration(o.slowMs) * time.Millisecond
@@ -168,6 +184,8 @@ func main() {
 	maxBatch := flag.Int("max-batch", 0, "max points per explicit batch and events per mutate (0 = default)")
 	maxWindow := flag.Int("max-window", 0, "max points per window shorthand or session window (0 = default)")
 	sessions := flag.Int("sessions", 0, "max live dynamic deployment sessions (0 = default)")
+	maxSubs := flag.Int("max-subscribers", 0, "max push subscribers per session, 503 beyond (0 = default)")
+	subQueue := flag.Int("sub-queue", 0, "per-subscriber delta-queue depth before a slow consumer is dropped (0 = default)")
 	slowMs := flag.Int("slow-ms", 0, "log requests slower than this many milliseconds (0 = off)")
 	data := flag.String("data", "", "session data directory: mutation sessions persist (WAL + snapshots) and survive restarts (\"\" = off)")
 	fsync := flag.Bool("fsync", false, "with -data: fsync the session WAL after every mutation batch")
@@ -179,6 +197,8 @@ func main() {
 		maxBatch:  *maxBatch,
 		maxWindow: *maxWindow,
 		sessions:  *sessions,
+		maxSubs:   *maxSubs,
+		subQueue:  *subQueue,
 		slowMs:    *slowMs,
 		data:      *data,
 		fsync:     *fsync,

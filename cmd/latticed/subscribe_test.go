@@ -1,0 +1,255 @@
+package main
+
+// Push-plane restart end-to-end (DESIGN.md §13): a subscriber that was
+// streaming from a daemon with -data must be able to reconnect after a
+// daemon restart and resume from its last applied epoch via WAL replay
+// — and when the WAL tail was torn by the crash, the resume must come
+// back as a full resync instead of a replayed history, leaving the
+// subscriber's copy correct either way.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tilingsched/internal/lattice"
+	"tilingsched/internal/service"
+)
+
+const subPlanA = `{"plan":{"tile":{"name":"cross:2:1"}},"window":{"lo":[0,0],"hi":[4,4]},`
+
+// subscribeTo opens a JSON push stream against a running daemon.
+func subscribeTo(t *testing.T, client *http.Client, url string, epoch *uint64) (*service.SubscribeStream, *http.Response, context.CancelFunc) {
+	t.Helper()
+	body := `{"plan":{"tile":{"name":"cross:2:1"}},"window":{"lo":[0,0],"hi":[4,4]}`
+	if epoch != nil {
+		body += fmt.Sprintf(`,"epoch":%d`, *epoch)
+	}
+	body += `}`
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "POST", url+"/v1/plan:subscribe", bytes.NewReader([]byte(body)))
+	if err != nil {
+		cancel()
+		t.Fatalf("building subscribe request: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		cancel()
+		t.Fatalf("POST subscribe: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		cancel()
+		t.Fatalf("subscribe status %d", resp.StatusCode)
+	}
+	st, err := service.OpenSubscribeStream(resp.Body, resp.Header.Get("Content-Type"))
+	if err != nil {
+		resp.Body.Close()
+		cancel()
+		t.Fatalf("opening stream: %v", err)
+	}
+	return st, resp, cancel
+}
+
+// applyTo folds one stream delta into a key→slot copy.
+func applyTo(copyMap map[string]int, d service.SubscribeDelta) {
+	if d.Full {
+		clear(copyMap)
+	}
+	for _, ch := range d.Changed {
+		if ch.Slot < 0 {
+			delete(copyMap, lattice.Point(ch.P).Key())
+		} else {
+			copyMap[lattice.Point(ch.P).Key()] = ch.Slot
+		}
+	}
+}
+
+// checkAgainstResync compares a subscriber copy with the daemon's
+// authoritative full resync.
+func checkAgainstResync(t *testing.T, client *http.Client, url string, copyMap map[string]int) {
+	t.Helper()
+	full := mutate(t, client, url, subPlanA+`"full":true}`)
+	if len(full.Changed) != len(copyMap) {
+		t.Fatalf("copy has %d sensors, resync has %d", len(copyMap), len(full.Changed))
+	}
+	for _, ch := range full.Changed {
+		if copyMap[lattice.Point(ch.P).Key()] != ch.Slot {
+			t.Fatalf("copy diverged at %v", ch.P)
+		}
+	}
+}
+
+// TestRestartResumesSubscriber is the push plane's restart e2e: a
+// subscriber streams deltas from a daemon with -data, the daemon dies
+// without a graceful flush, and the subscriber reconnects at its last
+// epoch against the restarted daemon — which must replay the gap from
+// the WAL, not answer a resync. A second crash with a torn WAL tail
+// then forces the opposite: the truncated history cannot cover the
+// subscriber's epoch, so the resume must open with a full resync — and
+// both roads end with the copy byte-equal to the daemon's state.
+func TestRestartResumesSubscriber(t *testing.T) {
+	dir := t.TempDir()
+	logf := func(string, ...any) {}
+	opts := daemonOptions{cache: 8, data: dir, logf: logf}
+
+	h1, _, err := newDaemon(opts)
+	if err != nil {
+		t.Fatalf("newDaemon: %v", err)
+	}
+	ts1 := httptest.NewServer(h1)
+	client := ts1.Client()
+
+	st, resp, cancel := subscribeTo(t, client, ts1.URL, nil)
+	copyMap := map[string]int{}
+	opening, err := st.Next()
+	if err != nil || !opening.Full {
+		t.Fatalf("opening resync: %+v err %v", opening, err)
+	}
+	applyTo(copyMap, opening)
+
+	// Churn to epoch 5; the subscriber applies the first 3 deltas, then
+	// disconnects (a client crash) while 4 and 5 land WAL-only.
+	for i := 0; i < 5; i++ {
+		mutate(t, client, ts1.URL, subPlanA+fmt.Sprintf(`"events":[{"op":"join","p":[%d,0]}]}`, 6+i))
+	}
+	var last uint64
+	for last < 3 {
+		d, err := st.Next()
+		if err != nil {
+			t.Fatalf("streaming: %v", err)
+		}
+		applyTo(copyMap, d)
+		last = d.Epoch
+	}
+	resp.Body.Close()
+	cancel()
+
+	// Daemon crash: no FlushSessions — the WAL alone carries epochs 1–5.
+	ts1.Close()
+
+	h2, _, err := newDaemon(opts)
+	if err != nil {
+		t.Fatalf("newDaemon (restart): %v", err)
+	}
+	ts2 := httptest.NewServer(h2)
+	client = ts2.Client()
+
+	st, resp, cancel = subscribeTo(t, client, ts2.URL, &last)
+	if st.Hello().Epoch != 5 {
+		t.Fatalf("restarted daemon at epoch %d, want 5", st.Hello().Epoch)
+	}
+	// The resume must be a WAL replay: per-epoch deltas 4 and 5, no Full.
+	for want := uint64(4); want <= 5; want++ {
+		d, err := st.Next()
+		if err != nil {
+			t.Fatalf("catch-up: %v", err)
+		}
+		if d.Full || d.Epoch != want {
+			t.Fatalf("catch-up delta full=%v epoch=%d, want WAL replay of %d", d.Full, d.Epoch, want)
+		}
+		applyTo(copyMap, d)
+		last = d.Epoch
+	}
+	checkAgainstResync(t, client, ts2.URL, copyMap)
+
+	// Live streaming works across the restart too.
+	mutate(t, client, ts2.URL, subPlanA+`"events":[{"op":"leave","p":[1,1]}]}`)
+	d, err := st.Next()
+	if err != nil || d.Epoch != 6 {
+		t.Fatalf("post-restart delta %+v err %v", d, err)
+	}
+	applyTo(copyMap, d)
+	last = d.Epoch
+	resp.Body.Close()
+	cancel()
+
+	// Second crash, this time tearing the WAL tail: the daemon dies
+	// mid-append and the last record is half on disk.
+	ts2.Close()
+	wals, err := filepath.Glob(filepath.Join(dir, "*.wal"))
+	if err != nil || len(wals) != 1 {
+		t.Fatalf("WAL files %v (err %v)", wals, err)
+	}
+	info, err := os.Stat(wals[0])
+	if err != nil {
+		t.Fatalf("stat WAL: %v", err)
+	}
+	if err := os.Truncate(wals[0], info.Size()-3); err != nil {
+		t.Fatalf("tearing WAL tail: %v", err)
+	}
+
+	h3, _, err := newDaemon(opts)
+	if err != nil {
+		t.Fatalf("newDaemon (torn tail): %v", err)
+	}
+	ts3 := httptest.NewServer(h3)
+	defer ts3.Close()
+	client = ts3.Client()
+
+	// The torn record (epoch 6) was truncated away: the daemon restored
+	// at epoch 5, and the subscriber's epoch 6 is now the future. The
+	// resume MUST come back as a full resync, and the copy must match
+	// the daemon's (rewound) state afterwards.
+	st, resp, cancel = subscribeTo(t, client, ts3.URL, &last)
+	defer cancel()
+	defer resp.Body.Close()
+	if st.Hello().Epoch != 5 {
+		t.Fatalf("torn-tail daemon at epoch %d, want 5", st.Hello().Epoch)
+	}
+	d, err = st.Next()
+	if err != nil {
+		t.Fatalf("torn-tail resume: %v", err)
+	}
+	if !d.Full || d.Epoch != 5 {
+		t.Fatalf("torn-tail resume full=%v epoch=%d, want a full resync at 5", d.Full, d.Epoch)
+	}
+	applyTo(copyMap, d)
+	checkAgainstResync(t, client, ts3.URL, copyMap)
+}
+
+// TestSubscribeSurvivesConnectionLoss pins the subscriber-visible side
+// of a daemon dying under it: the dropped connection surfaces as a
+// transport error (not a hang, and not mistaken for an orderly Bye),
+// the server releases the subscriber slot, and the shutdown flush still
+// runs cleanly afterwards.
+func TestSubscribeSurvivesConnectionLoss(t *testing.T) {
+	dir := t.TempDir()
+	opts := daemonOptions{cache: 8, data: dir, logf: func(string, ...any) {}}
+	h, svc, err := newDaemon(opts)
+	if err != nil {
+		t.Fatalf("newDaemon: %v", err)
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	client := ts.Client()
+	st, resp, cancel := subscribeTo(t, client, ts.URL, nil)
+	defer cancel()
+	defer resp.Body.Close()
+	if _, err := st.Next(); err != nil {
+		t.Fatalf("opening resync: %v", err)
+	}
+	mutate(t, client, ts.URL, subPlanA+`"events":[{"op":"leave","p":[2,2]}]}`)
+	if d, err := st.Next(); err != nil || d.Epoch != 1 {
+		t.Fatalf("live delta %+v err %v", d, err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := st.Next()
+		done <- err
+	}()
+	ts.CloseClientConnections()
+	if err := <-done; err == nil || errors.Is(err, service.ErrStreamEnded) {
+		t.Fatalf("connection loss surfaced as %v, want a transport error", err)
+	}
+	if n := svc.FlushSessions(); n != 1 {
+		t.Fatalf("flushed %d sessions, want 1", n)
+	}
+}

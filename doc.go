@@ -111,7 +111,15 @@
 //   - The service layer exposes sessions over POST /v1/plan:mutate,
 //     keyed by core.Signature + window and versioned by an epoch, so
 //     latticed clients track churn from delta responses without
-//     re-downloading schedules; wsn.Config.Churn scripts the same
+//     re-downloading schedules. Sessions also push (DESIGN.md §13):
+//     POST /v1/plan:subscribe streams one delta per applied batch in
+//     either codec, catching stale subscribers up from the session WAL
+//     when -data covers the gap and answering a full resync otherwise,
+//     while slow consumers are dropped with a terminal "resync
+//     required" element rather than ever blocking the mutate path. A
+//     differential subscriber oracle pins every streamed copy
+//     byte-identical to a full resync across reconnects, evictions,
+//     and daemon restarts; wsn.Config.Churn scripts the same
 //     events through the simulator (the tiling schedule needs no
 //     rescheduling under churn — condition T2 is subset-closed), and
 //     examples/churn walks the whole story. A differential oracle

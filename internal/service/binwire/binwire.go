@@ -61,6 +61,9 @@ const (
 	FrameBatchMay byte = 0x02
 	// FrameMutate is a dynamic-session mutation request.
 	FrameMutate byte = 0x03
+	// FrameSubscribe is a session-subscription request (DESIGN.md §13):
+	// it opens a server-push delta stream instead of a one-shot reply.
+	FrameSubscribe byte = 0x04
 
 	// FrameSlotsHead opens a slots response: m and the total count.
 	FrameSlotsHead byte = 0x81
@@ -72,6 +75,15 @@ const (
 	FrameMayChunk byte = 0x84
 	// FrameMutateResult carries a complete mutate response.
 	FrameMutateResult byte = 0x85
+	// FrameSubHello opens a subscription stream: the plan signature and
+	// the session's epoch, palette size, and live count at attach time.
+	FrameSubHello byte = 0x86
+	// FrameDelta carries one epoch's slot changes to a subscriber (or a
+	// full assignment when its full flag is set — the resync form).
+	FrameDelta byte = 0x87
+	// FrameSubBye terminates a subscription stream: the subscriber must
+	// reconnect and resync (slow-consumer drop, session eviction).
+	FrameSubBye byte = 0x88
 	// FrameError reports a failed request: HTTP status plus message.
 	FrameError byte = 0x7E
 	// FrameEnd terminates every response frame sequence (empty payload).

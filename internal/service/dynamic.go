@@ -20,9 +20,11 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"tilingsched/internal/core"
 	"tilingsched/internal/dynamic"
+	"tilingsched/internal/graph"
 	"tilingsched/internal/lattice"
 	"tilingsched/internal/tiling"
 )
@@ -51,6 +53,15 @@ type SessionStats struct {
 	Events    int64 `json:"events"`
 	// EpochConflicts counts requests rejected for a stale epoch (409).
 	EpochConflicts int64 `json:"epoch_conflicts"`
+	// Subscribers is the number of live push-subscription streams;
+	// Subscribed counts subscriptions ever attached.
+	Subscribers int64 `json:"subscribers"`
+	Subscribed  int64 `json:"subscribed"`
+	// SubscriberDrops counts subscribers dropped for a full queue (slow
+	// consumers); SubscriberEvictions counts subscriber streams
+	// terminated because their session was evicted.
+	SubscriberDrops     int64 `json:"subscriber_drops"`
+	SubscriberEvictions int64 `json:"subscriber_evictions"`
 }
 
 // sessionTable is the LRU of live dynamic sessions. Lookup and eviction
@@ -87,6 +98,15 @@ type sessionTable struct {
 	// logf receives operational log lines (dirty evictions, persistence
 	// recoveries); nil discards them.
 	logf func(format string, args ...any)
+
+	// subsLive tracks live subscription streams across sessions without
+	// the table lock (attach under a session lock, detach without any).
+	subsLive atomic.Int64
+	// baseMode, when not Auto, builds session mutators over an explicit
+	// conflict-graph mode instead of the implicit periodic stencil — a
+	// test hook for the subscriber oracle's mode sweep (production
+	// sessions always use identity residues).
+	baseMode graph.Mode
 }
 
 // dynSession is one mutable deployment.
@@ -105,6 +125,10 @@ type dynSession struct {
 	// must re-get instead of mutating an unreachable — and, with
 	// persistence on, no-longer-durable — ghost.
 	gone bool
+	// hub fans applied batches out to this session's push subscribers
+	// (DESIGN.md §13). Attaches and publishes run under mu; eviction
+	// closes every subscriber so none can hold the ghost session alive.
+	hub subHub
 }
 
 func newSessionTable(capacity int, met *Metrics) *sessionTable {
@@ -168,10 +192,7 @@ func (st *sessionTable) get(plan *core.Plan, w lattice.Window) (*dynSession, err
 		close(build)
 		return nil, err
 	}
-	opts := dynamic.Options{Residues: tiling.IdentityResidues(w.Dim())}
-	if st.met != nil {
-		opts.Metrics = st.met.dyn
-	}
+	opts := st.dynOpts(w)
 	var (
 		mut   *dynamic.Mutator
 		disk  *sessionDisk
@@ -244,8 +265,12 @@ func (st *sessionTable) get(plan *core.Plan, w lattice.Window) (*dynSession, err
 // session lock first means an in-flight mutate on the evicted session
 // finishes (and lands in the flush) before the handle goes away; marking
 // the session gone sends later stale-pointer mutates back through get.
-// Only then does the eviction barrier come down, so a re-open for the
-// key reads the flushed files with no live handle left behind.
+// Closing the hub in the same critical section terminates every
+// subscriber stream with a resync-required Bye — a subscriber must never
+// hold a flushed ghost session alive, and once gone is set no new
+// subscriber can attach (subscribeAttach re-gets). Only then does the
+// eviction barrier come down, so a re-open for the key reads the
+// flushed files with no live handle left behind.
 func (st *sessionTable) finishEvict(s *dynSession) {
 	s.mu.Lock()
 	s.gone = true
@@ -260,16 +285,25 @@ func (st *sessionTable) finishEvict(s *dynSession) {
 		s.disk.close()
 		s.disk = nil
 	}
+	subsClosed := s.hub.closeAll(byeEvicted)
 	s.mu.Unlock()
 	st.mu.Lock()
 	if dirty {
 		st.stats.EvictedDirty++
 	}
+	st.stats.SubscriberEvictions += int64(subsClosed)
 	ch := st.evicting[s.key]
 	delete(st.evicting, s.key)
 	st.mu.Unlock()
 	if ch != nil {
 		close(ch)
+	}
+	if subsClosed > 0 {
+		if st.met != nil {
+			st.met.subsEvicted.Add(uint64(subsClosed))
+		}
+		st.logfSafe("latticed: evicted session %s: terminated %d subscriber(s) at epoch %d",
+			s.key, subsClosed, epoch)
 	}
 	if dirty {
 		if st.met != nil {
@@ -304,6 +338,24 @@ func (st *sessionTable) flushAll() int {
 	return n
 }
 
+// dynOpts builds the mutator options every session of this table is
+// seeded, restored, and caught up with: the plan's implicit periodic
+// base (identity residues) plus the table's metrics sink — or, when the
+// oracle's mode hook forces an explicit adjacency mode, that mode with
+// no residues.
+func (st *sessionTable) dynOpts(w lattice.Window) dynamic.Options {
+	opts := dynamic.Options{}
+	if st.baseMode == graph.Auto {
+		opts.Residues = tiling.IdentityResidues(w.Dim())
+	} else {
+		opts.BaseMode = st.baseMode
+	}
+	if st.met != nil {
+		opts.Metrics = st.met.dyn
+	}
+	return opts
+}
+
 // logfSafe logs through the table's sink when one is configured.
 func (st *sessionTable) logfSafe(format string, args ...any) {
 	if st.logf != nil {
@@ -317,7 +369,24 @@ func (st *sessionTable) snapshot() SessionStats {
 	defer st.mu.Unlock()
 	s := st.stats
 	s.Sessions = st.lru.Len()
+	s.Subscribers = st.subsLive.Load()
 	return s
+}
+
+// recordSubscribe tallies one attached subscription stream.
+func (st *sessionTable) recordSubscribe() {
+	st.subsLive.Add(1)
+	st.mu.Lock()
+	st.stats.Subscribed++
+	st.mu.Unlock()
+}
+
+// recordSubDrops tallies slow-subscriber drops (called under a session
+// lock, like record — session-then-table is the established order).
+func (st *sessionTable) recordSubDrops(n int) {
+	st.mu.Lock()
+	st.stats.SubscriberDrops += int64(n)
+	st.mu.Unlock()
 }
 
 // record tallies one applied batch.

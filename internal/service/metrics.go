@@ -30,6 +30,7 @@ const (
 	epSlots
 	epMay
 	epMutate
+	epSubscribe
 	numEndpoints
 )
 
@@ -41,7 +42,7 @@ const (
 )
 
 var (
-	epNames    = [numEndpoints]string{"plan", "slots", "maybroadcast", "mutate"}
+	epNames    = [numEndpoints]string{"plan", "slots", "maybroadcast", "mutate", "subscribe"}
 	codecNames = [numCodecs]string{"json", "bin"}
 )
 
@@ -115,6 +116,17 @@ type Metrics struct {
 	replayedEvents                      *obs.Counter
 	walAppendNs, walFsyncNs, snapshotNs *obs.Histogram
 
+	// Push plane (DESIGN.md §13): live/attached subscriber accounting,
+	// the two terminal modes (slow-consumer drops and session-eviction
+	// closes), deltas fanned out, per-batch fan-out wall time, and the
+	// two stale-attach recovery modes kept distinct — WAL catch-ups vs
+	// full resyncs.
+	subsLive                            *obs.Gauge
+	subsTotal, subsDropped, subsEvicted *obs.Counter
+	deltasPushed                        *obs.Counter
+	subCatchups, subResyncs             *obs.Counter
+	fanoutNs                            *obs.Histogram
+
 	// Dyn is the dynamic-subsystem telemetry, registered in the same
 	// registry and passed to every session's Mutator.
 	dyn *dynamic.Metrics
@@ -172,6 +184,14 @@ func newServerMetrics(opts ServerOptions) *Metrics {
 	m.walAppendNs = r.Histogram("latticed_wal_append_ns")
 	m.walFsyncNs = r.Histogram("latticed_wal_fsync_ns")
 	m.snapshotNs = r.Histogram("latticed_snapshot_ns")
+	m.subsLive = r.Gauge("latticed_subscribers_live")
+	m.subsTotal = r.Counter("latticed_subscribers_total")
+	m.subsDropped = r.Counter("latticed_subscribers_dropped_total")
+	m.subsEvicted = r.Counter("latticed_subscribers_evicted_total")
+	m.deltasPushed = r.Counter("latticed_deltas_pushed_total")
+	m.subCatchups = r.Counter("latticed_subscriber_catchups_total")
+	m.subResyncs = r.Counter("latticed_subscriber_resyncs_total")
+	m.fanoutNs = r.Histogram("latticed_fanout_ns")
 	m.dyn = dynamic.NewMetrics(r)
 	return m
 }
@@ -257,6 +277,11 @@ func (sr *statusRecorder) WriteHeader(code int) {
 	sr.status = code
 	sr.ResponseWriter.WriteHeader(code)
 }
+
+// Unwrap exposes the wrapped writer so http.ResponseController reaches
+// the connection's Flush / SetWriteDeadline through the instrument
+// wrapper — the subscribe stream needs both.
+func (sr *statusRecorder) Unwrap() http.ResponseWriter { return sr.ResponseWriter }
 
 // instrument wraps an endpoint handler with the uniform telemetry:
 // codec negotiation, status capture, end-to-end timing, and the

@@ -798,6 +798,105 @@ func (st *SessionStore) replay(plan *core.Plan, w lattice.Window, dopts dynamic.
 	return replayed, mut, epoch, nil
 }
 
+// catchUp rebuilds the persisted delta history of (plan, w) for a stale
+// subscriber: one Delta per epoch in (from, to], oldest first, derived
+// by replaying the on-disk snapshot + WAL through a throwaway mutator.
+// Unlike replay it is strictly read-only — it runs concurrently with
+// the live session's appends (every record with epoch ≤ to is fully
+// written before the caller observed to under the session lock, so the
+// prefix it needs is stable; torn newer bytes are simply not reached) —
+// and it never truncates or resets files. ok is false whenever the gap
+// is not covered — snapshot already past from, unusable or rotated WAL,
+// a gap or torn tail before to — and the caller falls back to a full
+// resync.
+func (st *SessionStore) catchUp(plan *core.Plan, w lattice.Window, from, to uint64, dopts dynamic.Options) ([]*Delta, bool) {
+	if from >= to {
+		return nil, true
+	}
+	id := sessionFileID(plan.Signature() + "|" + w.String())
+	snapPath, walPath := st.paths(id)
+
+	var mut *dynamic.Mutator
+	var cur uint64
+	if data, err := os.ReadFile(snapPath); err == nil {
+		sid, sepoch, state, derr := decodeSnapshot(data)
+		if derr != nil || sid.sig != plan.Signature() {
+			return nil, false
+		}
+		if sepoch > from {
+			// Epochs (from, sepoch] are baked into the snapshot; their
+			// individual deltas are gone.
+			return nil, false
+		}
+		if mut, derr = dynamic.NewMutatorFromState(plan.Deployment(), state, dopts); derr != nil {
+			return nil, false
+		}
+		cur = sepoch
+	} else if !os.IsNotExist(err) {
+		return nil, false
+	}
+
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		return nil, false
+	}
+	r := binwire.NewReader(data)
+	typ, payload := r.Frame()
+	if r.Err() != nil || typ != framePersistWALHeader {
+		return nil, false
+	}
+	if _, base, herr := decodeWALHeader(&payload); herr != nil || base > cur {
+		// base > cur: the log was rotated against a snapshot newer than
+		// the one read above (or the snapshot is missing) — its records
+		// would replay onto the wrong base.
+		return nil, false
+	}
+	if mut == nil {
+		if mut, err = seedMutator(plan, w, dopts); err != nil {
+			return nil, false
+		}
+	}
+
+	dim := w.Dim()
+	var deltas []*Delta
+	for cur < to && r.Remaining() > 0 {
+		typ, payload := r.Frame()
+		if r.Err() != nil {
+			return nil, false
+		}
+		if typ != framePersistWALRecord {
+			continue
+		}
+		recEpoch, events, derr := decodeWALRecord(&payload, dim)
+		if derr != nil {
+			return nil, false
+		}
+		if recEpoch <= cur {
+			continue // pre-snapshot leftovers (idempotent skip, as in replay)
+		}
+		if recEpoch != cur+1 {
+			return nil, false // a hole in the history
+		}
+		_, changed, aerr := mut.Apply(events)
+		if aerr != nil {
+			return nil, false
+		}
+		cur = recEpoch
+		if cur > from {
+			d := &Delta{Epoch: cur, M: mut.Slots(), Alive: mut.AliveCount()}
+			d.Changed = make([]ChangeSpec, 0, len(changed))
+			for _, ch := range changed {
+				d.Changed = append(d.Changed, ChangeSpec{P: ch.P, Slot: ch.Slot})
+			}
+			deltas = append(deltas, d)
+		}
+	}
+	if cur < to {
+		return nil, false
+	}
+	return deltas, true
+}
+
 // seedMutator builds the epoch-0 session state: the plan's Theorem 1
 // schedule over the declared window (shared by sessionTable.get and
 // replay).

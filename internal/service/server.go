@@ -29,6 +29,14 @@ type ServerOptions struct {
 	// MaxSessions caps the live dynamic-deployment sessions
 	// (DefaultMaxSessions when zero).
 	MaxSessions int
+	// MaxSubscribers caps the push subscribers attached to one session
+	// (DefaultMaxSubscribers when zero); beyond it, subscribe answers
+	// 503.
+	MaxSubscribers int
+	// SubscribeQueue is the per-subscriber delta-queue depth
+	// (DefaultSubscribeQueue when zero): the number of epochs a slow
+	// consumer may lag before it is dropped to a resync.
+	SubscribeQueue int
 	// SlowThreshold, when positive, samples requests slower than it
 	// into SlowLog (at most one per 100ms): endpoint, codec, plan
 	// signature, batch size, and decode/engine/encode phase times.
@@ -54,6 +62,7 @@ const (
 //	POST /v1/slots:batch        slots of a point batch or window
 //	POST /v1/maybroadcast:batch may-broadcast bits at time t
 //	POST /v1/plan:mutate        churn a dynamic deployment session
+//	POST /v1/plan:subscribe     stream a session's epoch deltas (push)
 //	GET  /healthz               liveness + registry and session stats
 //
 // Query buffers are pooled, so the steady-state engine work allocates
@@ -135,6 +144,12 @@ func NewServer(reg *Registry, opts ServerOptions) *Server {
 	if opts.MaxBody <= 0 {
 		opts.MaxBody = defaultMaxBody
 	}
+	if opts.MaxSubscribers <= 0 {
+		opts.MaxSubscribers = DefaultMaxSubscribers
+	}
+	if opts.SubscribeQueue <= 0 {
+		opts.SubscribeQueue = DefaultSubscribeQueue
+	}
 	s := &Server{reg: reg, opts: opts, mux: http.NewServeMux(), met: newServerMetrics(opts)}
 	s.sessions = newSessionTable(opts.MaxSessions, s.met)
 	s.sessions.logf = opts.Logf
@@ -146,6 +161,7 @@ func NewServer(reg *Registry, opts ServerOptions) *Server {
 	s.mux.HandleFunc("POST /v1/slots:batch", s.instrument(epSlots, s.handleSlots))
 	s.mux.HandleFunc("POST /v1/maybroadcast:batch", s.instrument(epMay, s.handleMay))
 	s.mux.HandleFunc("POST /v1/plan:mutate", s.instrument(epMutate, s.handleMutate))
+	s.mux.HandleFunc("POST /v1/plan:subscribe", s.instrument(epSubscribe, s.handleSubscribe))
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
 }
@@ -333,6 +349,28 @@ func (s *Server) mutateCore(plan *core.Plan, win lattice.Window, hasEpoch bool, 
 					if perr := sess.disk.snapshot(sess.mut, sess.epoch); perr != nil {
 						s.sessions.logfSafe("latticed: session %s: %v", sess.key, perr)
 					}
+				}
+			}
+			// Fan the applied batch out to subscribers while still under
+			// the session lock, so every subscriber queue observes epochs
+			// in order. The delta owns its change slice (the response's
+			// may be rewritten by the full branch below); publishing
+			// never blocks — a full queue drops its subscriber instead.
+			if sess.hub.active() {
+				fanStart := time.Now()
+				pd := &Delta{Epoch: sess.epoch, M: sess.mut.Slots(), Alive: sess.mut.AliveCount()}
+				pd.Changed = make([]ChangeSpec, 0, len(changed))
+				for _, ch := range changed {
+					pd.Changed = append(pd.Changed, ChangeSpec{P: ch.P, Slot: ch.Slot})
+				}
+				delivered, dropped := sess.hub.publish(pd)
+				s.met.deltasPushed.Add(uint64(delivered))
+				s.met.fanoutNs.Record(uint64(time.Since(fanStart)))
+				if dropped > 0 {
+					s.met.subsDropped.Add(uint64(dropped))
+					s.sessions.recordSubDrops(dropped)
+					s.sessions.logfSafe("latticed: session %s: dropped %d slow subscriber(s) at epoch %d",
+						sess.key, dropped, sess.epoch)
 				}
 			}
 		}

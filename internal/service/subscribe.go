@@ -1,0 +1,489 @@
+package service
+
+// Epoch-delta push (DESIGN.md §13): POST /v1/plan:subscribe attaches a
+// client to a dynamic mutation session and streams every subsequent
+// epoch's slot changes, so sensors learn reassignments without polling.
+// Each session carries a subHub — a set of bounded per-subscriber
+// queues. mutateCore publishes one immutable Delta per applied batch
+// under the session lock (so subscribers observe epochs in order), and
+// publishing never blocks: a subscriber whose queue is full is dropped
+// on the spot and its stream ends with a "resync required" terminal
+// frame. A subscriber arriving with a stale epoch is caught up from the
+// persisted WAL (§12) when the gap is covered, and answered with a full
+// resync snapshot otherwise. Lock order: sess.mu → subHub.mu → table.mu
+// (publish runs under the session lock; detach takes only the hub lock).
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"tilingsched/internal/core"
+	"tilingsched/internal/lattice"
+)
+
+const (
+	// DefaultSubscribeQueue is a subscriber's delta-queue depth when
+	// ServerOptions leaves SubscribeQueue zero: the number of epochs a
+	// slow consumer may lag before it is dropped to a resync.
+	DefaultSubscribeQueue = 256
+	// DefaultMaxSubscribers bounds the subscribers attached to one
+	// session when ServerOptions leaves MaxSubscribers zero.
+	DefaultMaxSubscribers = 1024
+)
+
+// Subscriber terminal-frame reasons (the Bye text of the ending delta).
+const (
+	byeSlow    = "resync required: subscriber queue overflow"
+	byeEvicted = "resync required: session evicted"
+)
+
+// SubscribeRequest is the body of POST /v1/plan:subscribe. The
+// (plan, window) pair names the mutation session exactly as in
+// MutateRequest. Epoch, when non-nil, is the last epoch the client has
+// applied: the stream resumes from there (WAL catch-up) when the gap is
+// covered, and opens with a full resync delta otherwise. A nil epoch
+// always opens with a full resync delta.
+type SubscribeRequest struct {
+	Plan   PlanSpec   `json:"plan"`
+	Window WindowSpec `json:"window"`
+	Epoch  *uint64    `json:"epoch,omitempty"`
+}
+
+// SubscribeHello is the first element of a subscription stream: the
+// session's identity and its epoch, palette size, and live count at
+// attach time. Every delta that follows has a strictly larger epoch
+// (after any catch-up deltas, which close the gap up to Epoch).
+type SubscribeHello struct {
+	Signature string `json:"signature"`
+	Epoch     uint64 `json:"epoch"`
+	M         int    `json:"m"`
+	Alive     int    `json:"alive"`
+}
+
+// SubscribeDelta is one pushed stream element: the slot changes that
+// take a copy of the assignment from the previous epoch to Epoch. Full
+// marks a resync delta — Changed is the complete live assignment and
+// replaces the copy instead of patching it. A non-empty Bye terminates
+// the stream: the server stopped pushing (slow-consumer drop, session
+// eviction) and the client must reconnect and resync.
+type SubscribeDelta struct {
+	Epoch   uint64       `json:"epoch"`
+	M       int          `json:"m"`
+	Alive   int          `json:"alive"`
+	Full    bool         `json:"full,omitempty"`
+	Changed []ChangeSpec `json:"changed"`
+	Bye     string       `json:"bye,omitempty"`
+}
+
+// Delta is the fan-out unit of the push plane: one epoch's slot changes
+// (or, with Full set, a complete assignment snapshot), shared immutably
+// by every subscriber queue it is published to. In-process subscribers
+// (Server.Subscribe) receive *Delta directly; the wire handlers render
+// it as a SubscribeDelta line or a FrameDelta frame.
+type Delta struct {
+	// Epoch is the session epoch this delta produces.
+	Epoch uint64
+	// M and Alive are the post-epoch palette size and live-sensor count.
+	M, Alive int
+	// Full marks a resync snapshot: Changed is the complete live
+	// assignment and replaces the subscriber's copy.
+	Full bool
+	// Changed is the slot-change set (Slot -1 marks a departure). The
+	// slice and its points are shared across subscribers: read-only.
+	Changed []ChangeSpec
+}
+
+// subscriber is one attached stream: a bounded delta queue plus the
+// terminal reason. reason is written under the hub lock strictly before
+// ch is closed, so a receiver that observed the close may read it
+// without further synchronization.
+type subscriber struct {
+	ch     chan *Delta
+	reason string
+}
+
+// subHub is a session's subscriber set. Attach and publish run under
+// the owning session's mutex (hub lock nested inside), so a subscriber
+// can never miss the epoch it attached at; detach takes only the hub
+// lock, so a disconnecting client never touches the mutate path.
+type subHub struct {
+	mu   sync.Mutex
+	subs map[*subscriber]struct{}
+}
+
+// attach adds sub unless the session already has max subscribers.
+func (h *subHub) attach(sub *subscriber, max int) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.subs) >= max {
+		return false
+	}
+	if h.subs == nil {
+		h.subs = make(map[*subscriber]struct{})
+	}
+	h.subs[sub] = struct{}{}
+	return true
+}
+
+// detach removes sub if still attached (false when the hub already
+// dropped or closed it). It never closes the channel — the hub owns
+// closes, the streamer owns detach.
+func (h *subHub) detach(sub *subscriber) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.subs[sub]; !ok {
+		return false
+	}
+	delete(h.subs, sub)
+	return true
+}
+
+// active reports whether any subscriber is attached — the mutate path's
+// cheap pre-check before it builds a Delta.
+func (h *subHub) active() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs) > 0
+}
+
+// publish hands d to every subscriber without ever blocking: a full
+// queue means the subscriber cannot keep up, so it is dropped on the
+// spot (reason set, channel closed) rather than stalling the mutation
+// pipeline. Returns the deliveries and drops.
+func (h *subHub) publish(d *Delta) (delivered, dropped int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for sub := range h.subs {
+		select {
+		case sub.ch <- d:
+			delivered++
+		default:
+			delete(h.subs, sub)
+			sub.reason = byeSlow
+			close(sub.ch)
+			dropped++
+		}
+	}
+	return delivered, dropped
+}
+
+// closeAll terminates every subscriber with the given reason (session
+// eviction) and returns how many were closed.
+func (h *subHub) closeAll(reason string) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.subs)
+	for sub := range h.subs {
+		delete(h.subs, sub)
+		sub.reason = reason
+		close(sub.ch)
+	}
+	return n
+}
+
+// DecodeSubscribeRequest parses a subscribe request body and enforces
+// its structural contract: valid JSON and a well-formed window within
+// lim.MaxWindow points. It is the JSON decoding funnel of the subscribe
+// endpoint (fuzzed by FuzzDecodeSubscribeRequest) under the same
+// never-panic contract as DecodeMutateRequest. Violations wrap ErrSpec
+// (400) or ErrLimit (413).
+func DecodeSubscribeRequest(data []byte, lim Limits) (SubscribeRequest, lattice.Window, error) {
+	lim = lim.withDefaults()
+	var req SubscribeRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		return SubscribeRequest{}, lattice.Window{}, fmt.Errorf("%w: decoding request: %v", ErrSpec, err)
+	}
+	win, err := req.Window.Window()
+	if err != nil {
+		return SubscribeRequest{}, lattice.Window{}, fmt.Errorf("%w: %v", ErrSpec, err)
+	}
+	size, err := win.SizeChecked()
+	if err != nil || size > lim.MaxWindow {
+		return SubscribeRequest{}, lattice.Window{}, fmt.Errorf("%w: window %s exceeds limit %d points",
+			ErrLimit, win, lim.MaxWindow)
+	}
+	return req, win, nil
+}
+
+// Subscription is an in-process subscriber feed (Server.Subscribe): the
+// attach-time hello, any catch-up deltas that close the gap from the
+// requested epoch, and the live delta channel. C closes when the server
+// stops pushing (slow-consumer drop or session eviction); Reason then
+// says why. Callers that stop reading must Close, or the feed lingers
+// until the hub drops it as slow.
+type Subscription struct {
+	// Hello is the session state at attach time.
+	Hello SubscribeHello
+	// Catch holds the deltas that bring a stale subscriber from its
+	// requested epoch up to Hello.Epoch, oldest first (nil when the
+	// subscriber attached current). Apply them before reading C.
+	Catch []*Delta
+	// C delivers every epoch published after Hello.Epoch, in order.
+	C <-chan *Delta
+
+	sub  *subscriber
+	sess *dynSession
+	done func()
+}
+
+// Reason returns why the feed ended ("" while C is open). Valid only
+// after a receive from C observed it closed.
+func (f *Subscription) Reason() string { return f.sub.reason }
+
+// Close detaches the feed. Idempotent; safe concurrently with the
+// server dropping the feed on its own.
+func (f *Subscription) Close() {
+	f.sess.hub.detach(f.sub)
+	if f.done != nil {
+		f.done()
+		f.done = nil
+	}
+}
+
+// Subscribe attaches an in-process subscriber to the mutation session
+// for (plan, window) — the push plane without HTTP framing, for
+// embedders and the push benchmarks. epoch has SubscribeRequest.Epoch
+// semantics (nil: open with a full resync delta). The returned feed
+// must be Closed when done.
+func (s *Server) Subscribe(spec PlanSpec, ws WindowSpec, epoch *uint64) (*Subscription, error) {
+	plan, err := s.reg.GetSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	win, err := ws.Window()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSpec, err)
+	}
+	if win.Dim() != plan.Tile().Dim() {
+		return nil, fmt.Errorf("%w: window dimension %d ≠ plan dimension %d", ErrSpec, win.Dim(), plan.Tile().Dim())
+	}
+	var e uint64
+	if epoch != nil {
+		e = *epoch
+	}
+	feed, _, err := s.subscribeAttach(plan, win, epoch != nil, e)
+	return feed, err
+}
+
+// subscribeAttach resolves the live session for (plan, win), attaches a
+// subscriber, and computes the catch-up deltas for the client's epoch:
+// none when current, per-epoch WAL replays when the persisted log
+// covers the gap, one full resync delta otherwise (unknown or future
+// epoch, no persistence, gap not covered). On failure the returned
+// status is the HTTP answer (503 when the session's subscriber cap is
+// reached, 500 on a session-table failure).
+func (s *Server) subscribeAttach(plan *core.Plan, win lattice.Window, hasEpoch bool, epoch uint64) (*Subscription, int, error) {
+	maxSubs := s.opts.MaxSubscribers
+	queue := s.opts.SubscribeQueue
+	for {
+		sess, err := s.sessions.get(plan, win)
+		if err != nil {
+			return nil, http.StatusInternalServerError, err
+		}
+		sess.mu.Lock()
+		if sess.gone {
+			// Evicted between lookup and lock (same race as mutateCore):
+			// its hub is closed; attach to the live successor instead.
+			sess.mu.Unlock()
+			continue
+		}
+		sub := &subscriber{ch: make(chan *Delta, queue)}
+		if !sess.hub.attach(sub, maxSubs) {
+			sess.mu.Unlock()
+			return nil, http.StatusServiceUnavailable,
+				fmt.Errorf("session has %d subscribers (limit): retry or raise MaxSubscribers", maxSubs)
+		}
+		cur := sess.epoch
+		feed := &Subscription{
+			Hello: SubscribeHello{Signature: plan.Signature(), Epoch: cur,
+				M: sess.mut.Slots(), Alive: sess.mut.AliveCount()},
+			C:    sub.ch,
+			sub:  sub,
+			sess: sess,
+		}
+		needWAL := false
+		switch {
+		case hasEpoch && epoch == cur:
+			// Current: the stream resumes with the next published delta.
+		case hasEpoch && epoch < cur && sess.disk != nil:
+			// Stale with a persisted history: try the WAL outside the
+			// session lock (reading files under it would stall mutators).
+			needWAL = true
+		default:
+			// Unknown base (no epoch, future epoch, or no persisted
+			// history): full resync, captured under the lock so it is
+			// exactly the assignment at cur.
+			feed.Catch = []*Delta{fullDeltaLocked(sess)}
+			s.recordResync()
+		}
+		sess.mu.Unlock()
+		if needWAL {
+			deltas, ok := s.sessions.store.catchUp(plan, win, epoch, cur, s.sessions.dynOpts(win))
+			if ok {
+				feed.Catch = deltas
+				s.met.subCatchups.Inc()
+			} else {
+				// Gap not covered (snapshot past the client's epoch, torn
+				// tail, rotated log): fall back to a full resync. The
+				// session may have moved on — or been evicted — since the
+				// attach; re-take the lock and re-stamp the hello.
+				sess.mu.Lock()
+				if sess.gone {
+					sess.mu.Unlock()
+					sess.hub.detach(sub)
+					continue
+				}
+				feed.Hello.Epoch = sess.epoch
+				feed.Hello.M = sess.mut.Slots()
+				feed.Hello.Alive = sess.mut.AliveCount()
+				feed.Catch = []*Delta{fullDeltaLocked(sess)}
+				sess.mu.Unlock()
+				s.recordResync()
+			}
+		}
+		s.sessions.recordSubscribe()
+		s.met.subsTotal.Inc()
+		s.met.subsLive.Add(1)
+		feed.done = func() {
+			s.sessions.subsLive.Add(-1)
+			s.met.subsLive.Add(-1)
+		}
+		return feed, http.StatusOK, nil
+	}
+}
+
+// fullDeltaLocked captures a resync delta — the complete live
+// assignment at the session's current epoch. Caller holds sess.mu.
+func fullDeltaLocked(sess *dynSession) *Delta {
+	d := &Delta{Epoch: sess.epoch, M: sess.mut.Slots(), Alive: sess.mut.AliveCount(), Full: true}
+	d.Changed = make([]ChangeSpec, 0, sess.mut.AliveCount())
+	sess.mut.EachAssignment(func(p lattice.Point, slot int) bool {
+		d.Changed = append(d.Changed, ChangeSpec{P: p.Clone(), Slot: slot})
+		return true
+	})
+	return d
+}
+
+// recordResync tallies one full-resync attach.
+func (s *Server) recordResync() { s.met.subResyncs.Inc() }
+
+// handleSubscribe opens a push stream: decode the request through the
+// subscribe funnel, attach to the session, answer the hello plus any
+// catch-up deltas, then relay published deltas until the client leaves
+// or the server terminates the stream (slow drop, eviction) with a Bye.
+// The response streams indefinitely — the handler clears the server's
+// write deadline for this response and flushes per delta.
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request, tr *reqTrace) {
+	if isBinaryRequest(r) {
+		s.handleSubscribeBin(w, r, tr)
+		return
+	}
+	decodeStart := time.Now()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBody))
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeErr(w, status, fmt.Sprintf("reading request: %v", err))
+		return
+	}
+	req, win, err := DecodeSubscribeRequest(body, s.limits())
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrLimit) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeErr(w, status, err.Error())
+		return
+	}
+	plan, ok := s.getPlan(w, req.Plan)
+	if !ok {
+		return
+	}
+	tr.sig = plan.Signature()
+	tr.decodeNs = time.Since(decodeStart)
+	if win.Dim() != plan.Tile().Dim() {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Sprintf("window dimension %d ≠ plan dimension %d", win.Dim(), plan.Tile().Dim()))
+		return
+	}
+	var epoch uint64
+	if req.Epoch != nil {
+		epoch = *req.Epoch
+	}
+	feed, status, err := s.subscribeAttach(plan, win, req.Epoch != nil, epoch)
+	if err != nil {
+		writeErr(w, status, err.Error())
+		return
+	}
+	defer feed.Close()
+
+	// The stream outlives any server-level write timeout; clear the
+	// deadline for this response (best effort — recorders without
+	// deadline support still stream) and flush per element so idle
+	// sensors see each epoch as it happens.
+	rc := http.NewResponseController(w)
+	_ = rc.SetWriteDeadline(time.Time{})
+	w.Header().Set("Content-Type", ndjsonContentType)
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	send := func(v any) bool {
+		if err := enc.Encode(v); err != nil {
+			return false
+		}
+		return rc.Flush() == nil
+	}
+	if !send(feed.Hello) {
+		return
+	}
+	last := feed.Hello.Epoch
+	for _, d := range feed.Catch {
+		if !send(deltaWire(d)) {
+			return
+		}
+		if d.Epoch > last {
+			last = d.Epoch
+		}
+	}
+	tr.batch = len(feed.Catch)
+	ctx := r.Context()
+	for {
+		select {
+		case d, open := <-feed.C:
+			if !open {
+				_ = send(SubscribeDelta{Epoch: last, Bye: feed.Reason()})
+				return
+			}
+			// Skip deltas the catch-up already covered (published while
+			// the WAL fallback re-snapshotted at a later epoch).
+			if !d.Full && d.Epoch <= last {
+				continue
+			}
+			if !send(deltaWire(d)) {
+				return
+			}
+			if d.Epoch > last {
+				last = d.Epoch
+			}
+			tr.batch++
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// ndjsonContentType is the JSON subscription stream's content type:
+// one JSON value per line (hello, then deltas).
+const ndjsonContentType = "application/x-ndjson"
+
+// deltaWire renders a fan-out delta as its JSON stream element.
+func deltaWire(d *Delta) SubscribeDelta {
+	return SubscribeDelta{Epoch: d.Epoch, M: d.M, Alive: d.Alive, Full: d.Full, Changed: d.Changed}
+}

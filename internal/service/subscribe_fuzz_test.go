@@ -1,0 +1,177 @@
+package service
+
+// Fuzz targets for the push plane's two trust boundaries. Server side:
+// the subscribe request funnels (JSON and binary) face unauthenticated
+// bytes and must reject without panicking, and anything accepted must
+// respect the window limit. Client side: the stream decode loop faces a
+// server the client does not control, so a malicious hello/delta
+// sequence — in particular a huge declared frame length or change count
+// — must fail without allocating more than the bytes actually received.
+// Both run in CI's fuzz smoke.
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"tilingsched/internal/service/binwire"
+)
+
+// FuzzDecodeSubscribeRequest drives both subscribe funnels with the
+// same bytes: neither may panic, and any accepted window must be within
+// the configured limit.
+func FuzzDecodeSubscribeRequest(f *testing.F) {
+	seeds := []string{
+		subBody(""),
+		subBody(`"epoch":3`),
+		subBody(`"epoch":18446744073709551615`),
+		`{"plan":{"tile":{"points":[[0,0],[1,0]]}},"window":{"lo":[0],"hi":[3]}}`,
+		`{"window":{"lo":[-1000000000,-1000000000],"hi":[1000000000,1000000000]}}`,
+		`{"window":{"lo":[4,4],"hi":[0,0]}}`,
+		`{"window":{"lo":[0,0],"hi":[9]}}`,
+		`not json`, `{"window":`, `[]`, `{}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s), 64)
+	}
+	// Binary seeds ride along: the funnels share the fuzz input.
+	e := binwire.Get()
+	epoch := uint64(7)
+	EncodeSubscribeBinary(e, SubscribeRequest{
+		Plan:   PlanSpec{Tile: TileSpec{Name: "cross:2:1"}},
+		Window: WindowSpec{Lo: []int{0, 0}, Hi: []int{4, 4}},
+		Epoch:  &epoch,
+	}, "")
+	f.Add(append([]byte(nil), e.Bytes()...), 64)
+	e.Reset()
+	EncodeSubscribeBinary(e, SubscribeRequest{Window: WindowSpec{Lo: []int{0}, Hi: []int{0}}}, "sig")
+	f.Add(append([]byte(nil), e.Bytes()...), 1)
+	binwire.Put(e)
+
+	f.Fuzz(func(t *testing.T, data []byte, maxWindow int) {
+		lim := Limits{MaxWindow: maxWindow}
+		eff := lim.withDefaults()
+		if _, win, err := DecodeSubscribeRequest(data, lim); err == nil {
+			if size, serr := win.SizeChecked(); serr != nil || size > eff.MaxWindow {
+				t.Fatalf("JSON funnel accepted window of %d points (err %v) over limit %d", size, serr, eff.MaxWindow)
+			}
+		} else if !errors.Is(err, ErrSpec) && !errors.Is(err, ErrLimit) {
+			t.Fatalf("JSON funnel error outside the taxonomy: %v", err)
+		}
+		if req, err := DecodeBinarySubscribe(data, lim); err == nil {
+			if size, serr := req.Window.SizeChecked(); serr != nil || size > eff.MaxWindow {
+				t.Fatalf("binary funnel accepted window of %d points (err %v) over limit %d", size, serr, eff.MaxWindow)
+			}
+		} else if !errors.Is(err, ErrSpec) && !errors.Is(err, ErrLimit) {
+			t.Fatalf("binary funnel error outside the taxonomy: %v", err)
+		}
+	})
+}
+
+// FuzzSubscribeStream drives the client-side decode loop with arbitrary
+// response bytes in both codecs. It must never panic, must terminate
+// (the reader consumes input, so EOF always arrives), and — the
+// allocation discipline — must not buffer more than the input actually
+// holds: a declared frame length or change count far beyond the
+// received bytes has to fail, not allocate.
+func FuzzSubscribeStream(f *testing.F) {
+	// A well-formed binary stream: hello, one delta, bye, end.
+	e := binwire.Get()
+	encodeSubHello(e, SubscribeHello{Signature: "sig", Epoch: 2, M: 5, Alive: 25})
+	encodeDeltaFrame(e, &Delta{Epoch: 3, M: 5, Alive: 24, Changed: []ChangeSpec{{P: []int{1, 1}, Slot: -1}}})
+	encodeDeltaFrame(e, &Delta{Epoch: 4, M: 5, Alive: 24, Full: true, Changed: nil})
+	encodeSubBye(e, 4, byeSlow)
+	e.BeginFrame(binwire.FrameEnd)
+	e.EndFrame()
+	good := append([]byte(nil), e.Bytes()...)
+	binwire.Put(e)
+	f.Add(good, true)
+	f.Add(good, false)
+
+	// A frame declaring a huge length with no bytes behind it, and a
+	// delta declaring a huge change count.
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, byte(binwire.FrameSubHello)}, true)
+	e2 := binwire.Get()
+	e2.BeginFrame(binwire.FrameDelta)
+	e2.Uvarint(1)       // epoch
+	e2.Uvarint(5)       // m
+	e2.Uvarint(25)      // alive
+	e2.Byte(0)          // flags
+	e2.Uvarint(1 << 30) // declared count with no data behind it
+	e2.Uvarint(2)       // dim
+	e2.EndFrame()
+	hugeCount := append([]byte(nil), e2.Bytes()...)
+	binwire.Put(e2)
+	f.Add(hugeCount, true)
+
+	// ndjson seeds.
+	f.Add([]byte(`{"signature":"sig","epoch":1,"m":5,"alive":25}`+"\n"+
+		`{"epoch":2,"m":5,"alive":24,"changed":[{"p":[1,1],"slot":-1}]}`+"\n"+
+		`{"epoch":2,"bye":"resync required"}`+"\n"), false)
+	f.Add([]byte("not json\n"), false)
+
+	f.Fuzz(func(t *testing.T, data []byte, binary bool) {
+		contentType := "application/json"
+		if binary {
+			contentType = BinaryContentType
+		}
+		st, err := OpenSubscribeStream(bytes.NewReader(data), contentType)
+		if err != nil {
+			return
+		}
+		if h := st.Hello(); binary && len(h.Signature) > maxWireSig {
+			t.Fatalf("hello signature of %d bytes accepted", len(h.Signature))
+		}
+		for i := 0; i < 1024; i++ {
+			d, err := st.Next()
+			if err != nil {
+				return
+			}
+			// Allocation discipline: a decoded change set can never hold
+			// more entries than the input could possibly encode (at least
+			// one byte per coordinate tuple + slot).
+			if binary && len(d.Changed) > len(data) {
+				t.Fatalf("%d changes decoded from %d input bytes", len(d.Changed), len(data))
+			}
+		}
+		// 1024 elements out of a fuzz-sized input means the decoder is
+		// fabricating frames; the reader must consume bytes per element.
+		if len(data) < 1024 {
+			t.Fatalf("runaway stream: >1024 elements from %d bytes", len(data))
+		}
+	})
+}
+
+// TestSubscribeStreamTruncation pins the abrupt-loss contract outside
+// the fuzzer: cutting a well-formed binary stream at any byte boundary
+// yields a read error (or clean EOF at a frame boundary), never a panic
+// or a fabricated delta.
+func TestSubscribeStreamTruncation(t *testing.T) {
+	e := binwire.Get()
+	defer binwire.Put(e)
+	encodeSubHello(e, SubscribeHello{Signature: "sig", Epoch: 1, M: 5, Alive: 25})
+	encodeDeltaFrame(e, &Delta{Epoch: 2, M: 5, Alive: 24, Changed: []ChangeSpec{
+		{P: []int{1, 1}, Slot: -1}, {P: []int{-3, 2}, Slot: 4},
+	}})
+	encodeSubBye(e, 2, byeEvicted)
+	full := e.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		st, err := OpenSubscribeStream(bytes.NewReader(full[:cut]), BinaryContentType)
+		if err != nil {
+			continue // hello itself truncated: fine
+		}
+		for {
+			d, err := st.Next()
+			if err != nil {
+				if errors.Is(err, ErrStreamEnded) && !strings.Contains(d.Bye, "resync") {
+					t.Fatalf("cut %d: fabricated bye %q", cut, d.Bye)
+				}
+				break
+			}
+			if d.Epoch != 2 {
+				t.Fatalf("cut %d: fabricated delta %+v", cut, d)
+			}
+		}
+	}
+}
