@@ -58,6 +58,11 @@ type pushResult struct {
 	P90Us  float64 `json:"delivery_p90_us"`
 	P99Us  float64 `json:"delivery_p99_us"`
 	P999Us float64 `json:"delivery_p999_us"`
+	// Propagation latency: hub publish → delivery mark, the same
+	// publish→deliver window /statusz and latticed_propagation_ns
+	// report, measured from each delta's PubTime stamp.
+	PropP50Us float64 `json:"propagation_p50_us"`
+	PropP99Us float64 `json:"propagation_p99_us"`
 	// PollRoundSeconds is how long this population would take to learn
 	// one epoch by polling instead, at the measured poll throughput.
 	PollRoundSeconds float64 `json:"poll_round_seconds"`
@@ -114,7 +119,7 @@ func runPushCell(n, epochs int) (pushResult, error) {
 	// t0[e] is stamped by the driver before the mutate that produces
 	// epoch e; the channel receive orders the subscriber's read after it.
 	t0 := make([]time.Time, epochs+1)
-	var lat obs.Histogram
+	var lat, propLat obs.Histogram
 	var delivered int64
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -126,6 +131,15 @@ func runPushCell(n, epochs int) (pushResult, error) {
 			count := int64(0)
 			for d := range f.C {
 				lat.Record(uint64(time.Since(t0[d.Epoch])))
+				// Mark advances the subscriber's lag watermark and feeds
+				// the server-side propagation histogram; PubTime is zero
+				// on catch-up deltas, which carry no live publish stamp.
+				// Decimate the shared-histogram record like the server
+				// does, or its contention dominates the fan-out measure.
+				if !d.PubTime.IsZero() && count&7 == 0 {
+					propLat.Record(uint64(time.Since(d.PubTime)))
+				}
+				f.Mark(d)
 				count++
 				if d.Epoch >= uint64(epochs) {
 					break
@@ -151,6 +165,7 @@ func runPushCell(n, epochs int) (pushResult, error) {
 	elapsed := time.Since(start)
 
 	snap := lat.Snapshot()
+	propSnap := propLat.Snapshot()
 	toUs := func(q float64) float64 { return snap.Quantile(q) / 1e3 }
 	return pushResult{
 		Subscribers:  n,
@@ -162,6 +177,8 @@ func runPushCell(n, epochs int) (pushResult, error) {
 		P90Us:        toUs(0.90),
 		P99Us:        toUs(0.99),
 		P999Us:       toUs(0.999),
+		PropP50Us:    propSnap.Quantile(0.50) / 1e3,
+		PropP99Us:    propSnap.Quantile(0.99) / 1e3,
 	}, nil
 }
 
@@ -246,8 +263,8 @@ func runPush(epochs int, pollDuration time.Duration, conns int, out string) erro
 			res.PollRoundSeconds = float64(n) / poll.ReqPerSec
 		}
 		s.Push = append(s.Push, res)
-		fmt.Printf("push: subs=%-6d %9.0f deltas/s  delivery p50=%.0fµs p90=%.0fµs p99=%.0fµs p99.9=%.0fµs  poll round=%.1fs\n",
-			n, res.DeltasPerSec, res.P50Us, res.P90Us, res.P99Us, res.P999Us, res.PollRoundSeconds)
+		fmt.Printf("push: subs=%-6d %9.0f deltas/s  delivery p50=%.0fµs p90=%.0fµs p99=%.0fµs p99.9=%.0fµs  propagation p99=%.0fµs  poll round=%.1fs\n",
+			n, res.DeltasPerSec, res.P50Us, res.P90Us, res.P99Us, res.P999Us, res.PropP99Us, res.PollRoundSeconds)
 	}
 
 	if out == "" {

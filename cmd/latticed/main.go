@@ -8,7 +8,8 @@
 //
 //	go run ./cmd/latticed [-addr :8370] [-cache 256] [-max-batch N] [-max-window N]
 //	                      [-sessions 16] [-max-subscribers N] [-sub-queue N]
-//	                      [-slow-ms 0] [-data DIR] [-fsync] [-debug]
+//	                      [-slow-ms 0] [-trace-sample N] [-trace-ring N]
+//	                      [-data DIR] [-fsync] [-debug]
 //
 // With -data DIR, dynamic mutation sessions are durable (DESIGN.md
 // §12): every applied batch appends to a per-session write-ahead log,
@@ -42,6 +43,14 @@
 //	                            phase and batch-size histograms, plan-cache
 //	                            and session traffic, dynamic repair tiers,
 //	                            per-plan traffic top-K, Go runtime stats
+//	GET  /statusz               live introspection (always on): sessions with
+//	                            epochs, subscriber counts, queue depths, WAL
+//	                            sizes, subscriber lag watermarks, propagation
+//	                            latency with exemplar trace IDs — JSON, or a
+//	                            minimal HTML page with ?format=html
+//	GET  /debug/traces          recent request span trees as JSON (always on;
+//	                            populated when -trace-sample is set or a
+//	                            -slow-ms request forces a trace)
 //	GET  /debug/pprof/          CPU/heap/goroutine profiles (opt-in: -debug)
 //	GET  /debug/vars            JSON counters: registry hits/misses/
 //	                            evictions, batch sizes, mutation and
@@ -56,7 +65,12 @@
 // is lock-free atomic adds — the 18 ns/point engine contract survives
 // instrumentation (DESIGN.md §11). -slow-ms N samples requests slower
 // than N milliseconds into the log with their decode/engine/encode
-// phase split (at most one entry per 100ms).
+// phase split (at most one entry per 100ms) and the ID of a span trace
+// at /debug/traces. -trace-sample N additionally records an end-to-end
+// span tree for 1 in N requests — mutate traces carry the epoch
+// timeline (overlay-apply, wal-append, hub-publish, per-subscriber
+// deliver) — joining a caller's W3C traceparent (or its binary
+// trace-extension frame) when one is propagated (DESIGN.md §14).
 //
 // Compiled plans are cached in an LRU keyed by the canonical
 // (lattice, tile) signature; concurrent first requests for one plan
@@ -85,25 +99,28 @@ import (
 // daemonOptions are newHandler's knobs — the flag set, minus the
 // listen address.
 type daemonOptions struct {
-	cache     int    // plan-cache capacity
-	maxBatch  int    // points per batch / events per mutate (0 = default)
-	maxWindow int    // points per window shorthand (0 = default)
-	sessions  int    // live dynamic sessions (0 = default)
-	maxSubs   int    // push subscribers per session (0 = default)
-	subQueue  int    // per-subscriber delta-queue depth (0 = default)
-	slowMs    int    // slow-request log threshold in ms (0 = off)
-	data      string // session data directory ("" = sessions not durable)
-	fsync     bool   // fsync the session WAL per mutation batch
-	debug     bool
-	logf      func(format string, args ...any) // nil = log.Printf
+	cache       int    // plan-cache capacity
+	maxBatch    int    // points per batch / events per mutate (0 = default)
+	maxWindow   int    // points per window shorthand (0 = default)
+	sessions    int    // live dynamic sessions (0 = default)
+	maxSubs     int    // push subscribers per session (0 = default)
+	subQueue    int    // per-subscriber delta-queue depth (0 = default)
+	slowMs      int    // slow-request log threshold in ms (0 = off)
+	traceSample int    // trace 1 in N requests (0 = off)
+	traceRing   int    // retained traces at /debug/traces (0 = default)
+	data        string // session data directory ("" = sessions not durable)
+	fsync       bool   // fsync the session WAL per mutation batch
+	debug       bool
+	logf        func(format string, args ...any) // nil = log.Printf
 }
 
 // logSlow is the daemon's slow-request sink: one structured log line
-// per sampled trace.
+// per sampled trace. trace= is the span-tree ID at /debug/traces
+// (slow requests are always traced, whatever -trace-sample says).
 func logSlow(sr service.SlowRequest) {
-	log.Printf("latticed: slow request endpoint=%s codec=%s status=%d sig=%q points=%d total=%s decode=%s engine=%s encode=%s",
+	log.Printf("latticed: slow request endpoint=%s codec=%s status=%d sig=%q points=%d total=%s decode=%s engine=%s encode=%s trace=%s",
 		sr.Endpoint, sr.Codec, sr.Status, sr.Signature, sr.BatchPoints,
-		sr.Total, sr.Decode, sr.Engine, sr.Encode)
+		sr.Total, sr.Decode, sr.Engine, sr.Encode, sr.Trace)
 }
 
 // newHandler assembles the daemon's full HTTP wiring — registry, batch
@@ -130,12 +147,14 @@ func newDaemon(o daemonOptions) (http.Handler, *service.Server, error) {
 		logf = log.Printf
 	}
 	opts := service.ServerOptions{
-		MaxBatch:       o.maxBatch,
-		MaxWindow:      o.maxWindow,
-		MaxSessions:    o.sessions,
-		MaxSubscribers: o.maxSubs,
-		SubscribeQueue: o.subQueue,
-		Logf:           logf,
+		MaxBatch:         o.maxBatch,
+		MaxWindow:        o.maxWindow,
+		MaxSessions:      o.sessions,
+		MaxSubscribers:   o.maxSubs,
+		SubscribeQueue:   o.subQueue,
+		TraceSampleEvery: o.traceSample,
+		TraceRing:        o.traceRing,
+		Logf:             logf,
 	}
 	if o.slowMs > 0 {
 		opts.SlowThreshold = time.Duration(o.slowMs) * time.Millisecond
@@ -163,6 +182,12 @@ func newDaemon(o daemonOptions) (http.Handler, *service.Server, error) {
 		}
 		_ = obs.WriteGoRuntime(w)
 	})
+	// The introspection plane (DESIGN.md §14) is always on, like
+	// /metrics: it reads state, leaks no profiles, and an operator's
+	// first question ("is it keeping up?") should never need a restart
+	// with -debug.
+	mux.HandleFunc("GET /statusz", srv.HandleStatusz)
+	mux.HandleFunc("GET /debug/traces", srv.HandleTraces)
 	if !o.debug {
 		return mux, srv, nil
 	}
@@ -187,22 +212,26 @@ func main() {
 	maxSubs := flag.Int("max-subscribers", 0, "max push subscribers per session, 503 beyond (0 = default)")
 	subQueue := flag.Int("sub-queue", 0, "per-subscriber delta-queue depth before a slow consumer is dropped (0 = default)")
 	slowMs := flag.Int("slow-ms", 0, "log requests slower than this many milliseconds (0 = off)")
+	traceSample := flag.Int("trace-sample", 0, "record a span trace for 1 in N requests, served at /debug/traces (0 = off; slow requests are always traced)")
+	traceRing := flag.Int("trace-ring", 0, "recent traces retained for /debug/traces (0 = default)")
 	data := flag.String("data", "", "session data directory: mutation sessions persist (WAL + snapshots) and survive restarts (\"\" = off)")
 	fsync := flag.Bool("fsync", false, "with -data: fsync the session WAL after every mutation batch")
 	debug := flag.Bool("debug", false, "serve /debug/pprof and /debug/vars (keep off on untrusted networks)")
 	flag.Parse()
 
 	handler, svc, err := newDaemon(daemonOptions{
-		cache:     *cache,
-		maxBatch:  *maxBatch,
-		maxWindow: *maxWindow,
-		sessions:  *sessions,
-		maxSubs:   *maxSubs,
-		subQueue:  *subQueue,
-		slowMs:    *slowMs,
-		data:      *data,
-		fsync:     *fsync,
-		debug:     *debug,
+		cache:       *cache,
+		maxBatch:    *maxBatch,
+		maxWindow:   *maxWindow,
+		sessions:    *sessions,
+		maxSubs:     *maxSubs,
+		subQueue:    *subQueue,
+		slowMs:      *slowMs,
+		traceSample: *traceSample,
+		traceRing:   *traceRing,
+		data:        *data,
+		fsync:       *fsync,
+		debug:       *debug,
 	})
 	if err != nil {
 		log.Fatalf("latticed: %v", err)

@@ -1,0 +1,154 @@
+package main
+
+// Introspection-plane end-to-end (DESIGN.md §14): a daemon under
+// scripted churn must expose the complete mutate→WAL→publish→deliver
+// span tree at /debug/traces, and /statusz must show the session with
+// its subscriber and lag watermarks that return to zero once the churn
+// stops and the subscriber drains.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"tilingsched/internal/service"
+)
+
+// TestStatuszAndTracesUnderChurn runs the scripted-churn acceptance
+// drive: subscribe, mutate through several epochs, drain, then read
+// both introspection endpoints.
+func TestStatuszAndTracesUnderChurn(t *testing.T) {
+	handler := newHandler(daemonOptions{
+		cache:       8,
+		traceSample: 1, // trace every request so the span tree is deterministic
+		data:        t.TempDir(),
+		logf:        t.Logf,
+	})
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+	client := ts.Client()
+
+	stream, resp, cancel := subscribeTo(t, client, ts.URL, nil)
+	defer cancel()
+	defer resp.Body.Close()
+
+	const epochs = 4
+	for i := 0; i < epochs; i++ {
+		mutate(t, client, ts.URL, subPlanA+
+			fmt.Sprintf(`"events":[{"op":"leave","p":[%d,%d]}]}`, i, i))
+	}
+	// Drain: one full-resync opener (nil epoch) plus the live deltas.
+	seen := 0
+	for seen < epochs {
+		d, err := stream.Next()
+		if err != nil {
+			t.Fatalf("stream ended early: %v", err)
+		}
+		if !d.Full {
+			seen++
+		}
+	}
+
+	// The churn has stopped and the subscriber is drained: /statusz
+	// must show the session at its final epoch with zero lag.
+	var sz service.StatuszResponse
+	getJSON(t, client, ts.URL+"/statusz", &sz)
+	if len(sz.Sessions) != 1 {
+		t.Fatalf("statusz sessions = %+v, want 1", sz.Sessions)
+	}
+	row := sz.Sessions[0]
+	if row.Epoch != epochs || row.Subscribers != 1 {
+		t.Fatalf("statusz row %+v, want epoch %d with 1 subscriber", row, epochs)
+	}
+	if row.LagEpochsMax != 0 || row.QueueSum != 0 || sz.LagEpochsMax != 0 {
+		t.Fatalf("lag watermarks nonzero after churn stopped: %+v", row)
+	}
+	if row.WALBytes == 0 || row.WALEvents != epochs {
+		t.Fatalf("WAL introspection %d bytes / %d events, want %d events", row.WALBytes, row.WALEvents, epochs)
+	}
+	if sz.SubscribersLive != 1 || sz.TraceSampleEvery != 1 || sz.TracesFinished == 0 {
+		t.Fatalf("statusz globals %+v", sz)
+	}
+	if len(sz.PropagationExemplars) == 0 {
+		t.Fatal("no propagation exemplars despite sampled deliveries")
+	}
+
+	// /debug/traces must hold a complete span tree for a mutate.
+	var dump struct {
+		Traces []struct {
+			Kind  string `json:"kind"`
+			Spans []struct {
+				Name  string `json:"name"`
+				Epoch int64  `json:"epoch"`
+			} `json:"spans"`
+		} `json:"traces"`
+	}
+	getJSON(t, client, ts.URL+"/debug/traces", &dump)
+	complete := false
+	for _, tr := range dump.Traces {
+		if tr.Kind != "mutate" {
+			continue
+		}
+		have := map[string]bool{}
+		for _, sp := range tr.Spans {
+			have[sp.Name] = true
+		}
+		if have["overlay-apply"] && have["wal-append"] && have["hub-publish"] && have["deliver"] {
+			complete = true
+			break
+		}
+	}
+	if !complete {
+		t.Fatalf("no complete mutate span tree at /debug/traces: %+v", dump.Traces)
+	}
+
+	// The HTML face renders without error.
+	htmlResp, err := client.Get(ts.URL + "/statusz?format=html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer htmlResp.Body.Close()
+	if ct := htmlResp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("html statusz content type %q", ct)
+	}
+
+	// The lag gauges ride the same collection on /metrics.
+	mResp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mResp.Body.Close()
+	raw, err := io.ReadAll(mResp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		`latticed_subscriber_lag_epochs{q="max"} 0`,
+		"# TYPE latticed_propagation_ns histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// getJSON fetches url and decodes its JSON body into out.
+func getJSON(t *testing.T, client *http.Client, url string, out any) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decoding %s: %v", url, err)
+	}
+}

@@ -8,8 +8,10 @@ import (
 )
 
 // WriteGoRuntime renders the Go runtime's own health metrics in
-// exposition format: goroutine count, heap sizes, cumulative
-// allocation, and GC cycle/pause totals. It calls runtime.ReadMemStats
+// exposition format: goroutine count, heap/stack sizes and occupancy,
+// cumulative allocation and object churn, and GC cycle/pause totals
+// with the most recent pause and the GC CPU fraction. It calls
+// runtime.ReadMemStats
 // (a brief stop-the-world), so it belongs on the scrape path only —
 // cmd/latticed appends it to every /metrics response after the
 // registry's metrics.
@@ -19,15 +21,31 @@ func WriteGoRuntime(w io.Writer) error {
 	type metric struct {
 		name, kind, value string
 	}
+	// The most recent GC pause lives in the PauseNs ring at index
+	// (NumGC+255)%256 (zero before the first cycle).
+	var lastPause uint64
+	if ms.NumGC > 0 {
+		lastPause = ms.PauseNs[(ms.NumGC+255)%256]
+	}
 	metrics := []metric{
 		{"go_goroutines", "gauge", strconv.Itoa(runtime.NumGoroutine())},
 		{"go_memstats_heap_alloc_bytes", "gauge", strconv.FormatUint(ms.HeapAlloc, 10)},
+		{"go_memstats_heap_inuse_bytes", "gauge", strconv.FormatUint(ms.HeapInuse, 10)},
+		{"go_memstats_heap_idle_bytes", "gauge", strconv.FormatUint(ms.HeapIdle, 10)},
 		{"go_memstats_heap_objects", "gauge", strconv.FormatUint(ms.HeapObjects, 10)},
+		{"go_memstats_stack_inuse_bytes", "gauge", strconv.FormatUint(ms.StackInuse, 10)},
+		{"go_memstats_next_gc_bytes", "gauge", strconv.FormatUint(ms.NextGC, 10)},
 		{"go_memstats_sys_bytes", "gauge", strconv.FormatUint(ms.Sys, 10)},
 		{"go_memstats_alloc_bytes_total", "counter", strconv.FormatUint(ms.TotalAlloc, 10)},
+		{"go_memstats_mallocs_total", "counter", strconv.FormatUint(ms.Mallocs, 10)},
+		{"go_memstats_frees_total", "counter", strconv.FormatUint(ms.Frees, 10)},
 		{"go_gc_cycles_total", "counter", strconv.FormatUint(uint64(ms.NumGC), 10)},
 		{"go_gc_pause_seconds_total", "counter",
 			strconv.FormatFloat(float64(ms.PauseTotalNs)/1e9, 'g', -1, 64)},
+		{"go_gc_last_pause_seconds", "gauge",
+			strconv.FormatFloat(float64(lastPause)/1e9, 'g', -1, 64)},
+		{"go_gc_cpu_fraction", "gauge",
+			strconv.FormatFloat(ms.GCCPUFraction, 'g', -1, 64)},
 	}
 	for _, m := range metrics {
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n", m.name, m.kind, m.name, m.value); err != nil {

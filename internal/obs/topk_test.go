@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestTopKBasicCounts(t *testing.T) {
+	tk := NewTopK(4)
+	tk.Record("a", 3)
+	tk.Record("b", 1)
+	tk.Record("a", 2)
+	got := tk.Snapshot()
+	want := []TopKEntry{{Key: "a", Count: 5}, {Key: "b", Count: 1}}
+	if len(got) != len(want) {
+		t.Fatalf("Snapshot = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Snapshot[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestTopKEviction pins the space-saving contract at capacity: the
+// minimum-count key is evicted, the newcomer inherits its count (so a
+// heavy key is never undercounted), and the sketch never exceeds its
+// capacity.
+func TestTopKEviction(t *testing.T) {
+	tk := NewTopK(2)
+	tk.Record("heavy", 100)
+	tk.Record("light", 1)
+	tk.Record("new", 5)
+
+	got := tk.Snapshot()
+	if len(got) != 2 {
+		t.Fatalf("tracked %d keys, want capacity 2: %v", len(got), got)
+	}
+	if got[0] != (TopKEntry{Key: "heavy", Count: 100}) {
+		t.Fatalf("heavy key perturbed by eviction: %v", got[0])
+	}
+	// "light" (the minimum, count 1) was evicted; "new" inherits that
+	// count: 1 + 5.
+	if got[1] != (TopKEntry{Key: "new", Count: 6}) {
+		t.Fatalf("newcomer = %v, want inherited count 6", got[1])
+	}
+	for _, e := range got {
+		if e.Key == "light" {
+			t.Fatal("minimum key survived eviction")
+		}
+	}
+
+	// An existing key at capacity increments in place — no eviction.
+	tk.Record("heavy", 1)
+	got = tk.Snapshot()
+	if got[0].Count != 101 || len(got) != 2 {
+		t.Fatalf("in-place increment at capacity: %v", got)
+	}
+}
+
+// TestTopKNeverUndercountsHeavy drives an adversarial churn of light
+// keys past a persistent heavy key: whatever gets evicted, the heavy
+// key's reported count must be at least its true total.
+func TestTopKNeverUndercountsHeavy(t *testing.T) {
+	tk := NewTopK(4)
+	const heavyTotal = 50
+	for i := 0; i < heavyTotal; i++ {
+		tk.Record("heavy", 1)
+		tk.Record(fmt.Sprintf("light-%d", i), 1)
+	}
+	for _, e := range tk.Snapshot() {
+		if e.Key == "heavy" {
+			if e.Count < heavyTotal {
+				t.Fatalf("heavy undercounted: %d < %d", e.Count, heavyTotal)
+			}
+			return
+		}
+	}
+	t.Fatal("heavy key evicted despite dominating the stream")
+}
+
+func TestWriteGoRuntimeFamilies(t *testing.T) {
+	var b strings.Builder
+	if err := WriteGoRuntime(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, name := range []string{
+		"go_goroutines",
+		"go_memstats_heap_alloc_bytes",
+		"go_memstats_heap_inuse_bytes",
+		"go_memstats_stack_inuse_bytes",
+		"go_memstats_next_gc_bytes",
+		"go_memstats_mallocs_total",
+		"go_memstats_frees_total",
+		"go_gc_cycles_total",
+		"go_gc_pause_seconds_total",
+		"go_gc_last_pause_seconds",
+		"go_gc_cpu_fraction",
+	} {
+		if !strings.Contains(out, "# TYPE "+name+" ") {
+			t.Errorf("missing family %s", name)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Dump is the JSON document served at /debug/traces.
+type Dump struct {
+	// SampleEvery is the active 1-in-N sampling rate (0 = disabled).
+	SampleEvery int `json:"sample_every"`
+	// Started counts traces handed out since process start.
+	Started uint64 `json:"started"`
+	// Finished counts traces published to the ring.
+	Finished uint64 `json:"finished"`
+	// Traces lists the retained traces, newest first.
+	Traces []View `json:"traces"`
+}
+
+// WriteJSON renders the ring's current traces (newest first) plus
+// recorder counters as an indented JSON document.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	d := Dump{
+		SampleEvery: r.SampleEvery(),
+		Started:     r.Started.Load(),
+		Finished:    r.Finished.Load(),
+		Traces:      r.Snapshot(),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

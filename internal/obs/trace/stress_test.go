@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRingConcurrentRecordSnapshot hammers the ring with concurrent
+// recorders, late-span writers, and snapshot readers. Run under -race
+// (the CI race job does) to pin the lock-free ring + copy-under-lock
+// view contract: no torn reads, every view internally consistent.
+func TestRingConcurrentRecordSnapshot(t *testing.T) {
+	r := NewRecorder(1, 32)
+	const (
+		writers = 4
+		readers = 3
+		rounds  = 2000
+	)
+	var wWG, rWG sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		wWG.Add(1)
+		go func() {
+			defer wWG.Done()
+			for i := 0; i < rounds; i++ {
+				tr := r.Start("stress")
+				tr.EpochSpan("apply", int64(i), 0, tr.Clock())
+				tr.Span("publish", tr.Clock(), tr.Clock())
+				r.Finish(tr)
+				// Late delivery span after publication, as the
+				// subscriber relays do.
+				tr.NoteSpan("deliver", "sub", tr.Clock(), tr.Clock())
+			}
+		}()
+	}
+
+	for rd := 0; rd < readers; rd++ {
+		rWG.Add(1)
+		go func() {
+			defer rWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, v := range r.Snapshot() {
+					if v.TraceID == "" || v.Kind != "stress" {
+						t.Errorf("torn view: %+v", v)
+						return
+					}
+					for _, s := range v.Spans {
+						switch s.Name {
+						case "apply", "publish", "deliver":
+						default:
+							t.Errorf("unexpected span %q in view", s.Name)
+							return
+						}
+					}
+				}
+				if _, ok := r.Lookup("ffffffffffffffffffffffffffffffff"); ok {
+					t.Error("Lookup matched an impossible ID")
+					return
+				}
+			}
+		}()
+	}
+
+	wWG.Wait()
+	close(stop)
+	rWG.Wait()
+
+	if got := r.Finished.Load(); got != writers*rounds {
+		t.Fatalf("Finished = %d, want %d", got, writers*rounds)
+	}
+	if views := r.Snapshot(); len(views) != 32 {
+		t.Fatalf("ring holds %d views, want 32", len(views))
+	}
+}

@@ -1,0 +1,113 @@
+package trace
+
+// W3C Trace Context "traceparent" header support (version 00):
+//
+//	traceparent: 00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>
+//
+// Parsing is permissive about future versions (any 2-hex version other
+// than "ff" is accepted, per the spec's forward-compatibility rule) but
+// strict about field lengths, separators, hex digits, and the all-zero
+// invalid IDs.
+
+// FlagSampled is the traceparent flags bit indicating the caller
+// sampled this trace.
+const FlagSampled = 0x01
+
+// Context is a propagated trace context: who to join and whether the
+// caller sampled.
+type Context struct {
+	// TraceID is the caller's trace ID.
+	TraceID ID
+	// Parent is the caller's span ID (our parent).
+	Parent SpanID
+	// Sampled is the traceparent sampled flag.
+	Sampled bool
+}
+
+// Valid reports whether the context carries a usable (non-zero)
+// trace ID and parent span ID.
+func (c Context) Valid() bool { return !c.TraceID.IsZero() && !c.Parent.IsZero() }
+
+// hexVal decodes one lowercase-or-uppercase hex digit, returning
+// (value, true) or (0, false).
+func hexVal(b byte) (byte, bool) {
+	switch {
+	case b >= '0' && b <= '9':
+		return b - '0', true
+	case b >= 'a' && b <= 'f':
+		return b - 'a' + 10, true
+	case b >= 'A' && b <= 'F':
+		return b - 'A' + 10, true
+	}
+	return 0, false
+}
+
+func hexBytes(s string, dst []byte) bool {
+	for i := 0; i < len(dst); i++ {
+		hi, ok1 := hexVal(s[2*i])
+		lo, ok2 := hexVal(s[2*i+1])
+		if !ok1 || !ok2 {
+			return false
+		}
+		dst[i] = hi<<4 | lo
+	}
+	return true
+}
+
+// ParseTraceparent parses a W3C traceparent header value. It returns
+// ok=false for malformed values, the forbidden version "ff", and the
+// invalid all-zero trace or span IDs.
+func ParseTraceparent(h string) (c Context, ok bool) {
+	// "00-" + 32 + "-" + 16 + "-" + 2 = 55 bytes minimum; longer values
+	// are allowed only for future versions with extra suffix fields.
+	if len(h) < 55 {
+		return Context{}, false
+	}
+	if _, okV := hexVal(h[0]); !okV {
+		return Context{}, false
+	}
+	if _, okV := hexVal(h[1]); !okV {
+		return Context{}, false
+	}
+	if (h[0] == 'f' || h[0] == 'F') && (h[1] == 'f' || h[1] == 'F') {
+		return Context{}, false // version ff is forbidden
+	}
+	version00 := h[0] == '0' && h[1] == '0'
+	if version00 && len(h) != 55 {
+		return Context{}, false
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return Context{}, false
+	}
+	if !version00 && len(h) > 55 && h[55] != '-' {
+		return Context{}, false
+	}
+	if !hexBytes(h[3:35], c.TraceID[:]) || !hexBytes(h[36:52], c.Parent[:]) {
+		return Context{}, false
+	}
+	var flags [1]byte
+	if !hexBytes(h[53:55], flags[:]) {
+		return Context{}, false
+	}
+	if c.TraceID.IsZero() || c.Parent.IsZero() {
+		return Context{}, false
+	}
+	c.Sampled = flags[0]&FlagSampled != 0
+	return c, true
+}
+
+// FormatTraceparent renders a version-00 traceparent header value for
+// the given trace ID, span ID, and sampled flag.
+func FormatTraceparent(id ID, span SpanID, sampled bool) string {
+	b := make([]byte, 0, 55)
+	b = append(b, '0', '0', '-')
+	b = append(b, id.String()...)
+	b = append(b, '-')
+	b = append(b, span.String()...)
+	if sampled {
+		b = append(b, '-', '0', '1')
+	} else {
+		b = append(b, '-', '0', '0')
+	}
+	return string(b)
+}

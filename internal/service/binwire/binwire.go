@@ -64,6 +64,13 @@ const (
 	// FrameSubscribe is a session-subscription request (DESIGN.md §13):
 	// it opens a server-push delta stream instead of a one-shot reply.
 	FrameSubscribe byte = 0x04
+	// FrameTraceExt is an optional trace-context extension frame
+	// (DESIGN.md §14): a client may prepend it to any request frame to
+	// propagate a W3C trace context over the binary codec, so a fleet
+	// node joins its caller's trace. Payload is flags:u8 (bit 0 =
+	// sampled) + 16 raw trace-ID bytes + 8 raw parent-span-ID bytes.
+	// Servers that do not trace strip and ignore it.
+	FrameTraceExt byte = 0x05
 
 	// FrameSlotsHead opens a slots response: m and the total count.
 	FrameSlotsHead byte = 0x81

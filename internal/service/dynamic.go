@@ -129,6 +129,12 @@ type dynSession struct {
 	// (DESIGN.md §13). Attaches and publishes run under mu; eviction
 	// closes every subscriber so none can hold the ghost session alive.
 	hub subHub
+
+	// lastPubNs is the wall-clock nanosecond stamp of the session's most
+	// recent hub publish (0 until one happens) — the reference point the
+	// subscriber time-behind watermarks are measured against. Atomic so
+	// the statusz/scrape path can read it without the session lock.
+	lastPubNs atomic.Int64
 }
 
 func newSessionTable(capacity int, met *Metrics) *sessionTable {

@@ -20,6 +20,7 @@ import (
 
 	"tilingsched/internal/dynamic"
 	"tilingsched/internal/obs"
+	"tilingsched/internal/obs/trace"
 )
 
 // Instrumented endpoints, in mux order. /healthz and the daemon's
@@ -73,6 +74,12 @@ type SlowRequest struct {
 	// are the phase splits (Encode is zero on the binary streaming
 	// path, where encoding interleaves with the engine phase).
 	Total, Decode, Engine, Encode time.Duration
+	// Trace is the request's hex trace ID, linking the log line to its
+	// span tree at /debug/traces. Slow requests that lost the sampling
+	// draw get a trace synthesized from the phase times
+	// (always-sample-on-slow), so Trace is "" only with tracing
+	// disabled entirely.
+	Trace string
 }
 
 // Metrics is a server's telemetry plane: one obs.Registry per server
@@ -126,6 +133,17 @@ type Metrics struct {
 	deltasPushed                        *obs.Counter
 	subCatchups, subResyncs             *obs.Counter
 	fanoutNs                            *obs.Histogram
+
+	// Propagation plane (DESIGN.md §14): publish→deliver latency per
+	// delta delivery, plus subscriber lag watermarks (epochs-behind and
+	// time-behind, indexed by lagMin/lagP50/lagMax) set at scrape time
+	// from the live session table. Exemplar trace IDs for sampled
+	// deliveries sit in a small lock-free ring, surfaced on /statusz.
+	propagationNs *obs.Histogram
+	lagEpochs     [numLagQs]*obs.Gauge
+	lagTimeNs     [numLagQs]*obs.Gauge
+	propExSeq     atomic.Uint64
+	propExemplars [propExemplarRing]atomic.Pointer[PropExemplar]
 
 	// Dyn is the dynamic-subsystem telemetry, registered in the same
 	// registry and passed to every session's Mutator.
@@ -192,8 +210,57 @@ func newServerMetrics(opts ServerOptions) *Metrics {
 	m.subCatchups = r.Counter("latticed_subscriber_catchups_total")
 	m.subResyncs = r.Counter("latticed_subscriber_resyncs_total")
 	m.fanoutNs = r.Histogram("latticed_fanout_ns")
+	m.propagationNs = r.Histogram("latticed_propagation_ns")
+	for q, name := range lagQNames {
+		m.lagEpochs[q] = r.Gauge(`latticed_subscriber_lag_epochs{q="` + name + `"}`)
+		m.lagTimeNs[q] = r.Gauge(`latticed_subscriber_lag_ns{q="` + name + `"}`)
+	}
 	m.dyn = dynamic.NewMetrics(r)
 	return m
+}
+
+// Lag-watermark quantile indexes (and their exposition labels).
+const (
+	lagMin = iota
+	lagP50
+	lagMax
+	numLagQs
+)
+
+var lagQNames = [numLagQs]string{"min", "p50", "max"}
+
+// propExemplarRing is how many recent propagation exemplars are kept.
+const propExemplarRing = 4
+
+// PropExemplar links one sampled delta delivery's propagation latency
+// to its trace, so an operator reading the latency histogram can jump
+// to the span tree that produced an outlier. Surfaced on /statusz.
+type PropExemplar struct {
+	// TraceID is the hex trace ID (look it up at /debug/traces).
+	TraceID string `json:"trace_id"`
+	// Epoch is the delivered session epoch.
+	Epoch uint64 `json:"epoch"`
+	// LatencyNs is the publish→deliver latency.
+	LatencyNs int64 `json:"latency_ns"`
+}
+
+// recordExemplar publishes one sampled delivery into the exemplar ring.
+func (m *Metrics) recordExemplar(ex *PropExemplar) {
+	slot := (m.propExSeq.Add(1) - 1) % propExemplarRing
+	m.propExemplars[slot].Store(ex)
+}
+
+// exemplars returns the retained propagation exemplars, newest first.
+func (m *Metrics) exemplars() []PropExemplar {
+	out := make([]PropExemplar, 0, propExemplarRing)
+	seq := m.propExSeq.Load()
+	for i := uint64(0); i < propExemplarRing; i++ {
+		slot := (seq + propExemplarRing - 1 - i) % propExemplarRing
+		if ex := m.propExemplars[slot].Load(); ex != nil {
+			out = append(out, *ex)
+		}
+	}
+	return out
 }
 
 // Registry exposes the underlying obs registry (tests and embedders
@@ -218,6 +285,11 @@ type reqTrace struct {
 	sig                          string
 	batch                        int
 	decodeNs, engineNs, encodeNs time.Duration
+	// span is the request's sampled trace (nil for the unsampled
+	// majority). The wrapper starts it — from the sampling draw or a
+	// propagated traceparent — and finishes it; the binary handlers may
+	// set it themselves when they find a FrameTraceExt in the body.
+	span *trace.Trace
 }
 
 // observe folds one finished request into the metrics plane. It is
@@ -283,10 +355,36 @@ func (sr *statusRecorder) WriteHeader(code int) {
 // wrapper — the subscribe stream needs both.
 func (sr *statusRecorder) Unwrap() http.ResponseWriter { return sr.ResponseWriter }
 
+// traceparentHeader is the canonical MIME form of the W3C trace-context
+// header. Indexing the header map with the canonical constant skips
+// textproto canonicalization, which would allocate on every request —
+// including the untraced majority.
+const traceparentHeader = "Traceparent"
+
+// phaseSpans stamps the request's decode/engine/encode phase times onto
+// its trace as sequential spans. No-op on a nil trace.
+func phaseSpans(sp *trace.Trace, tr *reqTrace) {
+	off := int64(0)
+	if tr.decodeNs > 0 {
+		sp.Span("decode", off, off+int64(tr.decodeNs))
+		off += int64(tr.decodeNs)
+	}
+	if tr.engineNs > 0 {
+		sp.Span("engine", off, off+int64(tr.engineNs))
+		off += int64(tr.engineNs)
+	}
+	if tr.encodeNs > 0 {
+		sp.Span("encode", off, off+int64(tr.encodeNs))
+	}
+}
+
 // instrument wraps an endpoint handler with the uniform telemetry:
-// codec negotiation, status capture, end-to-end timing, and the
-// observe/slow-log calls. Handlers receive the pooled trace to fill
-// in signature, batch size, and phase times.
+// codec negotiation, status capture, end-to-end timing, trace sampling
+// and traceparent propagation, and the observe/slow-log calls. Handlers
+// receive the pooled trace to fill in signature, batch size, and phase
+// times. A request that lost the sampling draw but crossed the slow
+// threshold gets a trace synthesized from its phase times
+// (always-sample-on-slow), so every slow-log line links to a span tree.
 func (s *Server) instrument(ep int, h func(w http.ResponseWriter, r *http.Request, tr *reqTrace)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		codec := codecJSON
@@ -295,12 +393,42 @@ func (s *Server) instrument(ep int, h func(w http.ResponseWriter, r *http.Reques
 		}
 		tr := s.traces.Get().(*reqTrace)
 		*tr = reqTrace{}
+		// Join the caller's propagated context when it sampled, else run
+		// the recorder's own 1-in-N draw. The nil span is the common case
+		// and costs one map index plus one atomic load.
+		if vals := r.Header[traceparentHeader]; len(vals) > 0 {
+			if c, ok := trace.ParseTraceparent(vals[0]); ok && c.Sampled {
+				tr.span = s.rec.Join(epNames[ep], c.TraceID, c.Parent)
+			}
+		}
+		if tr.span == nil {
+			tr.span = s.rec.Start(epNames[ep])
+		}
+		if tr.span != nil {
+			// Echo the context so the caller can link its trace to ours.
+			w.Header().Set(traceparentHeader,
+				trace.FormatTraceparent(tr.span.ID(), tr.span.Root(), true))
+		}
 		sr := statusRecorder{ResponseWriter: w, status: 200}
 		start := time.Now()
 		h(&sr, r, tr)
 		total := time.Since(start)
 		s.met.observe(ep, codec, sr.status, total, tr)
+		span := tr.span
+		if span != nil {
+			phaseSpans(span, tr)
+			s.rec.Finish(span)
+		}
 		if s.met.slowSample(total, start.Add(total).UnixNano()) {
+			if span == nil {
+				span = s.rec.StartAt(epNames[ep], start)
+				phaseSpans(span, tr)
+				s.rec.Finish(span)
+			}
+			traceID := ""
+			if span != nil {
+				traceID = span.ID().String()
+			}
 			s.met.slowLog(SlowRequest{
 				Endpoint:    epNames[ep],
 				Codec:       codecNames[codec],
@@ -311,6 +439,7 @@ func (s *Server) instrument(ep int, h func(w http.ResponseWriter, r *http.Reques
 				Decode:      tr.decodeNs,
 				Engine:      tr.engineNs,
 				Encode:      tr.encodeNs,
+				Trace:       traceID,
 			})
 		}
 		s.traces.Put(tr)
@@ -320,14 +449,34 @@ func (s *Server) instrument(ep int, h func(w http.ResponseWriter, r *http.Reques
 // Metrics returns the server's telemetry plane.
 func (s *Server) Metrics() *Metrics { return s.met }
 
+// Traces returns the server's span recorder (DESIGN.md §14), so
+// embedders can adjust the sampling rate or read the ring directly.
+func (s *Server) Traces() *trace.Recorder { return s.rec }
+
 // WriteMetrics renders the server's full telemetry in Prometheus text
-// exposition format: scrape-time gauges (cached plans), every
-// registered family, then the per-plan traffic sketch. The daemon's
-// /metrics handler calls this and appends obs.WriteGoRuntime.
+// exposition format: scrape-time gauges (cached plans, subscriber lag
+// watermarks), every registered family, then the per-plan traffic
+// sketch. The daemon's /metrics handler calls this and appends
+// obs.WriteGoRuntime.
 func (s *Server) WriteMetrics(w io.Writer) error {
 	s.met.plans.Set(int64(s.reg.Len()))
+	s.setLagGauges()
 	if err := s.met.reg.WritePrometheus(w); err != nil {
 		return err
 	}
 	return obs.WriteTopK(w, "latticed_plan_points_total", "signature", s.met.planTraffic)
+}
+
+// setLagGauges recomputes the global subscriber lag watermarks from the
+// live session table (cold path: scrape and statusz time only).
+func (s *Server) setLagGauges() {
+	_, epochsBehind, timeBehind := s.statuszCollect()
+	eMin, eP50, eMax := watermarksU(epochsBehind)
+	tMin, tP50, tMax := watermarksI(timeBehind)
+	s.met.lagEpochs[lagMin].Set(int64(eMin))
+	s.met.lagEpochs[lagP50].Set(int64(eP50))
+	s.met.lagEpochs[lagMax].Set(int64(eMax))
+	s.met.lagTimeNs[lagMin].Set(tMin)
+	s.met.lagTimeNs[lagP50].Set(tP50)
+	s.met.lagTimeNs[lagMax].Set(tMax)
 }

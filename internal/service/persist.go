@@ -465,7 +465,8 @@ type sessionDisk struct {
 	ident     sessIdent
 	id        string
 	wal       *os.File
-	walEvents int // events logged since the last snapshot
+	walEvents int   // events logged since the last snapshot
+	walBytes  int64 // current WAL file size (header + records)
 }
 
 // append logs one applied batch: the post-batch epoch and the applied
@@ -480,6 +481,7 @@ func (d *sessionDisk) append(epoch uint64, events []dynamic.Event) error {
 		return fmt.Errorf("service: WAL append: %w", err)
 	}
 	d.walEvents += len(events)
+	d.walBytes += int64(len(e.Bytes()))
 	if m := d.store.met; m != nil {
 		m.walAppends.Inc()
 		m.walAppendNs.Record(uint64(time.Since(start)))
@@ -526,6 +528,7 @@ func (d *sessionDisk) snapshot(mut *dynamic.Mutator, epoch uint64) error {
 	_ = d.wal.Close()
 	d.wal = fresh
 	d.walEvents = 0
+	d.walBytes = int64(e.Len())
 	if m := d.store.met; m != nil {
 		m.snapshots.Inc()
 		m.snapshotNs.Record(uint64(time.Since(start)))
@@ -672,16 +675,23 @@ func (st *SessionStore) open(plan *core.Plan, w lattice.Window, dopts dynamic.Op
 		if d.wal, walErr = os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644); walErr != nil {
 			return nil, nil, 0, fmt.Errorf("service: opening WAL: %w", walErr)
 		}
+		// Size for the /statusz WAL gauge; stat after open so a torn
+		// tail truncated by replay is not counted.
+		if fi, serr := d.wal.Stat(); serr == nil {
+			d.walBytes = fi.Size()
+		}
 	case os.IsNotExist(walErr):
 		// Fresh WAL based at the restored epoch (0 for a new session).
 		e := binwire.Get()
 		encodeWALHeader(e, ident, epoch)
+		hdrLen := int64(e.Len())
 		f, err := replaceFileSync(walPath, e.Bytes())
 		binwire.Put(e)
 		if err != nil {
 			return nil, nil, 0, fmt.Errorf("service: creating WAL: %w", err)
 		}
 		d.wal = f
+		d.walBytes = hdrLen
 	default:
 		return nil, nil, 0, fmt.Errorf("service: reading WAL: %w", walErr)
 	}

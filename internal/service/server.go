@@ -13,6 +13,7 @@ import (
 	"tilingsched/internal/core"
 	"tilingsched/internal/dynamic"
 	"tilingsched/internal/lattice"
+	"tilingsched/internal/obs/trace"
 )
 
 // ServerOptions bounds a server's per-request work. Zero values select
@@ -44,6 +45,13 @@ type ServerOptions struct {
 	// SlowLog receives the sampled slow-request traces. Nil disables
 	// slow-request logging regardless of SlowThreshold.
 	SlowLog func(SlowRequest)
+	// TraceSampleEvery samples 1 in N requests into the span recorder
+	// (DESIGN.md §14); 0 disables sampling. Slow requests and callers
+	// propagating a sampled trace context are always recorded.
+	TraceSampleEvery int
+	// TraceRing is the number of recent traces retained for
+	// /debug/traces (trace.DefaultRing when zero).
+	TraceRing int
 	// Logf, when non-nil, receives operational log lines (dirty session
 	// evictions, persistence recoveries). Daemons wire it to log.Printf.
 	Logf func(format string, args ...any)
@@ -78,6 +86,8 @@ type Server struct {
 	traces     sync.Pool // of *reqTrace
 	sessions   *sessionTable
 	met        *Metrics
+	rec        *trace.Recorder
+	subSeq     atomic.Uint64 // subscriber identity for deliver spans
 
 	batchRequests  atomic.Int64
 	batchPoints    atomic.Int64
@@ -151,6 +161,7 @@ func NewServer(reg *Registry, opts ServerOptions) *Server {
 		opts.SubscribeQueue = DefaultSubscribeQueue
 	}
 	s := &Server{reg: reg, opts: opts, mux: http.NewServeMux(), met: newServerMetrics(opts)}
+	s.rec = trace.NewRecorder(opts.TraceSampleEvery, opts.TraceRing)
 	s.sessions = newSessionTable(opts.MaxSessions, s.met)
 	s.sessions.logf = opts.Logf
 	reg.instrument(s.met)
@@ -276,7 +287,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request, tr *reqTra
 		epoch = *req.Epoch
 	}
 	engineStart := time.Now()
-	resp, status, cerr := s.mutateCore(plan, win, req.Epoch != nil, epoch, req.Full, events)
+	resp, status, cerr := s.mutateCore(plan, win, req.Epoch != nil, epoch, req.Full, events, tr.span)
 	tr.engineNs = time.Since(engineStart)
 	if cerr != nil {
 		writeErr(w, status, cerr.Error())
@@ -294,7 +305,11 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request, tr *reqTra
 // partial apply, 409 on a stale epoch — the conflict response carries
 // the current epoch so the client can resync); a non-nil error means
 // there is no MutateResponse payload (session-table failure, 500).
-func (s *Server) mutateCore(plan *core.Plan, win lattice.Window, hasEpoch bool, epoch uint64, full bool, events []dynamic.Event) (MutateResponse, int, error) {
+// tsp, when non-nil, is the request's trace: the epoch timeline stamps
+// (overlay-apply, wal-append, hub-publish) land on it, and the
+// published delta carries it so subscriber deliveries complete the
+// span tree (DESIGN.md §14).
+func (s *Server) mutateCore(plan *core.Plan, win lattice.Window, hasEpoch bool, epoch uint64, full bool, events []dynamic.Event, tsp *trace.Trace) (MutateResponse, int, error) {
 	var sess *dynSession
 	for {
 		var err error
@@ -329,11 +344,14 @@ func (s *Server) mutateCore(plan *core.Plan, win lattice.Window, hasEpoch bool, 
 	}
 	resp := MutateResponse{Signature: plan.Signature()}
 	if len(events) > 0 {
+		applyStart := tsp.Clock()
 		d, changed, aerr := sess.mut.Apply(events)
 		if d.Events > 0 {
 			sess.epoch++
+			tsp.EpochSpan("overlay-apply", int64(sess.epoch), applyStart, tsp.Clock())
 			s.sessions.record(d.Events)
 			if sess.disk != nil {
+				walStart := tsp.Clock()
 				// Log the applied prefix (Apply stops at the first bad
 				// event, so events[:d.Events] is exactly what changed
 				// state) stamped with the post-batch epoch. An append
@@ -345,9 +363,12 @@ func (s *Server) mutateCore(plan *core.Plan, win lattice.Window, hasEpoch bool, 
 					s.sessions.logfSafe("latticed: session %s: %v (persistence disabled for this session)", sess.key, perr)
 					sess.disk.close()
 					sess.disk = nil
-				} else if sess.disk.shouldSnapshot() {
-					if perr := sess.disk.snapshot(sess.mut, sess.epoch); perr != nil {
-						s.sessions.logfSafe("latticed: session %s: %v", sess.key, perr)
+				} else {
+					tsp.EpochSpan("wal-append", int64(sess.epoch), walStart, tsp.Clock())
+					if sess.disk.shouldSnapshot() {
+						if perr := sess.disk.snapshot(sess.mut, sess.epoch); perr != nil {
+							s.sessions.logfSafe("latticed: session %s: %v", sess.key, perr)
+						}
 					}
 				}
 			}
@@ -358,12 +379,16 @@ func (s *Server) mutateCore(plan *core.Plan, win lattice.Window, hasEpoch bool, 
 			// never blocks — a full queue drops its subscriber instead.
 			if sess.hub.active() {
 				fanStart := time.Now()
-				pd := &Delta{Epoch: sess.epoch, M: sess.mut.Slots(), Alive: sess.mut.AliveCount()}
+				pubStart := tsp.Clock()
+				pd := &Delta{Epoch: sess.epoch, M: sess.mut.Slots(), Alive: sess.mut.AliveCount(),
+					PubTime: fanStart, trace: tsp, pubNs: pubStart}
 				pd.Changed = make([]ChangeSpec, 0, len(changed))
 				for _, ch := range changed {
 					pd.Changed = append(pd.Changed, ChangeSpec{P: ch.P, Slot: ch.Slot})
 				}
 				delivered, dropped := sess.hub.publish(pd)
+				tsp.EpochSpan("hub-publish", int64(sess.epoch), pubStart, tsp.Clock())
+				sess.lastPubNs.Store(fanStart.UnixNano())
 				s.met.deltasPushed.Add(uint64(delivered))
 				s.met.fanoutNs.Record(uint64(time.Since(fanStart)))
 				if dropped > 0 {

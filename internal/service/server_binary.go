@@ -111,6 +111,21 @@ func (s *Server) readBin(w http.ResponseWriter, r *http.Request, buf *queryBuf) 
 	return true
 }
 
+// joinTraceExt strips an optional leading trace-extension frame from a
+// binary request body, joining the propagated context onto tr when the
+// caller sampled and the instrument wrapper has not already started a
+// span (a traceparent header outranks the in-band frame). Returns the
+// remaining bytes — the request frame the decode funnels consume. The
+// returned slice aliases body; callers must not hand it back to a pool
+// while decoding.
+func (s *Server) joinTraceExt(body []byte, ep int, tr *reqTrace) []byte {
+	c, rest := DecodeTraceExt(body)
+	if c.Valid() && c.Sampled && tr.span == nil {
+		tr.span = s.rec.Join(epNames[ep], c.TraceID, c.Parent)
+	}
+	return rest
+}
+
 // planBin resolves a binary plan reference: the signature form is a
 // pure cache lookup (404 on a miss, so the client re-sends the spec),
 // the spec form compiles through the registry with the JSON path's
@@ -220,7 +235,12 @@ func (s *Server) handleBatchBin(w http.ResponseWriter, r *http.Request, may bool
 		sc.Release()
 		s.binScratch.Put(sc)
 	}()
-	req, err := DecodeBinaryBatch(buf.body, s.limits(), sc)
+	ep := epSlots
+	if may {
+		ep = epMay
+	}
+	body := s.joinTraceExt(buf.body, ep, tr)
+	req, err := DecodeBinaryBatch(body, s.limits(), sc)
 	if err != nil {
 		writeBinErr(w, wireStatus(err), err.Error())
 		return
@@ -326,7 +346,8 @@ func (s *Server) handleMutateBin(w http.ResponseWriter, r *http.Request, tr *req
 	if !s.readBin(w, r, buf) {
 		return
 	}
-	req, err := DecodeBinaryMutate(buf.body, s.limits())
+	body := s.joinTraceExt(buf.body, epMutate, tr)
+	req, err := DecodeBinaryMutate(body, s.limits())
 	if err != nil {
 		writeBinErr(w, wireStatus(err), err.Error())
 		return
@@ -344,7 +365,7 @@ func (s *Server) handleMutateBin(w http.ResponseWriter, r *http.Request, tr *req
 		return
 	}
 	engineStart := time.Now()
-	resp, status, cerr := s.mutateCore(plan, req.Window, req.HasEpoch, req.Epoch, req.Full, req.Events)
+	resp, status, cerr := s.mutateCore(plan, req.Window, req.HasEpoch, req.Epoch, req.Full, req.Events, tr.span)
 	tr.engineNs = time.Since(engineStart)
 	if cerr != nil {
 		writeBinErr(w, status, cerr.Error())

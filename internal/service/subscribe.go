@@ -20,10 +20,12 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tilingsched/internal/core"
 	"tilingsched/internal/lattice"
+	"tilingsched/internal/obs/trace"
 )
 
 const (
@@ -96,6 +98,21 @@ type Delta struct {
 	// Changed is the slot-change set (Slot -1 marks a departure). The
 	// slice and its points are shared across subscribers: read-only.
 	Changed []ChangeSpec
+	// PubTime is the wall-clock instant the delta was published to the
+	// hub — the base of the propagation-latency measurement. Zero on
+	// catch-up and resync deltas, which were never fanned out live.
+	PubTime time.Time
+
+	// trace is the mutate request's sampled trace, when it drew one:
+	// each subscriber delivery appends a deliver span to it, completing
+	// the mutate→WAL→publish→deliver span tree (DESIGN.md §14). A very
+	// late delivery may stamp a trace the ring has since recycled —
+	// race-safe (the trace's own mutex covers the append) and benign
+	// for debug tooling, documented rather than defended against.
+	trace *trace.Trace
+	// pubNs is the publish stamp on the trace's monotonic clock, the
+	// deliver span's start.
+	pubNs int64
 }
 
 // subscriber is one attached stream: a bounded delta queue plus the
@@ -105,7 +122,31 @@ type Delta struct {
 type subscriber struct {
 	ch     chan *Delta
 	reason string
+	// note names this subscriber in deliver spans ("sub-N", N from the
+	// server-wide attach sequence), precomputed at attach so the relay
+	// hot path never formats.
+	note string
+	// lastEpoch is the latest epoch the relay has delivered (attach
+	// epoch until then); lastPubNs the publish wall-clock of the latest
+	// live delta delivered (0 until one arrives). Both feed the lag
+	// watermarks (/statusz, metrics) — written by the relay goroutine,
+	// read by the cold statusz/scrape path, hence atomics.
+	lastEpoch atomic.Uint64
+	lastPubNs atomic.Int64
+	// delivered counts live deliveries for propagation-histogram
+	// decimation. Only the subscriber's own consumer (the relay
+	// goroutine or the in-process Mark caller) touches it, so it is a
+	// plain field, not an atomic.
+	delivered uint64
 }
+
+// propSampleMask decimates shared propagation-histogram records to one
+// in eight deliveries per subscriber: the histogram's three shared
+// atomics would otherwise serialize fan-out at 10k+ subscribers, while
+// one-in-eight keeps quantile estimates stable at any realistic rate.
+// Traced deltas always record, so exemplars stay coherent. The per-
+// subscriber lag marks are exact regardless — they are uncontended.
+const propSampleMask = 7
 
 // subHub is a session's subscriber set. Attach and publish run under
 // the owning session's mutex (hub lock nested inside), so a subscriber
@@ -228,7 +269,40 @@ type Subscription struct {
 
 	sub  *subscriber
 	sess *dynSession
+	srv  *Server
 	done func()
+}
+
+// Mark records one delivered delta for this feed: lag-watermark
+// bookkeeping, the propagation-latency histogram, and the delta's
+// deliver span. The wire relays call it per send; in-process consumers
+// (embedders, the push bench) should call it per received delta so
+// /statusz lag watermarks cover them too. Harmless to skip — the feed
+// still works, it just reads as lagging.
+func (f *Subscription) Mark(d *Delta) { f.srv.markDelivered(f.sub, d) }
+
+// markDelivered is the delivery bookkeeping behind Subscription.Mark
+// and the wire relays: advance the subscriber's lag marks, record
+// propagation latency for live deltas, and complete the publishing
+// trace's span tree with a deliver span.
+func (s *Server) markDelivered(sub *subscriber, d *Delta) {
+	sub.lastEpoch.Store(d.Epoch)
+	if d.PubTime.IsZero() {
+		return // catch-up or resync delta: never fanned out live
+	}
+	sub.lastPubNs.Store(d.PubTime.UnixNano())
+	n := sub.delivered
+	sub.delivered = n + 1
+	if d.trace == nil && n&propSampleMask != 0 {
+		return
+	}
+	lat := time.Since(d.PubTime)
+	s.met.propagationNs.Record(uint64(lat))
+	if d.trace != nil {
+		d.trace.EpochNoteSpan("deliver", sub.note, int64(d.Epoch), d.pubNs, d.trace.Clock())
+		s.met.recordExemplar(&PropExemplar{
+			TraceID: d.trace.ID().String(), Epoch: d.Epoch, LatencyNs: int64(lat)})
+	}
 }
 
 // Reason returns why the feed ended ("" while C is open). Valid only
@@ -292,19 +366,22 @@ func (s *Server) subscribeAttach(plan *core.Plan, win lattice.Window, hasEpoch b
 			sess.mu.Unlock()
 			continue
 		}
-		sub := &subscriber{ch: make(chan *Delta, queue)}
+		sub := &subscriber{ch: make(chan *Delta, queue),
+			note: fmt.Sprintf("sub-%d", s.subSeq.Add(1))}
 		if !sess.hub.attach(sub, maxSubs) {
 			sess.mu.Unlock()
 			return nil, http.StatusServiceUnavailable,
 				fmt.Errorf("session has %d subscribers (limit): retry or raise MaxSubscribers", maxSubs)
 		}
 		cur := sess.epoch
+		sub.lastEpoch.Store(cur)
 		feed := &Subscription{
 			Hello: SubscribeHello{Signature: plan.Signature(), Epoch: cur,
 				M: sess.mut.Slots(), Alive: sess.mut.AliveCount()},
 			C:    sub.ch,
 			sub:  sub,
 			sess: sess,
+			srv:  s,
 		}
 		needWAL := false
 		switch {
@@ -339,6 +416,7 @@ func (s *Server) subscribeAttach(plan *core.Plan, win lattice.Window, hasEpoch b
 					continue
 				}
 				feed.Hello.Epoch = sess.epoch
+				sub.lastEpoch.Store(sess.epoch)
 				feed.Hello.M = sess.mut.Slots()
 				feed.Hello.Alive = sess.mut.AliveCount()
 				feed.Catch = []*Delta{fullDeltaLocked(sess)}
@@ -448,6 +526,7 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request, tr *req
 		if !send(deltaWire(d)) {
 			return
 		}
+		s.markDelivered(feed.sub, d)
 		if d.Epoch > last {
 			last = d.Epoch
 		}
@@ -469,6 +548,7 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request, tr *req
 			if !send(deltaWire(d)) {
 				return
 			}
+			s.markDelivered(feed.sub, d)
 			if d.Epoch > last {
 				last = d.Epoch
 			}

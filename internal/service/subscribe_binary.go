@@ -219,7 +219,8 @@ func (s *Server) handleSubscribeBin(w http.ResponseWriter, r *http.Request, tr *
 	if !s.readBin(w, r, buf) {
 		return
 	}
-	req, err := DecodeBinarySubscribe(buf.body, s.limits())
+	body := s.joinTraceExt(buf.body, epSubscribe, tr)
+	req, err := DecodeBinarySubscribe(body, s.limits())
 	if err != nil {
 		writeBinErr(w, wireStatus(err), err.Error())
 		return
@@ -265,6 +266,7 @@ func (s *Server) handleSubscribeBin(w http.ResponseWriter, r *http.Request, tr *
 		if !send() {
 			return
 		}
+		s.markDelivered(feed.sub, d)
 		if d.Epoch > last {
 			last = d.Epoch
 		}
@@ -288,6 +290,7 @@ func (s *Server) handleSubscribeBin(w http.ResponseWriter, r *http.Request, tr *
 			if !send() {
 				return
 			}
+			s.markDelivered(feed.sub, d)
 			if d.Epoch > last {
 				last = d.Epoch
 			}

@@ -1,0 +1,67 @@
+package service
+
+// Binary trace-context propagation (DESIGN.md §14): the optional
+// FrameTraceExt frame a client may prepend to any binary request frame,
+// carrying a W3C trace context so a fleet node can join its caller's
+// trace over the binary codec — the wire-level twin of the JSON path's
+// traceparent header. The frame is fixed-layout (flags + raw trace ID +
+// raw parent span ID), strippable by servers that do not trace, and
+// under the same never-panic contract as every decode funnel
+// (FuzzDecodeTraceExt pins it).
+
+import (
+	"encoding/binary"
+
+	"tilingsched/internal/obs/trace"
+	"tilingsched/internal/service/binwire"
+)
+
+// traceExtPayloadLen is the FrameTraceExt payload length: flags byte,
+// 16 trace-ID bytes, 8 parent-span-ID bytes.
+const traceExtPayloadLen = 1 + 16 + 8
+
+// traceExtFrameLen is the full on-wire frame length (header included).
+const traceExtFrameLen = binwire.FrameHeaderLen + traceExtPayloadLen
+
+// EncodeTraceExt appends a trace-context extension frame to e. Callers
+// emit it before their request frame; a non-tracing server strips and
+// ignores it.
+func EncodeTraceExt(e *binwire.Buffer, c trace.Context) {
+	e.BeginFrame(binwire.FrameTraceExt)
+	var flags byte
+	if c.Sampled {
+		flags |= trace.FlagSampled
+	}
+	e.Byte(flags)
+	e.Raw(c.TraceID[:])
+	e.Raw(c.Parent[:])
+	e.EndFrame()
+}
+
+// DecodeTraceExt strips an optional leading trace-extension frame from
+// a binary request body, returning the propagated context and the
+// remaining bytes (the request frame the decode funnels consume). When
+// data does not begin with a well-formed FrameTraceExt, it is returned
+// unchanged with a zero context — the extension never turns a valid
+// request into an error, and malformed extension bytes fall through to
+// the normal funnel diagnostics. A syntactically valid frame carrying
+// the invalid all-zero IDs is stripped but yields a zero context
+// (check Context.Valid before joining). Never panics on any input.
+func DecodeTraceExt(data []byte) (trace.Context, []byte) {
+	if len(data) < traceExtFrameLen || data[4] != binwire.FrameTraceExt {
+		return trace.Context{}, data
+	}
+	if binary.LittleEndian.Uint32(data) != 1+traceExtPayloadLen {
+		return trace.Context{}, data
+	}
+	var c trace.Context
+	flags := data[binwire.FrameHeaderLen]
+	copy(c.TraceID[:], data[binwire.FrameHeaderLen+1:])
+	copy(c.Parent[:], data[binwire.FrameHeaderLen+17:])
+	rest := data[traceExtFrameLen:]
+	if !c.Valid() {
+		return trace.Context{}, rest
+	}
+	c.Sampled = flags&trace.FlagSampled != 0
+	return c, rest
+}
